@@ -1,0 +1,490 @@
+(* The peertrust command-line tool.
+
+   Subcommands:
+     parse      check and pretty-print a policy program, with lint warnings
+     eval       evaluate a query against a program (backward chaining)
+     forward    saturate a program (forward chaining) and print the facts
+     negotiate  run a trust negotiation between peers loaded from files
+     scenario   run one of the paper's built-in scenarios
+*)
+
+open Cmdliner
+module Dlp = Peertrust_dlp
+open Peertrust
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let handle_syntax_errors f =
+  try f () with
+  | Dlp.Parser.Error (msg, line, col) ->
+      Printf.eprintf "syntax error at %d:%d: %s\n" line col msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Arguments *)
+
+let program_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Policy program file.")
+
+let self_arg =
+  Arg.(
+    value & opt string "self"
+    & info [ "self" ] ~docv:"NAME" ~doc:"Name of the local peer.")
+
+let query_arg ~pos_index =
+  Arg.(
+    required
+    & pos pos_index (some string) None
+    & info [] ~docv:"QUERY" ~doc:"Goal conjunction, e.g. 'p(X), q(X)'.")
+
+(* ------------------------------------------------------------------ *)
+(* parse *)
+
+let parse_cmd =
+  let run file =
+    handle_syntax_errors @@ fun () ->
+    let rules = Dlp.Program.parse (read_file file) in
+    print_endline (Dlp.Program.to_string rules);
+    let warnings = Dlp.Program.check rules in
+    List.iter
+      (fun w -> Format.eprintf "warning: %a@." Dlp.Program.pp_warning w)
+      warnings;
+    Printf.printf "%% %d rule(s), %d warning(s)\n" (List.length rules)
+      (List.length warnings)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse, lint and pretty-print a policy program.")
+    Term.(const run $ program_file)
+
+(* ------------------------------------------------------------------ *)
+(* eval *)
+
+let eval_cmd =
+  let run file self query max_solutions engine =
+    handle_syntax_errors @@ fun () ->
+    let kb = Dlp.Kb.of_string (read_file file) in
+    let goals = Dlp.Parser.parse_query query in
+    let answers =
+      match engine with
+      | "sld" ->
+          let options = { Dlp.Sld.default_options with max_solutions } in
+          Dlp.Sld.answers ~options ~self kb goals
+      | "tabled" ->
+          (try Dlp.Tabled.solve ~self kb goals
+           with Dlp.Tabled.Unsupported msg ->
+             Printf.eprintf "tabled: %s\n" msg;
+             exit 1)
+      | other ->
+          Printf.eprintf "unknown engine %S (sld or tabled)\n" other;
+          exit 1
+    in
+    if answers = [] then print_endline "no."
+    else
+      List.iter
+        (fun s ->
+          if Dlp.Subst.is_empty s then print_endline "yes."
+          else print_endline (Dlp.Subst.to_string s))
+        answers
+  in
+  let max_solutions =
+    Arg.(
+      value & opt int 32
+      & info [ "n"; "max-solutions" ] ~docv:"N" ~doc:"Answer limit.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "sld"
+      & info [ "engine" ] ~docv:"E"
+          ~doc:"Evaluation engine: sld (depth-first) or tabled.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query with backward chaining.")
+    Term.(const run $ program_file $ self_arg $ query_arg ~pos_index:1
+          $ max_solutions $ engine)
+
+(* ------------------------------------------------------------------ *)
+(* forward *)
+
+let forward_cmd =
+  let run file self =
+    handle_syntax_errors @@ fun () ->
+    let kb = Dlp.Kb.of_string (read_file file) in
+    let result = Dlp.Forward.saturate ~self kb in
+    List.iter
+      (fun l -> print_endline (Dlp.Literal.to_string l))
+      result.Dlp.Forward.facts;
+    Printf.printf "%% %d fact(s), %d derived, %d round(s)\n"
+      (List.length result.Dlp.Forward.facts)
+      result.Dlp.Forward.derived result.Dlp.Forward.rounds
+  in
+  Cmd.v
+    (Cmd.info "forward" ~doc:"Saturate a program with forward chaining.")
+    Term.(const run $ program_file $ self_arg)
+
+(* ------------------------------------------------------------------ *)
+(* negotiate *)
+
+let negotiate_cmd =
+  let run verbose peer_specs requester target goal strategy show_transcript
+      narrative mermaid wallet save_wallet save_world =
+    setup_logs verbose;
+    handle_syntax_errors @@ fun () ->
+    let session = Session.create () in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None ->
+            Printf.eprintf "bad --peer %S (expected name=file)\n" spec;
+            exit 1
+        | Some i ->
+            let name = String.sub spec 0 i in
+            let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+            ignore (Session.add_peer session ~program:(read_file file) name))
+      peer_specs;
+    Engine.attach_all session;
+    (* Import a credential wallet into the requester. *)
+    Option.iter
+      (fun file ->
+        match Peertrust_crypto.Wire.decode_many (read_file file) with
+        | Ok certs ->
+            Engine.learn session (Session.peer session requester) certs
+        | Error e ->
+            Format.eprintf "wallet %s: %a@." file Peertrust_crypto.Wire.pp_error e;
+            exit 1)
+      wallet;
+    let strategy =
+      match strategy with
+      | "relevant" -> Strategy.Relevant
+      | "eager" -> Strategy.Eager
+      | "push" | "push-relevant" -> Strategy.Push_relevant
+      | other ->
+          Printf.eprintf "unknown strategy %S\n" other;
+          exit 1
+    in
+    let report =
+      Strategy.negotiate_str session ~strategy ~requester ~target goal
+    in
+    Format.printf "%a@." Negotiation.pp_report report;
+    if narrative then print_endline (Explain.narrative report);
+    if mermaid then print_string (Explain.sequence_diagram report);
+    if show_transcript then
+      List.iter
+        (fun e ->
+          Format.printf "[%4d] %s -> %s: %s@." e.Peertrust_net.Network.time
+            e.Peertrust_net.Network.from e.Peertrust_net.Network.target
+            e.Peertrust_net.Network.summary)
+        report.Negotiation.transcript;
+    (* Export the requester's credentials (own plus acquired). *)
+    Option.iter
+      (fun file ->
+        let peer = Session.peer session requester in
+        let certs = Hashtbl.fold (fun _ c acc -> c :: acc) peer.Peer.certs [] in
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Peertrust_crypto.Wire.encode_many certs));
+        Printf.printf "wallet: %d certificate(s) written to %s\n"
+          (List.length certs) file)
+      save_wallet;
+    Option.iter
+      (fun dir ->
+        Persist.save session ~dir;
+        Printf.printf "world saved to %s\n" dir)
+      save_world;
+    exit (if Negotiation.succeeded report then 0 else 2)
+  in
+  let peers =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "p"; "peer" ] ~docv:"NAME=FILE"
+          ~doc:"Add a peer with the given policy program (repeatable).")
+  in
+  let requester =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "requester" ] ~docv:"NAME" ~doc:"Requesting peer.")
+  in
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target" ] ~docv:"NAME" ~doc:"Peer owning the resource.")
+  in
+  let goal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GOAL" ~doc:"Requested literal.")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "relevant"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Negotiation strategy: relevant, eager or push-relevant.")
+  in
+  let transcript =
+    Arg.(value & flag & info [ "transcript" ] ~doc:"Print the message log.")
+  in
+  let narrative =
+    Arg.(
+      value & flag
+      & info [ "narrative" ] ~doc:"Print a prose account of the negotiation.")
+  in
+  let mermaid =
+    Arg.(
+      value & flag
+      & info [ "mermaid" ] ~doc:"Print a Mermaid sequence diagram.")
+  in
+  let save_world =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-world" ] ~docv:"DIR"
+          ~doc:"Save the post-negotiation world (programs + wallets) here.")
+  in
+  let wallet =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "wallet" ] ~docv:"FILE"
+          ~doc:"Import this credential wallet into the requester first.")
+  in
+  let save_wallet =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-wallet" ] ~docv:"FILE"
+          ~doc:"Write the requester's credentials (own and acquired) here.")
+  in
+  Cmd.v
+    (Cmd.info "negotiate" ~doc:"Run a trust negotiation between peers.")
+    Term.(
+      const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
+      $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world)
+
+(* ------------------------------------------------------------------ *)
+(* world: negotiate inside a saved world directory *)
+
+let world_cmd =
+  let run verbose dir requester target goal save =
+    setup_logs verbose;
+    handle_syntax_errors @@ fun () ->
+    match Persist.load ~dir () with
+    | Error e ->
+        Format.eprintf "%a@." Persist.pp_error e;
+        exit 1
+    | Ok session -> (
+        match goal with
+        | None ->
+            (* Just describe the world. *)
+            List.iter
+              (fun name ->
+                let peer = Session.peer session name in
+                Printf.printf "%s: %d rule(s), %d certificate(s)\n" name
+                  (Dlp.Kb.size peer.Peer.kb)
+                  (Hashtbl.length peer.Peer.certs))
+              (Session.peer_names session)
+        | Some goal ->
+            let required what = function
+              | Some v -> v
+              | None ->
+                  Printf.eprintf "--%s required with a goal\n" what;
+                  exit 1
+            in
+            let requester = required "requester" requester in
+            let target = required "target" target in
+            let report =
+              Negotiation.request_str session ~requester ~target goal
+            in
+            Format.printf "%a@." Negotiation.pp_report report;
+            Option.iter
+              (fun out ->
+                Persist.save session ~dir:out;
+                Printf.printf "world saved to %s\n" out)
+              save;
+            exit (if Negotiation.succeeded report then 0 else 2))
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"World directory (see --save-world).")
+  in
+  let requester =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "requester" ] ~docv:"NAME" ~doc:"Requesting peer.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"NAME" ~doc:"Peer owning the resource.")
+  in
+  let goal =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"GOAL" ~doc:"Requested literal (omit to describe).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR" ~doc:"Save the updated world here.")
+  in
+  Cmd.v
+    (Cmd.info "world"
+       ~doc:"Inspect a saved world, or run a negotiation inside it.")
+    Term.(const run $ verbose_arg $ dir $ requester $ target $ goal $ save)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run peer_specs goal_spec critical =
+    handle_syntax_errors @@ fun () ->
+    let world =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | None ->
+              Printf.eprintf "bad --peer %S (expected name=file)\n" spec;
+              exit 1
+          | Some i ->
+              let name = String.sub spec 0 i in
+              let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+              (name, read_file file))
+        peer_specs
+      |> Analysis.world_of_programs
+    in
+    let report = Analysis.analyze world in
+    Format.printf "%a" Analysis.pp_report report;
+    match goal_spec with
+    | None -> ()
+    | Some spec -> (
+        match String.index_opt spec ':' with
+        | None ->
+            Printf.eprintf "bad --goal %S (expected owner:literal)\n" spec;
+            exit 1
+        | Some i ->
+            let owner = String.sub spec 0 i in
+            let goal =
+              Dlp.Parser.parse_literal
+                (String.sub spec (i + 1) (String.length spec - i - 1))
+            in
+            let ok = Analysis.may_succeed world ~owner ~goal in
+            Format.printf "goal %a at %s: %s@." Dlp.Literal.pp goal owner
+              (if ok then "may succeed" else "cannot succeed");
+            if critical then
+              List.iter
+                (fun (holder, cred) ->
+                  Format.printf "critical: %s holds %a@." holder Dlp.Rule.pp
+                    cred)
+                (Analysis.critical_credentials world ~owner ~goal);
+            exit (if ok then 0 else 2))
+  in
+  let peers =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "p"; "peer" ] ~docv:"NAME=FILE"
+          ~doc:"Add a peer program to the analysed world (repeatable).")
+  in
+  let goal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"OWNER:LITERAL"
+          ~doc:"Also decide reachability of this goal at that owner.")
+  in
+  let critical =
+    Arg.(
+      value & flag
+      & info [ "critical" ]
+          ~doc:
+            "With --goal: list the credentials whose refusal alone would \
+             make the negotiation fail.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static negotiation analysis: which guarded resources can unlock, \
+          which are deadlocked.")
+    Term.(const run $ peers $ goal $ critical)
+
+(* ------------------------------------------------------------------ *)
+(* scenario *)
+
+let scenario_cmd =
+  let run name =
+    let show (r : Negotiation.report) =
+      Format.printf "%a@." Negotiation.pp_report r;
+      List.iter
+        (fun e ->
+          Format.printf "[%4d] %s -> %s: %s@." e.Peertrust_net.Network.time
+            e.Peertrust_net.Network.from e.Peertrust_net.Network.target
+            e.Peertrust_net.Network.summary)
+        r.Negotiation.transcript
+    in
+    match name with
+    | "elearn" ->
+        let s = Scenario.scenario1 () in
+        show
+          (Negotiation.request_str s.Scenario.s1_session ~requester:"Alice"
+             ~target:"E-Learn" {|discountEnroll(spanish101, "Alice")|})
+    | "services" ->
+        let s = Scenario.scenario2 () in
+        show
+          (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
+             ~target:"E-Learn" {|enroll(cs101, "Bob", "IBM", Email, 0)|});
+        show
+          (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
+             ~target:"E-Learn" {|enroll(cs411, "Bob", "IBM", Email, Price)|})
+    | other ->
+        Printf.eprintf "unknown scenario %S (try elearn or services)\n" other;
+        exit 1
+  in
+  let scenario_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Scenario name: elearn or services.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
+    Term.(const run $ scenario_name)
+
+let () =
+  let info =
+    Cmd.info "peertrust" ~version:"1.0.0"
+      ~doc:"Automated trust negotiation with distributed logic programs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd; eval_cmd; forward_cmd; negotiate_cmd; analyze_cmd;
+            world_cmd; scenario_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/chain_discovery.ml: Chain Engine Format List Negotiation Peertrust Peertrust_crypto Peertrust_dlp Peertrust_net Session

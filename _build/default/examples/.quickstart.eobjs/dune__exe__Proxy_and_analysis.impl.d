@@ -1,0 +1,1 @@
+examples/proxy_and_analysis.ml: Analysis Engine Format List Negotiation Peertrust Peertrust_dlp Peertrust_net Proxy Session

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format List Negotiation Peertrust Peertrust_net Session

@@ -1,0 +1,1 @@
+examples/scenario_elearn.ml: Engine Format List Negotiation Peertrust Peertrust_dlp Peertrust_net Proof Scenario Session

@@ -1,0 +1,1 @@
+examples/scenario_elearn.mli:

@@ -1,0 +1,1 @@
+examples/scenario_grid.ml: Engine Format List Negotiation Peertrust Peertrust_net Printf Scenario Session

@@ -1,0 +1,1 @@
+examples/scenario_services.ml: Engine Format Negotiation Peertrust Printf Scenario Session

@@ -1,0 +1,1 @@
+examples/search_and_enroll.ml: Engine Format Int List Negotiation Peertrust Peertrust_dlp Peertrust_net Peertrust_rdf Printf Qel Session String

@@ -1,0 +1,1 @@
+examples/strategies.ml: Format List Negotiation Peertrust Scenario Strategy

@@ -1,0 +1,1 @@
+examples/tokens_and_audit.ml: Audit Engine Format Negotiation Option Peertrust Peertrust_crypto Peertrust_dlp Peertrust_net Session Token

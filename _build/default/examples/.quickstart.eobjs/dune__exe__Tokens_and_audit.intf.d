@@ -1,0 +1,1 @@
+examples/tokens_and_audit.mli:

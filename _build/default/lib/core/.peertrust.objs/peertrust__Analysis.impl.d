@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Builtin Format Hashtbl Int Kb List Literal Parser Peer Peertrust_dlp Rule Session Set String

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Format Literal Peertrust_dlp Rule Session

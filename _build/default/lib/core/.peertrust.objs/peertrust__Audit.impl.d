@@ -1,0 +1,1 @@
+lib/core/audit.ml: Engine Format Hashtbl List Literal Peertrust_crypto Peertrust_dlp Peertrust_net Printf Session String

@@ -1,0 +1,1 @@
+lib/core/broker.ml: Engine List Literal Peer Peertrust_dlp Rule Session Term

@@ -1,0 +1,1 @@
+lib/core/broker.mli: Peer Peertrust_dlp Rule Session

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Engine Hashtbl Int List Literal Negotiation Peer Peertrust_crypto Peertrust_dlp Printf Session Term

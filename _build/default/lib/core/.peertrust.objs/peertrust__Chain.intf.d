@@ -1,0 +1,1 @@
+lib/core/chain.mli: Literal Negotiation Peertrust_crypto Peertrust_dlp Session

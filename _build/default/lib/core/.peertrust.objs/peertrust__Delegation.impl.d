@@ -1,0 +1,1 @@
+lib/core/delegation.ml: Format List Literal Peer Peertrust_crypto Peertrust_dlp Printf Rule Session String Term Trace

@@ -1,0 +1,1 @@
+lib/core/delegation.mli: Peer Peertrust_crypto Peertrust_dlp Rule Session Term Trace

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Builtin Fun Hashtbl Kb List Literal Logs Option Peer Peertrust_crypto Peertrust_dlp Peertrust_net Policy Printf Rule Session Sld String Subst Term Trace

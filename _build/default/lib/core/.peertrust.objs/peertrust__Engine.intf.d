@@ -1,0 +1,1 @@
+lib/core/engine.mli: Literal Peer Peertrust_crypto Peertrust_dlp Peertrust_net Policy Session Sld Trace

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer List Literal Negotiation Peertrust_dlp Peertrust_net Printf Rule String Trace

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Negotiation Peertrust_dlp Trace

@@ -1,0 +1,1 @@
+lib/core/externals.ml: Hashtbl List Literal Option Peertrust_dlp Sld String Subst Term Unify

@@ -1,0 +1,1 @@
+lib/core/externals.mli: Peertrust_dlp Sld

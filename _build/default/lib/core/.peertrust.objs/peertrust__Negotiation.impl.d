@@ -1,0 +1,1 @@
+lib/core/negotiation.ml: Engine Format List Literal Parser Peertrust_dlp Peertrust_net Session

@@ -1,0 +1,1 @@
+lib/core/negotiation.mli: Engine Format Literal Peertrust_dlp Peertrust_net Session

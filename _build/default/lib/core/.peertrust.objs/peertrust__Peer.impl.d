@@ -1,0 +1,1 @@
+lib/core/peer.ml: Hashtbl Kb List Option Parser Peertrust_crypto Peertrust_dlp Rule Sld

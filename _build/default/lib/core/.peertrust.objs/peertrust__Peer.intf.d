@@ -1,0 +1,1 @@
+lib/core/peer.mli: Hashtbl Kb Literal Peertrust_crypto Peertrust_dlp Rule Sld

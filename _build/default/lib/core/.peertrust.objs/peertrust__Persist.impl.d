@@ -1,0 +1,1 @@
+lib/core/persist.ml: Buffer Char Engine Filename Format Fun Hashtbl List Peer Peertrust_crypto Peertrust_dlp Printf Session String Sys

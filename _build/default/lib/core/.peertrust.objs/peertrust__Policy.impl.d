@@ -1,0 +1,1 @@
+lib/core/policy.ml: Format Kb List Literal Option Peertrust_dlp Rule Sld String Subst Term

@@ -1,0 +1,1 @@
+lib/core/proof.ml: Buffer Builtin Format List Literal Option Peer Peertrust_crypto Peertrust_dlp Printf Rule Session Subst Term Trace

@@ -1,0 +1,1 @@
+lib/core/proof.mli: Format Literal Peertrust_crypto Peertrust_dlp Rule Session Trace

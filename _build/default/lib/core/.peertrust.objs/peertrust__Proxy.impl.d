@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Engine Hashtbl Peertrust_net Session

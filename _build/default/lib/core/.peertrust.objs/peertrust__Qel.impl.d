@@ -1,0 +1,1 @@
+lib/core/qel.ml: Buffer Engine Format Hashtbl Kb List Literal Parser Peertrust_dlp Peertrust_net Peertrust_rdf Printf Rule Session Sld String Subst Term

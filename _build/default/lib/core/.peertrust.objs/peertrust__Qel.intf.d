@@ -1,0 +1,1 @@
+lib/core/qel.mli: Kb Literal Peertrust_dlp Peertrust_rdf Session Term

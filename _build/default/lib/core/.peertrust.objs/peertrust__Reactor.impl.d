@@ -1,0 +1,1 @@
+lib/core/reactor.ml: Engine Hashtbl List Literal Logs Negotiation Peer Peertrust_dlp Peertrust_net Queue Rule Session String Term

@@ -1,0 +1,1 @@
+lib/core/reactor.mli: Literal Negotiation Peertrust_dlp Session

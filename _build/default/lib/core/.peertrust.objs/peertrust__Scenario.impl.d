@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Buffer Engine Hashtbl Kb List Literal Option Parser Peer Peertrust_crypto Peertrust_dlp Peertrust_rdf Printf Session Sld String Subst Term

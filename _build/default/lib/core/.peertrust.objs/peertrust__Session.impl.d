@@ -1,0 +1,1 @@
+lib/core/session.ml: Hashtbl List Option Peer Peertrust_crypto Peertrust_dlp Peertrust_net String

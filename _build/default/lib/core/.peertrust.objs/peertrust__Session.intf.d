@@ -1,0 +1,1 @@
+lib/core/session.mli: Hashtbl Peer Peertrust_crypto Peertrust_dlp Peertrust_net Sld

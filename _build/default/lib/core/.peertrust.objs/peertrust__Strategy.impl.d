@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Engine Fun Hashtbl List Negotiation Parser Peer Peertrust_crypto Peertrust_dlp Peertrust_net Rule Session String

@@ -1,0 +1,1 @@
+lib/core/token.ml: Format List Literal Negotiation Peertrust_crypto Peertrust_dlp Printf Rule Session String Term

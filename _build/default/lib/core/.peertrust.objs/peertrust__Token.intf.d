@@ -1,0 +1,1 @@
+lib/core/token.mli: Format Literal Negotiation Peertrust_crypto Peertrust_dlp Session

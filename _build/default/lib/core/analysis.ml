@@ -1,0 +1,208 @@
+open Peertrust_dlp
+
+type pred = string * int
+type world = (string * Rule.t list) list
+
+let world_of_session (session : Session.t) =
+  Hashtbl.fold
+    (fun name (peer : Peer.t) acc -> (name, Kb.rules peer.Peer.kb) :: acc)
+    session.Session.peers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let world_of_programs programs =
+  List.map (fun (name, src) -> (name, Parser.parse_program src)) programs
+
+type report = {
+  released : (string * pred) list;
+  locked : (string * pred) list;
+  deadlocks : (string * pred) list list;
+}
+
+module KeySet = Set.Make (struct
+  type t = string * pred
+
+  let compare (p1, (n1, a1)) (p2, (n2, a2)) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = String.compare n1 n2 in
+      if c <> 0 then c else Int.compare a1 a2
+end)
+
+let lit_pred (l : Literal.t) = Literal.key l
+
+let is_guard l = Builtin.is_builtin (lit_pred l)
+
+(* The release-guarded resources of a peer: rules carrying a head context,
+   keyed by head predicate. *)
+let resources rules =
+  List.filter_map
+    (fun (r : Rule.t) ->
+      match r.Rule.head_ctx with
+      | Some ctx -> Some (lit_pred r.Rule.head, ctx, r.Rule.body)
+      | None -> None)
+    rules
+
+let analyze (world : world) =
+  let derivable = ref KeySet.empty in
+  let released = ref KeySet.empty in
+  let mem set peer p = KeySet.mem (peer, p) !set in
+  (* A context/body literal is satisfiable at peer P when it is a
+     built-in, P can derive it, or any other peer can release it. *)
+  let satisfiable peer l =
+    is_guard l
+    || mem derivable peer (lit_pred l)
+    || List.exists
+         (fun (other, _) ->
+           (not (String.equal other peer)) && mem released other (lit_pred l))
+         world
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let add set key =
+      if not (KeySet.mem key !set) then begin
+        set := KeySet.add key !set;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (peer, rules) ->
+        List.iter
+          (fun (r : Rule.t) ->
+            (* derivable: every body literal satisfiable.  Signed rules
+               also make the head derivable under the signer authority,
+               but at the predicate level that is the same key. *)
+            if List.for_all (satisfiable peer) r.Rule.body then
+              add derivable (peer, lit_pred r.Rule.head))
+          rules;
+        List.iter
+          (fun (head_pred, ctx, body) ->
+            if
+              List.for_all (satisfiable peer) ctx
+              && List.for_all (satisfiable peer) body
+            then add released (peer, head_pred))
+          (resources rules))
+      world
+  done;
+  let all_guarded =
+    List.concat_map
+      (fun (peer, rules) ->
+        List.map (fun (p, _, _) -> (peer, p)) (resources rules))
+      world
+    |> List.sort_uniq compare
+  in
+  let released_list = List.filter (fun k -> KeySet.mem k !released) all_guarded in
+  let locked = List.filter (fun k -> not (KeySet.mem k !released)) all_guarded in
+  (* Dependency graph among locked resources: a locked resource depends on
+     the unsatisfiable literals of its contexts, pointing at every peer
+     that guards that predicate. *)
+  let locked_set = KeySet.of_list locked in
+  let deps (peer, p) =
+    List.concat_map
+      (fun (owner, rules) ->
+        if not (String.equal owner peer) then []
+        else
+          List.concat_map
+            (fun (head_pred, ctx, body) ->
+              if head_pred <> p then []
+              else
+                List.concat_map
+                  (fun l ->
+                    if satisfiable peer l then []
+                    else
+                      List.filter_map
+                        (fun (other, rules') ->
+                          let guarded_there =
+                            List.exists
+                              (fun (hp, _, _) -> hp = lit_pred l)
+                              (resources rules')
+                          in
+                          if guarded_there && KeySet.mem (other, lit_pred l) locked_set
+                          then Some (other, lit_pred l)
+                          else None)
+                        world)
+                  (ctx @ body))
+            (resources rules))
+      world
+    |> List.sort_uniq compare
+  in
+  (* Enumerate elementary cycles with a bounded DFS from each node. *)
+  let deadlocks = ref [] in
+  let add_cycle cycle =
+    (* Normalise rotation so each cycle is reported once. *)
+    let min_elt = List.fold_left min (List.hd cycle) cycle in
+    let rec rotate c =
+      match c with
+      | x :: _ when x = min_elt -> c
+      | x :: rest -> rotate (rest @ [ x ])
+      | [] -> c
+    in
+    let normal = rotate cycle in
+    if not (List.mem normal !deadlocks) then deadlocks := normal :: !deadlocks
+  in
+  let rec dfs path node =
+    match List.find_index (fun x -> x = node) (List.rev path) with
+    | Some i ->
+        let cycle =
+          List.filteri (fun j _ -> j >= i) (List.rev path)
+        in
+        add_cycle cycle
+    | None ->
+        if List.length path < 16 then
+          List.iter (fun next -> dfs (node :: path) next) (deps node)
+  in
+  List.iter (fun node -> dfs [] node) locked;
+  { released = released_list; locked; deadlocks = List.rev !deadlocks }
+
+(* A goal can only ever be granted through a release rule, so it must be
+   in the released set; unguarded predicates are private. *)
+let may_succeed world ~owner ~goal =
+  let report = analyze world in
+  List.mem (owner, Literal.key goal) report.released
+
+let critical_credentials world ~owner ~goal =
+  if not (may_succeed world ~owner ~goal) then []
+  else begin
+    let credentials =
+      List.concat_map
+        (fun (peer, rules) ->
+          List.filter_map
+            (fun r -> if Rule.is_signed r then Some (peer, r) else None)
+            rules)
+        world
+    in
+    List.filter
+      (fun (peer, cred) ->
+        let without =
+          List.map
+            (fun (p, rules) ->
+              if String.equal p peer then
+                (p, List.filter (fun r -> not (Rule.equal r cred)) rules)
+              else (p, rules))
+            world
+        in
+        not (may_succeed without ~owner ~goal))
+      credentials
+  end
+
+let refusal_matters world ~owner ~goal ~peer =
+  List.exists
+    (fun (holder, _) -> String.equal holder peer)
+    (critical_credentials world ~owner ~goal)
+
+let pp_pred fmt (name, arity) = Format.fprintf fmt "%s/%d" name arity
+
+let pp_entry fmt (peer, p) = Format.fprintf fmt "%s:%a" peer pp_pred p
+
+let pp_report fmt r =
+  let pp_list fmt entries =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_entry fmt entries
+  in
+  Format.fprintf fmt "released: %a@\nlocked: %a@\n" pp_list r.released pp_list
+    r.locked;
+  List.iter
+    (fun cycle -> Format.fprintf fmt "deadlock cycle: %a@\n" pp_list cycle)
+    r.deadlocks

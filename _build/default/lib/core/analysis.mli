@@ -1,0 +1,63 @@
+(** Static negotiation analysis — the guarantees §6 asks for ("one would
+    like to see formal guarantees that trust negotiations will always
+    terminate and will succeed when possible").
+
+    The analysis abstracts programs to the predicate level (constants and
+    arities of arguments are ignored; a predicate key is name/arity) and
+    computes a mutual fixpoint of two judgements over a {e world} — a set
+    of named peer programs:
+
+    - [derivable P q]: peer [P] can establish some instance of [q], using
+      its own rules, built-ins, and statements other peers could release;
+    - [released P q]: peer [P] has a release rule ([$] context) for [q]
+      whose context and body are satisfiable, so an instance of [q] can be
+      disclosed to outsiders.
+
+    Everything the fixpoint misses is {e definitely} locked; what it
+    contains {e may} unlock at run time (the abstraction is complete but
+    not sound w.r.t. constants, so [may_succeed = false] implies the real
+    negotiation fails, while [true] is only a prediction). *)
+
+open Peertrust_dlp
+
+type pred = string * int
+
+type world = (string * Rule.t list) list
+(** Peer name, program. *)
+
+val world_of_session : Session.t -> world
+val world_of_programs : (string * string) list -> world
+(** Parse program texts.  @raise Parser.Error. *)
+
+type report = {
+  released : (string * pred) list;
+      (** resources that can eventually be disclosed, with their peer *)
+  locked : (string * pred) list;
+      (** release-guarded resources that can never unlock *)
+  deadlocks : (string * pred) list list;
+      (** dependency cycles among locked resources (mutual locks) *)
+}
+
+val analyze : world -> report
+
+val may_succeed :
+  world -> owner:string -> goal:Literal.t -> bool
+(** Would a request for [goal] at [owner] possibly be granted to some
+    requester?  [false] is definitive failure. *)
+
+val critical_credentials :
+  world -> owner:string -> goal:Literal.t -> (string * Rule.t) list
+(** The paper's §6 autonomy question — "If I refuse to answer this query,
+    could it cause the negotiation to fail?" — answered credential by
+    credential: the signed facts/rules whose removal flips {!may_succeed}
+    from [true] to [false], with the peer that holds each.  Empty when the
+    goal cannot succeed in the first place.  A peer holding a critical
+    credential has no autonomy to withhold it; redundant credentials
+    (backed by an alternative path) do not appear. *)
+
+val refusal_matters :
+  world -> owner:string -> goal:Literal.t -> peer:string -> bool
+(** Does [peer] hold at least one critical credential for this goal (i.e.
+    could its refusal alone make the negotiation fail)? *)
+
+val pp_report : Format.formatter -> report -> unit

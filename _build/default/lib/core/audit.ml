@@ -1,0 +1,69 @@
+open Peertrust_dlp
+module Net = Peertrust_net
+
+type decision = Grant | Deny of string
+
+type entry = {
+  at : int;
+  peer : string;
+  requester : string;
+  goal : Literal.t;
+  decision : decision;
+  credentials : int list;
+}
+
+type t = { mutable log : entry list (* reverse order *) }
+
+let create () = { log = [] }
+
+let record t ~at ~peer ~requester ~goal ~decision ~credentials =
+  t.log <- { at; peer; requester; goal; decision; credentials } :: t.log
+
+let wrap t session peer_name (inner : Net.Network.handler) :
+    Net.Network.handler =
+ fun ~from payload ->
+  let response = inner ~from payload in
+  (match (payload, response) with
+  | Net.Message.Query { goal }, Net.Message.Answer { certs; _ } ->
+      record t
+        ~at:(Net.Clock.now (Net.Network.clock session.Session.network))
+        ~peer:peer_name ~requester:from ~goal ~decision:Grant
+        ~credentials:
+          (List.map (fun (c : Peertrust_crypto.Cert.t) -> c.Peertrust_crypto.Cert.serial) certs)
+  | Net.Message.Query { goal }, Net.Message.Deny { reason; _ } ->
+      record t
+        ~at:(Net.Clock.now (Net.Network.clock session.Session.network))
+        ~peer:peer_name ~requester:from ~goal ~decision:(Deny reason)
+        ~credentials:[]
+  | _, _ -> ());
+  response
+
+let attach t session =
+  (* Re-register every peer with an auditing wrapper around the standard
+     engine handler. *)
+  Hashtbl.iter
+    (fun name peer ->
+      ignore peer;
+      let base = Engine.handler_for session (Session.peer session name) in
+      Net.Network.register session.Session.network name (wrap t session name base))
+    session.Session.peers
+
+let entries t = List.rev t.log
+let for_peer t name = List.filter (fun e -> String.equal e.peer name) (entries t)
+let grants t = List.filter (fun e -> e.decision = Grant) (entries t)
+
+let denials t =
+  List.filter (fun e -> match e.decision with Deny _ -> true | Grant -> false) (entries t)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%d] %s: %s asked %a -> %s" e.at e.peer e.requester
+    Literal.pp e.goal
+    (match e.decision with
+    | Grant ->
+        Printf.sprintf "granted (%d credential(s))" (List.length e.credentials)
+    | Deny reason -> Printf.sprintf "denied (%s)" reason)
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    pp_entry fmt (entries t)

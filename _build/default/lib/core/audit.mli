@@ -1,0 +1,44 @@
+(** Audit trails — the other §3 run-time measure: "the mechanism can also
+    implement other security-related measures, such as creating an audit
+    trail for the enrollment".
+
+    An audit log records, per peer, every access decision it made: the
+    requester, the goal, grant/denial, the supporting credential serials
+    and the simulated time.  Entries are append-only; the log can be
+    queried and rendered. *)
+
+open Peertrust_dlp
+
+type decision = Grant | Deny of string
+
+type entry = {
+  at : int;  (** simulated-clock time *)
+  peer : string;  (** the peer that decided *)
+  requester : string;
+  goal : Literal.t;
+  decision : decision;
+  credentials : int list;  (** serials of disclosed certificates *)
+}
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Session.t -> unit
+(** Wrap every registered peer's network handler so that queries and their
+    outcomes are recorded.  Call after {!Engine.attach_all} (and re-call
+    after handlers are replaced). *)
+
+val record :
+  t -> at:int -> peer:string -> requester:string -> goal:Literal.t ->
+  decision:decision -> credentials:int list -> unit
+(** Manual entry (used by custom mechanisms). *)
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val for_peer : t -> string -> entry list
+val grants : t -> entry list
+val denials : t -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

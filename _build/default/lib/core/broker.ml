@@ -1,0 +1,32 @@
+open Peertrust_dlp
+
+let authority_fact ~pred ~authority =
+  Rule.fact (Literal.make "authority" [ Term.Atom pred; Term.Str authority ])
+
+let install_directory peer directory =
+  List.iter
+    (fun (pred, authority) ->
+      Peer.add_rule peer (authority_fact ~pred ~authority))
+    directory
+
+let add_broker session ~name ~directory =
+  let peer = Session.add_peer session name in
+  List.iter
+    (fun (pred, authority) ->
+      let fact = authority_fact ~pred ~authority in
+      (* Publicly queryable directory entry. *)
+      Peer.add_rule peer { fact with Rule.head_ctx = Some [] })
+    directory;
+  Engine.attach session peer;
+  peer
+
+let lookup session ~requester ~broker ~pred =
+  let goal =
+    Literal.make "authority" [ Term.Atom pred; Term.Var "Authority" ]
+  in
+  Engine.query session ~requester ~target:broker goal
+  |> List.filter_map (fun ((inst : Literal.t), _) ->
+         match inst.Literal.args with
+         | [ _; Term.Str a ] -> Some a
+         | [ _; Term.Atom a ] -> Some a
+         | _ -> None)

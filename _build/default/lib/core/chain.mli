@@ -1,0 +1,35 @@
+(** Distributed credential chain discovery (§2's accreditation example;
+    Li, Winsborough & Mitchell [12]).
+
+    When a policy demands [member(S) @ Root] but the supporting
+    delegations are scattered across peers — Root delegated to A, A to B,
+    B certified S — the requester must collect the whole chain.  Here
+    discovery rides on the engine: querying Root for the goal makes each
+    peer follow its delegation rule's body authority to the next peer,
+    and the certificates flow back with the answers. *)
+
+open Peertrust_dlp
+
+type result = {
+  found : bool;
+  chain : Peertrust_crypto.Cert.t list;
+      (** certificates collected by the requester during discovery, in
+          acquisition order *)
+  report : Negotiation.report;
+}
+
+val discover :
+  Session.t -> requester:string -> root:string -> Literal.t -> result
+(** Ask [root] for the goal and collect the supporting credential chain. *)
+
+val linear_world :
+  ?session:Session.t ->
+  depth:int ->
+  pred:string ->
+  subject:string ->
+  unit ->
+  Session.t * string * string
+(** Build a linear delegation world: [auth0] (the root) delegates [pred]
+    to [auth1] at peer [auth0], ... [auth(d-1)] certifies the subject.
+    Every peer holds only its own link.  Returns (session, root, last
+    authority).  [depth] >= 1 is the number of delegation hops. *)

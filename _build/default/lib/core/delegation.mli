@@ -1,0 +1,33 @@
+(** Delegation of authority (§2, §3.1): signed rules by which an authority
+    empowers another principal to make statements on its behalf, e.g.
+    UIUC delegating student certification to its registrar:
+
+    {v student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "UIUC Registrar". v} *)
+
+open Peertrust_dlp
+
+val delegation_rule :
+  ?release:Rule.ctx -> issuer:string -> delegate:string -> pred:string ->
+  arity:int -> unit -> Rule.t
+(** The rule [pred(X1..Xn) @ issuer <- signedBy \[issuer\]
+    pred(X1..Xn) @ delegate].  [release] (default [\[\]], public) becomes
+    the rule's arrow context. *)
+
+val credential_fact :
+  ?release:Rule.ctx -> issuer:string -> pred:string -> subject:Term.t list ->
+  unit -> Rule.t
+(** The fact [pred(subject...) @ issuer signedBy \[issuer\]], with an
+    optional [$] release guard (default public). *)
+
+val grant :
+  Session.t -> holder:Peer.t -> Rule.t -> Peertrust_crypto.Cert.t
+(** Issue a certificate for a signed rule and hand it to [holder].
+    @raise Invalid_argument if the rule is unsigned. *)
+
+val chain_of_trace : pred:string -> Trace.t -> Rule.t list
+(** The delegation chain supporting a conclusion: the signed rules about
+    [pred] used in the proof, outermost authority first. *)
+
+val chain_rooted : root:string -> pred:string -> Trace.t -> bool
+(** Does the proof's delegation chain for [pred] start at [root] (i.e. the
+    first chain element is signed by [root])? *)

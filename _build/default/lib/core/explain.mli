@@ -1,0 +1,23 @@
+(** Human-readable renderings of negotiations and proofs.
+
+    Trust negotiation is meant to be "fully automated and transparent to
+    users" (§2) — which makes explanation tooling the first thing a
+    deployment asks for.  This module renders:
+
+    - a prose narrative of a negotiation from its transcript;
+    - a Mermaid sequence diagram of the message exchange;
+    - a Graphviz [dot] graph of a proof trace (rule applications,
+      built-ins, remote sub-proofs, credentials highlighted). *)
+
+open Peertrust_dlp
+
+val narrative : Negotiation.report -> string
+(** Numbered prose steps ("alice asks bob for …", "bob discloses 2
+    credential(s) …") ending with the outcome. *)
+
+val sequence_diagram : Negotiation.report -> string
+(** Mermaid [sequenceDiagram] source. *)
+
+val proof_dot : Trace.t -> string
+(** Graphviz source; credential nodes are drawn as boxes with their
+    signers, built-ins as dashed ellipses, remote goals as diamonds. *)

@@ -1,0 +1,114 @@
+open Peertrust_dlp
+
+let none : Sld.externals = fun _ -> None
+
+let combine tables : Sld.externals =
+ fun key -> List.find_map (fun t -> t key) tables
+
+module Identity = struct
+  type t = (string, string list) Hashtbl.t  (* principal -> identities *)
+
+  let create () : t = Hashtbl.create 16
+
+  let enroll t ~principal ~identity =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t principal) in
+    if not (List.mem identity prev) then
+      Hashtbl.replace t principal (identity :: prev)
+
+  let externals t : Sld.externals = function
+    | ("authenticatesTo", 2) ->
+        Some
+          (fun (lit : Literal.t) s ->
+            match List.map (Subst.apply s) lit.Literal.args with
+            | [ x; y ] -> (
+                let name_of = function
+                  | Term.Str n | Term.Atom n -> Some n
+                  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
+                in
+                match name_of x with
+                | None -> []  (* the principal must be known *)
+                | Some principal -> (
+                    let identities =
+                      Option.value ~default:[] (Hashtbl.find_opt t principal)
+                    in
+                    match y with
+                    | Term.Var _ ->
+                        List.filter_map
+                          (fun id -> Unify.terms y (Term.Str id) s)
+                          identities
+                    | _ -> (
+                        match name_of y with
+                        | Some id when List.mem id identities -> [ s ]
+                        | Some _ | None -> [])))
+            | _ -> [])
+    | _ -> None
+end
+
+module Reputation = struct
+  type t = (string, int list) Hashtbl.t  (* subject -> ratings *)
+
+  let create () : t = Hashtbl.create 16
+
+  let rate t ~subject r =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t subject) in
+    Hashtbl.replace t subject (r :: prev)
+
+  let average t ~subject =
+    match Hashtbl.find_opt t subject with
+    | None | Some [] -> None
+    | Some rs ->
+        let total = List.fold_left ( + ) 0 rs in
+        (* Round half away from zero. *)
+        let n = List.length rs in
+        Some ((total + (n / 2)) / n)
+
+  let externals t : Sld.externals = function
+    | ("rating", 2) ->
+        Some
+          (fun (lit : Literal.t) s ->
+            match List.map (Subst.apply s) lit.Literal.args with
+            | [ subject_t; r_t ] -> (
+                let subject =
+                  match subject_t with
+                  | Term.Str n | Term.Atom n -> Some n
+                  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
+                in
+                match Option.map (fun n -> average t ~subject:n) subject with
+                | Some (Some avg) -> (
+                    match Unify.terms r_t (Term.Int avg) s with
+                    | Some s' -> [ s' ]
+                    | None -> [])
+                | Some None | None -> [])
+            | _ -> [])
+    | _ -> None
+end
+
+module Accounts = struct
+  type account = { mutable limit : int; mutable revoked : bool }
+  type t = (string, account) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let get t name =
+    match Hashtbl.find_opt t name with
+    | Some a -> a
+    | None ->
+        let a = { limit = 0; revoked = false } in
+        Hashtbl.add t name a;
+        a
+
+  let set_limit t ~account limit = (get t account).limit <- limit
+  let revoke t ~account = (get t account).revoked <- true
+
+  let externals ?(pred = "purchaseApproved") t : Sld.externals = function
+    | (p, 2) when String.equal p pred ->
+        Some
+          (fun (lit : Literal.t) s ->
+            match List.map (Subst.apply s) lit.Literal.args with
+            | [ (Term.Str name | Term.Atom name); Term.Int amount ] -> (
+                match Hashtbl.find_opt t name with
+                | Some a when (not a.revoked) && amount <= a.limit -> [ s ]
+                | Some _ | None -> [])
+            | _ -> [])
+    | _ -> None
+end

@@ -1,0 +1,66 @@
+(** Ready-made external predicates — the run-time hooks the paper calls
+    "external predicates" and uses in its examples:
+
+    - [authenticatesTo(X, Y)] (footnote 3): the requester [X] proves at
+      run time that it owns identity [Y] under which another authority
+      knows it.  Backed by an identity registry filled at enrolment time.
+    - [rating(Subject, R)] (§2: "ratings from a local or remote reputation
+      monitoring service can also be included in a policy").
+    - [purchaseApproved(Company, Price)]-style limit checks (§4.2),
+      parameterised by account limits, with optional account revocation —
+      the run-time interpretation of the paper's revocation speech acts.
+
+    Externals combine with {!combine}; a peer gets the resulting table at
+    construction ([Session.add_peer ~externals]). *)
+
+open Peertrust_dlp
+
+val none : Sld.externals
+
+val combine : Sld.externals list -> Sld.externals
+(** First table claiming a key wins. *)
+
+(** Identity equivalences for [authenticatesTo/2]. *)
+module Identity : sig
+  type t
+
+  val create : unit -> t
+
+  val enroll : t -> principal:string -> identity:string -> unit
+  (** Record that [principal] owns [identity] (e.g. Alice's student
+      number). *)
+
+  val externals : t -> Sld.externals
+  (** Provides [authenticatesTo(X, Y)]: succeeds when the ground [X] has
+      enrolled identity [Y]; with [Y] unbound, enumerates [X]'s
+      identities. *)
+end
+
+(** A reputation table for [rating/2]. *)
+module Reputation : sig
+  type t
+
+  val create : unit -> t
+  val rate : t -> subject:string -> int -> unit
+  (** Record a rating; {!externals} reports the rounded average. *)
+
+  val average : t -> subject:string -> int option
+
+  val externals : t -> Sld.externals
+  (** Provides [rating(Subject, R)]: binds or checks [R] against the
+      average rating of [Subject]; fails for unrated subjects. *)
+end
+
+(** Account limits and revocation for approval checks. *)
+module Accounts : sig
+  type t
+
+  val create : unit -> t
+  val set_limit : t -> account:string -> int -> unit
+  val revoke : t -> account:string -> unit
+
+  val externals : ?pred:string -> t -> Sld.externals
+  (** Provides [<pred>(Account, Amount)] (default pred
+      ["purchaseApproved"]): succeeds when the account exists, is not
+      revoked, and [Amount] is within its limit. *)
+end

@@ -1,0 +1,65 @@
+open Peertrust_dlp
+module Net = Peertrust_net
+
+type outcome = Granted of Engine.instance list | Denied of string
+
+type report = {
+  outcome : outcome;
+  messages : int;
+  bytes : int;
+  disclosures : int;
+  elapsed : int;
+  transcript : Net.Network.entry list;
+}
+
+let succeeded r = match r.outcome with Granted _ -> true | Denied _ -> false
+
+let measure session run =
+  let net = session.Session.network in
+  let stats = Net.Network.stats net in
+  let clock = Net.Network.clock net in
+  let msgs0 = Net.Stats.messages stats in
+  let bytes0 = Net.Stats.bytes stats in
+  let t0 = Net.Clock.now clock in
+  let log0 = List.length (Net.Network.transcript net) in
+  let outcome =
+    try run () with
+    | Net.Network.Budget_exhausted -> Denied "message budget exhausted"
+    | Net.Network.Unreachable peer -> Denied ("peer unreachable: " ^ peer)
+  in
+  let transcript =
+    let all = Net.Network.transcript net in
+    List.filteri (fun i _ -> i >= log0) all
+  in
+  {
+    outcome;
+    messages = Net.Stats.messages stats - msgs0;
+    bytes = Net.Stats.bytes stats - bytes0;
+    disclosures =
+      List.fold_left (fun acc e -> acc + e.Net.Network.certs_) 0 transcript;
+    elapsed = Net.Clock.now clock - t0;
+    transcript;
+  }
+
+let request session ~requester ~target goal =
+  measure session (fun () ->
+      match Engine.query session ~requester ~target goal with
+      | [] -> Denied "request denied or not derivable"
+      | instances -> Granted instances)
+
+let request_str session ~requester ~target goal_src =
+  request session ~requester ~target (Parser.parse_literal goal_src)
+
+let pp_outcome fmt = function
+  | Granted instances ->
+      Format.fprintf fmt "granted: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+           (fun fmt (l, _) -> Literal.pp fmt l))
+        instances
+  | Denied reason -> Format.fprintf fmt "denied (%s)" reason
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%a@\n%d message(s), %d byte(s), %d disclosure(s), %d tick(s)" pp_outcome
+    r.outcome r.messages r.bytes r.disclosures r.elapsed

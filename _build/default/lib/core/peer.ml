@@ -1,0 +1,74 @@
+open Peertrust_dlp
+
+type t = {
+  name : string;
+  mutable kb : Kb.t;
+  certs : (string, Peertrust_crypto.Cert.t) Hashtbl.t;
+  origins : (int, string) Hashtbl.t;
+  externals : Sld.externals;
+  options : Sld.options;
+  mutable active : (string * string) list;
+}
+
+let create ?(options = Sld.default_options) ?(externals = fun _ -> None)
+    ?(kb = Kb.empty) name =
+  {
+    name;
+    kb;
+    certs = Hashtbl.create 16;
+    origins = Hashtbl.create 16;
+    externals;
+    options;
+    active = [];
+  }
+
+let load_program t src = t.kb <- Kb.add_list (Parser.parse_program src) t.kb
+let add_rule t r = t.kb <- Kb.add r t.kb
+
+let add_cert ?origin t (c : Peertrust_crypto.Cert.t) =
+  let key = Rule.canonical c.Peertrust_crypto.Cert.rule in
+  if not (Hashtbl.mem t.certs key) then Hashtbl.add t.certs key c;
+  Option.iter
+    (fun o ->
+      if not (Hashtbl.mem t.origins c.Peertrust_crypto.Cert.serial) then
+        Hashtbl.add t.origins c.Peertrust_crypto.Cert.serial o)
+    origin;
+  add_rule t c.Peertrust_crypto.Cert.rule
+
+let cert_origin t (c : Peertrust_crypto.Cert.t) =
+  Hashtbl.find_opt t.origins c.Peertrust_crypto.Cert.serial
+
+let cert_for t r =
+  match Hashtbl.find_opt t.certs (Rule.canonical r) with
+  | Some c -> Some c
+  | None ->
+      (* Rules in proof traces are instantiated; fall back to a subsumption
+         scan so the backing credential is still found. *)
+      Hashtbl.fold
+        (fun _ (c : Peertrust_crypto.Cert.t) acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                Rule.subsumes ~general:c.Peertrust_crypto.Cert.rule ~specific:r
+              then Some c
+              else None)
+        t.certs None
+
+let goal_key lit = Rule.canonical (Rule.fact lit)
+
+let enter t ~requester lit =
+  let key = (requester, goal_key lit) in
+  if List.mem key t.active then false
+  else begin
+    t.active <- key :: t.active;
+    true
+  end
+
+let leave t ~requester lit =
+  let key = (requester, goal_key lit) in
+  let rec remove_first = function
+    | [] -> []
+    | k :: rest -> if k = key then rest else k :: remove_first rest
+  in
+  t.active <- remove_first t.active

@@ -1,0 +1,51 @@
+(** A peer: name, knowledge base, held certificates, external predicates
+    and evaluation limits.
+
+    A peer's signed rules are backed by certificates (issued at setup or
+    learned during negotiation); the certificate store is keyed by the
+    rule's canonical form so the engine can attach the right certificate
+    when it discloses a credential. *)
+
+open Peertrust_dlp
+
+type t = {
+  name : string;
+  mutable kb : Kb.t;
+  certs : (string, Peertrust_crypto.Cert.t) Hashtbl.t;
+      (** canonical rule -> certificate *)
+  origins : (int, string) Hashtbl.t;
+      (** certificate serial -> peer it was received from (absent for the
+          peer's own certificates) *)
+  externals : Sld.externals;
+  options : Sld.options;
+  mutable active : (string * string) list;
+      (** in-flight (requester, goal skeleton) pairs, for cross-peer cycle
+          detection *)
+}
+
+val create :
+  ?options:Sld.options -> ?externals:Sld.externals -> ?kb:Kb.t -> string -> t
+
+val load_program : t -> string -> unit
+(** Parse a program text and add its rules to the KB.
+    @raise Parser.Error on bad syntax. *)
+
+val add_rule : t -> Rule.t -> unit
+val add_cert : ?origin:string -> t -> Peertrust_crypto.Cert.t -> unit
+(** Store a certificate and add its rule to the KB.  [origin] records which
+    peer it was received from. *)
+
+val cert_origin : t -> Peertrust_crypto.Cert.t -> string option
+
+val cert_for : t -> Rule.t -> Peertrust_crypto.Cert.t option
+(** The certificate backing a signed rule, if held. *)
+
+val goal_key : Literal.t -> string
+(** Canonical skeleton of a goal (alpha-invariant), used for cycle
+    detection. *)
+
+val enter : t -> requester:string -> Literal.t -> bool
+(** Record an in-flight goal; [false] if the same (requester, goal) is
+    already active (a negotiation cycle). *)
+
+val leave : t -> requester:string -> Literal.t -> unit

@@ -1,0 +1,142 @@
+module Crypto = Peertrust_crypto
+
+type error = Bad_world of string
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init
+           (String.length h / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ | Invalid_argument _ -> None
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let magic = "peertrust-world 1"
+
+let save session ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let peers =
+    Hashtbl.fold (fun name peer acc -> (name, peer) :: acc)
+      session.Session.peers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let meta = Buffer.create 256 in
+  Buffer.add_string meta magic;
+  Buffer.add_char meta '\n';
+  List.iteri
+    (fun i (name, (peer : Peer.t)) ->
+      Buffer.add_string meta (Printf.sprintf "peer: %d %s\n" i (hex_of_string name));
+      write_file
+        (Filename.concat dir (Printf.sprintf "peer%d.pt" i))
+        (Peertrust_dlp.Program.to_string (Peertrust_dlp.Kb.rules peer.Peer.kb));
+      let certs = Hashtbl.fold (fun _ c acc -> c :: acc) peer.Peer.certs [] in
+      write_file
+        (Filename.concat dir (Printf.sprintf "peer%d.wallet" i))
+        (Crypto.Wire.encode_many certs))
+    peers;
+  write_file (Filename.concat dir "world.meta") (Buffer.contents meta)
+
+let load ?config ?seed ~dir () =
+  let meta_path = Filename.concat dir "world.meta" in
+  if not (Sys.file_exists meta_path) then
+    Error (Bad_world "missing world.meta")
+  else begin
+    match String.split_on_char '\n' (read_file meta_path) with
+    | first :: rest when String.equal (String.trim first) magic -> (
+        let parse_line line =
+          let line = String.trim line in
+          if line = "" then Ok None
+          else if String.length line > 6 && String.sub line 0 6 = "peer: " then begin
+            let payload = String.sub line 6 (String.length line - 6) in
+            match String.index_opt payload ' ' with
+            | None -> Error (Bad_world ("bad index line: " ^ line))
+            | Some i -> (
+                let idx = String.sub payload 0 i in
+                let name_hex =
+                  String.sub payload (i + 1) (String.length payload - i - 1)
+                in
+                match (int_of_string_opt idx, string_of_hex name_hex) with
+                | Some idx, Some name -> Ok (Some (idx, name))
+                | _, _ -> Error (Bad_world ("bad index line: " ^ line)))
+          end
+          else Error (Bad_world ("unrecognised line: " ^ line))
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+              match parse_line line with
+              | Ok None -> collect acc rest
+              | Ok (Some entry) -> collect (entry :: acc) rest
+              | Error e -> Error e)
+        in
+        match collect [] rest with
+        | Error e -> Error e
+        | Ok entries -> (
+            let session = Session.create ?config ?seed () in
+            let load_peer (idx, name) =
+              let program_path =
+                Filename.concat dir (Printf.sprintf "peer%d.pt" idx)
+              in
+              if not (Sys.file_exists program_path) then
+                Error (Bad_world (Printf.sprintf "missing peer%d.pt" idx))
+              else begin
+                match
+                  Session.add_peer session ~program:(read_file program_path)
+                    name
+                with
+                | exception Peertrust_dlp.Parser.Error (m, l, _) ->
+                    Error
+                      (Bad_world
+                         (Printf.sprintf "peer%d.pt line %d: %s" idx l m))
+                | peer -> (
+                    let wallet_path =
+                      Filename.concat dir (Printf.sprintf "peer%d.wallet" idx)
+                    in
+                    if not (Sys.file_exists wallet_path) then Ok ()
+                    else
+                      match Crypto.Wire.decode_many (read_file wallet_path) with
+                      | Ok certs ->
+                          List.iter (Peer.add_cert peer) certs;
+                          Ok ()
+                      | Error (Crypto.Wire.Malformed m) ->
+                          Error
+                            (Bad_world
+                               (Printf.sprintf "peer%d.wallet: %s" idx m)))
+              end
+            in
+            let rec load_all = function
+              | [] -> Ok ()
+              | entry :: rest -> (
+                  match load_peer entry with
+                  | Ok () -> load_all rest
+                  | Error e -> Error e)
+            in
+            match load_all entries with
+            | Error e -> Error e
+            | Ok () ->
+                Engine.attach_all session;
+                Ok session))
+    | _ -> Error (Bad_world "bad magic line")
+  end
+
+let pp_error fmt (Bad_world msg) = Format.fprintf fmt "bad world: %s" msg

@@ -1,0 +1,30 @@
+(** Saving and loading negotiation worlds.
+
+    A world directory holds one policy program and one credential wallet
+    per peer, plus an index:
+
+    {v
+      world.meta       index: format version + one line per peer
+      peer0.pt         policy program (pretty-printed knowledge base)
+      peer0.wallet     certificates (Wire format), possibly empty
+      ...
+    v}
+
+    Peer names are hex-encoded in the index so arbitrary names survive.
+    Keys are not stored: the simulated PKI derives them from the session
+    seed, so load a world with the same [seed] it was built with (the
+    default matches {!Session.create}'s default). *)
+
+type error = Bad_world of string
+
+val save : Session.t -> dir:string -> unit
+(** Write the world; creates [dir] if needed.  @raise Sys_error on I/O
+    problems. *)
+
+val load :
+  ?config:Session.config -> ?seed:int64 -> dir:string -> unit ->
+  (Session.t, error) result
+(** Rebuild a session from a world directory: peers, programs, wallets;
+    handlers attached. *)
+
+val pp_error : Format.formatter -> error -> unit

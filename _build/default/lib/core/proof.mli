@@ -1,0 +1,45 @@
+(** Distributed certified proofs (§6: "PeerTrust harnesses a network of
+    semi-cooperative peers to automatically create, in a distributed
+    fashion, a certified proof that a party is entitled to access a
+    particular resource").
+
+    A certified proof packages a goal, the proof trace, the certificates
+    backing every signed rule the trace uses, and the prover's signature
+    over the whole package.  [verify] re-checks, without re-running the
+    negotiation: the package signature, each certificate, and the local
+    soundness of every inference step. *)
+
+open Peertrust_dlp
+
+type t = {
+  prover : string;
+  goal : Literal.t;
+  trace : Trace.t;
+  certs : Peertrust_crypto.Cert.t list;
+  signature : Peertrust_crypto.Bignum.t;
+}
+
+type error =
+  | Bad_package_signature
+  | Missing_certificate of Rule.t  (** a signed rule lacks a certificate *)
+  | Certificate_invalid of Peertrust_crypto.Cert.error
+  | Unsound_step of string  (** an inference step does not follow *)
+  | Goal_mismatch
+
+val create :
+  Session.t -> prover:string -> goal:Literal.t -> Trace.t -> t
+(** Package and sign a proof; the certificates are drawn from the prover's
+    store (signed rules without a held certificate are simply not backed —
+    [verify] will reject such a package). *)
+
+val verify : Session.t -> t -> (unit, error) result
+
+val redact : releasable:(Rule.t -> bool) -> self:string -> Trace.t -> Trace.t
+(** Replace sub-proofs rooted at non-releasable rules with opaque
+    [Remote] nodes attributed to [self]; used before shipping a proof to a
+    peer that may not see private policy internals. *)
+
+val conclusion : Trace.t -> Literal.t option
+(** The literal a trace node establishes. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,49 @@
+module Net = Peertrust_net
+
+(* Forward counters, keyed by device name (reset when a device is
+   attached). *)
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let forwarded_count _session ~device =
+  match Hashtbl.find_opt counters device with Some r -> !r | None -> 0
+
+let attach_device session ~device ~proxy =
+  let proxy_peer = Session.peer session proxy in
+  let device_peer = Session.add_peer session device in
+  let counter = ref 0 in
+  Hashtbl.replace counters device counter;
+  let handler ~from payload =
+    match payload with
+    | Net.Message.Query { goal } -> (
+        incr counter;
+        (* Account for the device <-> proxy hops, then let the trusted
+           proxy answer with the *original* requester bound, so release
+           contexts are evaluated against the real counterparty. *)
+        match
+          Net.Network.notify session.Session.network ~from:device
+            ~target:proxy payload
+        with
+        | exception Net.Network.Unreachable _ ->
+            Net.Message.Deny { goal; reason = "proxy unreachable" }
+        | () ->
+            let response =
+              match Engine.answer session proxy_peer ~requester:from goal with
+              | Ok (instances, certs) ->
+                  Net.Message.Answer { goal; instances; certs }
+              | Error reason -> Net.Message.Deny { goal; reason }
+            in
+            Net.Network.notify session.Session.network ~from:proxy
+              ~target:device response;
+            response)
+    | Net.Message.Disclosure { certs; rules = _ } ->
+        incr counter;
+        Net.Network.notify session.Session.network ~from:device ~target:proxy
+          payload;
+        Engine.learn ~from_:from session proxy_peer certs;
+        Net.Message.Ack
+    | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack ->
+        Net.Message.Ack
+  in
+  (* Replace the device's default handler with the forwarding one. *)
+  Net.Network.register session.Session.network device handler;
+  device_peer

@@ -1,0 +1,268 @@
+open Peertrust_dlp
+module Net = Peertrust_net
+
+let src = Logs.Src.create "peertrust.reactor" ~doc:"PeerTrust queued engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type parked = {
+  pk_peer : string;  (* the peer holding the goal *)
+  pk_requester : string;  (* whom to answer *)
+  pk_goal : Literal.t;
+  mutable pk_waiting : (string * string) list;  (* (target, goal key) *)
+  pk_request : int option;  (* top-level request id *)
+}
+
+type t = {
+  session : Session.t;
+  queue : (string * string * Net.Message.payload) Queue.t;  (* from, target *)
+  (* (peer, target, goal key) -> resolved? — each sub-query is posted at
+     most once per asking peer. *)
+  pending : (string * string * string, bool ref) Hashtbl.t;
+  (* (peer, target, goal key) -> instances of the last Answer *)
+  answers : (string * string * string, Engine.instance list) Hashtbl.t;
+  mutable parked : parked list;
+  results : (int, Negotiation.outcome) Hashtbl.t;
+  mutable next_request : int;
+  mutable budget_hit : bool;
+}
+
+type request = int
+
+let create session =
+  (* Detach any synchronous handlers: reactor sessions route everything
+     through the queue.  A handler that acks keeps Network.send usable for
+     unrelated traffic without invoking the engine. *)
+  Hashtbl.iter
+    (fun name _ ->
+      Net.Network.register session.Session.network name (fun ~from:_ _ ->
+          Net.Message.Ack))
+    session.Session.peers;
+  {
+    session;
+    queue = Queue.create ();
+    pending = Hashtbl.create 64;
+    answers = Hashtbl.create 64;
+    parked = [];
+    results = Hashtbl.create 8;
+    next_request = 1;
+    budget_hit = false;
+  }
+
+let goal_key = Peer.goal_key
+
+(* Post a message: account it on the network and enqueue for delivery.  An
+   unreachable target of a query turns into a synthetic denial; other
+   payloads to unreachable peers are dropped. *)
+let post t ~from ~target payload =
+  match Net.Network.notify t.session.Session.network ~from ~target payload with
+  | () -> Queue.add (from, target, payload) t.queue
+  | exception Net.Network.Unreachable _ -> (
+      match payload with
+      | Net.Message.Query { goal } ->
+          Queue.add
+            (target, from, Net.Message.Deny { goal; reason = "unreachable" })
+            t.queue
+      | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
+      | Net.Message.Ack ->
+          ())
+  | exception Net.Network.Budget_exhausted -> t.budget_hit <- true
+
+(* Evaluate a goal at a peer with a collecting remote callback; either
+   respond (true) or report the blocked sub-goals (false). *)
+let evaluate_goal t peer ~requester goal ~respond =
+  let blocked = ref [] in
+  let collector ~target lit =
+    blocked := (target, lit) :: !blocked;
+    []
+  in
+  match Engine.answer ~remote:collector t.session peer ~requester goal with
+  | Ok (instances, certs) ->
+      respond (Net.Message.Answer { goal; instances; certs });
+      `Settled
+  | Error reason ->
+      let pairs =
+        List.sort_uniq compare
+          (List.map (fun (tg, lit) -> (tg, goal_key lit, lit)) !blocked)
+      in
+      let waiting =
+        List.filter_map
+          (fun (target, key, lit) ->
+            let pkey = (peer.Peer.name, target, key) in
+            match Hashtbl.find_opt t.pending pkey with
+            | Some resolved -> if !resolved then None else Some (target, key)
+            | None ->
+                Hashtbl.add t.pending pkey (ref false);
+                post t ~from:peer.Peer.name ~target
+                  (Net.Message.Query { goal = lit });
+                Some (target, key))
+          pairs
+      in
+      if waiting = [] then begin
+        respond (Net.Message.Deny { goal; reason });
+        `Settled
+      end
+      else `Parked waiting
+
+let settle_request t id outcome =
+  if not (Hashtbl.mem t.results id) then Hashtbl.replace t.results id outcome
+
+(* Try to settle one parked goal; [true] when it is resolved. *)
+let try_settle t p =
+  let peer = Session.peer t.session p.pk_peer in
+  match p.pk_request with
+  | Some id -> (
+      (* Top-level: resolved by its single sub-query. *)
+      match p.pk_waiting with
+      | [ (target, key) ] -> (
+          let pkey = (p.pk_peer, target, key) in
+          match Hashtbl.find_opt t.pending pkey with
+          | Some { contents = true } ->
+              (match Hashtbl.find_opt t.answers pkey with
+              | Some instances -> settle_request t id (Negotiation.Granted instances)
+              | None -> settle_request t id (Negotiation.Denied "denied by target"));
+              true
+          | Some _ | None -> false)
+      | _ -> false)
+  | None -> (
+      let respond payload =
+        post t ~from:p.pk_peer ~target:p.pk_requester payload
+      in
+      match evaluate_goal t peer ~requester:p.pk_requester p.pk_goal ~respond with
+      | `Settled -> true
+      | `Parked waiting ->
+          p.pk_waiting <- waiting;
+          false)
+
+let reevaluate t peer_name =
+  let mine, others =
+    List.partition (fun p -> String.equal p.pk_peer peer_name) t.parked
+  in
+  let still = List.filter (fun p -> not (try_settle t p)) mine in
+  t.parked <- still @ others
+
+let handle_query t peer ~from goal =
+  let respond payload = post t ~from:peer.Peer.name ~target:from payload in
+  match evaluate_goal t peer ~requester:from goal ~respond with
+  | `Settled -> ()
+  | `Parked waiting ->
+      Log.debug (fun m ->
+          m "%s parks %s for %s (%d sub-quer%s outstanding)" peer.Peer.name
+            (Literal.to_string goal) from (List.length waiting)
+            (if List.length waiting = 1 then "y" else "ies"));
+      t.parked <-
+        {
+          pk_peer = peer.Peer.name;
+          pk_requester = from;
+          pk_goal = goal;
+          pk_waiting = waiting;
+          pk_request = None;
+        }
+        :: t.parked
+
+let dispatch t (from, target, payload) =
+  match Hashtbl.find_opt t.session.Session.peers target with
+  | None -> ()
+  | Some peer -> (
+      match payload with
+      | Net.Message.Query { goal } -> handle_query t peer ~from goal
+      | Net.Message.Answer { goal; instances; certs } ->
+          Engine.learn ~from_:from t.session peer certs;
+          List.iter
+            (fun ((inst : Literal.t), _) ->
+              if Literal.is_ground inst then
+                Peer.add_rule peer
+                  (Rule.fact (Literal.push_authority inst (Term.Str from))))
+            instances;
+          let pkey = (target, from, goal_key goal) in
+          Hashtbl.replace t.answers pkey instances;
+          (match Hashtbl.find_opt t.pending pkey with
+          | Some resolved -> resolved := true
+          | None -> Hashtbl.add t.pending pkey (ref true));
+          reevaluate t target
+      | Net.Message.Deny { goal; _ } ->
+          let pkey = (target, from, goal_key goal) in
+          (match Hashtbl.find_opt t.pending pkey with
+          | Some resolved -> resolved := true
+          | None -> Hashtbl.add t.pending pkey (ref true));
+          reevaluate t target
+      | Net.Message.Disclosure { certs; _ } ->
+          Engine.learn ~from_:from t.session peer certs;
+          reevaluate t target
+      | Net.Message.Ack -> ())
+
+let submit t ~requester ~target goal =
+  let id = t.next_request in
+  t.next_request <- id + 1;
+  let key = goal_key goal in
+  let pkey = (requester, target, key) in
+  if not (Hashtbl.mem t.pending pkey) then begin
+    Hashtbl.add t.pending pkey (ref false);
+    post t ~from:requester ~target (Net.Message.Query { goal })
+  end;
+  let p =
+    {
+      pk_peer = requester;
+      pk_requester = requester;
+      pk_goal = goal;
+      pk_waiting = [ (target, key) ];
+      pk_request = Some id;
+    }
+  in
+  if not (try_settle t p) then t.parked <- p :: t.parked;
+  id
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some msg ->
+      dispatch t msg;
+      true
+
+(* At quiescence, parked goals form dependency cycles (or wait on goals
+   that do).  Force-deny one non-top-level goal to break the cycle — the
+   finite-failure reading of cyclic policies — and let the denial
+   propagate; top-level survivors are denied as quiescent. *)
+let break_quiescence t =
+  match
+    List.partition (fun p -> p.pk_request = None) t.parked
+  with
+  | p :: rest, tops ->
+      t.parked <- rest @ tops;
+      post t ~from:p.pk_peer ~target:p.pk_requester
+        (Net.Message.Deny { goal = p.pk_goal; reason = "negotiation cycle" });
+      true
+  | [], p :: rest -> (
+      match p.pk_request with
+      | Some id ->
+          settle_request t id (Negotiation.Denied "negotiation quiescent");
+          t.parked <- rest;
+          true
+      | None -> false)
+  | [], [] -> false
+
+let run ?(max_steps = 100_000) t =
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps && not t.budget_hit do
+    if step t then incr steps
+    else if not (break_quiescence t) then continue := false
+  done;
+  if t.budget_hit then
+    List.iter
+      (fun p ->
+        match p.pk_request with
+        | Some id ->
+            settle_request t id (Negotiation.Denied "message budget exhausted")
+        | None -> ())
+      t.parked;
+  !steps
+
+let result t id = Hashtbl.find_opt t.results id
+
+let outcome t id =
+  match result t id with
+  | Some o -> o
+  | None -> Negotiation.Denied "negotiation quiescent"
+
+let parked_count t = List.length t.parked

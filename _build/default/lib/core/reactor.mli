@@ -1,0 +1,59 @@
+(** The queued (asynchronous) negotiation engine — the architecture the
+    paper actually describes for PeerTrust 1.0: an outer layer that "keeps
+    queues of propositions that are in the process of being proved" around
+    the logic engine.
+
+    Where {!Engine} answers a query by synchronous recursion through the
+    network, the reactor is message-driven:
+
+    - an incoming query is evaluated against the local KB only; if that
+      does not settle it, the goal is {e parked} and one sub-query is
+      posted for each blocked remote sub-goal (each distinct
+      (peer, goal) is asked at most once per peer);
+    - an incoming answer is verified and learned (certificates plus the
+      "peer says" facts), then every parked goal waiting on it is
+      re-evaluated from scratch over the grown knowledge base — the KB
+      only grows, so re-evaluation is monotone;
+    - a parked goal whose sub-queries are all resolved and which still has
+      no releasable answer is denied upstream.
+
+    Consequences the synchronous engine cannot offer: any number of
+    negotiations proceed {e interleaved} over one queue, and policy
+    deadlocks manifest as quiescence (an empty queue with unresolved
+    goals) rather than needing an in-flight cycle check.
+
+    Messages are accounted on the session network (statistics, transcript,
+    latency, budget) exactly like synchronous traffic. *)
+
+open Peertrust_dlp
+
+type t
+
+val create : Session.t -> t
+(** The reactor replaces the peers' network handlers; create it after all
+    peers are added.  Sessions should not mix reactor and synchronous
+    {!Engine} traffic. *)
+
+type request
+
+val submit :
+  t -> requester:string -> target:string -> Literal.t -> request
+(** Enqueue a top-level negotiation; nothing runs until {!run}/{!step}. *)
+
+val step : t -> bool
+(** Deliver one queued message; [false] when the queue is empty. *)
+
+val run : ?max_steps:int -> t -> int
+(** Process messages until quiescence (or [max_steps], default 100_000);
+    unresolved requests are then denied as quiescent.  Returns the number
+    of messages delivered. *)
+
+val result : t -> request -> Negotiation.outcome option
+(** [None] while the request is still unresolved. *)
+
+val outcome : t -> request -> Negotiation.outcome
+(** Like {!result}, but an unresolved request reports
+    [Denied "negotiation quiescent"]. *)
+
+val parked_count : t -> int
+(** Goals currently parked across all peers (for tests/monitoring). *)

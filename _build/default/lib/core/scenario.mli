@@ -1,0 +1,93 @@
+(** Ready-made negotiation worlds: the paper's two scenarios (§4.1, §4.2)
+    and the parametric workloads used by the benchmark harness.
+
+    Deviations from the paper's listings (documented in DESIGN.md §4):
+    cached public certificates carry an explicit [$ true] guard, and a few
+    literals the paper leaves implicitly releasable (Bob's email, E-Learn's
+    enroll results) get explicit [$] guards — under the paper's stated
+    default (private) the scenarios would not terminate successfully. *)
+
+type scenario1 = {
+  s1_session : Session.t;
+  s1_alice : string;
+  s1_elearn : string;
+  s1_uiuc : string;
+}
+
+val scenario1 : ?config:Session.config -> unit -> scenario1
+(** Alice & E-Learn: discounted enrolment for UIUC students (via ELENA's
+    preferred-customer rule), with the registrar delegation and Alice's
+    BBB-membership release policy. *)
+
+type scenario2 = {
+  s2_session : Session.t;
+  s2_bob : string;
+  s2_elearn : string;
+  s2_visa : string;
+}
+
+val scenario2 :
+  ?config:Session.config -> ?visa_limit:int -> unit -> scenario2
+(** Signing up for learning services: free courses for employees of ELENA
+    members, pay-per-use courses against a company VISA card protected by
+    policy27, and the purchase-approval external call to the VISA peer
+    (default credit limit 5000). *)
+
+type chain_world = {
+  cw_session : Session.t;
+  cw_requester : string;  (** peer that requests the resource *)
+  cw_owner : string;  (** peer that owns the resource *)
+  cw_goal : Peertrust_dlp.Literal.t;
+}
+
+val policy_chain :
+  ?config:Session.config -> ?extra_creds:int -> ?missing:int -> depth:int ->
+  unit -> chain_world
+(** Bilateral alternating policy chain of length [depth]: the resource
+    needs [cred1] from the requester, releasing [cred1] needs [cred2] from
+    the owner, and so on; [cred<depth>] is public.  [extra_creds] adds that
+    many unrelated public credentials to each side (disclosed by the eager
+    strategy but not by the relevant one).  [missing] (1..depth) omits that
+    credential, making the negotiation unsatisfiable. *)
+
+val fanout :
+  ?config:Session.config -> width:int -> unit -> chain_world
+(** The resource requires [width] independent public credentials from the
+    requester. *)
+
+type grid = {
+  g_session : Session.t;
+  g_user : string;  (** the researcher *)
+  g_cluster : string;  (** the compute resource *)
+}
+
+val grid : ?config:Session.config -> unit -> grid
+(** The grid scenario the paper points to (Basney et al., SemPGRID'04):
+    a cluster admits jobs from virtual-organisation members (membership
+    delegated to a registration service); the researcher releases her VO
+    credential only to resources certified by the Grid CA; RDF metadata
+    describes the cluster's queues.  Goals look like
+    [submit(batch, "ada", 256)]. *)
+
+type marketplace = {
+  mp_session : Session.t;
+  mp_learners : string list;
+  mp_providers : string list;
+  mp_goals : (string * string * Peertrust_dlp.Literal.t) list;
+      (** (learner, provider, enrolment goal) work items *)
+}
+
+val marketplace :
+  ?config:Session.config ->
+  ?seed:int64 ->
+  providers:int ->
+  learners:int ->
+  courses_per_provider:int ->
+  unit ->
+  marketplace
+(** A deterministic ELENA-style marketplace: [providers] course providers
+    (each with a registry of priced courses, public metadata, and an
+    enrolment policy demanding a student credential), and [learners]
+    (each with a student credential released only to accredited
+    providers).  [mp_goals] enrols every learner in one randomly chosen
+    course per provider. *)

@@ -1,0 +1,47 @@
+(** Access tokens — the paper's §3 mechanism: "the mechanism may instead
+    give Alice a nontransferable token that she can use to access the
+    service repeatedly without having to negotiate trust again until the
+    token expires".
+
+    A token is a certificate, signed by the granting peer, over the fact
+
+    {v  accessToken("holder", "service-skeleton")  v}
+
+    with a validity window on the simulated clock.  Redeeming presents the
+    token back to the issuer, which checks the signature, the window, the
+    revocation set, that the bearer is the named holder (non-transferable),
+    and that the token's service matches the requested goal. *)
+
+open Peertrust_dlp
+
+type t = Peertrust_crypto.Cert.t
+
+type error =
+  | Invalid of Peertrust_crypto.Cert.error
+  | Wrong_holder of string  (** presented by someone else *)
+  | Wrong_service  (** token does not cover the requested goal *)
+  | Not_a_token
+
+val grant :
+  Session.t -> issuer:string -> holder:string -> goal:Literal.t ->
+  ttl:int -> t
+(** Issue a token for the goal's service skeleton, valid from the current
+    session instant ([config.now]) for [ttl] ticks.  Typically called by
+    the resource owner right after a successful negotiation. *)
+
+val negotiate_with_token :
+  Session.t -> requester:string -> target:string -> ttl:int ->
+  Literal.t -> (Negotiation.report * t option)
+(** Run a normal negotiation; on success the target issues a token for the
+    goal to the requester (returned alongside the report). *)
+
+val redeem :
+  Session.t -> issuer:string -> bearer:string -> goal:Literal.t -> t ->
+  (unit, error) result
+(** Validate a presented token at the issuer.  No negotiation, no
+    counter-queries: O(1) checks only. *)
+
+val revoke : Session.t -> t -> unit
+(** Revoke a token (by certificate serial). *)
+
+val pp_error : Format.formatter -> error -> unit

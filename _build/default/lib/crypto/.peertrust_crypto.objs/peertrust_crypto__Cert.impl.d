@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Bignum Format Keystore List Peertrust_dlp Printf Rsa

@@ -1,0 +1,1 @@
+lib/crypto/cert.mli: Bignum Format Keystore Peertrust_dlp

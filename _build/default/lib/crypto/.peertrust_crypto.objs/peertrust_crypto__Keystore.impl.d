@@ -1,0 +1,1 @@
+lib/crypto/keystore.ml: Char Hashtbl Int64 List Prng Rsa String

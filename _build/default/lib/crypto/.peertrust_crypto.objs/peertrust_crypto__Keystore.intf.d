@@ -1,0 +1,1 @@
+lib/crypto/keystore.mli: Rsa

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: Bignum Buffer Bytes Cert Char Format List Peertrust_dlp Printf String

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int g bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let next_bits g n =
+  if n <= 0 then invalid_arg "Prng.next_bits: n must be positive";
+  let nbytes = (n + 7) / 8 in
+  let b = Bytes.create nbytes in
+  for i = 0 to nbytes - 1 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (next_int64 g) 0xFFL)))
+  done;
+  (* Zero the excess bits of the first (most significant) byte. *)
+  let excess = (nbytes * 8) - n in
+  if excess > 0 then begin
+    let mask = 0xFF lsr excess in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land mask))
+  end;
+  b
+
+let split g = create (next_int64 g)

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Used for reproducible key generation and workload synthesis.  Not a
+    cryptographically secure generator — the whole crypto layer simulates
+    the paper's X.509/JCA stack (see DESIGN.md §3); what matters here is
+    that signatures bind issuers to rule payloads and that verification
+    rejects tampering, not resistance to a real adversary. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator; equal seeds yield equal streams. *)
+
+val next_int64 : t -> int64
+val next_int : t -> int -> int
+(** [next_int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val next_bits : t -> int -> bytes
+(** [next_bits g n] returns [ceil(n/8)] bytes holding [n] random bits, with
+    the top bit of the first byte aligned so the value has exactly [n]
+    significant bits when the top bit is forced (see {!Bignum.random_bits}
+    for the numeric version). *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)

@@ -1,0 +1,46 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { public : public; d : Bignum.t }
+
+let e_fixed = Bignum.of_int 65537
+
+let generate ?(bits = 384) prng =
+  if bits < 288 then invalid_arg "Rsa.generate: need >= 288 bits";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Bignum.generate_prime prng ~bits:half in
+    let q = Bignum.generate_prime prng ~bits:(bits - half) in
+    if Bignum.equal p q then go ()
+    else begin
+      let n = Bignum.mul p q in
+      let p1 = Bignum.sub p Bignum.one and q1 = Bignum.sub q Bignum.one in
+      let phi = Bignum.mul p1 q1 in
+      match Bignum.modinv e_fixed phi with
+      | None -> go ()
+      | Some d -> { public = { n; e = e_fixed }; d }
+    end
+  in
+  go ()
+
+let modulus_bytes pub = (Bignum.bits pub.n + 7) / 8
+
+(* 0x01 || 0xFF.. || 0x00 || digest, one byte shorter than the modulus so
+   the padded value is below n. *)
+let pad pub msg =
+  let size = modulus_bytes pub - 1 in
+  let digest = Sha256.digest msg in
+  let dlen = String.length digest in
+  if size < dlen + 3 then
+    invalid_arg "Rsa: modulus too small for padded digest";
+  let b = Bytes.make size '\xFF' in
+  Bytes.set b 0 '\x01';
+  Bytes.set b (size - dlen - 1) '\x00';
+  Bytes.blit_string digest 0 b (size - dlen) dlen;
+  Bignum.of_bytes_be b
+
+let sign kp msg = Bignum.modpow (pad kp.public msg) kp.d kp.public.n
+
+let verify pub msg signature =
+  if Bignum.compare signature pub.n >= 0 then false
+  else
+    let recovered = Bignum.modpow signature pub.e pub.n in
+    Bignum.equal recovered (pad pub msg)

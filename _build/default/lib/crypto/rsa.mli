@@ -1,0 +1,24 @@
+(** RSA signatures (hash-then-sign with PKCS#1-style padding over
+    {!Sha256}).
+
+    This is the simulated stand-in for the paper's X.509 / Java
+    Cryptography Architecture layer: key pairs for peers and authorities,
+    deterministic signing of canonical rule serialisations, and
+    verification before a signed rule enters the DLP engine. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { public : public; d : Bignum.t }
+
+val generate : ?bits:int -> Prng.t -> keypair
+(** Generate a key pair; [bits] (default 384) is the modulus size.  Must be at least 288 so the
+    padded 32-byte digest fits; 384-bit keys keep tests fast. *)
+
+val sign : keypair -> string -> Bignum.t
+(** Sign a message: pad SHA-256(msg) to the modulus size and apply the
+    private exponent.  @raise Invalid_argument if the modulus is too small
+    to hold the padded digest. *)
+
+val verify : public -> string -> Bignum.t -> bool
+(** Check a signature against a message. *)
+
+val modulus_bytes : public -> int

@@ -1,0 +1,10 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used as the message digest for signed rules and certificates. *)
+
+val digest : string -> string
+(** 32-byte raw digest. *)
+
+val digest_bytes : bytes -> string
+val hex : string -> string
+(** [hex msg] is the lowercase hex digest of [msg]. *)

@@ -1,0 +1,162 @@
+type error = Malformed of string
+
+let header = "-----BEGIN PEERTRUST CERTIFICATE-----"
+let footer = "-----END PEERTRUST CERTIFICATE-----"
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init
+           (String.length h / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ | Invalid_argument _ -> None
+
+let encode (c : Cert.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "serial: %d\n" c.Cert.serial);
+  Buffer.add_string buf (Printf.sprintf "not-before: %d\n" c.Cert.not_before);
+  Buffer.add_string buf (Printf.sprintf "not-after: %d\n" c.Cert.not_after);
+  Buffer.add_string buf
+    (Printf.sprintf "rule: %s\n" (Peertrust_dlp.Rule.to_string c.Cert.rule));
+  List.iter
+    (fun (issuer, signature) ->
+      Buffer.add_string buf
+        (Printf.sprintf "sig: %s:%s\n" (hex_of_string issuer)
+           (Bignum.to_hex signature)))
+    c.Cert.signatures;
+  Buffer.add_string buf footer;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let parse_field ~name line =
+  let prefix = name ^ ": " in
+  let pl = String.length prefix in
+  if String.length line >= pl && String.sub line 0 pl = prefix then
+    Some (String.sub line pl (String.length line - pl))
+  else None
+
+let hex_to_bignum h =
+  (* Bignum.to_hex strips a leading zero nibble; re-pad if needed. *)
+  let h = if String.length h mod 2 = 1 then "0" ^ h else h in
+  match string_of_hex h with
+  | Some bytes_str -> Some (Bignum.of_bytes_be (Bytes.of_string bytes_str))
+  | None -> None
+
+let decode_block lines =
+  let err msg = Error (Malformed msg) in
+  let int_field name lines =
+    match lines with
+    | line :: rest -> (
+        match parse_field ~name line with
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok (i, rest)
+            | None -> err (name ^ ": not an integer"))
+        | None -> err ("expected " ^ name))
+    | [] -> err ("missing " ^ name)
+  in
+  match int_field "serial" lines with
+  | Error e -> Error e
+  | Ok (serial, lines) -> (
+      match int_field "not-before" lines with
+      | Error e -> Error e
+      | Ok (not_before, lines) -> (
+          match int_field "not-after" lines with
+          | Error e -> Error e
+          | Ok (not_after, lines) -> (
+              match lines with
+              | rule_line :: rest -> (
+                  match parse_field ~name:"rule" rule_line with
+                  | None -> err "expected rule"
+                  | Some rule_src -> (
+                      match Peertrust_dlp.Parser.parse_rule rule_src with
+                      | exception Peertrust_dlp.Parser.Error (m, _, _) ->
+                          err ("bad rule: " ^ m)
+                      | rule ->
+                          let rec sigs acc = function
+                            | [] -> Ok (List.rev acc)
+                            | line :: rest -> (
+                                match parse_field ~name:"sig" line with
+                                | None -> err "expected sig line"
+                                | Some v -> (
+                                    match String.index_opt v ':' with
+                                    | None -> err "sig: missing ':'"
+                                    | Some i -> (
+                                        let name_hex = String.sub v 0 i in
+                                        let sig_hex =
+                                          String.sub v (i + 1)
+                                            (String.length v - i - 1)
+                                        in
+                                        match
+                                          (string_of_hex name_hex,
+                                           hex_to_bignum sig_hex)
+                                        with
+                                        | Some issuer, Some signature ->
+                                            sigs ((issuer, signature) :: acc) rest
+                                        | _, _ -> err "sig: bad hex")))
+                          in
+                          (match sigs [] rest with
+                          | Error e -> Error e
+                          | Ok signatures ->
+                              Ok
+                                {
+                                  Cert.serial;
+                                  rule;
+                                  not_before;
+                                  not_after;
+                                  signatures;
+                                })))
+              | [] -> err "missing rule")))
+
+let split_blocks src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let rec go acc current in_block = function
+    | [] -> if in_block then Error (Malformed "missing END") else Ok (List.rev acc)
+    | line :: rest ->
+        if String.equal line header then
+          if in_block then Error (Malformed "nested BEGIN")
+          else go acc [] true rest
+        else if String.equal line footer then
+          if in_block then go (List.rev current :: acc) [] false rest
+          else Error (Malformed "END without BEGIN")
+        else if in_block then go acc (line :: current) true rest
+        else Error (Malformed ("garbage outside certificate: " ^ line))
+  in
+  go [] [] false lines
+
+let decode_many src =
+  match split_blocks src with
+  | Error e -> Error e
+  | Ok blocks ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | block :: rest -> (
+            match decode_block block with
+            | Ok c -> go (c :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] blocks
+
+let decode src =
+  match decode_many src with
+  | Ok [ c ] -> Ok c
+  | Ok _ -> Error (Malformed "expected exactly one certificate")
+  | Error e -> Error e
+
+let encode_many certs = String.concat "" (List.map encode certs)
+
+let pp_error fmt (Malformed msg) =
+  Format.fprintf fmt "malformed certificate: %s" msg

@@ -1,0 +1,1 @@
+lib/dlp/builtin.ml: Int List Literal String Subst Term Unify

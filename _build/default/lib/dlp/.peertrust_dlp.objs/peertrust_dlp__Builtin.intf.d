@@ -1,0 +1,1 @@
+lib/dlp/builtin.mli: Literal Subst

@@ -1,0 +1,1 @@
+lib/dlp/forward.ml: Builtin Hashtbl Kb List Literal Option Printf Rule Set String Subst Term

@@ -1,0 +1,1 @@
+lib/dlp/forward.mli: Kb Literal Term

@@ -1,0 +1,1 @@
+lib/dlp/kb.ml: Format Int List Literal Map Option Parser Printf Rule String Term

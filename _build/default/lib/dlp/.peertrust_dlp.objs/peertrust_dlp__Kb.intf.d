@@ -1,0 +1,1 @@
+lib/dlp/kb.mli: Format Literal Rule

@@ -1,0 +1,1 @@
+lib/dlp/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/dlp/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/dlp/literal.ml: Format List String Subst Term Unify

@@ -1,0 +1,1 @@
+lib/dlp/literal.mli: Format Subst Term

@@ -1,0 +1,1 @@
+lib/dlp/parser.ml: Format Lexer List Literal Rule Term

@@ -1,0 +1,1 @@
+lib/dlp/parser.mli: Literal Rule Term

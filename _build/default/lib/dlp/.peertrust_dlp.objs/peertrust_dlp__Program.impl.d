@@ -1,0 +1,1 @@
+lib/dlp/program.ml: Format List Literal Parser Rule Term

@@ -1,0 +1,1 @@
+lib/dlp/program.mli: Format Rule

@@ -1,0 +1,1 @@
+lib/dlp/rule.ml: Buffer Format Hashtbl List Literal Option Printf String Subst Term Unify

@@ -1,0 +1,1 @@
+lib/dlp/rule.mli: Format Literal Subst

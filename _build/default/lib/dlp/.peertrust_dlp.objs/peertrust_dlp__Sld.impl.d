@@ -1,0 +1,1 @@
+lib/dlp/sld.ml: Builtin Fun Kb List Literal Option Printf Rule String Subst Term Trace Unify

@@ -1,0 +1,1 @@
+lib/dlp/sld.mli: Kb Literal Subst Term Trace

@@ -1,0 +1,1 @@
+lib/dlp/subst.ml: Format List Map String Term

@@ -1,0 +1,1 @@
+lib/dlp/subst.mli: Format Term

@@ -1,0 +1,1 @@
+lib/dlp/tabled.ml: Builtin Hashtbl Kb List Literal Option Printf Rule String Subst Term

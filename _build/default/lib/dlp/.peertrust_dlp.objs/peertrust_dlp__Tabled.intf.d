@@ -1,0 +1,1 @@
+lib/dlp/tabled.mli: Kb Literal Sld Subst Term

@@ -1,0 +1,1 @@
+lib/dlp/term.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/dlp/term.mli: Format

@@ -1,0 +1,1 @@
+lib/dlp/trace.ml: Format List Literal Rule String

@@ -1,0 +1,1 @@
+lib/dlp/trace.mli: Format Literal Rule

@@ -1,0 +1,1 @@
+lib/dlp/unify.ml: Int List Map String Subst Term

@@ -1,0 +1,1 @@
+lib/dlp/unify.mli: Subst Term

@@ -1,0 +1,74 @@
+let builtins = [ "="; "!="; "<"; "<="; ">"; ">=" ]
+let is_builtin (p, n) = n = 2 && List.mem p builtins
+
+(* Evaluate a ground arithmetic expression; [None] for non-arithmetic or
+   non-ground terms (and for division by zero). *)
+let rec eval_arith = function
+  | Term.Int i -> Some i
+  | Term.Compound (op, [ a; b ]) when List.mem op [ "+"; "-"; "*"; "/" ] -> (
+      match (eval_arith a, eval_arith b) with
+      | Some x, Some y -> (
+          match op with
+          | "+" -> Some (x + y)
+          | "-" -> Some (x - y)
+          | "*" -> Some (x * y)
+          | "/" -> if y = 0 then None else Some (x / y)
+          | _ -> None)
+      | _, _ -> None)
+  | Term.Var _ | Term.Str _ | Term.Atom _ | Term.Compound _ -> None
+
+let is_arith_expr = function
+  | Term.Compound (op, [ _; _ ]) -> List.mem op [ "+"; "-"; "*"; "/" ]
+  | _ -> false
+
+(* Normalise a comparison operand: evaluate it if it is arithmetic. *)
+let normalise t =
+  if is_arith_expr t then
+    match eval_arith t with Some i -> Term.Int i | None -> t
+  else t
+
+let compare_ground a b =
+  match (a, b) with
+  | Term.Int x, Term.Int y -> Some (Int.compare x y)
+  | Term.Str x, Term.Str y -> Some (String.compare x y)
+  | Term.Atom x, Term.Atom y -> Some (String.compare x y)
+  (* Mixed ground constants have a fixed but arbitrary order; only equality
+     and disequality are meaningful across sorts. *)
+  | _, _ ->
+      if Term.is_ground a && Term.is_ground b then Some (Term.compare a b)
+      else None
+
+let eval (lit : Literal.t) s =
+  if not (is_builtin (Literal.key lit)) then None
+  else
+    match lit.Literal.args with
+    | [ a; b ] -> (
+        let a = normalise (Subst.apply s a) and b = normalise (Subst.apply s b) in
+        match lit.Literal.pred with
+        | "=" ->
+            (* An arithmetic expression that survived normalisation is
+               unevaluable (non-ground operand or division by zero): the
+               comparison fails rather than unifying structurally. *)
+            if is_arith_expr a || is_arith_expr b then Some []
+            else (
+              match Unify.terms a b s with
+              | Some s' -> Some [ s' ]
+              | None -> Some [])
+        | "!=" ->
+            if Term.is_ground a && Term.is_ground b then
+              Some (if Term.equal a b then [] else [ s ])
+            else Some []
+        | op -> (
+            match compare_ground a b with
+            | None -> Some []
+            | Some c ->
+                let holds =
+                  match op with
+                  | "<" -> c < 0
+                  | "<=" -> c <= 0
+                  | ">" -> c > 0
+                  | ">=" -> c >= 0
+                  | _ -> assert false
+                in
+                Some (if holds then [ s ] else [])))
+    | _ -> None

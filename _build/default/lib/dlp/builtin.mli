@@ -1,0 +1,18 @@
+(** Built-in predicates available in rule bodies and contexts.
+
+    Comparisons: [=] (unification), [!=], and the order predicates [<],
+    [<=], [>], [>=] over integers and (lexicographically) strings.  The
+    order predicates require both arguments to be ground after applying the
+    current substitution; [!=] requires groundness as well.
+
+    Operands may be arithmetic expressions over [+], [-], [*], [/]
+    (integer division); a ground arithmetic operand is evaluated before
+    the comparison, so [X = Price * 2 + 100] binds [X] to the computed
+    value.  Division by zero makes the comparison fail. *)
+
+val is_builtin : string * int -> bool
+
+val eval : Literal.t -> Subst.t -> Subst.t list option
+(** [eval lit s] is [None] when [lit] is not a built-in; otherwise
+    [Some answers] where [answers] are the extensions of [s] under which the
+    built-in holds (at most one for every current built-in). *)

@@ -1,0 +1,119 @@
+type result = { facts : Literal.t list; rounds : int; derived : int }
+
+module LitSet = Set.Make (Literal)
+
+type store = {
+  mutable all : LitSet.t;
+  index : (string * int, Literal.t list) Hashtbl.t;
+  mutable order : Literal.t list;  (* reverse derivation order *)
+}
+
+let store_create () =
+  { all = LitSet.empty; index = Hashtbl.create 64; order = [] }
+
+let store_add st lit =
+  if LitSet.mem lit st.all then false
+  else begin
+    st.all <- LitSet.add lit st.all;
+    let key = Literal.key lit in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt st.index key) in
+    Hashtbl.replace st.index key (lit :: prev);
+    st.order <- lit :: st.order;
+    true
+  end
+
+let store_find st key = Option.value ~default:[] (Hashtbl.find_opt st.index key)
+
+(* Instances a signed head stands for: [h] itself plus [h @ A] for each
+   signer [A] (the signed-rule axiom). *)
+let head_variants (r : Rule.t) =
+  r.Rule.head
+  :: (if Rule.is_signed r then
+        List.map
+          (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
+          r.Rule.signer
+      else [])
+
+let strip_self_auth ~self lit =
+  let rec go l =
+    match Literal.pop_authority l with
+    | Some (inner, Term.Str a) when String.equal a self -> go inner
+    | Some (inner, Term.Atom a) when String.equal a self -> go inner
+    | Some _ | None -> l
+  in
+  go lit
+
+let saturate ?(bindings = []) ?(max_rounds = 1000) ?(max_facts = 100_000)
+    ~self kb =
+  let initial =
+    List.fold_left
+      (fun s (v, t) -> if String.equal v "Self" then s else Subst.bind v t s)
+      Subst.empty bindings
+    |> Subst.bind "Self" (Term.Str self)
+  in
+  let st = store_create () in
+  let facts0, proper_rules =
+    List.partition (fun (r : Rule.t) -> Rule.is_fact r) (Kb.rules kb)
+  in
+  let add_fact lit delta =
+    let lit = strip_self_auth ~self (Literal.apply initial lit) in
+    if Literal.is_ground lit && store_add st lit then lit :: delta else delta
+  in
+  let delta0 =
+    List.fold_left
+      (fun delta r ->
+        List.fold_left (fun d h -> add_fact h d) delta (head_variants r))
+      [] facts0
+  in
+  let initial_count = List.length delta0 in
+  (* Join the rule body against the store; with [require_delta], at least
+     one body literal must match a fact derived in the previous round. *)
+  let join (r : Rule.t) ~delta_set ~require_delta emit =
+    let rec go body subst used_delta =
+      match body with
+      | [] -> if used_delta || not require_delta then emit subst
+      | b :: rest -> (
+          let b_applied = Literal.apply subst b in
+          match Builtin.eval b_applied subst with
+          | Some substs -> List.iter (fun s' -> go rest s' used_delta) substs
+          | None ->
+              let b_local = strip_self_auth ~self b_applied in
+              let try_fact f =
+                match Literal.unify b_local f subst with
+                | Some s' -> go rest s' (used_delta || LitSet.mem f delta_set)
+                | None -> ()
+              in
+              List.iter try_fact (store_find st (Literal.key b_local)))
+    in
+    go r.Rule.body initial false
+  in
+  let rounds = ref 0 in
+  let delta = ref delta0 in
+  while
+    !delta <> [] && !rounds < max_rounds && LitSet.cardinal st.all < max_facts
+  do
+    incr rounds;
+    let delta_set = LitSet.of_list !delta in
+    let next = ref [] in
+    let fire r =
+      let fresh = Rule.rename ~suffix:(Printf.sprintf "~f%d" !rounds) r in
+      join fresh ~delta_set ~require_delta:(!rounds > 1) (fun subst ->
+          let derive h =
+            let inst = strip_self_auth ~self (Literal.apply subst h) in
+            if Literal.is_ground inst && store_add st inst then
+              next := inst :: !next
+          in
+          List.iter derive (head_variants fresh))
+    in
+    List.iter fire proper_rules;
+    delta := !next
+  done;
+  let facts = List.rev st.order in
+  { facts; rounds = !rounds; derived = List.length facts - initial_count }
+
+let derives ?bindings ~self kb goal =
+  let { facts; _ } = saturate ?bindings ~self kb in
+  let goal = strip_self_auth ~self goal in
+  List.exists
+    (fun f -> Option.is_some (Literal.unify goal f Subst.empty))
+    facts

@@ -1,0 +1,36 @@
+(** Bottom-up (forward-chaining) fixpoint evaluation — the 'push' paradigm
+    of §3.2.
+
+    Saturates a knowledge base: starting from the ground facts (including
+    the signed-rule axiom instances [h @ A] for every fact [h signedBy
+    \[A\]]), repeatedly fires every rule whose body is satisfied, until no
+    new ground facts appear.  Uses delta-driven (semi-naive) rounds: a rule
+    firing must match at least one body literal against the facts derived
+    in the previous round.
+
+    Contexts are ignored here — release policies only govern disclosure,
+    not derivation.  Rules whose firing would produce a non-ground head
+    (unsafe rules) do not contribute, and neither do rules with
+    negation-as-failure body literals (forward chaining is monotonic; use
+    the SLD engine for NAF). *)
+
+type result = {
+  facts : Literal.t list;  (** the saturated set, in derivation order *)
+  rounds : int;  (** number of delta rounds until fixpoint *)
+  derived : int;  (** facts beyond the initial ones *)
+}
+
+val saturate :
+  ?bindings:(string * Term.t) list ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  self:string ->
+  Kb.t ->
+  result
+(** [max_rounds] (default 1000) and [max_facts] (default 100_000) bound the
+    computation; hitting a bound stops early with the facts so far. *)
+
+val derives :
+  ?bindings:(string * Term.t) list -> self:string -> Kb.t -> Literal.t -> bool
+(** [derives ~self kb goal]: does the saturated KB contain an instance of
+    [goal]? *)

@@ -1,0 +1,126 @@
+module Key = struct
+  type t = string * int
+
+  let compare (p1, a1) (p2, a2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c else Int.compare a1 a2
+end
+
+module M = Map.Make (Key)
+module SM = Map.Make (String)
+
+(* Entries carry a sequence number so that [rules]/[matching] can restore
+   global insertion order; buckets keep entries in reverse order. *)
+type entry = int * Rule.t
+
+type bucket = {
+  all : entry list;
+  by_first : entry list SM.t;  (* first-argument key -> entries *)
+  var_first : entry list;  (* heads whose first argument is a variable *)
+}
+
+type t = { buckets : bucket M.t; next : int; indexing : bool }
+
+let empty = { buckets = M.empty; next = 0; indexing = true }
+let empty_linear = { buckets = M.empty; next = 0; indexing = false }
+let empty_bucket = { all = []; by_first = SM.empty; var_first = [] }
+
+(* Index key of a term in head position: constants and functors are
+   discriminating, variables are not ([None]). *)
+let arg_key = function
+  | Term.Var _ -> None
+  | Term.Str s -> Some ("s:" ^ s)
+  | Term.Int i -> Some ("i:" ^ string_of_int i)
+  | Term.Atom a -> Some ("a:" ^ a)
+  | Term.Compound (f, args) ->
+      Some (Printf.sprintf "c:%s/%d" f (List.length args))
+
+let first_arg (l : Literal.t) =
+  match l.Literal.args with [] -> None | a :: _ -> Some a
+
+let mem r kb =
+  match M.find_opt (Literal.key r.Rule.head) kb.buckets with
+  | None -> false
+  | Some bucket -> List.exists (fun (_, r') -> Rule.equal r r') bucket.all
+
+let add r kb =
+  if mem r kb then kb
+  else begin
+    let key = Literal.key r.Rule.head in
+    let bucket = Option.value ~default:empty_bucket (M.find_opt key kb.buckets) in
+    let entry = (kb.next, r) in
+    let bucket = { bucket with all = entry :: bucket.all } in
+    let bucket =
+      match Option.map arg_key (first_arg r.Rule.head) with
+      | None | Some None ->
+          (* no arguments, or a variable first argument *)
+          { bucket with var_first = entry :: bucket.var_first }
+      | Some (Some k) ->
+          let prev = Option.value ~default:[] (SM.find_opt k bucket.by_first) in
+          { bucket with by_first = SM.add k (entry :: prev) bucket.by_first }
+    in
+    { kb with buckets = M.add key bucket kb.buckets; next = kb.next + 1 }
+  end
+
+let add_list rs kb = List.fold_left (fun kb r -> add r kb) kb rs
+
+let remove r kb =
+  let key = Literal.key r.Rule.head in
+  match M.find_opt key kb.buckets with
+  | None -> kb
+  | Some bucket ->
+      let drop = List.filter (fun (_, r') -> not (Rule.equal r r')) in
+      let bucket =
+        {
+          all = drop bucket.all;
+          by_first = SM.map drop bucket.by_first;
+          var_first = drop bucket.var_first;
+        }
+      in
+      {
+        kb with
+        buckets =
+          (if bucket.all = [] then M.remove key kb.buckets
+           else M.add key bucket kb.buckets);
+      }
+
+let entries_in_order entries =
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) entries |> List.map snd
+
+let find key kb =
+  match M.find_opt key kb.buckets with
+  | None -> []
+  | Some bucket -> entries_in_order bucket.all
+
+let matching lit kb =
+  match M.find_opt (Literal.key lit) kb.buckets with
+  | None -> []
+  | Some bucket ->
+      if not kb.indexing then entries_in_order bucket.all
+      else begin
+        match Option.map arg_key (first_arg lit) with
+        | None | Some None -> entries_in_order bucket.all
+        | Some (Some k) ->
+            let indexed =
+              Option.value ~default:[] (SM.find_opt k bucket.by_first)
+            in
+            entries_in_order (indexed @ bucket.var_first)
+      end
+
+let rules kb =
+  M.fold (fun _ bucket acc -> List.rev_append bucket.all acc) kb.buckets []
+  |> entries_in_order
+
+let size kb = M.fold (fun _ bucket n -> n + List.length bucket.all) kb.buckets 0
+let fold f kb init = List.fold_left (fun acc r -> f r acc) init (rules kb)
+let signed_rules kb = List.filter Rule.is_signed (rules kb)
+
+let of_string ?(indexing = true) src =
+  add_list (Parser.parse_program src) (if indexing then empty else empty_linear)
+
+let union a b = fold add b a
+
+let pp fmt kb =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    Rule.pp fmt (rules kb)

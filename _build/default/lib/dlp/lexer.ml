@@ -1,0 +1,147 @@
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | ARROW
+  | AT
+  | DOLLAR
+  | SIGNEDBY
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | INT of int
+  | OP of string
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let advance () =
+    (if !pos < n then
+       if src.[!pos] = '\n' then (
+         incr line;
+         col := 1)
+       else incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' || c = '#' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then (emit LPAREN l co; advance ())
+    else if c = ')' then (emit RPAREN l co; advance ())
+    else if c = '{' then (emit LBRACE l co; advance ())
+    else if c = '}' then (emit RBRACE l co; advance ())
+    else if c = '[' then (emit LBRACKET l co; advance ())
+    else if c = ']' then (emit RBRACKET l co; advance ())
+    else if c = ',' then (emit COMMA l co; advance ())
+    else if c = '.' then (emit DOT l co; advance ())
+    else if c = '@' then (emit AT l co; advance ())
+    else if c = '$' then (emit DOLLAR l co; advance ())
+    else if c = '<' then (
+      match peek 1 with
+      | Some '-' -> (emit ARROW l co; advance (); advance ())
+      | Some '=' -> (emit (OP "<=") l co; advance (); advance ())
+      | _ -> (emit (OP "<") l co; advance ()))
+    else if c = '>' then (
+      match peek 1 with
+      | Some '=' -> (emit (OP ">=") l co; advance (); advance ())
+      | _ -> (emit (OP ">") l co; advance ()))
+    else if c = '=' then (emit (OP "=") l co; advance ())
+    else if c = '+' then (emit (OP "+") l co; advance ())
+    else if c = '-' then (emit (OP "-") l co; advance ())
+    else if c = '*' then (emit (OP "*") l co; advance ())
+    else if c = '/' then (emit (OP "/") l co; advance ())
+    else if c = '!' then (
+      match peek 1 with
+      | Some '=' -> (emit (OP "!=") l co; advance (); advance ())
+      | _ -> raise (Error ("unexpected character '!'", l, co)))
+    else if c = '"' then (
+      let buf = Buffer.create 16 in
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = '"' then (
+          closed := true;
+          advance ())
+        else if d = '\\' then (
+          advance ();
+          match if !pos < n then Some src.[!pos] else None with
+          | Some 'n' -> (Buffer.add_char buf '\n'; advance ())
+          | Some 't' -> (Buffer.add_char buf '\t'; advance ())
+          | Some '"' -> (Buffer.add_char buf '"'; advance ())
+          | Some '\\' -> (Buffer.add_char buf '\\'; advance ())
+          | Some other ->
+              raise
+                (Error (Printf.sprintf "bad escape '\\%c'" other, !line, !col))
+          | None -> raise (Error ("unterminated string", l, co)))
+        else (
+          Buffer.add_char buf d;
+          advance ())
+      done;
+      if not !closed then raise (Error ("unterminated string", l, co));
+      emit (STRING (Buffer.contents buf)) l co)
+    else if is_digit c then (
+      let buf = Buffer.create 8 in
+      while !pos < n && is_digit src.[!pos] do
+        Buffer.add_char buf src.[!pos];
+        advance ()
+      done;
+      emit (INT (int_of_string (Buffer.contents buf))) l co)
+    else if is_lower c || is_upper c then (
+      let buf = Buffer.create 16 in
+      while !pos < n && is_ident_char src.[!pos] do
+        Buffer.add_char buf src.[!pos];
+        advance ()
+      done;
+      let word = Buffer.contents buf in
+      if String.equal word "signedBy" then emit SIGNEDBY l co
+      else if is_upper word.[0] then emit (VAR word) l co
+      else emit (IDENT word) l co)
+    else raise (Error (Printf.sprintf "unexpected character %C" c, l, co))
+  done;
+  emit EOF !line !col;
+  List.rev !tokens
+
+let pp_token fmt = function
+  | LPAREN -> Format.pp_print_string fmt "("
+  | RPAREN -> Format.pp_print_string fmt ")"
+  | LBRACE -> Format.pp_print_string fmt "{"
+  | RBRACE -> Format.pp_print_string fmt "}"
+  | LBRACKET -> Format.pp_print_string fmt "["
+  | RBRACKET -> Format.pp_print_string fmt "]"
+  | COMMA -> Format.pp_print_string fmt ","
+  | DOT -> Format.pp_print_string fmt "."
+  | ARROW -> Format.pp_print_string fmt "<-"
+  | AT -> Format.pp_print_string fmt "@"
+  | DOLLAR -> Format.pp_print_string fmt "$"
+  | SIGNEDBY -> Format.pp_print_string fmt "signedBy"
+  | IDENT s -> Format.fprintf fmt "identifier %s" s
+  | VAR s -> Format.fprintf fmt "variable %s" s
+  | STRING s -> Format.fprintf fmt "%S" s
+  | INT i -> Format.pp_print_int fmt i
+  | OP s -> Format.pp_print_string fmt s
+  | EOF -> Format.pp_print_string fmt "<eof>"

@@ -1,0 +1,104 @@
+type t = { pred : string; args : Term.t list; auth : Term.t list }
+
+let make ?(auth = []) pred args = { pred; args; auth }
+let arity l = List.length l.args
+let key l = (l.pred, arity l)
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let c = Term.compare_lists a.args b.args in
+    if c <> 0 then c else Term.compare_lists a.auth b.auth
+
+let equal a b = compare a b = 0
+
+let outer_authority l =
+  match List.rev l.auth with [] -> None | a :: _ -> Some a
+
+let pop_authority l =
+  match List.rev l.auth with
+  | [] -> None
+  | a :: rest -> Some ({ l with auth = List.rev rest }, a)
+
+let push_authority l a = { l with auth = l.auth @ [ a ] }
+
+let apply s l =
+  {
+    l with
+    args = List.map (Subst.apply s) l.args;
+    auth = List.map (Subst.apply s) l.auth;
+  }
+
+let rename ~suffix l =
+  {
+    l with
+    args = List.map (Term.rename ~suffix) l.args;
+    auth = List.map (Term.rename ~suffix) l.auth;
+  }
+
+let vars l =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  List.rev
+    (List.fold_left
+       (fun acc t -> List.fold_left add acc (Term.vars t))
+       [] (l.args @ l.auth))
+
+let is_ground l = List.for_all Term.is_ground (l.args @ l.auth)
+
+let to_term l =
+  let base =
+    match l.args with
+    | [] -> Term.Atom l.pred
+    | args -> Term.Compound (l.pred, args)
+  in
+  List.fold_left (fun t a -> Term.Compound ("@", [ t; a ])) base l.auth
+
+let of_term t =
+  let rec strip acc = function
+    | Term.Compound ("@", [ inner; a ]) -> strip (a :: acc) inner
+    | base -> (base, acc)
+  in
+  match strip [] t with
+  | Term.Atom p, auth -> Some { pred = p; args = []; auth }
+  | Term.Compound (p, args), auth when p <> "@" -> Some { pred = p; args; auth }
+  | (Term.Var _ | Term.Str _ | Term.Int _ | Term.Compound _), _ -> None
+
+let unify a b s =
+  if String.equal a.pred b.pred && arity a = arity b then
+    match Unify.term_lists a.args b.args s with
+    | Some s' -> Unify.term_lists a.auth b.auth s'
+    | None -> None
+  else None
+
+let negate l = { pred = "not"; args = [ to_term l ]; auth = [] }
+
+let naf_inner l =
+  match (l.pred, l.args, l.auth) with
+  | "not", [ t ], [] -> of_term t
+  | _, _, _ -> None
+
+let infix_ops = [ "="; "!="; "<"; "<="; ">"; ">=" ]
+
+let rec pp fmt l =
+  match naf_inner l with
+  | Some inner -> Format.fprintf fmt "not %a" pp inner
+  | None -> (
+      (* Built-in comparisons print infix so they re-parse. *)
+      match (l.pred, l.args, l.auth) with
+      | op, [ a; b ], [] when List.mem op infix_ops ->
+          Format.fprintf fmt "%a %s %a" Term.pp a op Term.pp b
+      | _, _, _ -> pp_plain fmt l)
+
+and pp_plain fmt l =
+  (match l.args with
+  | [] -> Format.pp_print_string fmt l.pred
+  | args ->
+      Format.fprintf fmt "%s(%a)" l.pred
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Term.pp)
+        args);
+  List.iter (fun a -> Format.fprintf fmt " @@ %a" Term.pp a) l.auth
+
+let to_string l = Format.asprintf "%a" pp l

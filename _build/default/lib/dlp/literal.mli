@@ -1,0 +1,53 @@
+(** Literals of the PeerTrust language: a predicate applied to terms,
+    optionally extended with a chain of authority arguments,
+
+    {v lit @ A1 @ A2 ... @ Ak v}
+
+    The paper evaluates authority chains outermost-first; we store the chain
+    in source order, so the {e outermost} authority is the {e last} element
+    of [auth].  A literal with an empty chain is local ([@ Self]). *)
+
+type t = { pred : string; args : Term.t list; auth : Term.t list }
+
+val make : ?auth:Term.t list -> string -> Term.t list -> t
+val arity : t -> int
+
+val key : t -> string * int
+(** [(pred, arity)] index key. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val outer_authority : t -> Term.t option
+(** The outermost (last) authority, if any. *)
+
+val pop_authority : t -> (t * Term.t) option
+(** [pop_authority l] removes the outermost authority [a], returning
+    [(l', a)]; [None] if the chain is empty. *)
+
+val push_authority : t -> Term.t -> t
+(** [push_authority l a] appends [a] as the new outermost authority. *)
+
+val apply : Subst.t -> t -> t
+val rename : suffix:string -> t -> t
+val vars : t -> string list
+val is_ground : t -> bool
+
+val to_term : t -> Term.t
+(** Encode a literal as a compound term (used for hashing, signing and for
+    meta-predicates); inverse of {!of_term}. *)
+
+val of_term : Term.t -> t option
+
+val unify : t -> t -> Subst.t -> Subst.t option
+(** Unify predicate, arguments and authority chains. *)
+
+val negate : t -> t
+(** Wrap a literal as negation-as-failure: [not lit].  Encoded as the
+    predicate [not/1] holding the literal's term encoding. *)
+
+val naf_inner : t -> t option
+(** The literal under a [not/1] wrapper, if this is one. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the PeerTrust policy language.
+
+    Grammar (see {!Rule} for the meaning of the pieces):
+
+    {v
+      program  := clause*
+      clause   := literal [ '$' ctx ] [ '<-' [ '{' ctx '}' ] [ sig ] body? ]
+                  [ sig ] '.'
+      sig      := 'signedBy' '[' string (',' string)* ']'
+      ctx      := 'true' | ctxlit (',' ctxlit)*
+      body     := bodylit (',' bodylit)*
+      bodylit  := literal | term op term        (op in =, !=, <, <=, >, >=)
+      literal  := name [ '(' term (',' term)* ')' ] ('@' term)*
+      term     := VAR | STRING | INT | name [ '(' term (',' term)* ')' ]
+    v} *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] *)
+
+val parse_program : string -> Rule.t list
+(** Parse a whole program.  @raise Error on syntax errors, and re-raises
+    {!Lexer.Error} as [Error]. *)
+
+val parse_rule : string -> Rule.t
+(** Parse exactly one clause. *)
+
+val parse_literal : string -> Literal.t
+(** Parse a single literal (no trailing dot), e.g. a query goal. *)
+
+val parse_query : string -> Literal.t list
+(** Parse a comma-separated conjunction of goals (no trailing dot). *)
+
+val parse_term : string -> Term.t

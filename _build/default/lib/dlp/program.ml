@@ -1,0 +1,77 @@
+type warning =
+  | Unsafe_head_var of Rule.t * string
+  | Unbound_authority of Rule.t * string
+  | Unbound_naf of Rule.t * string
+
+let parse = Parser.parse_program
+
+let to_string rules =
+  Format.asprintf "%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+       Rule.pp)
+    rules
+
+let check rules =
+  let warnings = ref [] in
+  let warn w = warnings := w :: !warnings in
+  let check_rule (r : Rule.t) =
+    let body_vars = List.concat_map Literal.vars r.Rule.body in
+    let head_arg_vars =
+      List.concat_map Term.vars
+        (r.Rule.head.Literal.args @ r.Rule.head.Literal.auth)
+    in
+    (* Head variables a caller cannot be expected to supply through the
+       body: only flagged for rules with a body (facts with variables are
+       templates, common in the paper). *)
+    if r.Rule.body <> [] then
+      List.iter
+        (fun v ->
+          if (not (Term.is_pseudo v)) && not (List.mem v body_vars) then
+            warn (Unsafe_head_var (r, v)))
+        head_arg_vars;
+    (* Authority variables must be bindable by the time their literal is
+       reached: by the head, a pseudo-variable, or an earlier body
+       literal. *)
+    let rec scan bound = function
+      | [] -> ()
+      | (b : Literal.t) :: rest ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun v ->
+                  if (not (Term.is_pseudo v)) && not (List.mem v bound) then
+                    warn (Unbound_authority (r, v)))
+                (Term.vars a))
+            b.Literal.auth;
+          (match Literal.naf_inner b with
+          | Some inner ->
+              List.iter
+                (fun v ->
+                  if (not (Term.is_pseudo v)) && not (List.mem v bound) then
+                    warn (Unbound_naf (r, v)))
+                (Literal.vars inner)
+          | None -> ());
+          scan (bound @ Literal.vars b) rest
+    in
+    scan head_arg_vars r.Rule.body
+  in
+  List.iter check_rule rules;
+  List.rev !warnings
+
+let pp_warning fmt = function
+  | Unsafe_head_var (r, v) ->
+      Format.fprintf fmt
+        "head variable %s of rule `%a` is not bound by the body (unusable \
+         in forward chaining)"
+        v Rule.pp r
+  | Unbound_authority (r, v) ->
+      Format.fprintf fmt
+        "authority variable %s of rule `%a` may be unbound at evaluation \
+         time (floundering)"
+        v Rule.pp r
+  | Unbound_naf (r, v) ->
+      Format.fprintf fmt
+        "variable %s under `not` in rule `%a` may be unbound at evaluation \
+         time (floundering NAF)"
+        v Rule.pp r

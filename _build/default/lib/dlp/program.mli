@@ -1,0 +1,25 @@
+(** Whole-program convenience layer: parsing, printing and static checks. *)
+
+type warning =
+  | Unsafe_head_var of Rule.t * string
+      (** a head variable bound neither by the body nor by a comparison —
+          legal in SLD evaluation (the caller binds it) but unusable by the
+          forward engine *)
+  | Unbound_authority of Rule.t * string
+      (** a body literal's authority variable that no earlier body literal,
+          head argument, or pseudo-variable can bind: evaluation of that
+          literal would flounder *)
+  | Unbound_naf of Rule.t * string
+      (** a variable under [not] that nothing before it can bind: the NAF
+          goal would flounder at run time *)
+
+val parse : string -> Rule.t list
+(** Alias of {!Parser.parse_program}. *)
+
+val to_string : Rule.t list -> string
+(** Printable program text that re-parses to the same rules. *)
+
+val check : Rule.t list -> warning list
+(** Static lint over a program. *)
+
+val pp_warning : Format.formatter -> warning -> unit

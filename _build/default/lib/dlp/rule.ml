@@ -1,0 +1,175 @@
+type ctx = Literal.t list
+
+type t = {
+  head : Literal.t;
+  head_ctx : ctx option;
+  rule_ctx : ctx option;
+  body : Literal.t list;
+  signer : string list;
+}
+
+let make ?head_ctx ?rule_ctx ?(signer = []) head body =
+  { head; head_ctx; rule_ctx; body; signer }
+
+let fact ?signer head = make ?signer head []
+let is_fact r = r.body = []
+let is_signed r = r.signer <> []
+
+let compare_ctx a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some xs, Some ys -> List.compare Literal.compare xs ys
+
+let compare a b =
+  let c = Literal.compare a.head b.head in
+  if c <> 0 then c
+  else
+    let c = List.compare Literal.compare a.body b.body in
+    if c <> 0 then c
+    else
+      let c = compare_ctx a.head_ctx b.head_ctx in
+      if c <> 0 then c
+      else
+        let c = compare_ctx a.rule_ctx b.rule_ctx in
+        if c <> 0 then c else List.compare String.compare a.signer b.signer
+
+let equal a b = compare a b = 0
+
+let apply s r =
+  let app_ctx = Option.map (List.map (Literal.apply s)) in
+  {
+    r with
+    head = Literal.apply s r.head;
+    head_ctx = app_ctx r.head_ctx;
+    rule_ctx = app_ctx r.rule_ctx;
+    body = List.map (Literal.apply s) r.body;
+  }
+
+let rename ~suffix r =
+  let ren_ctx = Option.map (List.map (Literal.rename ~suffix)) in
+  {
+    r with
+    head = Literal.rename ~suffix r.head;
+    head_ctx = ren_ctx r.head_ctx;
+    rule_ctx = ren_ctx r.rule_ctx;
+    body = List.map (Literal.rename ~suffix) r.body;
+  }
+
+let vars r =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let of_lits acc lits =
+    List.fold_left (fun acc l -> List.fold_left add acc (Literal.vars l)) acc lits
+  in
+  let acc = of_lits [] [ r.head ] in
+  let acc = of_lits acc (Option.value ~default:[] r.head_ctx) in
+  let acc = of_lits acc (Option.value ~default:[] r.rule_ctx) in
+  List.rev (of_lits acc r.body)
+
+let strip_contexts r = { r with head_ctx = None; rule_ctx = None }
+
+let subsumes ~general ~specific =
+  List.length general.body = List.length specific.body
+  && List.equal String.equal general.signer specific.signer
+  &&
+  let g = rename ~suffix:"~sub" general in
+  let terms r = Literal.to_term r.head :: List.map Literal.to_term r.body in
+  let rec go pairs s =
+    match pairs with
+    | [] -> true
+    | (p, t) :: rest -> (
+        match Unify.one_way p t s with
+        | Some s' -> go rest s'
+        | None -> false)
+  in
+  go (List.combine (terms g) (terms specific)) Subst.empty
+
+(* Canonical form: variables numbered by first occurrence, fixed printing.
+   Contexts are excluded: signatures cover what is sent over the wire, and
+   contexts are stripped before sending (paper, section 3.1). *)
+let canonical r =
+  let counter = ref 0 in
+  let tbl = Hashtbl.create 8 in
+  let var v =
+    match Hashtbl.find_opt tbl v with
+    | Some n -> n
+    | None ->
+        let n = Printf.sprintf "_V%d" !counter in
+        incr counter;
+        Hashtbl.add tbl v n;
+        n
+  in
+  let buf = Buffer.create 128 in
+  let rec term = function
+    | Term.Var v -> Buffer.add_string buf (var v)
+    | Term.Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (String.escaped s);
+        Buffer.add_char buf '"'
+    | Term.Int i -> Buffer.add_string buf (string_of_int i)
+    | Term.Atom a -> Buffer.add_string buf a
+    | Term.Compound (f, args) ->
+        Buffer.add_string buf f;
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i t ->
+            if i > 0 then Buffer.add_char buf ',';
+            term t)
+          args;
+        Buffer.add_char buf ')'
+  in
+  let literal (l : Literal.t) =
+    Buffer.add_string buf l.Literal.pred;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_char buf ',';
+        term t)
+      l.Literal.args;
+    Buffer.add_char buf ')';
+    List.iter
+      (fun a ->
+        Buffer.add_char buf '@';
+        term a)
+      l.Literal.auth
+  in
+  literal r.head;
+  Buffer.add_string buf ":-";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char buf ',';
+      literal l)
+    r.body;
+  Buffer.contents buf
+
+let pp_ctx fmt = function
+  | [] -> Format.pp_print_string fmt "true"
+  | lits ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        Literal.pp fmt lits
+
+let pp fmt r =
+  Literal.pp fmt r.head;
+  Option.iter (fun c -> Format.fprintf fmt " $ %a" pp_ctx c) r.head_ctx;
+  (match (r.rule_ctx, r.body) with
+  | None, [] -> ()
+  | rc, body ->
+      Format.pp_print_string fmt " <-";
+      Option.iter (fun c -> Format.fprintf fmt "{%a}" pp_ctx c) rc;
+      if body <> [] then
+        Format.fprintf fmt " %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+             Literal.pp)
+          body);
+  if r.signer <> [] then
+    Format.fprintf fmt " signedBy [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt s -> Format.fprintf fmt "%S" s))
+      r.signer;
+  Format.pp_print_string fmt "."
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,70 @@
+(** Rules (definite Horn clauses) of the PeerTrust language.
+
+    Concrete syntax accepted by {!Parser}:
+
+    {v
+      head [$ CTX] [<- [{CTX}] [signedBy ["A",...]] body] [signedBy ["A",...]] .
+    v}
+
+    - [head_ctx] is the release policy ([$] guard) of the head literal: the
+      derived literal may only be disclosed to a requester satisfying it.
+    - [rule_ctx] is the release policy of the rule itself (the subscript on
+      the arrow in the paper, written [<-{ctx}] here).
+    - A context of [None] means the paper's default, [Requester = Self]:
+      private to the local peer.  [Some []] is the explicit context [true]:
+      releasable to anyone.
+    - [signer] lists the authorities whose signatures the rule carries
+      ([signedBy \["UIUC"\]]); credentials are signed rules with empty
+      bodies. *)
+
+type ctx = Literal.t list
+(** A context: conjunction of context literals.  [Requester]/[Self] appear
+    as the distinguished variables of the same names. *)
+
+type t = {
+  head : Literal.t;
+  head_ctx : ctx option;
+  rule_ctx : ctx option;
+  body : Literal.t list;
+  signer : string list;
+}
+
+val make :
+  ?head_ctx:ctx ->
+  ?rule_ctx:ctx ->
+  ?signer:string list ->
+  Literal.t ->
+  Literal.t list ->
+  t
+
+val fact : ?signer:string list -> Literal.t -> t
+(** A rule with an empty body. *)
+
+val is_fact : t -> bool
+val is_signed : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val apply : Subst.t -> t -> t
+
+val rename : suffix:string -> t -> t
+(** Rename every variable in the rule (head, contexts, body) apart. *)
+
+val vars : t -> string list
+
+val strip_contexts : t -> t
+(** Remove both contexts; the paper strips contexts from rules and literals
+    when they are sent to another peer. *)
+
+val subsumes : general:t -> specific:t -> bool
+(** [subsumes ~general ~specific] is [true] when [specific] is an instance
+    of [general]: same signers, and some substitution of [general]'s
+    variables maps its head and body onto [specific]'s.  Contexts are
+    ignored (like {!canonical}).  Used to recognise an instantiated rule in
+    a proof trace as a use of a stored credential. *)
+
+val canonical : t -> string
+(** A canonical serialisation used as the signing payload for signed rules.
+    Two alpha-equivalent rules share a canonical form. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

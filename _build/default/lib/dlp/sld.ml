@@ -1,0 +1,208 @@
+type options = { max_depth : int; max_solutions : int }
+
+let default_options = { max_depth = 64; max_solutions = 32 }
+
+type answer = { subst : Subst.t; proofs : Trace.t list }
+type external_fn = Literal.t -> Subst.t -> Subst.t list
+type externals = string * int -> external_fn option
+type remote = target:string -> Literal.t -> (Literal.t * Trace.t option) list
+
+exception Enough
+
+let no_externals : externals = fun _ -> None
+let no_remote : remote = fun ~target:_ _ -> []
+
+(* Fully instantiate a finished trace with the answer substitution; traces
+   are built with partially bound rules as resolution proceeds. *)
+let rec apply_trace s = function
+  | Trace.Apply (r, subs) ->
+      Trace.Apply (Rule.apply s r, List.map (apply_trace s) subs)
+  | Trace.Builtin l -> Trace.Builtin (Literal.apply s l)
+  | Trace.External l -> Trace.External (Literal.apply s l)
+  | Trace.Remote { peer; goal; proof } ->
+      Trace.Remote
+        {
+          peer;
+          goal = Literal.apply s goal;
+          proof = Option.map (apply_trace s) proof;
+        }
+
+let peer_name_of_term = function
+  | Term.Str s | Term.Atom s -> Some s
+  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
+
+let solve ?(options = default_options) ?(externals = no_externals)
+    ?(remote = no_remote) ?(bindings = []) ~self kb goals =
+  let initial =
+    let s =
+      List.fold_left
+        (fun s (v, t) ->
+          if String.equal v "Self" then s else Subst.bind v t s)
+        Subst.empty bindings
+    in
+    Subst.bind "Self" (Term.Str self) s
+  in
+  let fresh = ref 0 in
+  let results = ref [] in
+  let count = ref 0 in
+  (* Pop authority layers that refer to the local peer. *)
+  let rec strip_self subst goal =
+    match Literal.pop_authority goal with
+    | Some (inner, a) -> (
+        match peer_name_of_term (Subst.walk subst a) with
+        | Some name when String.equal name self -> strip_self subst inner
+        | Some _ | None -> goal)
+    | None -> goal
+  in
+  let is_ancestor subst goal ancestors =
+    let gt = Literal.to_term goal in
+    List.exists
+      (fun anc ->
+        Unify.variant (Literal.to_term (Literal.apply subst anc)) gt)
+      ancestors
+  in
+  (* Remote dispatch is disabled inside negation-as-failure sub-proofs:
+     absence of a remote answer is not evidence of falsity. *)
+  let remote_enabled = ref true in
+  let rec prove_one goal subst depth ancestors k =
+    if depth <= 0 then ()
+    else
+      let goal = strip_self subst (Literal.apply subst goal) in
+      match Literal.naf_inner goal with
+      | Some inner ->
+          (* Negation as failure: only for ground inner literals (a
+             non-ground NAF goal flounders and fails). *)
+          if Literal.is_ground inner then begin
+            let found = ref false in
+            let exception Found in
+            let saved = !remote_enabled in
+            remote_enabled := false;
+            Fun.protect
+              ~finally:(fun () -> remote_enabled := saved)
+              (fun () ->
+                try
+                  prove_one inner subst (depth - 1) ancestors (fun _ _ ->
+                      found := true;
+                      raise Found)
+                with Found -> ());
+            if not !found then k subst (Trace.Builtin goal)
+          end
+      | None -> (
+      match Builtin.eval goal subst with
+      | Some substs ->
+          List.iter
+            (fun s' -> k s' (Trace.Builtin (Literal.apply s' goal)))
+            substs
+      | None -> (
+          match externals (Literal.key goal) with
+          | Some f ->
+              List.iter
+                (fun s' -> k s' (Trace.External (Literal.apply s' goal)))
+                (f goal subst)
+          | None ->
+              if is_ancestor subst goal ancestors then ()
+              else begin
+                let ancestors' = goal :: ancestors in
+                let local_hit = ref false in
+                let k s tr =
+                  local_hit := true;
+                  k s tr
+                in
+                let resolve_with rule =
+                  incr fresh;
+                  let r = Rule.rename ~suffix:(Printf.sprintf "~%d" !fresh) rule in
+                  let heads =
+                    r.Rule.head
+                    ::
+                    (if Rule.is_signed r then
+                       List.map
+                         (fun a ->
+                           Literal.push_authority r.Rule.head (Term.Str a))
+                         r.Rule.signer
+                     else [])
+                  in
+                  let try_head head =
+                    match Literal.unify goal head subst with
+                    | None -> ()
+                    | Some s' ->
+                        prove_goals r.Rule.body s' (depth - 1) ancestors'
+                          (fun s'' children ->
+                            k s'' (Trace.Apply (r, children)))
+                  in
+                  List.iter try_head heads
+                in
+                (* Facts first: a cached credential or learned instance
+                   answers the goal without the counter-queries a proper
+                   rule's body might trigger. *)
+                let facts, proper =
+                  List.partition Rule.is_fact (Kb.matching goal kb)
+                in
+                List.iter resolve_with facts;
+                List.iter resolve_with proper;
+                (* Remote dispatch is a fallback: a peer asks another peer
+                   only when it cannot establish the goal from its own
+                   rules (each peer controls how much effort it spends on
+                   other peers' behalf — §3.2). *)
+                if !local_hit || not !remote_enabled then ()
+                else
+                match Literal.pop_authority goal with
+                | None -> ()
+                | Some (inner, a) -> (
+                    match peer_name_of_term (Subst.walk subst a) with
+                    | Some peer when not (String.equal peer self) ->
+                        let shipped = Literal.apply subst inner in
+                        let use_instance (inst, proof) =
+                          let inst_lit =
+                            Literal.push_authority inst (Term.Str peer)
+                          in
+                          match Literal.unify goal inst_lit subst with
+                          | Some s' ->
+                              k s'
+                                (Trace.Remote
+                                   {
+                                     peer;
+                                     goal = Literal.apply s' goal;
+                                     proof;
+                                   })
+                          | None -> ()
+                        in
+                        List.iter use_instance (remote ~target:peer shipped)
+                    | Some _ | None -> ())
+              end))
+  and prove_goals goals subst depth ancestors k =
+    match goals with
+    | [] -> k subst []
+    | g :: rest ->
+        prove_one g subst depth ancestors (fun s' tr ->
+            prove_goals rest s' depth ancestors (fun s'' trs ->
+                k s'' (tr :: trs)))
+  in
+  (try
+     prove_goals goals initial options.max_depth [] (fun s trs ->
+         results := { subst = s; proofs = List.map (apply_trace s) trs } :: !results;
+         incr count;
+         if !count >= options.max_solutions then raise Enough)
+   with Enough -> ());
+  List.rev !results
+
+let provable ?options ?externals ?remote ?bindings ~self kb goals =
+  let opts =
+    { (Option.value ~default:default_options options) with max_solutions = 1 }
+  in
+  solve ~options:opts ?externals ?remote ?bindings ~self kb goals <> []
+
+let answers ?options ?externals ?remote ?bindings ~self kb goals =
+  let qvars =
+    List.concat_map Literal.vars goals
+    |> List.filter (fun v -> not (Term.is_pseudo v))
+  in
+  let all = solve ?options ?externals ?remote ?bindings ~self kb goals in
+  let restricted = List.map (fun a -> Subst.restrict qvars a.subst) all in
+  let rec dedup seen = function
+    | [] -> []
+    | s :: rest ->
+        let key = Subst.to_string s in
+        if List.mem key seen then dedup seen rest
+        else s :: dedup (key :: seen) rest
+  in
+  dedup [] restricted

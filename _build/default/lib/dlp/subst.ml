@@ -1,0 +1,43 @@
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let bind v t s =
+  if M.mem v s then invalid_arg ("Subst.bind: already bound: " ^ v)
+  else M.add v t s
+
+let find v s = M.find_opt v s
+
+let rec walk s t =
+  match t with
+  | Term.Var v -> ( match M.find_opt v s with Some t' -> walk s t' | None -> t)
+  | _ -> t
+
+let rec apply s t =
+  match walk s t with
+  | Term.Compound (f, args) -> Term.Compound (f, List.map (apply s) args)
+  | t' -> t'
+
+let domain s = M.fold (fun v _ acc -> v :: acc) s [] |> List.rev
+let bindings s = M.bindings s
+
+let restrict vs s =
+  List.fold_left
+    (fun acc v ->
+      match M.find_opt v s with
+      | None -> acc
+      | Some _ -> M.add v (apply s (Term.Var v)) acc)
+    M.empty vs
+
+let pp fmt s =
+  let pp_binding fmt (v, t) = Format.fprintf fmt "%s = %a" v Term.pp t in
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_binding)
+    (M.bindings s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,35 @@
+(** Idempotent substitutions: finite maps from variable names to terms.
+
+    Substitutions are kept in triangular form: bindings may map a variable
+    to a term that itself contains bound variables; [apply] walks bindings
+    to a fixpoint.  This is the standard representation for unification in
+    logic-programming engines. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val bind : string -> Term.t -> t -> t
+(** [bind v t s] adds the binding [v -> t].  Raises [Invalid_argument] if
+    [v] is already bound. *)
+
+val find : string -> t -> Term.t option
+(** Raw binding of [v], without walking. *)
+
+val walk : t -> Term.t -> Term.t
+(** [walk s t] dereferences [t] while it is a variable bound in [s]; the
+    result is either a non-variable term or an unbound variable. *)
+
+val apply : t -> Term.t -> Term.t
+(** [apply s t] fully resolves [t] under [s] (deep walk). *)
+
+val domain : t -> string list
+val bindings : t -> (string * Term.t) list
+
+val restrict : string list -> t -> t
+(** [restrict vs s] keeps only the (fully applied) bindings of variables in
+    [vs]; used to project answers onto the variables of a query. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,157 @@
+exception Unsupported of string
+
+type entry = {
+  call : Literal.t;  (* the generalised call this table answers *)
+  mutable answers : Literal.t list;  (* instances, reverse order *)
+  mutable keys : (string, unit) Hashtbl.t;  (* canonical answer forms *)
+}
+
+let last_table_count = ref 0
+let stats () = !last_table_count
+
+let skeleton lit = Rule.canonical (Rule.fact lit)
+
+let strip_self_auth ~self lit =
+  let rec go l =
+    match Literal.pop_authority l with
+    | Some (inner, Term.Str a) when String.equal a self -> go inner
+    | Some (inner, Term.Atom a) when String.equal a self -> go inner
+    | Some _ | None -> l
+  in
+  go lit
+
+let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
+    ?(externals = fun _ -> None) ?(bindings = []) ~self kb goals =
+  (* Reject NAF anywhere in the program or query up front. *)
+  let check_naf l =
+    if Option.is_some (Literal.naf_inner l) then
+      raise (Unsupported "negation as failure under tabling")
+  in
+  List.iter check_naf goals;
+  Kb.fold
+    (fun r () -> List.iter check_naf r.Rule.body)
+    kb ();
+  let initial =
+    List.fold_left
+      (fun s (v, t) -> if String.equal v "Self" then s else Subst.bind v t s)
+      Subst.empty bindings
+    |> Subst.bind "Self" (Term.Str self)
+  in
+  (* Encode the conjunction as a synthetic rule so one table answers it. *)
+  let qvars =
+    List.concat_map Literal.vars goals
+    |> List.filter (fun v -> not (Term.is_pseudo v))
+    |> List.sort_uniq String.compare
+  in
+  let query_head =
+    Literal.make "__query__" (List.map (fun v -> Term.Var v) qvars)
+  in
+  let kb = Kb.add (Rule.make query_head goals) kb in
+  let tables : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let total_answers = ref 0 in
+  let changed = ref true in
+  let get_table lit =
+    let key = skeleton lit in
+    match Hashtbl.find_opt tables key with
+    | Some e -> e
+    | None ->
+        let e = { call = lit; answers = []; keys = Hashtbl.create 8 } in
+        Hashtbl.add tables key e;
+        changed := true;
+        e
+  in
+  let add_answer e inst =
+    let key = skeleton inst in
+    if not (Hashtbl.mem e.keys key) then begin
+      Hashtbl.add e.keys key ();
+      e.answers <- inst :: e.answers;
+      incr total_answers;
+      changed := true
+    end
+  in
+  let fresh = ref 0 in
+  (* One re-evaluation of a table: resolve its call against every rule,
+     solving body literals from (and creating) tables. *)
+  let eval_entry e =
+    let resolve_with rule =
+      incr fresh;
+      let r = Rule.rename ~suffix:(Printf.sprintf "~t%d" !fresh) rule in
+      let heads =
+        r.Rule.head
+        ::
+        (if Rule.is_signed r then
+           List.map
+             (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
+             r.Rule.signer
+         else [])
+      in
+      let rec body goals subst k =
+        match goals with
+        | [] -> k subst
+        | b :: rest -> (
+            let b = strip_self_auth ~self (Literal.apply subst b) in
+            match Builtin.eval b subst with
+            | Some substs -> List.iter (fun s' -> body rest s' k) substs
+            | None -> (
+                match externals (Literal.key b) with
+                | Some f -> List.iter (fun s' -> body rest s' k) (f b subst)
+                | None ->
+                    let sub = get_table b in
+                    List.iter
+                      (fun ans ->
+                        (* Rename the stored answer apart before unifying:
+                           its free variables are local to its table. *)
+                        incr fresh;
+                        let ans =
+                          Literal.rename
+                            ~suffix:(Printf.sprintf "~a%d" !fresh)
+                            ans
+                        in
+                        match Literal.unify b ans subst with
+                        | Some s' -> body rest s' k
+                        | None -> ())
+                      sub.answers))
+      in
+      let try_head head =
+        match Literal.unify e.call head initial with
+        | None -> ()
+        | Some s0 ->
+            body r.Rule.body s0 (fun s ->
+                add_answer e (Literal.apply s e.call))
+      in
+      List.iter try_head heads
+    in
+    List.iter resolve_with (Kb.matching e.call kb)
+  in
+  (* Seed with the query table and iterate to fixpoint. *)
+  ignore (get_table query_head);
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds && !total_answers < max_answers do
+    changed := false;
+    incr rounds;
+    (* Snapshot: entries created during the sweep are evaluated next
+       round (their creation set [changed]). *)
+    let snapshot = Hashtbl.fold (fun _ e acc -> e :: acc) tables [] in
+    List.iter eval_entry snapshot
+  done;
+  last_table_count := Hashtbl.length tables;
+  (* Read answers off the query table as substitutions on [qvars]. *)
+  let query_entry = get_table query_head in
+  List.rev query_entry.answers
+  |> List.filter_map (fun (inst : Literal.t) ->
+         match
+           List.fold_left2
+             (fun acc v t ->
+               match acc with
+               | None -> None
+               | Some s -> (
+                   match Subst.find v s with
+                   | Some _ -> acc  (* already bound consistently via unify *)
+                   | None -> Some (Subst.bind v t s)))
+             (Some Subst.empty) qvars inst.Literal.args
+         with
+         | exception Invalid_argument _ -> None
+         | s -> s)
+
+let provable ?max_rounds ?externals ?bindings ~self kb goals =
+  solve ?max_rounds ?externals ?bindings ~self kb goals <> []

@@ -1,0 +1,48 @@
+(** Tabled (OLDT-style) local evaluation — the third evaluation paradigm
+    next to {!Sld} (depth-first backward) and {!Forward} (bottom-up).
+
+    Calls are memoised by their variant (alpha-invariant skeleton): each
+    distinct call gets a table that accumulates answer instances, and
+    tables are re-evaluated to a mutual fixpoint.  Tabling makes
+    {e left-recursive} programs complete — where SLD's ancestor check
+    prunes the recursive branch and loses answers —
+
+    {v path(X, Z) <- path(X, Y), edge(Y, Z).  path(X, Y) <- edge(X, Y). v}
+
+    and shares work across repeated sub-goals.
+
+    Scope: local evaluation only — goals are resolved against the local
+    KB (with the signed-rule axiom and [@ Self]-stripping, like {!Sld});
+    foreign authorities and remote dispatch are out of scope, and
+    negation as failure is rejected ({!Unsupported}) because a NAF check
+    against an unfinished table would be unsound. *)
+
+exception Unsupported of string
+
+val solve :
+  ?max_rounds:int ->
+  ?max_answers:int ->
+  ?externals:Sld.externals ->
+  ?bindings:(string * Term.t) list ->
+  self:string ->
+  Kb.t ->
+  Literal.t list ->
+  Subst.t list
+(** Answers for the conjunction, as substitutions over the goals' variables
+    (deduplicated).  [max_rounds] (default 10_000) bounds fixpoint rounds;
+    [max_answers] (default 100_000) bounds the total table size — hitting
+    either returns the answers found so far.
+    @raise Unsupported on a negation-as-failure literal. *)
+
+val provable :
+  ?max_rounds:int ->
+  ?externals:Sld.externals ->
+  ?bindings:(string * Term.t) list ->
+  self:string ->
+  Kb.t ->
+  Literal.t list ->
+  bool
+
+val stats : unit -> int
+(** Number of tables allocated by the most recent {!solve} call (for tests
+    and benchmarks). *)

@@ -1,0 +1,77 @@
+type t =
+  | Var of string
+  | Str of string
+  | Int of int
+  | Atom of string
+  | Compound of string * t list
+
+let rec compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Atom x, Atom y -> String.compare x y
+  | Atom _, _ -> -1
+  | _, Atom _ -> 1
+  | Compound (f, xs), Compound (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c
+      else
+        let c = Int.compare (List.length xs) (List.length ys) in
+        if c <> 0 then c else compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+let requester = Var "Requester"
+let self = Var "Self"
+
+let rec is_ground = function
+  | Var _ -> false
+  | Str _ | Int _ | Atom _ -> true
+  | Compound (_, args) -> List.for_all is_ground args
+
+let vars t =
+  let rec go acc = function
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Str _ | Int _ | Atom _ -> acc
+    | Compound (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let is_pseudo v = String.equal v "Requester" || String.equal v "Self"
+
+let rec rename ~suffix = function
+  | Var v -> if is_pseudo v then Var v else Var (v ^ suffix)
+  | (Str _ | Int _ | Atom _) as t -> t
+  | Compound (f, args) -> Compound (f, List.map (rename ~suffix) args)
+
+let rec pp fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Str s -> Format.fprintf fmt "%S" s
+  | Int i -> Format.pp_print_int fmt i
+  | Atom a -> Format.pp_print_string fmt a
+  | Compound (("+" | "-" | "*" | "/") as op, [ a; b ]) ->
+      (* Arithmetic prints infix (parenthesised) so it re-parses. *)
+      Format.fprintf fmt "(%a %s %a)" pp a op pp b
+  | Compound (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        args
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,42 @@
+(** First-order terms of the PeerTrust distributed-logic-program language.
+
+    A term is a logical variable, a constant (string, integer or atom), or a
+    compound term [f(t1,...,tn)].  The pseudo-variables [Requester] and
+    [Self] of the paper are ordinary variables with distinguished names; the
+    negotiation engine binds them before evaluation. *)
+
+type t =
+  | Var of string  (** logical variable, e.g. [X], [Requester] *)
+  | Str of string  (** quoted string constant, e.g. ["Alice"] *)
+  | Int of int  (** integer constant *)
+  | Atom of string  (** lower-case symbolic constant, e.g. [cs101] *)
+  | Compound of string * t list  (** compound term [f(t1,...,tn)], n >= 1 *)
+
+val compare : t -> t -> int
+val compare_lists : t list -> t list -> int
+val equal : t -> t -> bool
+
+val requester : t
+(** The pseudo-variable [Requester]. *)
+
+val self : t
+(** The pseudo-variable [Self]. *)
+
+val is_ground : t -> bool
+(** [is_ground t] is [true] iff [t] contains no variable. *)
+
+val vars : t -> string list
+(** Variables occurring in [t], each reported once, in first-occurrence
+    order. *)
+
+val is_pseudo : string -> bool
+(** [true] for the pseudo-variable names [Requester] and [Self]. *)
+
+val rename : suffix:string -> t -> t
+(** [rename ~suffix t] appends [suffix] to every variable name in [t]; used
+    to rename rules apart before unification.  The pseudo-variables
+    [Requester] and [Self] are left untouched: their binding is fixed per
+    evaluation, not per rule application. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,67 @@
+type t =
+  | Apply of Rule.t * t list
+  | Builtin of Literal.t
+  | External of Literal.t
+  | Remote of { peer : string; goal : Literal.t; proof : t option }
+
+let dedup_rules rs =
+  let rec go seen = function
+    | [] -> []
+    | r :: rest ->
+        if List.exists (Rule.equal r) seen then go seen rest
+        else r :: go (r :: seen) rest
+  in
+  go [] rs
+
+let rec collect_rules acc = function
+  | Apply (r, subs) -> List.fold_left collect_rules (r :: acc) subs
+  | Builtin _ | External _ -> acc
+  | Remote { proof; _ } -> (
+      match proof with Some p -> collect_rules acc p | None -> acc)
+
+let rules_used t = dedup_rules (List.rev (collect_rules [] t))
+let credentials t = List.filter Rule.is_signed (rules_used t)
+
+let credentials_of_list ts =
+  dedup_rules (List.concat_map credentials ts)
+
+let remote_peers t =
+  let rec go acc = function
+    | Apply (_, subs) -> List.fold_left go acc subs
+    | Builtin _ | External _ -> acc
+    | Remote { peer; proof; _ } ->
+        let acc = if List.mem peer acc then acc else peer :: acc in
+        (match proof with Some p -> go acc p | None -> acc)
+  in
+  List.rev (go [] t)
+
+let rec size = function
+  | Apply (_, subs) -> 1 + List.fold_left (fun n t -> n + size t) 0 subs
+  | Builtin _ | External _ -> 1
+  | Remote { proof; _ } -> (
+      1 + match proof with Some p -> size p | None -> 0)
+
+let rec depth = function
+  | Apply (_, subs) -> 1 + List.fold_left (fun d t -> max d (depth t)) 0 subs
+  | Builtin _ | External _ -> 1
+  | Remote { proof; _ } -> (
+      1 + match proof with Some p -> depth p | None -> 0)
+
+let rec pp_indent fmt (indent, t) =
+  let pad = String.make (2 * indent) ' ' in
+  match t with
+  | Apply (r, subs) ->
+      Format.fprintf fmt "%s%a" pad Rule.pp r;
+      List.iter
+        (fun sub -> Format.fprintf fmt "@\n%a" pp_indent (indent + 1, sub))
+        subs
+  | Builtin l -> Format.fprintf fmt "%s%a  [builtin]" pad Literal.pp l
+  | External l -> Format.fprintf fmt "%s%a  [external]" pad Literal.pp l
+  | Remote { peer; goal; proof } -> (
+      Format.fprintf fmt "%s%a  [from %s]" pad Literal.pp goal peer;
+      match proof with
+      | Some p -> Format.fprintf fmt "@\n%a" pp_indent (indent + 1, p)
+      | None -> ())
+
+let pp fmt t = pp_indent fmt (0, t)
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Proof traces produced by the SLD engine.
+
+    A trace records, for one proved goal, which rule was applied (with the
+    answer substitution already applied to it), the sub-proofs of its body,
+    and where remote sub-proofs came from.  Traces are the raw material for
+    the paper's "distributed certified proofs": the signed rules appearing
+    in a trace are exactly the credentials that support the conclusion. *)
+
+type t =
+  | Apply of Rule.t * t list
+      (** rule application; a fact is [Apply (fact, [])] *)
+  | Builtin of Literal.t  (** satisfied built-in, instantiated *)
+  | External of Literal.t  (** satisfied external predicate, instantiated *)
+  | Remote of { peer : string; goal : Literal.t; proof : t option }
+      (** sub-goal answered by another peer; [proof] is present when the
+          remote peer chose to disclose its proof *)
+
+val credentials : t -> Rule.t list
+(** The signed rules used anywhere in the trace, without duplicates, in
+    first-use order. *)
+
+val credentials_of_list : t list -> Rule.t list
+
+val rules_used : t -> Rule.t list
+(** All rules (signed or not) applied in the trace, deduplicated. *)
+
+val remote_peers : t -> string list
+(** Peers that contributed remote sub-proofs, deduplicated. *)
+
+val size : t -> int
+(** Number of nodes in the trace. *)
+
+val depth : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,82 @@
+let rec occurs v s t =
+  match Subst.walk s t with
+  | Term.Var w -> String.equal v w
+  | Term.Str _ | Term.Int _ | Term.Atom _ -> false
+  | Term.Compound (_, args) -> List.exists (occurs v s) args
+
+let rec terms a b s =
+  let a = Subst.walk s a and b = Subst.walk s b in
+  match (a, b) with
+  | Term.Var x, Term.Var y when String.equal x y -> Some s
+  | Term.Var x, t -> if occurs x s t then None else Some (Subst.bind x t s)
+  | t, Term.Var y -> if occurs y s t then None else Some (Subst.bind y t s)
+  | Term.Str x, Term.Str y -> if String.equal x y then Some s else None
+  | Term.Int x, Term.Int y -> if Int.equal x y then Some s else None
+  | Term.Atom x, Term.Atom y -> if String.equal x y then Some s else None
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+      if String.equal f g && List.length xs = List.length ys then
+        term_lists xs ys s
+      else None
+  | (Term.Str _ | Term.Int _ | Term.Atom _ | Term.Compound _), _ -> None
+
+and term_lists xs ys s =
+  match (xs, ys) with
+  | [], [] -> Some s
+  | x :: xs', y :: ys' -> (
+      match terms x y s with
+      | Some s' -> term_lists xs' ys' s'
+      | None -> None)
+  | _, _ -> None
+
+let rec one_way pattern t s =
+  match (pattern, t) with
+  | Term.Var x, _ -> (
+      (* Bind the pattern variable; an existing binding must agree. *)
+      match Subst.find x s with
+      | Some bound -> if Term.equal (Subst.apply s bound) t then Some s else None
+      | None -> Some (Subst.bind x t s))
+  | Term.Str a, Term.Str b when String.equal a b -> Some s
+  | Term.Int a, Term.Int b when Int.equal a b -> Some s
+  | Term.Atom a, Term.Atom b when String.equal a b -> Some s
+  | Term.Compound (f, xs), Term.Compound (g, ys)
+    when String.equal f g && List.length xs = List.length ys ->
+      one_way_lists xs ys s
+  | (Term.Str _ | Term.Int _ | Term.Atom _ | Term.Compound _), _ -> None
+
+and one_way_lists xs ys s =
+  match (xs, ys) with
+  | [], [] -> Some s
+  | x :: xs', y :: ys' -> (
+      match one_way x y s with
+      | Some s' -> one_way_lists xs' ys' s'
+      | None -> None)
+  | _, _ -> None
+
+(* Two terms are variants iff each one-way matches the other; we check with
+   a pair of injective variable maps built in lockstep. *)
+let variant a b =
+  let module M = Map.Make (String) in
+  let rec go a b (f, g) =
+    match (a, b) with
+    | Term.Var x, Term.Var y -> (
+        match (M.find_opt x f, M.find_opt y g) with
+        | Some y', Some x' ->
+            if String.equal y' y && String.equal x' x then Some (f, g)
+            else None
+        | None, None -> Some (M.add x y f, M.add y x g)
+        | _, _ -> None)
+    | Term.Str x, Term.Str y when String.equal x y -> Some (f, g)
+    | Term.Int x, Term.Int y when Int.equal x y -> Some (f, g)
+    | Term.Atom x, Term.Atom y when String.equal x y -> Some (f, g)
+    | Term.Compound (h, xs), Term.Compound (k, ys)
+      when String.equal h k && List.length xs = List.length ys ->
+        go_list xs ys (f, g)
+    | _, _ -> None
+  and go_list xs ys acc =
+    match (xs, ys) with
+    | [], [] -> Some acc
+    | x :: xs', y :: ys' -> (
+        match go x y acc with Some acc' -> go_list xs' ys' acc' | None -> None)
+    | _, _ -> None
+  in
+  match go a b (M.empty, M.empty) with Some _ -> true | None -> false

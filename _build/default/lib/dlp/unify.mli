@@ -1,0 +1,18 @@
+(** First-order unification with occurs check. *)
+
+val terms : Term.t -> Term.t -> Subst.t -> Subst.t option
+(** [terms a b s] extends [s] to a most general unifier of [a] and [b], or
+    returns [None] if they do not unify.  Performs the occurs check, so the
+    result is always a well-founded substitution. *)
+
+val term_lists : Term.t list -> Term.t list -> Subst.t -> Subst.t option
+(** Pointwise unification of two lists; [None] if lengths differ. *)
+
+val variant : Term.t -> Term.t -> bool
+(** [variant a b] is [true] when [a] and [b] are equal up to consistent
+    variable renaming; used for loop detection and tabling. *)
+
+val one_way : Term.t -> Term.t -> Subst.t -> Subst.t option
+(** [one_way pattern t s] extends [s] binding only variables of [pattern]
+    so that it equals [t]; [t]'s variables are treated as constants.  Used
+    for subsumption tests (is [t] an instance of [pattern]?). *)

@@ -1,0 +1,1 @@
+lib/net/message.ml: List Literal Peertrust_crypto Peertrust_dlp Printf Rule Stats String Trace

@@ -1,0 +1,1 @@
+lib/net/message.mli: Literal Peertrust_crypto Peertrust_dlp Rule Stats Trace

@@ -1,0 +1,1 @@
+lib/net/network.ml: Clock Format Hashtbl List Message Option Stats String

@@ -1,0 +1,8 @@
+type t = { mutable ticks : int }
+
+let create () = { ticks = 0 }
+let now t = t.ticks
+
+let advance t d =
+  if d < 0 then invalid_arg "Clock.advance: negative increment"
+  else t.ticks <- t.ticks + d

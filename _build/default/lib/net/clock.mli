@@ -1,0 +1,9 @@
+(** Simulated discrete clock.  One tick is an abstract time unit; the
+    network charges ticks per message according to its latency model. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+val advance : t -> int -> unit
+(** @raise Invalid_argument on negative increments. *)

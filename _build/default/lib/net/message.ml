@@ -1,0 +1,65 @@
+open Peertrust_dlp
+
+type payload =
+  | Query of { goal : Literal.t }
+  | Answer of {
+      goal : Literal.t;
+      instances : (Literal.t * Trace.t option) list;
+      certs : Peertrust_crypto.Cert.t list;
+    }
+  | Deny of { goal : Literal.t; reason : string }
+  | Disclosure of {
+      certs : Peertrust_crypto.Cert.t list;
+      rules : Rule.t list;
+    }
+  | Ack
+
+let kind = function
+  | Query _ -> Stats.Query
+  | Answer _ -> Stats.Answer
+  | Deny _ -> Stats.Deny
+  | Disclosure _ -> Stats.Disclosure
+  | Ack -> Stats.Other
+
+let cert_size (c : Peertrust_crypto.Cert.t) =
+  String.length (Peertrust_crypto.Cert.payload c)
+  + List.fold_left
+      (fun acc (_, s) -> acc + ((Peertrust_crypto.Bignum.bits s + 7) / 8))
+      0 c.Peertrust_crypto.Cert.signatures
+  + 16
+
+let literal_size l = String.length (Literal.to_string l)
+let rule_size r = String.length (Rule.to_string r)
+
+let size = function
+  | Query { goal } -> 8 + literal_size goal
+  | Answer { goal; instances; certs } ->
+      8 + literal_size goal
+      + List.fold_left
+          (fun acc (l, proof) ->
+            acc + literal_size l
+            + match proof with Some p -> 32 * Trace.size p | None -> 0)
+          0 instances
+      + List.fold_left (fun acc c -> acc + cert_size c) 0 certs
+  | Deny { goal; reason } -> 8 + literal_size goal + String.length reason
+  | Disclosure { certs; rules } ->
+      8
+      + List.fold_left (fun acc c -> acc + cert_size c) 0 certs
+      + List.fold_left (fun acc r -> acc + rule_size r) 0 rules
+  | Ack -> 8
+
+let cert_count = function
+  | Query _ | Deny _ | Ack -> 0
+  | Answer { certs; _ } | Disclosure { certs; _ } -> List.length certs
+
+let summary = function
+  | Query { goal } -> Printf.sprintf "query %s" (Literal.to_string goal)
+  | Answer { goal; instances; certs } ->
+      Printf.sprintf "answer %s: %d instance(s), %d cert(s)"
+        (Literal.to_string goal) (List.length instances) (List.length certs)
+  | Deny { goal; reason } ->
+      Printf.sprintf "deny %s (%s)" (Literal.to_string goal) reason
+  | Disclosure { certs; rules } ->
+      Printf.sprintf "disclose %d cert(s), %d rule(s)" (List.length certs)
+        (List.length rules)
+  | Ack -> "ack"

@@ -1,0 +1,37 @@
+(** Messages exchanged between negotiating peers.
+
+    A synchronous request/response pair models one round-trip of the
+    paper's outer layer; the eager strategy additionally pushes
+    [Disclosure] messages. *)
+
+open Peertrust_dlp
+
+type payload =
+  | Query of { goal : Literal.t }
+      (** evaluate this literal and answer with provable instances *)
+  | Answer of {
+      goal : Literal.t;
+      instances : (Literal.t * Trace.t option) list;
+      certs : Peertrust_crypto.Cert.t list;
+          (** credentials supporting the instances, released under the
+              sender's release policies *)
+    }
+  | Deny of { goal : Literal.t; reason : string }
+      (** refusal: no answer, or release policy not satisfied *)
+  | Disclosure of {
+      certs : Peertrust_crypto.Cert.t list;
+      rules : Rule.t list;
+    }  (** unsolicited push of unlocked resources (eager strategy) *)
+  | Ack
+
+val kind : payload -> Stats.kind
+
+val size : payload -> int
+(** Wire-size estimate in bytes: serialised rules/literals plus signature
+    material. *)
+
+val cert_count : payload -> int
+(** Number of certificates (credential disclosures) carried. *)
+
+val summary : payload -> string
+(** One-line rendering for transcripts. *)

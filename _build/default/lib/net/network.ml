@@ -1,0 +1,100 @@
+exception Unreachable of string
+exception Budget_exhausted
+
+type handler = from:string -> Message.payload -> Message.payload
+
+type entry = {
+  time : int;
+  from : string;
+  target : string;
+  summary : string;
+  bytes_ : int;
+  certs_ : int;
+}
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  latency : int;
+  link_latency : (string * string, int) Hashtbl.t;  (* directed overrides *)
+  max_messages : int option;
+  peers : (string, handler) Hashtbl.t;
+  down : (string, unit) Hashtbl.t;
+  mutable log : entry list;  (* reverse order *)
+}
+
+let create ?(latency = 1) ?max_messages () =
+  {
+    clock = Clock.create ();
+    stats = Stats.create ();
+    latency;
+    link_latency = Hashtbl.create 8;
+    max_messages;
+    peers = Hashtbl.create 16;
+    down = Hashtbl.create 4;
+    log = [];
+  }
+
+let clock t = t.clock
+let stats t = t.stats
+let register t name handler = Hashtbl.replace t.peers name handler
+let unregister t name = Hashtbl.remove t.peers name
+
+let registered t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.peers []
+  |> List.sort String.compare
+
+let set_down t name down =
+  if down then Hashtbl.replace t.down name ()
+  else Hashtbl.remove t.down name
+
+let is_down t name = Hashtbl.mem t.down name
+
+let set_link_latency t ~from ~target ticks =
+  if ticks < 0 then invalid_arg "Network.set_link_latency: negative";
+  Hashtbl.replace t.link_latency (from, target) ticks
+
+let link_latency t ~from ~target =
+  Option.value ~default:t.latency (Hashtbl.find_opt t.link_latency (from, target))
+
+let deliver t ~from ~target payload =
+  (match t.max_messages with
+  | Some budget when Stats.messages t.stats >= budget -> raise Budget_exhausted
+  | Some _ | None -> ());
+  let bytes_ = Message.size payload in
+  Clock.advance t.clock (link_latency t ~from ~target);
+  Stats.record t.stats (Message.kind payload) ~bytes_ ~from ~target;
+  t.log <-
+    {
+      time = Clock.now t.clock;
+      from;
+      target;
+      summary = Message.summary payload;
+      bytes_;
+      certs_ = Message.cert_count payload;
+    }
+    :: t.log
+
+let send t ~from ~target payload =
+  if is_down t target then raise (Unreachable target);
+  match Hashtbl.find_opt t.peers target with
+  | None -> raise (Unreachable target)
+  | Some handler ->
+      deliver t ~from ~target payload;
+      let response = handler ~from payload in
+      deliver t ~from:target ~target:from response;
+      response
+
+let notify t ~from ~target payload =
+  if is_down t target then raise (Unreachable target);
+  deliver t ~from ~target payload
+
+let transcript t = List.rev t.log
+let clear_transcript t = t.log <- []
+
+let pp_transcript fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "[%4d] %s -> %s: %s (%d bytes)@\n" e.time e.from
+        e.target e.summary e.bytes_)
+    (transcript t)

@@ -1,0 +1,66 @@
+(** In-process simulated peer-to-peer network.
+
+    Peers register a synchronous handler; {!send} delivers a request to the
+    target's handler and returns its response, charging latency on the
+    shared clock and recording both directions in the statistics and the
+    transcript.  Deterministic by construction — no real I/O, no threads —
+    which is what makes the benchmark tables reproducible.
+
+    Failure injection: peers can be marked down ({!set_down}), and a
+    message budget can be imposed to abort runaway negotiations. *)
+
+type t
+
+exception Unreachable of string
+(** Target peer is down or not registered. *)
+
+exception Budget_exhausted
+(** The configured message budget was hit. *)
+
+type handler = from:string -> Message.payload -> Message.payload
+
+type entry = {
+  time : int;
+  from : string;
+  target : string;
+  summary : string;
+  bytes_ : int;
+  certs_ : int;  (** certificates carried by this message *)
+}
+
+val create : ?latency:int -> ?max_messages:int -> unit -> t
+(** [latency] (default 1) is the tick cost of one message direction. *)
+
+val clock : t -> Clock.t
+val stats : t -> Stats.t
+val register : t -> string -> handler -> unit
+(** Re-registering a name replaces its handler. *)
+
+val unregister : t -> string -> unit
+val registered : t -> string list
+val set_down : t -> string -> bool -> unit
+val is_down : t -> string -> bool
+
+val set_link_latency : t -> from:string -> target:string -> int -> unit
+(** Override the tick cost of one directed link (e.g. a slow WAN hop to a
+    remote authority).  @raise Invalid_argument on negative values. *)
+
+val link_latency : t -> from:string -> target:string -> int
+(** Effective latency of a directed link (override or default). *)
+
+val send : t -> from:string -> target:string -> Message.payload -> Message.payload
+(** One request/response round trip.
+    @raise Unreachable if the target is down or unknown.
+    @raise Budget_exhausted past the message budget. *)
+
+val notify : t -> from:string -> target:string -> Message.payload -> unit
+(** One-way message: recorded in statistics and transcript, charged
+    latency, but not delivered to any handler.  Used to account for
+    forwarding traffic handled out-of-band (e.g. device-to-proxy hops).
+    @raise Unreachable / Budget_exhausted as {!send}. *)
+
+val transcript : t -> entry list
+(** All messages in delivery order (both directions of each round trip). *)
+
+val clear_transcript : t -> unit
+val pp_transcript : Format.formatter -> t -> unit

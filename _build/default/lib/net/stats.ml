@@ -1,0 +1,66 @@
+type kind = Query | Answer | Deny | Disclosure | Other
+
+type t = {
+  mutable total : int;
+  mutable total_bytes : int;
+  by_kind : (kind, int) Hashtbl.t;
+  by_pair : (string * string, int) Hashtbl.t;
+  mutable peers : string list;  (* reverse first-seen order *)
+}
+
+let create () =
+  {
+    total = 0;
+    total_bytes = 0;
+    by_kind = Hashtbl.create 8;
+    by_pair = Hashtbl.create 16;
+    peers = [];
+  }
+
+let bump tbl key by =
+  Hashtbl.replace tbl key (by + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let see t p = if not (List.mem p t.peers) then t.peers <- p :: t.peers
+
+let record t kind ~bytes_ ~from ~target =
+  t.total <- t.total + 1;
+  t.total_bytes <- t.total_bytes + bytes_;
+  bump t.by_kind kind 1;
+  bump t.by_pair (from, target) 1;
+  see t from;
+  see t target
+
+let messages t = t.total
+let messages_of_kind t k = Option.value ~default:0 (Hashtbl.find_opt t.by_kind k)
+let bytes t = t.total_bytes
+
+let between t a b = Option.value ~default:0 (Hashtbl.find_opt t.by_pair (a, b))
+let peers_seen t = List.rev t.peers
+
+let reset t =
+  t.total <- 0;
+  t.total_bytes <- 0;
+  Hashtbl.reset t.by_kind;
+  Hashtbl.reset t.by_pair;
+  t.peers <- []
+
+let kind_to_string = function
+  | Query -> "query"
+  | Answer -> "answer"
+  | Deny -> "deny"
+  | Disclosure -> "disclosure"
+  | Other -> "other"
+
+let pp fmt t =
+  Format.fprintf fmt "%d messages, %d bytes (" t.total t.total_bytes;
+  let first = ref true in
+  List.iter
+    (fun k ->
+      let n = messages_of_kind t k in
+      if n > 0 then begin
+        if not !first then Format.pp_print_string fmt ", ";
+        first := false;
+        Format.fprintf fmt "%s: %d" (kind_to_string k) n
+      end)
+    [ Query; Answer; Deny; Disclosure; Other ];
+  Format.pp_print_string fmt ")"

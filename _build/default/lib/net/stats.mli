@@ -1,0 +1,19 @@
+(** Message and byte accounting for the simulated network. *)
+
+type t
+
+type kind = Query | Answer | Deny | Disclosure | Other
+
+val create : unit -> t
+val record : t -> kind -> bytes_:int -> from:string -> target:string -> unit
+val messages : t -> int
+val messages_of_kind : t -> kind -> int
+val bytes : t -> int
+
+val between : t -> string -> string -> int
+(** Directed message count from one peer to another. *)
+
+val peers_seen : t -> string list
+val reset : t -> unit
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

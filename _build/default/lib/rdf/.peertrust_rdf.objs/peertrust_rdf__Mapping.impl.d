@@ -1,0 +1,1 @@
+lib/rdf/mapping.ml: Kb List Literal Peertrust_dlp Rule String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/mapping.mli: Kb Peertrust_dlp Rule Term Triple

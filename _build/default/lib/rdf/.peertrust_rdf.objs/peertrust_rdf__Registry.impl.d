@@ -1,0 +1,1 @@
+lib/rdf/registry.ml: Kb List Literal Mapping Option Peertrust_dlp Printf Rule String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/registry.mli: Peertrust_dlp Triple

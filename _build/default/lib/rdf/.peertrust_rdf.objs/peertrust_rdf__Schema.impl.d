@@ -1,0 +1,1 @@
+lib/rdf/schema.ml: List Mapping String Triple

@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Format Hashtbl Int List Option String

@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Hashtbl List Printf String Triple

@@ -1,0 +1,1 @@
+lib/rdf/turtle.mli: Triple

@@ -1,0 +1,53 @@
+open Peertrust_dlp
+
+let local_name iri =
+  let cut c =
+    match String.rindex_opt iri c with
+    | Some i when i + 1 < String.length iri ->
+        Some (String.sub iri (i + 1) (String.length iri - i - 1))
+    | Some _ | None -> None
+  in
+  match cut '#' with
+  | Some l -> l
+  | None -> ( match cut '/' with Some l -> l | None -> iri)
+
+let is_atom_name s =
+  s <> ""
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let term_of_iri iri =
+  let l = local_name iri in
+  if is_atom_name l then Term.Atom l else Term.Str l
+
+let term_of_obj = function
+  | Triple.Iri i -> term_of_iri i
+  | Triple.Str s -> Term.Str s
+  | Triple.Int i -> Term.Int i
+
+let facts_of_triple (t : Triple.t) =
+  let subj = term_of_iri t.Triple.subject in
+  let obj = term_of_obj t.Triple.obj in
+  let pred_name =
+    if String.equal t.Triple.predicate "a" then "a"
+    else local_name t.Triple.predicate
+  in
+  let generic =
+    Rule.fact
+      (Literal.make "triple"
+         [ subj; Term.Str t.Triple.predicate; obj ])
+  in
+  if is_atom_name pred_name then
+    [ generic; Rule.fact (Literal.make pred_name [ subj; obj ]) ]
+  else [ generic ]
+
+let facts_of_store store =
+  List.concat_map facts_of_triple (Triple.Store.all store)
+
+let kb_of_store store = Kb.add_list (facts_of_store store) Kb.empty
+let extend_kb kb store = Kb.add_list (facts_of_store store) kb

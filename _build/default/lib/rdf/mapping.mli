@@ -1,0 +1,26 @@
+(** RDF metadata → DLP facts: the bridge the paper describes as "PeerTrust
+    1.0 imports RDF metadata to represent policies for access to
+    resources".
+
+    Each triple [s p o] becomes two facts:
+    - a generic [triple("s", "p", o')] fact, and
+    - a predicate-style fact [local("s", o')] where [local] is the local
+      part of [p]'s IRI (after the last [/] or [#]) — this is what policy
+      rules typically match on, e.g. [price(Course, P)].
+
+    IRIs map to atoms when they are valid lower-case identifiers and to
+    strings otherwise; for predicate-style facts the subject is shortened
+    the same way. *)
+
+open Peertrust_dlp
+
+val local_name : string -> string
+(** The fragment after the last [#] or [/] (the whole string if none). *)
+
+val term_of_obj : Triple.obj -> Term.t
+val term_of_iri : string -> Term.t
+
+val facts_of_triple : Triple.t -> Rule.t list
+val facts_of_store : Triple.Store.store -> Rule.t list
+val kb_of_store : Triple.Store.store -> Kb.t
+val extend_kb : Kb.t -> Triple.Store.store -> Kb.t

@@ -1,0 +1,77 @@
+open Peertrust_dlp
+
+type t = {
+  store : Triple.Store.store;
+  mutable course_ids : string list;  (* reverse registration order *)
+}
+
+let namespace = "http://elena-project.org/resources#"
+
+let create () = { store = Triple.Store.create (); course_ids = [] }
+let store t = t.store
+
+let valid_id s =
+  s <> ""
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let add_course t ~id ?price ?language ?provider () =
+  if not (valid_id id) then
+    invalid_arg (Printf.sprintf "Registry.add_course: bad id %S" id);
+  let subject = namespace ^ id in
+  let add predicate obj =
+    Triple.Store.add t.store { Triple.subject; predicate; obj }
+  in
+  add "a" (Triple.Iri (namespace ^ "Course"));
+  Option.iter (fun p -> add (namespace ^ "price") (Triple.Int p)) price;
+  Option.iter (fun l -> add (namespace ^ "language") (Triple.Str l)) language;
+  Option.iter (fun p -> add (namespace ^ "provider") (Triple.Str p)) provider;
+  t.course_ids <- id :: t.course_ids
+
+let courses t = List.rev t.course_ids
+
+let to_kb t =
+  let kb = Mapping.kb_of_store t.store in
+  let course_facts =
+    List.concat_map
+      (fun id ->
+        let atom = Term.Atom id in
+        let subject = namespace ^ id in
+        let price =
+          match
+            Triple.Store.find ~subject ~predicate:(namespace ^ "price") t.store
+          with
+          | { Triple.obj = Triple.Int p; _ } :: _ -> Some p
+          | _ -> None
+        in
+        let language =
+          match
+            Triple.Store.find ~subject ~predicate:(namespace ^ "language")
+              t.store
+          with
+          | { Triple.obj = Triple.Str l; _ } :: _ -> Some l
+          | _ -> None
+        in
+        let base = [ Rule.fact (Literal.make "course" [ atom ]) ] in
+        let price_facts =
+          match price with
+          | Some 0 -> [ Rule.fact (Literal.make "freeCourse" [ atom ]) ]
+          | Some p ->
+              [ Rule.fact (Literal.make "price" [ atom; Term.Int p ]) ]
+          | None -> []
+        in
+        let lang_facts =
+          match language with
+          | Some l when valid_id l ->
+              [ Rule.fact (Literal.make (l ^ "Course") [ atom ]) ]
+          | Some _ | None -> []
+        in
+        base @ price_facts @ lang_facts)
+      (courses t)
+  in
+  Kb.add_list course_facts kb
+

@@ -1,0 +1,29 @@
+(** Learning-resource registry: the Edutella/ELENA-flavoured view of a
+    peer's resources.
+
+    Resources (courses) are recorded as RDF triples in an underlying store
+    and projected to the DLP facts the paper's policies match on:
+    [course(Id)], [price(Id, P)], [freeCourse(Id)] (when the price is 0),
+    and [<language>Course(Id)] (e.g. [spanishCourse(cs150)]). *)
+
+type t
+
+val namespace : string
+(** IRI prefix used for registry-minted subjects. *)
+
+val create : unit -> t
+val store : t -> Triple.Store.store
+
+val add_course :
+  t -> id:string -> ?price:int -> ?language:string -> ?provider:string ->
+  unit -> unit
+(** Register a course.  [id] must be a lower-case identifier (it becomes a
+    DLP atom).  Missing [price] means "not purchasable" (no price fact; not
+    free either).  @raise Invalid_argument on a malformed id. *)
+
+val courses : t -> string list
+(** Course ids in registration order. *)
+
+val to_kb : t -> Peertrust_dlp.Kb.t
+(** Project the registry to DLP facts (including the raw
+    [triple/3] view from {!Mapping}). *)

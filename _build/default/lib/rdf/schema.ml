@@ -1,0 +1,115 @@
+let is_vocab name iri = String.equal (Mapping.local_name iri) name
+
+let close store =
+  let out = Triple.Store.create () in
+  List.iter (Triple.Store.add out) (Triple.Store.all store);
+  let changed = ref true in
+  let add t =
+    let before = Triple.Store.size out in
+    Triple.Store.add out t;
+    if Triple.Store.size out > before then changed := true
+  in
+  while !changed do
+    changed := false;
+    let triples = Triple.Store.all out in
+    let subclass =
+      List.filter (fun (t : Triple.t) -> is_vocab "subClassOf" t.Triple.predicate) triples
+    in
+    let subprop =
+      List.filter (fun (t : Triple.t) -> is_vocab "subPropertyOf" t.Triple.predicate) triples
+    in
+    (* rdfs11: subClassOf transitivity *)
+    List.iter
+      (fun (a : Triple.t) ->
+        List.iter
+          (fun (b : Triple.t) ->
+            match a.Triple.obj with
+            | Triple.Iri mid when String.equal mid b.Triple.subject ->
+                add
+                  {
+                    Triple.subject = a.Triple.subject;
+                    predicate = a.Triple.predicate;
+                    obj = b.Triple.obj;
+                  }
+            | _ -> ())
+          subclass)
+      subclass;
+    (* rdfs9: type propagation along subClassOf *)
+    List.iter
+      (fun (t : Triple.t) ->
+        if String.equal t.Triple.predicate "a" then
+          match t.Triple.obj with
+          | Triple.Iri cls ->
+              List.iter
+                (fun (sc : Triple.t) ->
+                  if String.equal sc.Triple.subject cls then
+                    add
+                      {
+                        Triple.subject = t.Triple.subject;
+                        predicate = "a";
+                        obj = sc.Triple.obj;
+                      })
+                subclass
+          | _ -> ())
+      triples;
+    (* rdfs5: subPropertyOf transitivity *)
+    List.iter
+      (fun (a : Triple.t) ->
+        List.iter
+          (fun (b : Triple.t) ->
+            match a.Triple.obj with
+            | Triple.Iri mid when String.equal mid b.Triple.subject ->
+                add
+                  {
+                    Triple.subject = a.Triple.subject;
+                    predicate = a.Triple.predicate;
+                    obj = b.Triple.obj;
+                  }
+            | _ -> ())
+          subprop)
+      subprop;
+    (* rdfs7: property propagation along subPropertyOf *)
+    List.iter
+      (fun (t : Triple.t) ->
+        List.iter
+          (fun (sp : Triple.t) ->
+            if String.equal sp.Triple.subject t.Triple.predicate then
+              match sp.Triple.obj with
+              | Triple.Iri super ->
+                  add
+                    {
+                      Triple.subject = t.Triple.subject;
+                      predicate = super;
+                      obj = t.Triple.obj;
+                    }
+              | _ -> ())
+          subprop)
+      triples;
+    (* rdfs2/rdfs3: domain and range typing *)
+    List.iter
+      (fun (decl : Triple.t) ->
+        let apply_domain = is_vocab "domain" decl.Triple.predicate in
+        let apply_range = is_vocab "range" decl.Triple.predicate in
+        if apply_domain || apply_range then
+          List.iter
+            (fun (t : Triple.t) ->
+              if String.equal t.Triple.predicate decl.Triple.subject then begin
+                if apply_domain then
+                  add { Triple.subject = t.Triple.subject; predicate = "a"; obj = decl.Triple.obj };
+                if apply_range then
+                  match t.Triple.obj with
+                  | Triple.Iri o ->
+                      add { Triple.subject = o; predicate = "a"; obj = decl.Triple.obj }
+                  | _ -> ()
+              end)
+            triples)
+      triples
+  done;
+  out
+
+let inferred store =
+  let closed = close store in
+  let original = Triple.Store.all store in
+  List.filter
+    (fun t -> not (List.exists (Triple.equal t) original))
+    (Triple.Store.all closed)

@@ -1,0 +1,23 @@
+(** RDFS-lite inference over a triple store.
+
+    Edutella metadata commonly relies on RDF Schema vocabulary; policies
+    should be able to match a course typed [elena:LanguageCourse] against
+    a rule about [elena:Course].  This module computes the RDFS closure
+    for the fragment that matters in practice:
+
+    - [rdfs:subClassOf] transitivity and [rdf:type] propagation
+      (rules rdfs9/rdfs11);
+    - [rdfs:subPropertyOf] transitivity and property propagation
+      (rules rdfs5/rdfs7);
+    - [rdfs:domain] / [rdfs:range] typing of subjects/objects
+      (rules rdfs2/rdfs3).
+
+    Vocabulary IRIs are recognised by local name ([subClassOf],
+    [subPropertyOf], [domain], [range]) so any prefix binding works. *)
+
+val close : Triple.Store.store -> Triple.Store.store
+(** A new store containing the input triples plus the RDFS closure.
+    Terminates on cyclic hierarchies (fixpoint on a finite universe). *)
+
+val inferred : Triple.Store.store -> Triple.t list
+(** Only the derived triples. *)

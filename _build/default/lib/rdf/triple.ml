@@ -1,0 +1,67 @@
+type obj = Iri of string | Str of string | Int of int
+
+type t = { subject : string; predicate : string; obj : obj }
+
+let obj_equal a b =
+  match (a, b) with
+  | Iri x, Iri y -> String.equal x y
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | (Iri _ | Str _ | Int _), _ -> false
+
+let equal a b =
+  String.equal a.subject b.subject
+  && String.equal a.predicate b.predicate
+  && obj_equal a.obj b.obj
+
+let pp_obj fmt = function
+  | Iri i -> Format.fprintf fmt "<%s>" i
+  | Str s -> Format.fprintf fmt "%S" s
+  | Int i -> Format.pp_print_int fmt i
+
+let pp fmt t =
+  Format.fprintf fmt "<%s> <%s> %a ." t.subject t.predicate pp_obj t.obj
+
+module Store = struct
+  type store = {
+    mutable triples : t list;  (* reverse insertion order *)
+    by_predicate : (string, t list) Hashtbl.t;
+    mutable count : int;
+  }
+
+  let create () = { triples = []; by_predicate = Hashtbl.create 32; count = 0 }
+
+  let mem store triple =
+    match Hashtbl.find_opt store.by_predicate triple.predicate with
+    | None -> false
+    | Some ts -> List.exists (equal triple) ts
+
+  let add store triple =
+    if not (mem store triple) then begin
+      store.triples <- triple :: store.triples;
+      store.count <- store.count + 1;
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt store.by_predicate triple.predicate)
+      in
+      Hashtbl.replace store.by_predicate triple.predicate (triple :: prev)
+    end
+
+  let size store = store.count
+  let all store = List.rev store.triples
+
+  let find ?subject ?predicate ?obj store =
+    let pool =
+      match predicate with
+      | Some p -> List.rev (Option.value ~default:[] (Hashtbl.find_opt store.by_predicate p))
+      | None -> all store
+    in
+    List.filter
+      (fun t ->
+        (match subject with Some s -> String.equal s t.subject | None -> true)
+        && (match obj with Some o -> obj_equal o t.obj | None -> true))
+      pool
+
+  let subjects_of_type store class_iri =
+    find ~predicate:"a" ~obj:(Iri class_iri) store
+    |> List.map (fun t -> t.subject)
+end

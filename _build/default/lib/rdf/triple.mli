@@ -1,0 +1,35 @@
+(** RDF triples and an indexed triple store.
+
+    The Edutella substrate: each peer's resources (courses, services,
+    documents) are described by RDF metadata; policies range over facts
+    derived from these descriptions (see {!Mapping}). *)
+
+type obj = Iri of string | Str of string | Int of int
+
+type t = { subject : string; predicate : string; obj : obj }
+
+val obj_equal : obj -> obj -> bool
+val equal : t -> t -> bool
+val pp_obj : Format.formatter -> obj -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Mutable store with a predicate index. *)
+module Store : sig
+  type store
+
+  val create : unit -> store
+  val add : store -> t -> unit
+  (** Duplicate triples are ignored. *)
+
+  val size : store -> int
+  val all : store -> t list
+  (** Insertion order. *)
+
+  val find :
+    ?subject:string -> ?predicate:string -> ?obj:obj -> store -> t list
+  (** Triples matching every supplied component. *)
+
+  val subjects_of_type : store -> string -> string list
+  (** Subjects with an [rdf:type] (predicate ["a"]) triple to the given
+      class IRI. *)
+end

@@ -1,0 +1,20 @@
+(** Parser for a pragmatic subset of Turtle.
+
+    Supported:
+    - [@prefix name: <iri> .] declarations;
+    - statements [subject predicate object .] with [;] (same subject) and
+      [,] (same subject and predicate) continuations;
+    - subjects/predicates as qnames ([elena:cs101]) or full IRIs
+      ([<http://...>]); the keyword [a] for rdf:type (kept as predicate
+      ["a"]);
+    - objects additionally as quoted strings and integers;
+    - [#] line comments.
+
+    Prefixes are expanded; rdf:type is normalised to the predicate ["a"]. *)
+
+exception Error of string * int
+(** [(message, line)] *)
+
+val parse : string -> Triple.t list
+val load : string -> Triple.Store.store
+(** Parse into a fresh store. *)

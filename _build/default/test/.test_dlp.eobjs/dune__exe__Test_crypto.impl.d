@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Buffer Bytes Cert Keystore Lazy List Peertrust_crypto Peertrust_dlp Printf Prng QCheck QCheck_alcotest Rsa Sha256 String Wire

@@ -1,0 +1,1 @@
+test/test_dlp.ml: Alcotest Builtin Forward Kb Lexer List Literal Option Parser Peertrust_dlp Printf Program QCheck QCheck_alcotest Rule Sld String Subst Tabled Term Trace Unify

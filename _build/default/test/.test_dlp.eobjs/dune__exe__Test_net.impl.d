@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Clock List Message Network Peertrust_dlp Peertrust_net Stats

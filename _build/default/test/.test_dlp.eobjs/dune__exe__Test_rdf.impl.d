@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest List Mapping Peertrust_dlp Peertrust_rdf Registry Schema Triple Turtle

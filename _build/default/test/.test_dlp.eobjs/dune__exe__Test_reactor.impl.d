@@ -1,0 +1,1 @@
+test/test_reactor.ml: Alcotest Chain Hashtbl List Literal Negotiation Parser Peer Peertrust Peertrust_dlp Peertrust_net Printf Reactor Scenario Session

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Audit Engine Filename Fun List Negotiation Option Parser Peertrust Peertrust_crypto Peertrust_dlp Peertrust_net Persist Scenario Session Sys Token

@@ -1,0 +1,197 @@
+(* Tests for the simulated network substrate: clock, stats, messages,
+   delivery, failure injection, budgets and transcripts. *)
+
+open Peertrust_net
+module Dlp = Peertrust_dlp
+
+let lit s = Dlp.Parser.parse_literal s
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.now c);
+  Clock.advance c 5;
+  Clock.advance c 2;
+  Alcotest.(check int) "accumulates" 7 (Clock.now c);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Clock.advance: negative increment") (fun () ->
+      Clock.advance c (-1))
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.record s Stats.Query ~bytes_:10 ~from:"a" ~target:"b";
+  Stats.record s Stats.Answer ~bytes_:20 ~from:"b" ~target:"a";
+  Stats.record s Stats.Query ~bytes_:5 ~from:"a" ~target:"c";
+  Alcotest.(check int) "messages" 3 (Stats.messages s);
+  Alcotest.(check int) "bytes" 35 (Stats.bytes s);
+  Alcotest.(check int) "queries" 2 (Stats.messages_of_kind s Stats.Query);
+  Alcotest.(check int) "answers" 1 (Stats.messages_of_kind s Stats.Answer);
+  Alcotest.(check int) "a->b" 1 (Stats.between s "a" "b");
+  Alcotest.(check int) "b->a" 1 (Stats.between s "b" "a");
+  Alcotest.(check int) "a->c directed" 0 (Stats.between s "c" "a");
+  Alcotest.(check (list string)) "peers in first-seen order" [ "a"; "b"; "c" ]
+    (Stats.peers_seen s);
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.messages s)
+
+let test_message_kinds_and_sizes () =
+  let q = Message.Query { goal = lit {|p("x")|} } in
+  let d = Message.Deny { goal = lit {|p("x")|}; reason = "nope" } in
+  Alcotest.(check bool) "query kind" true (Message.kind q = Stats.Query);
+  Alcotest.(check bool) "deny kind" true (Message.kind d = Stats.Deny);
+  Alcotest.(check bool) "query smaller than deny" true
+    (Message.size q < Message.size d);
+  Alcotest.(check int) "no certs in query" 0 (Message.cert_count q)
+
+let echo_handler ~from:_ payload =
+  match payload with
+  | Message.Query { goal } ->
+      Message.Answer { goal; instances = [ (goal, None) ]; certs = [] }
+  | _ -> Message.Ack
+
+let test_network_roundtrip () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  let resp =
+    Network.send net ~from:"client" ~target:"server"
+      (Message.Query { goal = lit "ping(1)" })
+  in
+  (match resp with
+  | Message.Answer { instances = [ (l, None) ]; _ } ->
+      Alcotest.(check string) "echoed" "ping(1)" (Dlp.Literal.to_string l)
+  | _ -> Alcotest.fail "expected answer");
+  Alcotest.(check int) "two messages" 2 (Stats.messages (Network.stats net));
+  Alcotest.(check int) "two ticks" 2 (Clock.now (Network.clock net))
+
+let test_network_latency () =
+  let net = Network.create ~latency:5 () in
+  Network.register net "server" echo_handler;
+  ignore
+    (Network.send net ~from:"client" ~target:"server"
+       (Message.Query { goal = lit "ping(1)" }));
+  Alcotest.(check int) "10 ticks for a round trip" 10 (Clock.now (Network.clock net))
+
+let test_network_unknown_peer () =
+  let net = Network.create () in
+  Alcotest.check_raises "unknown" (Network.Unreachable "ghost") (fun () ->
+      ignore
+        (Network.send net ~from:"client" ~target:"ghost"
+           (Message.Query { goal = lit "ping(1)" })))
+
+let test_network_down_peer () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  Network.set_down net "server" true;
+  Alcotest.(check bool) "marked down" true (Network.is_down net "server");
+  Alcotest.check_raises "down" (Network.Unreachable "server") (fun () ->
+      ignore
+        (Network.send net ~from:"client" ~target:"server"
+           (Message.Query { goal = lit "ping(1)" })));
+  Network.set_down net "server" false;
+  ignore
+    (Network.send net ~from:"client" ~target:"server"
+       (Message.Query { goal = lit "ping(1)" }))
+
+let test_network_budget () =
+  let net = Network.create ~max_messages:3 () in
+  Network.register net "server" echo_handler;
+  ignore
+    (Network.send net ~from:"client" ~target:"server"
+       (Message.Query { goal = lit "ping(1)" }));
+  (* Second round trip would exceed 3 messages on its response. *)
+  Alcotest.check_raises "budget" Network.Budget_exhausted (fun () ->
+      ignore
+        (Network.send net ~from:"client" ~target:"server"
+           (Message.Query { goal = lit "ping(2)" }));
+      ignore
+        (Network.send net ~from:"client" ~target:"server"
+           (Message.Query { goal = lit "ping(3)" })))
+
+let test_network_link_latency () =
+  let net = Network.create ~latency:1 () in
+  Network.register net "far" echo_handler;
+  Network.register net "near" echo_handler;
+  Network.set_link_latency net ~from:"client" ~target:"far" 10;
+  Alcotest.(check int) "override read back" 10
+    (Network.link_latency net ~from:"client" ~target:"far");
+  Alcotest.(check int) "default elsewhere" 1
+    (Network.link_latency net ~from:"client" ~target:"near");
+  ignore
+    (Network.send net ~from:"client" ~target:"far"
+       (Message.Query { goal = lit "ping(1)" }));
+  (* 10 ticks out (overridden), 1 back (default). *)
+  Alcotest.(check int) "asymmetric round trip" 11 (Clock.now (Network.clock net));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Network.set_link_latency: negative") (fun () ->
+      Network.set_link_latency net ~from:"a" ~target:"b" (-1))
+
+let test_network_notify () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  Network.notify net ~from:"client" ~target:"server"
+    (Message.Query { goal = lit "ping(1)" });
+  (* One direction only: accounted but no handler response. *)
+  Alcotest.(check int) "one message" 1 (Stats.messages (Network.stats net));
+  Alcotest.(check int) "one entry" 1 (List.length (Network.transcript net))
+
+let test_network_transcript () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  ignore
+    (Network.send net ~from:"client" ~target:"server"
+       (Message.Query { goal = lit "ping(1)" }));
+  let log = Network.transcript net in
+  Alcotest.(check int) "two entries" 2 (List.length log);
+  (match log with
+  | [ req; resp ] ->
+      Alcotest.(check string) "request from" "client" req.Network.from;
+      Alcotest.(check string) "response from" "server" resp.Network.from;
+      Alcotest.(check bool) "ordered in time" true
+        (req.Network.time <= resp.Network.time)
+  | _ -> Alcotest.fail "expected two entries");
+  Network.clear_transcript net;
+  Alcotest.(check int) "cleared" 0 (List.length (Network.transcript net))
+
+let test_network_reregister () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  Network.register net "server" (fun ~from:_ _ -> Message.Ack);
+  (match
+     Network.send net ~from:"client" ~target:"server"
+       (Message.Query { goal = lit "ping(1)" })
+   with
+  | Message.Ack -> ()
+  | _ -> Alcotest.fail "replacement handler should answer");
+  Network.unregister net "server";
+  Alcotest.check_raises "unregistered" (Network.Unreachable "server")
+    (fun () ->
+      ignore
+        (Network.send net ~from:"client" ~target:"server"
+           (Message.Query { goal = lit "ping(1)" })))
+
+let test_network_registered_list () =
+  let net = Network.create () in
+  Network.register net "b" echo_handler;
+  Network.register net "a" echo_handler;
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Network.registered net)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "net"
+    [
+      ("clock", [ tc "advance" test_clock ]);
+      ("stats", [ tc "counters" test_stats_counters ]);
+      ("message", [ tc "kinds and sizes" test_message_kinds_and_sizes ]);
+      ( "network",
+        [
+          tc "roundtrip" test_network_roundtrip;
+          tc "latency" test_network_latency;
+          tc "unknown peer" test_network_unknown_peer;
+          tc "down peer" test_network_down_peer;
+          tc "message budget" test_network_budget;
+          tc "per-link latency" test_network_link_latency;
+          tc "one-way notify" test_network_notify;
+          tc "transcript" test_network_transcript;
+          tc "re-register / unregister" test_network_reregister;
+          tc "registered list" test_network_registered_list;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Property-based tests over the negotiation engine and the whole stack:
+   random worlds, random programs, random rules.  These check the
+   system-level invariants the paper's design promises:
+
+   - safety: every credential a peer receives was releasable to it under
+     the origin's release policies;
+   - strategy completeness and interoperability: on solvable worlds every
+     strategy succeeds, on unsolvable worlds every strategy fails;
+   - the static analysis is definitive on failure and agrees with the
+     engine on the generated world family;
+   - the forward and backward engines derive the same ground facts;
+   - printing is the left inverse of parsing for generated rules. *)
+
+open Peertrust
+open Peertrust_dlp
+module Crypto = Peertrust_crypto
+
+let granted = Negotiation.succeeded
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_world_params =
+  QCheck.make
+    ~print:(fun (d, e, m) ->
+      Printf.sprintf "depth=%d extras=%d missing=%s" d e
+        (match m with Some k -> string_of_int k | None -> "-"))
+    QCheck.Gen.(
+      let* depth = int_range 1 6 in
+      let* extras = int_range 0 3 in
+      let* missing =
+        frequency [ (2, return None); (1, map Option.some (int_range 1 depth)) ]
+      in
+      return (depth, extras, missing))
+
+let build_world (depth, extras, missing) =
+  Scenario.policy_chain ~extra_creds:extras ?missing ~depth ()
+
+let run_world strategy (w : Scenario.chain_world) =
+  Strategy.negotiate w.Scenario.cw_session ~strategy
+    ~requester:w.Scenario.cw_requester ~target:w.Scenario.cw_owner
+    w.Scenario.cw_goal
+
+(* ------------------------------------------------------------------ *)
+(* Safety: no credential reaches a peer its origin would not release it
+   to. *)
+
+let prop_no_unsafe_disclosure =
+  QCheck.Test.make ~name:"engine: every received credential was releasable"
+    ~count:40 gen_world_params (fun params ->
+      let w = build_world params in
+      let session = w.Scenario.cw_session in
+      ignore (run_world Strategy.Relevant w);
+      let ok = ref true in
+      Hashtbl.iter
+        (fun _ (holder : Peer.t) ->
+          Hashtbl.iter
+            (fun _ (cert : Crypto.Cert.t) ->
+              match Peer.cert_origin holder cert with
+              | None -> ()  (* the peer's own credential *)
+              | Some origin ->
+                  let origin_peer = Session.peer session origin in
+                  let prover = Engine.prover session origin_peer in
+                  let decision =
+                    Policy.credential_releasable ~prover
+                      ~kb:origin_peer.Peer.kb ~requester:holder.Peer.name
+                      ~self:origin cert.Crypto.Cert.rule
+                  in
+                  if decision <> Policy.Granted then ok := false)
+            holder.Peer.certs)
+        session.Session.peers;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy completeness and interoperability *)
+
+let prop_strategies_agree =
+  QCheck.Test.make
+    ~name:"strategies: all succeed on solvable worlds, all fail otherwise"
+    ~count:30 gen_world_params (fun ((_, _, missing) as params) ->
+      let solvable = missing = None in
+      List.for_all
+        (fun strategy ->
+          let w = build_world params in
+          granted (run_world strategy w) = solvable)
+        Strategy.all)
+
+let prop_multi_eager_matches_two_party =
+  QCheck.Test.make
+    ~name:"strategies: n-party eager with both parties behaves like 2-party"
+    ~count:20 gen_world_params (fun params ->
+      let w = build_world params in
+      let multi =
+        Strategy.negotiate_multi w.Scenario.cw_session
+          ~participants:[ w.Scenario.cw_requester; w.Scenario.cw_owner ]
+          ~requester:w.Scenario.cw_requester ~target:w.Scenario.cw_owner
+          w.Scenario.cw_goal
+      in
+      let w2 = build_world params in
+      let two = run_world Strategy.Eager w2 in
+      granted multi = granted two)
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis vs runtime *)
+
+let prop_analysis_agrees =
+  QCheck.Test.make ~name:"analysis: prediction matches engine on chain worlds"
+    ~count:30 gen_world_params (fun params ->
+      let w = build_world params in
+      let world = Analysis.world_of_session w.Scenario.cw_session in
+      let predicted =
+        Analysis.may_succeed world ~owner:w.Scenario.cw_owner
+          ~goal:w.Scenario.cw_goal
+      in
+      let actual = granted (run_world Strategy.Relevant (build_world params)) in
+      predicted = actual)
+
+(* ------------------------------------------------------------------ *)
+(* Forward / backward agreement on random Datalog *)
+
+let gen_graph =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "nodes=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges)))
+    QCheck.Gen.(
+      let* n = int_range 2 8 in
+      let* m = int_range 1 14 in
+      let* edges =
+        list_size (return m)
+          (pair (int_range 1 n) (int_range 1 n))
+      in
+      return (n, edges))
+
+let prop_tabled_forward_agree =
+  QCheck.Test.make ~name:"engines: tabled and forward agree on reachability"
+    ~count:40 gen_graph (fun (n, edges) ->
+      let buf = Buffer.create 128 in
+      (* Left-recursive formulation: the regime where SLD is incomplete
+         and tabling must still match the forward fixpoint. *)
+      Buffer.add_string buf
+        "path(X, Z) <- path(X, Y), edge(Y, Z). path(X, Y) <- edge(X, Y).\n";
+      List.iter
+        (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" a b))
+        edges;
+      let kb = Kb.of_string (Buffer.contents buf) in
+      let fwd = Forward.saturate ~self:"p" kb in
+      let fwd_paths =
+        List.filter
+          (fun (l : Literal.t) -> String.equal l.Literal.pred "path")
+          fwd.Forward.facts
+      in
+      let _ = n in
+      let tabled = Tabled.solve ~self:"p" kb (Parser.parse_query "path(A, B)") in
+      List.length tabled = List.length fwd_paths)
+
+let prop_forward_backward_agree =
+  QCheck.Test.make ~name:"engines: forward and SLD agree on reachability"
+    ~count:60 gen_graph (fun (n, edges) ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf
+        "path(X, Y) <- edge(X, Y). path(X, Z) <- edge(X, Y), path(Y, Z).\n";
+      List.iter
+        (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge(%d, %d).\n" a b))
+        edges;
+      let kb = Kb.of_string (Buffer.contents buf) in
+      let fwd = Forward.saturate ~self:"p" kb in
+      let agree a b =
+        let goal = Printf.sprintf "path(%d, %d)" a b in
+        let f =
+          List.exists
+            (Literal.equal (Parser.parse_literal goal))
+            fwd.Forward.facts
+        in
+        let bwd =
+          Sld.provable
+            ~options:{ Sld.max_depth = (2 * (n + List.length edges)) + 8; max_solutions = 1 }
+            ~self:"p" kb
+            (Parser.parse_query goal)
+        in
+        f = bwd
+      in
+      List.for_all
+        (fun a -> List.for_all (fun b -> agree a b) (List.init n succ))
+        (List.init n succ))
+
+(* ------------------------------------------------------------------ *)
+(* Printer/parser roundtrip on generated rules *)
+
+let gen_rule =
+  let open QCheck.Gen in
+  let gen_const =
+    oneof
+      [
+        map (fun i -> Term.Int i) (int_bound 99);
+        map (fun i -> Term.Str (Printf.sprintf "s%d" i)) (int_bound 4);
+        map (fun i -> Term.Atom (Printf.sprintf "a%d" i)) (int_bound 4);
+      ]
+  in
+  let gen_term =
+    frequency
+      [
+        (2, map (fun i -> Term.Var (Printf.sprintf "V%d" i)) (int_bound 3));
+        (3, gen_const);
+        ( 1,
+          map2
+            (fun f args -> Term.Compound (Printf.sprintf "f%d" f, args))
+            (int_bound 2)
+            (list_size (int_range 1 2) gen_const) );
+      ]
+  in
+  let gen_literal =
+    let* p = int_bound 4 in
+    let* args = list_size (int_range 0 3) gen_term in
+    let* auth = list_size (int_range 0 2) gen_term in
+    return (Literal.make ~auth (Printf.sprintf "p%d" p) args)
+  in
+  let* head = gen_literal in
+  let* body = list_size (int_range 0 3) gen_literal in
+  let* head_ctx =
+    frequency
+      [
+        (2, return None);
+        (1, return (Some []));
+        (1, map (fun l -> Some [ l ]) gen_literal);
+      ]
+  in
+  let* rule_ctx = frequency [ (3, return None); (1, return (Some [])) ] in
+  let* signer =
+    frequency
+      [
+        (3, return []);
+        (1, map (fun i -> [ Printf.sprintf "CA%d" i ]) (int_bound 2));
+      ]
+  in
+  return (Rule.make ?head_ctx ?rule_ctx ~signer head body)
+
+let arb_rule =
+  QCheck.make ~print:Rule.to_string gen_rule
+
+let prop_rule_roundtrip =
+  QCheck.Test.make ~name:"parser: print/parse roundtrip on generated rules"
+    ~count:300 arb_rule (fun r ->
+      Rule.equal r (Parser.parse_rule (Rule.to_string r)))
+
+let prop_canonical_alpha_invariant =
+  QCheck.Test.make ~name:"rule: canonical form is alpha-invariant" ~count:200
+    arb_rule (fun r ->
+      String.equal (Rule.canonical r)
+        (Rule.canonical (Rule.rename ~suffix:"~x" r)))
+
+let prop_subsumes_reflexive_on_instances =
+  QCheck.Test.make ~name:"rule: instances are subsumed by their rule"
+    ~count:200 arb_rule (fun r ->
+      (* Ground every variable and check subsumption. *)
+      let s =
+        List.fold_left
+          (fun s v -> Subst.bind v (Term.Atom "c") s)
+          Subst.empty (Rule.vars r)
+      in
+      Rule.subsumes ~general:r ~specific:(Rule.apply s r))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates for random rules *)
+
+let prop_cert_roundtrip =
+  QCheck.Test.make ~name:"cert: issue/verify for generated signed rules"
+    ~count:25 arb_rule (fun r ->
+      QCheck.assume (Rule.is_signed r);
+      let ks = Crypto.Keystore.create ~bits:320 ~seed:9L () in
+      match Crypto.Cert.issue ks r with
+      | Ok cert -> Crypto.Cert.verify ks cert = Ok ()
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: parsers fail only with their documented exceptions *)
+
+let arb_junk =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      let any_char = map Char.chr (int_range 1 255) in
+      let mixed =
+        oneof
+          [
+            map (String.concat "")
+              (list_size (int_range 0 8)
+                 (oneofl
+                    [ "p("; ")"; "\"str\""; "<-"; "@"; "$"; "signedBy";
+                      "["; "]"; "X"; "42"; ","; "."; "not "; "+"; "{"; "}";
+                      "true"; "%c\n"; "<"; "=" ]));
+            string_size ~gen:any_char (int_range 0 40);
+            string_size ~gen:printable (int_range 0 60);
+          ]
+      in
+      mixed)
+
+let total_with ~name f exns =
+  QCheck.Test.make ~name ~count:500 arb_junk (fun s ->
+      match f s with
+      | _ -> true
+      | exception e -> List.exists (fun p -> p e) exns)
+
+let prop_parser_total =
+  total_with ~name:"fuzz: program parser is total"
+    Parser.parse_program
+    [ (function Parser.Error _ -> true | _ -> false) ]
+
+let prop_query_parser_total =
+  total_with ~name:"fuzz: query parser is total" Parser.parse_query
+    [ (function Parser.Error _ -> true | _ -> false) ]
+
+let prop_turtle_total =
+  total_with ~name:"fuzz: turtle parser is total" Peertrust_rdf.Turtle.parse
+    [ (function Peertrust_rdf.Turtle.Error _ -> true | _ -> false) ]
+
+let prop_wire_total =
+  total_with ~name:"fuzz: wire decoder is total (never raises)"
+    Crypto.Wire.decode_many []
+
+let prop_qel_total =
+  total_with ~name:"fuzz: QEL parser is total" Qel.parse
+    [
+      (function Parser.Error _ -> true | _ -> false);
+      (function Invalid_argument _ -> true | _ -> false);
+    ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "engine",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_no_unsafe_disclosure;
+            prop_strategies_agree;
+            prop_multi_eager_matches_two_party;
+            prop_analysis_agrees;
+          ] );
+      ( "paradigms",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_forward_backward_agree; prop_tabled_forward_agree ] );
+      ( "syntax",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rule_roundtrip;
+            prop_canonical_alpha_invariant;
+            prop_subsumes_reflexive_on_instances;
+          ] );
+      ( "crypto",
+        List.map QCheck_alcotest.to_alcotest [ prop_cert_roundtrip ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parser_total;
+            prop_query_parser_total;
+            prop_turtle_total;
+            prop_wire_total;
+            prop_qel_total;
+          ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the RDF substrate: triples, the Turtle-subset parser, the
+   RDF-to-DLP mapping and the resource registry. *)
+
+open Peertrust_rdf
+module Dlp = Peertrust_dlp
+
+let sample_turtle =
+  {|
+    @prefix elena: <http://elena-project.org/resources#> .
+    @prefix dc: <http://purl.org/dc/elements/1.1/> .
+
+    # a Spanish course
+    elena:spanish101 a elena:Course ;
+        dc:title "Spanish for beginners" ;
+        elena:price 0 ;
+        elena:language "spanish" .
+
+    elena:cs411 a elena:Course ;
+        elena:price 1000 .
+
+    elena:cs411 elena:provider "E-Learn" .
+  |}
+
+let test_store_basics () =
+  let store = Triple.Store.create () in
+  let t =
+    { Triple.subject = "s"; predicate = "p"; obj = Triple.Str "o" }
+  in
+  Triple.Store.add store t;
+  Triple.Store.add store t;
+  Alcotest.(check int) "dedup" 1 (Triple.Store.size store);
+  Triple.Store.add store { t with Triple.obj = Triple.Int 4 };
+  Alcotest.(check int) "two now" 2 (Triple.Store.size store);
+  Alcotest.(check int) "find by predicate" 2
+    (List.length (Triple.Store.find ~predicate:"p" store));
+  Alcotest.(check int) "find by object" 1
+    (List.length (Triple.Store.find ~obj:(Triple.Int 4) store))
+
+let test_turtle_parse () =
+  let triples = Turtle.parse sample_turtle in
+  Alcotest.(check int) "seven triples" 7 (List.length triples);
+  let store = Turtle.load sample_turtle in
+  Alcotest.(check (list string)) "typed subjects"
+    [
+      "http://elena-project.org/resources#spanish101";
+      "http://elena-project.org/resources#cs411";
+    ]
+    (Triple.Store.subjects_of_type store
+       "http://elena-project.org/resources#Course")
+
+let test_turtle_object_forms () =
+  let triples =
+    Turtle.parse
+      {|@prefix x: <http://x#> .
+        x:a x:knows x:b , x:c ; x:age 41 ; x:name "Ann" .|}
+  in
+  Alcotest.(check int) "comma and semicolon expand" 4 (List.length triples)
+
+let test_turtle_full_iris () =
+  match Turtle.parse {|<http://a> <http://b> <http://c> .|} with
+  | [ { Triple.subject = "http://a"; predicate = "http://b"; obj = Triple.Iri "http://c" } ] ->
+      ()
+  | _ -> Alcotest.fail "full IRI statement"
+
+let test_turtle_errors () =
+  let expect src =
+    try
+      ignore (Turtle.parse src);
+      Alcotest.failf "expected parse error for %s" src
+    with Turtle.Error _ -> ()
+  in
+  expect {|x:a x:b x:c .|};  (* unknown prefix *)
+  expect {|@prefix x: <http://x#> . x:a x:b |};  (* missing dot *)
+  expect {|@base <http://x> .|}  (* unsupported directive *)
+
+let test_mapping_local_names () =
+  Alcotest.(check string) "hash wins" "price"
+    (Mapping.local_name "http://elena#price");
+  Alcotest.(check string) "slash" "title"
+    (Mapping.local_name "http://purl.org/dc/title");
+  Alcotest.(check string) "no separator" "plain" (Mapping.local_name "plain")
+
+let test_mapping_facts () =
+  let store = Turtle.load sample_turtle in
+  let kb = Mapping.kb_of_store store in
+  let provable q =
+    Dlp.Sld.provable ~self:"peer" kb (Dlp.Parser.parse_query q)
+  in
+  Alcotest.(check bool) "price fact" true (provable "price(cs411, 1000)");
+  Alcotest.(check bool) "title fact" true
+    (provable {|title(spanish101, "Spanish for beginners")|});
+  Alcotest.(check bool) "generic triple fact" true
+    (provable
+       {|triple(cs411, "http://elena-project.org/resources#price", 1000)|});
+  Alcotest.(check bool) "type fact" true (provable "a(cs411, X)")
+
+let test_registry () =
+  let reg = Registry.create () in
+  Registry.add_course reg ~id:"spanish101" ~price:0 ~language:"spanish" ();
+  Registry.add_course reg ~id:"cs411" ~price:1000 ~provider:"E-Learn" ();
+  Registry.add_course reg ~id:"seminar1" ();
+  Alcotest.(check (list string)) "courses in order"
+    [ "spanish101"; "cs411"; "seminar1" ]
+    (Registry.courses reg);
+  let kb = Registry.to_kb reg in
+  let provable q =
+    Dlp.Sld.provable ~self:"peer" kb (Dlp.Parser.parse_query q)
+  in
+  Alcotest.(check bool) "free course" true (provable "freeCourse(spanish101)");
+  Alcotest.(check bool) "language projection" true
+    (provable "spanishCourse(spanish101)");
+  Alcotest.(check bool) "price" true (provable "price(cs411, 1000)");
+  (* The raw RDF view still exposes the zero price; only the projected
+     price fact is suppressed in favour of freeCourse. *)
+  Alcotest.(check bool) "raw zero price visible" true
+    (provable "price(spanish101, 0)");
+  Alcotest.(check bool) "unpriced course not free" false
+    (provable "freeCourse(seminar1)");
+  Alcotest.(check bool) "course facts" true (provable "course(seminar1)")
+
+let test_registry_bad_id () =
+  let reg = Registry.create () in
+  Alcotest.check_raises "uppercase rejected"
+    (Invalid_argument "Registry.add_course: bad id \"CS411\"") (fun () ->
+      Registry.add_course reg ~id:"CS411" ())
+
+let test_registry_policy_integration () =
+  (* A policy over registry-derived facts: discounted Spanish courses. *)
+  let reg = Registry.create () in
+  Registry.add_course reg ~id:"spanish101" ~price:500 ~language:"spanish" ();
+  Registry.add_course reg ~id:"french201" ~price:500 ~language:"french" ();
+  let kb =
+    Dlp.Kb.union (Registry.to_kb reg)
+      (Dlp.Kb.of_string
+         "discounted(C) <- spanishCourse(C), price(C, P), P < 1000.")
+  in
+  let answers =
+    Dlp.Sld.answers ~self:"peer" kb (Dlp.Parser.parse_query "discounted(C)")
+  in
+  Alcotest.(check int) "only the Spanish course" 1 (List.length answers)
+
+(* ------------------------------------------------------------------ *)
+(* RDFS-lite inference *)
+
+let schema_turtle =
+  {|
+    @prefix e: <http://elena#> .
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+    e:LanguageCourse rdfs:subClassOf e:Course .
+    e:SpanishCourse rdfs:subClassOf e:LanguageCourse .
+    e:spanish101 a e:SpanishCourse .
+    e:tutors rdfs:subPropertyOf e:teaches .
+    e:ann e:tutors e:spanish101 .
+    e:teaches rdfs:domain e:Teacher .
+    e:teaches rdfs:range e:Course .
+  |}
+
+let test_schema_subclass_closure () =
+  let closed = Schema.close (Turtle.load schema_turtle) in
+  let typed cls =
+    List.mem "http://elena#spanish101"
+      (Triple.Store.subjects_of_type closed ("http://elena#" ^ cls))
+  in
+  Alcotest.(check bool) "direct type" true (typed "SpanishCourse");
+  Alcotest.(check bool) "one level up" true (typed "LanguageCourse");
+  Alcotest.(check bool) "two levels up (transitive)" true (typed "Course")
+
+let test_schema_subproperty () =
+  let closed = Schema.close (Turtle.load schema_turtle) in
+  Alcotest.(check int) "tutors implies teaches" 1
+    (List.length
+       (Triple.Store.find ~subject:"http://elena#ann"
+          ~predicate:"http://elena#teaches" closed))
+
+let test_schema_domain_range () =
+  let closed = Schema.close (Turtle.load schema_turtle) in
+  Alcotest.(check bool) "domain types the subject" true
+    (List.mem "http://elena#ann"
+       (Triple.Store.subjects_of_type closed "http://elena#Teacher"));
+  Alcotest.(check bool) "range types the object" true
+    (List.mem "http://elena#spanish101"
+       (Triple.Store.subjects_of_type closed "http://elena#Course"))
+
+let test_schema_cycle_terminates () =
+  let cyclic =
+    {|@prefix e: <http://e#> .
+      @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+      e:A rdfs:subClassOf e:B .
+      e:B rdfs:subClassOf e:A .
+      e:x a e:A .|}
+  in
+  let closed = Schema.close (Turtle.load cyclic) in
+  Alcotest.(check bool) "x typed both ways" true
+    (List.mem "http://e#x" (Triple.Store.subjects_of_type closed "http://e#B"))
+
+let test_schema_inferred_only () =
+  let store = Turtle.load schema_turtle in
+  let inferred = Schema.inferred store in
+  Alcotest.(check bool) "some inferences" true (List.length inferred > 0);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "not in original" false
+        (List.exists (Triple.equal t) (Triple.Store.all store)))
+    inferred
+
+let test_schema_policy_over_superclass () =
+  (* A policy about courses matches a resource only typed as a Spanish
+     course, via the closure. *)
+  let kb = Mapping.kb_of_store (Schema.close (Turtle.load schema_turtle)) in
+  Alcotest.(check bool) "policy sees the superclass type" true
+    (Dlp.Sld.provable ~self:"p" kb
+       (Dlp.Parser.parse_query {|a(spanish101, "Course")|}))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "rdf"
+    [
+      ("store", [ tc "basics" test_store_basics ]);
+      ( "turtle",
+        [
+          tc "parse sample" test_turtle_parse;
+          tc "object forms" test_turtle_object_forms;
+          tc "full IRIs" test_turtle_full_iris;
+          tc "errors" test_turtle_errors;
+        ] );
+      ( "mapping",
+        [
+          tc "local names" test_mapping_local_names;
+          tc "facts" test_mapping_facts;
+        ] );
+      ( "registry",
+        [
+          tc "projection" test_registry;
+          tc "bad id" test_registry_bad_id;
+          tc "policy integration" test_registry_policy_integration;
+        ] );
+      ( "schema",
+        [
+          tc "subclass closure" test_schema_subclass_closure;
+          tc "subproperty" test_schema_subproperty;
+          tc "domain and range" test_schema_domain_range;
+          tc "cyclic hierarchy terminates" test_schema_cycle_terminates;
+          tc "inferred set" test_schema_inferred_only;
+          tc "policy over superclass" test_schema_policy_over_superclass;
+        ] );
+    ]

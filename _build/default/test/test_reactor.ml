@@ -1,0 +1,277 @@
+(* Tests for the queued (asynchronous) negotiation engine: equivalence
+   with the synchronous engine on the paper scenarios, interleaved
+   concurrent negotiations, quiescence on deadlock, and failure modes. *)
+
+open Peertrust
+open Peertrust_dlp
+module Net = Peertrust_net
+
+let lit = Parser.parse_literal
+
+let granted = function
+  | Negotiation.Granted _ -> true
+  | Negotiation.Denied _ -> false
+
+let run_reactor session ~requester ~target goal =
+  let reactor = Reactor.create session in
+  let id = Reactor.submit reactor ~requester ~target goal in
+  ignore (Reactor.run reactor);
+  Reactor.outcome reactor id
+
+(* ------------------------------------------------------------------ *)
+
+let test_reactor_public_fact () =
+  let session = Session.create () in
+  ignore (Session.add_peer session ~program:{|info(42) $ true.|} "owner");
+  ignore (Session.add_peer session "req");
+  match run_reactor session ~requester:"req" ~target:"owner" (lit "info(X)") with
+  | Negotiation.Granted [ (l, _) ] ->
+      Alcotest.(check string) "instance" "info(42)" (Literal.to_string l)
+  | _ -> Alcotest.fail "expected one instance"
+
+let test_reactor_private_fact_denied () =
+  let session = Session.create () in
+  ignore (Session.add_peer session ~program:{|secret(1).|} "owner");
+  ignore (Session.add_peer session "req");
+  Alcotest.(check bool) "denied" false
+    (granted (run_reactor session ~requester:"req" ~target:"owner" (lit "secret(X)")))
+
+let test_reactor_counter_query () =
+  let session = Session.create () in
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|resource("r") $ cred(Requester) @ "CA" <-{true} haveIt("r").
+           haveIt("r").
+           cred(X) @ "CA" <- cred(X) @ "CA" @ X.|}
+       "owner");
+  ignore
+    (Session.add_peer session
+       ~program:{|cred("req") @ "CA" $ true signedBy ["CA"].|}
+       "req");
+  Alcotest.(check bool) "granted after queued counter-query" true
+    (granted
+       (run_reactor session ~requester:"req" ~target:"owner"
+          (lit {|resource("r")|})))
+
+let test_reactor_scenario1 () =
+  let s = Scenario.scenario1 () in
+  let outcome =
+    run_reactor s.Scenario.s1_session ~requester:"Alice" ~target:"E-Learn"
+      (lit {|discountEnroll(spanish101, "Alice")|})
+  in
+  Alcotest.(check bool) "scenario 1 granted via the queue" true (granted outcome)
+
+let test_reactor_scenario2_free () =
+  let s = Scenario.scenario2 () in
+  let outcome =
+    run_reactor s.Scenario.s2_session ~requester:"Bob" ~target:"E-Learn"
+      (lit {|enroll(cs101, "Bob", "IBM", Email, 0)|})
+  in
+  Alcotest.(check bool) "scenario 2 free course granted" true (granted outcome)
+
+let test_reactor_matches_sync_on_chains () =
+  List.iter
+    (fun depth ->
+      List.iter
+        (fun missing ->
+          (* Synchronous run. *)
+          let w1 = Scenario.policy_chain ~depth ?missing () in
+          let sync =
+            Negotiation.succeeded
+              (Negotiation.request w1.Scenario.cw_session ~requester:"alice"
+                 ~target:"bob" w1.Scenario.cw_goal)
+          in
+          (* Queued run on a fresh world. *)
+          let w2 = Scenario.policy_chain ~depth ?missing () in
+          let async =
+            granted
+              (run_reactor w2.Scenario.cw_session ~requester:"alice"
+                 ~target:"bob" w2.Scenario.cw_goal)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "depth %d missing %s agree" depth
+               (match missing with Some k -> string_of_int k | None -> "-"))
+            sync async)
+        [ None; Some 1; Some depth ])
+    [ 1; 2; 4 ]
+
+let test_reactor_concurrent_negotiations () =
+  (* Several negotiations interleave over one queue; all resolve. *)
+  let w = Scenario.fanout ~width:3 () in
+  let session = w.Scenario.cw_session in
+  let reactor = Reactor.create session in
+  let r1 =
+    Reactor.submit reactor ~requester:"alice" ~target:"bob" w.Scenario.cw_goal
+  in
+  (* A second, failing negotiation in the same world. *)
+  let r2 =
+    Reactor.submit reactor ~requester:"alice" ~target:"bob"
+      (lit {|resource("does-not-exist")|})
+  in
+  (* And a sub-resource request directly for one credential of alice. *)
+  let r3 =
+    Reactor.submit reactor ~requester:"bob" ~target:"alice"
+      (lit {|need1("alice") @ "CA"|})
+  in
+  ignore (Reactor.run reactor);
+  Alcotest.(check bool) "main negotiation granted" true
+    (granted (Reactor.outcome reactor r1));
+  Alcotest.(check bool) "bogus resource denied" false
+    (granted (Reactor.outcome reactor r2));
+  Alcotest.(check bool) "credential request granted" true
+    (granted (Reactor.outcome reactor r3));
+  Alcotest.(check int) "nothing left parked" 0 (Reactor.parked_count reactor)
+
+let test_reactor_marketplace_concurrent () =
+  (* All marketplace goals submitted at once over one queue. *)
+  let mp =
+    Scenario.marketplace ~providers:2 ~learners:3 ~courses_per_provider:2 ()
+  in
+  let reactor = Reactor.create mp.Scenario.mp_session in
+  let requests =
+    List.map
+      (fun (learner, provider, goal) ->
+        Reactor.submit reactor ~requester:learner ~target:provider goal)
+      mp.Scenario.mp_goals
+  in
+  ignore (Reactor.run reactor);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "granted" true
+        (granted (Reactor.outcome reactor id)))
+    requests;
+  Alcotest.(check int) "no parked leftovers" 0 (Reactor.parked_count reactor)
+
+let test_reactor_disclosure_message () =
+  (* A pushed disclosure wakes parked goals. *)
+  let session = Session.create () in
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|resource("r") $ cred(Requester) @ "CA" <-{true} haveIt("r").
+           haveIt("r").|}
+       "owner");
+  ignore (Session.add_peer session "alice");
+  let reactor = Reactor.create session in
+  let id =
+    Reactor.submit reactor ~requester:"alice" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  ignore (Reactor.run reactor);
+  (* Denied: alice has no credential and no redirect path exists. *)
+  Alcotest.(check bool) "denied without credential" false
+    (granted (Reactor.outcome reactor id))
+
+let test_reactor_deadlock_quiesces () =
+  let session = Session.create () in
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|a("o") $ b(Requester) @ "CA" <-{true} a("o").
+           a("o") @ "CA" signedBy ["CA"].
+           b(X) @ "CA" <- b(X) @ "CA" @ X.|}
+       "owner");
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|b("req") $ a(Requester) @ "CA" <-{true} b("req").
+           b("req") @ "CA" signedBy ["CA"].
+           a(X) @ "CA" <- a(X) @ "CA" @ X.|}
+       "req");
+  let reactor = Reactor.create session in
+  let id = Reactor.submit reactor ~requester:"req" ~target:"owner" (lit {|a("o")|}) in
+  let steps = Reactor.run reactor in
+  Alcotest.(check bool) "terminates" true (steps < 1000);
+  Alcotest.(check bool) "denied" false (granted (Reactor.outcome reactor id));
+  Alcotest.(check int) "no goals left parked" 0 (Reactor.parked_count reactor)
+
+let test_reactor_unreachable_target () =
+  let session = Session.create () in
+  ignore (Session.add_peer session ~program:{|info(1) $ true.|} "owner");
+  ignore (Session.add_peer session "req");
+  Net.Network.set_down session.Session.network "owner" true;
+  Alcotest.(check bool) "denied" false
+    (granted (run_reactor session ~requester:"req" ~target:"owner" (lit "info(X)")))
+
+let test_reactor_message_budget () =
+  let session = Session.create ~max_messages:2 () in
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|resource("r") $ cred(Requester) @ "CA" <-{true} haveIt("r").
+           haveIt("r").
+           cred(X) @ "CA" <- cred(X) @ "CA" @ X.|}
+       "owner");
+  ignore
+    (Session.add_peer session
+       ~program:{|cred("req") @ "CA" $ true signedBy ["CA"].|}
+       "req");
+  let reactor = Reactor.create session in
+  let id =
+    Reactor.submit reactor ~requester:"req" ~target:"owner" (lit {|resource("r")|})
+  in
+  ignore (Reactor.run reactor);
+  match Reactor.outcome reactor id with
+  | Negotiation.Denied "message budget exhausted" -> ()
+  | Negotiation.Denied r -> Alcotest.failf "unexpected denial: %s" r
+  | Negotiation.Granted _ -> Alcotest.fail "should hit the budget"
+
+let test_reactor_result_before_run () =
+  let session = Session.create () in
+  ignore (Session.add_peer session ~program:{|info(1) $ true.|} "owner");
+  ignore (Session.add_peer session "req");
+  let reactor = Reactor.create session in
+  let id = Reactor.submit reactor ~requester:"req" ~target:"owner" (lit "info(X)") in
+  Alcotest.(check bool) "unresolved before run" true
+    (Reactor.result reactor id = None);
+  ignore (Reactor.run reactor);
+  Alcotest.(check bool) "resolved after run" true
+    (Reactor.result reactor id <> None)
+
+let test_reactor_chain_discovery () =
+  (* Deep chains work through the queue as well. *)
+  let session, root, _ =
+    Chain.linear_world ~depth:6 ~pred:"member" ~subject:"sam" ()
+  in
+  ignore (Session.add_peer session "client");
+  let outcome =
+    run_reactor session ~requester:"client" ~target:root
+      (lit {|member("sam")|})
+  in
+  Alcotest.(check bool) "chain resolves through the queue" true (granted outcome);
+  let client = Session.peer session "client" in
+  Alcotest.(check bool) "certificates relayed" true
+    (Hashtbl.length client.Peer.certs >= 7)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "reactor"
+    [
+      ( "basics",
+        [
+          tc "public fact" test_reactor_public_fact;
+          tc "private fact denied" test_reactor_private_fact_denied;
+          tc "counter-query" test_reactor_counter_query;
+          tc "result before run" test_reactor_result_before_run;
+        ] );
+      ( "scenarios",
+        [
+          tc "scenario 1" test_reactor_scenario1;
+          tc "scenario 2 free course" test_reactor_scenario2_free;
+          tc "agrees with sync engine" test_reactor_matches_sync_on_chains;
+          tc "chain discovery" test_reactor_chain_discovery;
+        ] );
+      ( "concurrency",
+        [
+          tc "interleaved negotiations" test_reactor_concurrent_negotiations;
+          tc "marketplace over one queue" test_reactor_marketplace_concurrent;
+          tc "missing credential denied" test_reactor_disclosure_message;
+        ] );
+      ( "failure",
+        [
+          tc "deadlock quiesces" test_reactor_deadlock_quiesces;
+          tc "unreachable target" test_reactor_unreachable_target;
+          tc "message budget" test_reactor_message_budget;
+        ] );
+    ]
