@@ -6,15 +6,18 @@
    experiments the paper's claims imply (see DESIGN.md and EXPERIMENTS.md).
 
    Usage:
-     bench/main.exe          run every experiment (E1..E10)
-     bench/main.exe e3 e5    run selected experiments
-     bench/main.exe micro    Bechamel micro-benchmarks
+     bench/main.exe                 run every experiment (E1..E10)
+     bench/main.exe e3 e5           run selected experiments
+     bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe --metrics-dir D write BENCH_<name>.json metric
+                                    snapshots into directory D (default ".")
 *)
 
 open Peertrust
 module Dlp = Peertrust_dlp
 module Crypto = Peertrust_crypto
 module Net = Peertrust_net
+module Pobs = Peertrust_obs
 
 (* ------------------------------------------------------------------ *)
 (* Small table printer *)
@@ -827,18 +830,37 @@ let experiments =
     ("e11", e11); ("e12", e12); ("e13", e13);
   ]
 
+(* Run one experiment with a fresh metrics registry and drop the snapshot
+   as BENCH_<name>.json next to the tables (schema: Peertrust_obs.Registry). *)
+let with_metrics dir name f =
+  Pobs.Obs.reset_metrics ();
+  f ();
+  let file = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+  (try Pobs.Export.write_metrics_json ~label:name file (Pobs.Obs.snapshot ())
+   with Sys_error reason ->
+     Printf.eprintf "error: cannot write metrics (%s)\n" reason;
+     exit 1);
+  Printf.printf "  metrics: %s\n" file;
+  flush stdout
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_args dir acc = function
+    | [] -> (dir, List.rev acc)
+    | "--metrics-dir" :: d :: rest -> split_args (Some d) acc rest
+    | a :: rest -> split_args dir (a :: acc) rest
+  in
+  let dir, args = split_args None [] (List.tl (Array.to_list Sys.argv)) in
+  let dir = Option.value dir ~default:"." in
   match args with
   | [] ->
       Printf.printf "PeerTrust benchmark harness — all experiments\n";
-      List.iter (fun (_, f) -> f ()) experiments
+      List.iter (fun (name, f) -> with_metrics dir name f) experiments
   | [ "micro" ] -> micro ()
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt (String.lowercase_ascii name) experiments with
-          | Some f -> f ()
+          | Some f -> with_metrics dir (String.lowercase_ascii name) f
           | None ->
               if name = "micro" then micro ()
               else begin

@@ -10,6 +10,7 @@
 
 open Cmdliner
 module Dlp = Peertrust_dlp
+module Pobs = Peertrust_obs
 open Peertrust
 
 let setup_logs verbose =
@@ -18,6 +19,61 @@ let setup_logs verbose =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by negotiate and scenario *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write a metrics JSON snapshot of the run here.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a JSONL span log of the run here.")
+
+(* Reset the global metrics, install a tracer on the session clock when
+   spans are wanted (a trace file or -v), and return the finaliser that
+   writes the artifacts and, under -v, renders the span tree. *)
+let setup_obs ~verbose ~metrics_out ~trace_out session =
+  Pobs.Obs.reset_metrics ();
+  let tracing = verbose || trace_out <> None in
+  if tracing then begin
+    let clock = Peertrust_net.Network.clock session.Session.network in
+    Pobs.Obs.set_tracer
+      (Pobs.Tracer.create ~now:(fun () -> Peertrust_net.Clock.now clock) ())
+  end;
+  fun () ->
+    let spans = Pobs.Obs.spans () in
+    let write what file f =
+      try f file
+      with Sys_error reason ->
+        Printf.eprintf "error: cannot write %s to %s (%s)\n" what file reason;
+        exit 1
+    in
+    Option.iter
+      (fun file ->
+        write "trace" file (fun file ->
+            Pobs.Export.write_spans_jsonl file spans);
+        Printf.printf "trace: %d span(s) written to %s\n" (List.length spans)
+          file)
+      trace_out;
+    Option.iter
+      (fun file ->
+        write "metrics" file (fun file ->
+            Pobs.Export.write_metrics_json file (Pobs.Obs.snapshot ()));
+        Printf.printf "metrics written to %s\n" file)
+      metrics_out;
+    if verbose && spans <> [] then begin
+      print_endline "spans:";
+      print_string (Pobs.Export.span_tree spans)
+    end;
+    Pobs.Obs.disable_tracing ()
 
 let read_file path =
   let ic = open_in_bin path in
@@ -143,7 +199,7 @@ let forward_cmd =
 
 let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
-      narrative mermaid wallet save_wallet save_world =
+      narrative mermaid wallet save_wallet save_world metrics_out trace_out =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
     let session = Session.create () in
@@ -178,6 +234,7 @@ let negotiate_cmd =
           Printf.eprintf "unknown strategy %S\n" other;
           exit 1
     in
+    let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
     let report =
       Strategy.negotiate_str session ~strategy ~requester ~target goal
     in
@@ -209,6 +266,7 @@ let negotiate_cmd =
         Persist.save session ~dir;
         Printf.printf "world saved to %s\n" dir)
       save_world;
+    finish_obs ();
     exit (if Negotiation.succeeded report then 0 else 2)
   in
   let peers =
@@ -280,7 +338,8 @@ let negotiate_cmd =
     (Cmd.info "negotiate" ~doc:"Run a trust negotiation between peers.")
     Term.(
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
-      $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world)
+      $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -438,7 +497,8 @@ let analyze_cmd =
 (* scenario *)
 
 let scenario_cmd =
-  let run name =
+  let run verbose name metrics_out trace_out =
+    setup_logs verbose;
     let show (r : Negotiation.report) =
       Format.printf "%a@." Negotiation.pp_report r;
       List.iter
@@ -448,20 +508,27 @@ let scenario_cmd =
             e.Peertrust_net.Network.summary)
         r.Negotiation.transcript
     in
+    let with_obs session body =
+      let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
+      Fun.protect ~finally:finish_obs body
+    in
     match name with
     | "elearn" ->
         let s = Scenario.scenario1 () in
-        show
-          (Negotiation.request_str s.Scenario.s1_session ~requester:"Alice"
-             ~target:"E-Learn" {|discountEnroll(spanish101, "Alice")|})
+        with_obs s.Scenario.s1_session (fun () ->
+            show
+              (Negotiation.request_str s.Scenario.s1_session ~requester:"Alice"
+                 ~target:"E-Learn" {|discountEnroll(spanish101, "Alice")|}))
     | "services" ->
         let s = Scenario.scenario2 () in
-        show
-          (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
-             ~target:"E-Learn" {|enroll(cs101, "Bob", "IBM", Email, 0)|});
-        show
-          (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
-             ~target:"E-Learn" {|enroll(cs411, "Bob", "IBM", Email, Price)|})
+        with_obs s.Scenario.s2_session (fun () ->
+            show
+              (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
+                 ~target:"E-Learn" {|enroll(cs101, "Bob", "IBM", Email, 0)|});
+            show
+              (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
+                 ~target:"E-Learn"
+                 {|enroll(cs411, "Bob", "IBM", Email, Price)|}))
     | other ->
         Printf.eprintf "unknown scenario %S (try elearn or services)\n" other;
         exit 1
@@ -474,7 +541,9 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
-    Term.(const run $ scenario_name)
+    Term.(
+      const run $ verbose_arg $ scenario_name $ metrics_out_arg
+      $ trace_out_arg)
 
 let () =
   let info =

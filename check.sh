@@ -1,0 +1,7 @@
+#!/bin/sh
+# Pre-merge gate: build, test, and formatting check.
+set -eux
+
+dune build
+dune runtest
+dune build @fmt

@@ -1,6 +1,10 @@
 open Peertrust_dlp
 module Net = Peertrust_net
 module Crypto = Peertrust_crypto
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+module Ojson = Peertrust_obs.Json
 
 type instance = Literal.t * Trace.t option
 
@@ -9,6 +13,13 @@ let src = Logs.Src.create "peertrust.engine" ~doc:"PeerTrust negotiation engine"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 let fresh_counter = ref 0
+
+let m_queries = Obs.counter "engine.queries"
+let m_answers = Obs.counter "engine.answers"
+let m_denials = Obs.counter "engine.denials"
+let m_certs_learned = Obs.counter "engine.certs_learned"
+let m_certs_rejected = Obs.counter "engine.certs_rejected"
+let h_proof_depth = Obs.histogram "engine.proof_depth"
 
 let learn ?from_ session peer certs =
   let ok (cert : Crypto.Cert.t) =
@@ -19,43 +30,65 @@ let learn ?from_ session peer certs =
   in
   List.iter
     (fun (c : Crypto.Cert.t) ->
-      if ok c then Peer.add_cert ?origin:from_ peer c
-      else
+      if ok c then begin
+        Metric.incr m_certs_learned;
+        Peer.add_cert ?origin:from_ peer c
+      end
+      else begin
+        Metric.incr m_certs_rejected;
         Log.warn (fun m ->
             m "%s rejects certificate #%d (verification failed)"
-              peer.Peer.name c.Crypto.Cert.serial))
+              peer.Peer.name c.Crypto.Cert.serial)
+      end)
     certs
 
 (* Remote dispatch used from inside a peer's local SLD evaluation: pop the
    outermost authority and ship the literal to that peer. *)
 let rec remote_callback session peer ~target lit =
-  if !(session.Session.depth) >= session.Session.config.Session.max_hops then []
-  else begin
-    incr session.Session.depth;
-    Fun.protect
-      ~finally:(fun () -> decr session.Session.depth)
-      (fun () ->
-        match
-          Net.Network.send session.Session.network ~from:peer.Peer.name ~target
-            (Net.Message.Query { goal = lit })
-        with
-        | exception Net.Network.Unreachable _ -> []
-        | Net.Message.Answer { instances; certs; _ } ->
-            learn ~from_:target session peer certs;
-            (* Cache each received instance as a "[target] says" fact —
-               the paper's axiom converting a literal received from peer P
-               into [lit @ P] — so later goals about it resolve locally. *)
-            List.iter
-              (fun (inst, _) ->
-                if Literal.is_ground inst then
-                  Peer.add_rule peer
-                    (Rule.fact (Literal.push_authority inst (Term.Str target))))
-              instances;
-            instances
-        | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
-        | Net.Message.Query _ ->
-            [])
-  end
+  Metric.incr m_queries;
+  let run () =
+    if !(session.Session.depth) >= session.Session.config.Session.max_hops
+    then []
+    else begin
+      incr session.Session.depth;
+      Fun.protect
+        ~finally:(fun () -> decr session.Session.depth)
+        (fun () ->
+          match
+            Net.Network.send session.Session.network ~from:peer.Peer.name
+              ~target
+              (Net.Message.Query { goal = lit })
+          with
+          | exception Net.Network.Unreachable _ -> []
+          | Net.Message.Answer { instances; certs; _ } ->
+              learn ~from_:target session peer certs;
+              (* Cache each received instance as a "[target] says" fact —
+                 the paper's axiom converting a literal received from peer P
+                 into [lit @ P] — so later goals about it resolve locally. *)
+              List.iter
+                (fun (inst, _) ->
+                  if Literal.is_ground inst then
+                    Peer.add_rule peer
+                      (Rule.fact
+                         (Literal.push_authority inst (Term.Str target))))
+                instances;
+              instances
+          | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
+          | Net.Message.Query _ ->
+              [])
+    end
+  in
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then
+    Otracer.with_span tracer
+      ~attrs:
+        [
+          ("requester", Ojson.Str peer.Peer.name);
+          ("target", Ojson.Str target);
+          ("goal", Ojson.Str (Literal.to_string lit));
+        ]
+      "query" run
+  else run ()
 
 and evaluate ?(allow_remote = true) ?remote ?solutions ?requester session
     peer goals =
@@ -151,7 +184,7 @@ let releasable_proof_certs ?allow_remote ?remote session peer ~requester
              | Policy.Denied _ -> None))
   |> dedup_certs
 
-let answer ?(allow_remote = true) ?remote session peer ~requester goal =
+let answer_body ?(allow_remote = true) ?remote session peer ~requester goal =
   if not (Peer.enter peer ~requester goal) then Error "cycle"
   else
     Fun.protect
@@ -252,6 +285,11 @@ let answer ?(allow_remote = true) ?remote session peer ~requester goal =
                                          body_proofs ))
                                 else None
                               in
+                              List.iter
+                                (fun p ->
+                                  Metric.observe_int h_proof_depth
+                                    (Trace.depth p))
+                                body_proofs;
                               results := (instance, proof) :: !results
                         end
                       in
@@ -382,6 +420,34 @@ let answer ?(allow_remote = true) ?remote session peer ~requester goal =
                 peer.Peer.certs []
             in
             Ok (instances, dedup_certs (!certs @ relayed)))
+
+let answer ?allow_remote ?remote session peer ~requester goal =
+  let run () = answer_body ?allow_remote ?remote session peer ~requester goal in
+  let result =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer
+        ~attrs:
+          [
+            ("peer", Ojson.Str peer.Peer.name);
+            ("requester", Ojson.Str requester);
+            ("goal", Ojson.Str (Literal.to_string goal));
+          ]
+        "answer"
+        (fun () ->
+          let r = run () in
+          Otracer.set_attr tracer "outcome"
+            (Ojson.Str
+               (match r with
+               | Ok _ -> "granted"
+               | Error reason -> "denied: " ^ reason));
+          r)
+    else run ()
+  in
+  (match result with
+  | Ok _ -> Metric.incr m_answers
+  | Error _ -> Metric.incr m_denials);
+  result
 
 let handler session peer : Net.Network.handler =
  fun ~from payload ->

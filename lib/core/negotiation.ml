@@ -1,5 +1,9 @@
 open Peertrust_dlp
 module Net = Peertrust_net
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+module Ojson = Peertrust_obs.Json
 
 type outcome = Granted of Engine.instance list | Denied of string
 
@@ -14,7 +18,15 @@ type report = {
 
 let succeeded r = match r.outcome with Granted _ -> true | Denied _ -> false
 
-let measure session run =
+let m_negotiations = Obs.counter "negotiation.count"
+let m_granted = Obs.counter "negotiation.granted"
+let m_denied = Obs.counter "negotiation.denied"
+let h_messages = Obs.histogram "negotiation.messages"
+let h_bytes = Obs.histogram "negotiation.bytes"
+let h_disclosures = Obs.histogram "negotiation.disclosures"
+let h_ticks = Obs.histogram "negotiation.ticks"
+
+let measure_inner session run =
   let net = session.Session.network in
   let stats = Net.Network.stats net in
   let clock = Net.Network.clock net in
@@ -40,6 +52,27 @@ let measure session run =
     elapsed = Net.Clock.now clock - t0;
     transcript;
   }
+
+let measure session run =
+  let report =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer "negotiation" (fun () ->
+          let r = measure_inner session run in
+          Otracer.set_attr tracer "outcome"
+            (Ojson.Str (if succeeded r then "granted" else "denied"));
+          Otracer.set_attr tracer "messages" (Ojson.Int r.messages);
+          Otracer.set_attr tracer "disclosures" (Ojson.Int r.disclosures);
+          r)
+    else measure_inner session run
+  in
+  Metric.incr m_negotiations;
+  Metric.incr (if succeeded report then m_granted else m_denied);
+  Metric.observe_int h_messages report.messages;
+  Metric.observe_int h_bytes report.bytes;
+  Metric.observe_int h_disclosures report.disclosures;
+  Metric.observe_int h_ticks report.elapsed;
+  report
 
 let request session ~requester ~target goal =
   measure session (fun () ->

@@ -1,9 +1,18 @@
 open Peertrust_dlp
 module Net = Peertrust_net
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
 
 let src = Logs.Src.create "peertrust.reactor" ~doc:"PeerTrust queued engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_steps = Obs.counter "reactor.steps"
+let m_posts = Obs.counter "reactor.posts"
+let m_parks = Obs.counter "reactor.parks"
+let m_quiescence_breaks = Obs.counter "reactor.quiescence_breaks"
+let h_steps = Obs.histogram "reactor.steps_per_run"
 
 type parked = {
   pk_peer : string;  (* the peer holding the goal *)
@@ -55,6 +64,7 @@ let goal_key = Peer.goal_key
    unreachable target of a query turns into a synthetic denial; other
    payloads to unreachable peers are dropped. *)
 let post t ~from ~target payload =
+  Metric.incr m_posts;
   match Net.Network.notify t.session.Session.network ~from ~target payload with
   | () -> Queue.add (from, target, payload) t.queue
   | exception Net.Network.Unreachable _ -> (
@@ -146,6 +156,7 @@ let handle_query t peer ~from goal =
   match evaluate_goal t peer ~requester:from goal ~respond with
   | `Settled -> ()
   | `Parked waiting ->
+      Metric.incr m_parks;
       Log.debug (fun m ->
           m "%s parks %s for %s (%d sub-quer%s outstanding)" peer.Peer.name
             (Literal.to_string goal) from (List.length waiting)
@@ -241,12 +252,16 @@ let break_quiescence t =
       | None -> false)
   | [], [] -> false
 
-let run ?(max_steps = 100_000) t =
+let run_inner ?(max_steps = 100_000) t =
   let steps = ref 0 in
   let continue = ref true in
   while !continue && !steps < max_steps && not t.budget_hit do
-    if step t then incr steps
-    else if not (break_quiescence t) then continue := false
+    if step t then begin
+      incr steps;
+      Metric.incr m_steps
+    end
+    else if break_quiescence t then Metric.incr m_quiescence_breaks
+    else continue := false
   done;
   if t.budget_hit then
     List.iter
@@ -257,6 +272,19 @@ let run ?(max_steps = 100_000) t =
         | None -> ())
       t.parked;
   !steps
+
+let run ?max_steps t =
+  let steps =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer "reactor.run" (fun () ->
+          let steps = run_inner ?max_steps t in
+          Otracer.set_attr tracer "steps" (Peertrust_obs.Json.Int steps);
+          steps)
+    else run_inner ?max_steps t
+  in
+  Metric.observe_int h_steps steps;
+  steps
 
 let result t id = Hashtbl.find_opt t.results id
 

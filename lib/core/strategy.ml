@@ -1,7 +1,23 @@
 open Peertrust_dlp
 module Net = Peertrust_net
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
 
 type t = Relevant | Eager | Push_relevant
+
+let m_eager_rounds = Obs.counter "strategy.eager_rounds"
+
+(* One disclosure round of the eager strategies, as a [round] span when
+   tracing is on. *)
+let in_round n f =
+  Metric.incr m_eager_rounds;
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then
+    Otracer.with_span tracer
+      ~attrs:[ ("n", Peertrust_obs.Json.Int n) ]
+      "round" f
+  else f ()
 
 let all = [ Relevant; Eager; Push_relevant ]
 
@@ -65,23 +81,26 @@ let run_eager session ~requester ~target goal =
       let rec round n =
         if n > eager_rounds_limit then
           Negotiation.Denied "eager rounds limit exceeded"
-        else begin
-          match
-            Net.Network.send net ~from:requester ~target
-              (Net.Message.Query { goal })
-          with
-          | Net.Message.Answer { instances; certs; _ } ->
-              Engine.learn ~from_:target session r_peer certs;
-              Negotiation.Granted instances
-          | Net.Message.Deny _ ->
-              let p1 = push r_peer target in
-              let p2 = push t_peer requester in
-              if p1 || p2 then round (n + 1)
-              else Negotiation.Denied "no safe disclosure sequence"
-          | Net.Message.Query _ | Net.Message.Disclosure _ | Net.Message.Ack
-            ->
-              Negotiation.Denied "protocol error"
-        end
+        else
+          let decision =
+            in_round n (fun () ->
+                match
+                  Net.Network.send net ~from:requester ~target
+                    (Net.Message.Query { goal })
+                with
+                | Net.Message.Answer { instances; certs; _ } ->
+                    Engine.learn ~from_:target session r_peer certs;
+                    `Done (Negotiation.Granted instances)
+                | Net.Message.Deny _ ->
+                    let p1 = push r_peer target in
+                    let p2 = push t_peer requester in
+                    if p1 || p2 then `Retry
+                    else `Done (Negotiation.Denied "no safe disclosure sequence")
+                | Net.Message.Query _ | Net.Message.Disclosure _
+                | Net.Message.Ack ->
+                    `Done (Negotiation.Denied "protocol error"))
+          in
+          match decision with `Done o -> o | `Retry -> round (n + 1)
       in
       round 1)
 
@@ -131,21 +150,24 @@ let run_eager_multi session ~participants ~requester ~target goal =
       let rec round n =
         if n > eager_rounds_limit then
           Negotiation.Denied "eager rounds limit exceeded"
-        else begin
-          match
-            Net.Network.send net ~from:requester ~target
-              (Net.Message.Query { goal })
-          with
-          | Net.Message.Answer { instances; certs; _ } ->
-              Engine.learn ~from_:target session r_peer certs;
-              Negotiation.Granted instances
-          | Net.Message.Deny _ ->
-              if push_round () then round (n + 1)
-              else Negotiation.Denied "no safe disclosure sequence"
-          | Net.Message.Query _ | Net.Message.Disclosure _ | Net.Message.Ack
-            ->
-              Negotiation.Denied "protocol error"
-        end
+        else
+          let decision =
+            in_round n (fun () ->
+                match
+                  Net.Network.send net ~from:requester ~target
+                    (Net.Message.Query { goal })
+                with
+                | Net.Message.Answer { instances; certs; _ } ->
+                    Engine.learn ~from_:target session r_peer certs;
+                    `Done (Negotiation.Granted instances)
+                | Net.Message.Deny _ ->
+                    if push_round () then `Retry
+                    else `Done (Negotiation.Denied "no safe disclosure sequence")
+                | Net.Message.Query _ | Net.Message.Disclosure _
+                | Net.Message.Ack ->
+                    `Done (Negotiation.Denied "protocol error"))
+          in
+          match decision with `Done o -> o | `Retry -> round (n + 1)
       in
       round 1)
 

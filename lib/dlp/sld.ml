@@ -1,6 +1,18 @@
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+
 type options = { max_depth : int; max_solutions : int }
 
 let default_options = { max_depth = 64; max_solutions = 32 }
+
+(* Always-on counters (a field update each); spans only when a tracer is
+   installed. *)
+let m_queries = Obs.counter "sld.queries"
+let m_steps = Obs.counter "sld.steps"
+let m_depth_cutoffs = Obs.counter "sld.depth_cutoffs"
+let m_solutions = Obs.counter "sld.solutions"
+let h_steps = Obs.histogram "sld.steps_per_query"
 
 type answer = { subst : Subst.t; proofs : Trace.t list }
 type external_fn = Literal.t -> Subst.t -> Subst.t list
@@ -31,7 +43,7 @@ let peer_name_of_term = function
   | Term.Str s | Term.Atom s -> Some s
   | Term.Var _ | Term.Int _ | Term.Compound _ -> None
 
-let solve ?(options = default_options) ?(externals = no_externals)
+let solve_body ?(options = default_options) ?(externals = no_externals)
     ?(remote = no_remote) ?(bindings = []) ~self kb goals =
   let initial =
     let s =
@@ -65,7 +77,8 @@ let solve ?(options = default_options) ?(externals = no_externals)
      absence of a remote answer is not evidence of falsity. *)
   let remote_enabled = ref true in
   let rec prove_one goal subst depth ancestors k =
-    if depth <= 0 then ()
+    Metric.incr m_steps;
+    if depth <= 0 then Metric.incr m_depth_cutoffs
     else
       let goal = strip_self subst (Literal.apply subst goal) in
       match Literal.naf_inner goal with
@@ -184,6 +197,28 @@ let solve ?(options = default_options) ?(externals = no_externals)
          if !count >= options.max_solutions then raise Enough)
    with Enough -> ());
   List.rev !results
+
+let solve ?options ?externals ?remote ?bindings ~self kb goals =
+  Metric.incr m_queries;
+  let steps_before = Metric.value m_steps in
+  let run () = solve_body ?options ?externals ?remote ?bindings ~self kb goals in
+  let result =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer
+        ~attrs:
+          [
+            ( "goal",
+              Peertrust_obs.Json.Str
+                (String.concat ", " (List.map Literal.to_string goals)) );
+            ("self", Peertrust_obs.Json.Str self);
+          ]
+        "sld.solve" run
+    else run ()
+  in
+  Metric.observe_int h_steps (Metric.value m_steps - steps_before);
+  Metric.add m_solutions (List.length result);
+  result
 
 let provable ?options ?externals ?remote ?bindings ~self kb goals =
   let opts =

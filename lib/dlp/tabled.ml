@@ -1,4 +1,15 @@
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+
 exception Unsupported of string
+
+let m_queries = Obs.counter "tabled.queries"
+let m_rounds = Obs.counter "tabled.rounds"
+let m_table_hits = Obs.counter "tabled.table_hits"
+let m_table_misses = Obs.counter "tabled.table_misses"
+let m_answers = Obs.counter "tabled.answers"
+let h_tables = Obs.histogram "tabled.tables_per_query"
 
 type entry = {
   call : Literal.t;  (* the generalised call this table answers *)
@@ -20,7 +31,7 @@ let strip_self_auth ~self lit =
   in
   go lit
 
-let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
+let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
     ?(externals = fun _ -> None) ?(bindings = []) ~self kb goals =
   (* Reject NAF anywhere in the program or query up front. *)
   let check_naf l =
@@ -53,8 +64,11 @@ let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
   let get_table lit =
     let key = skeleton lit in
     match Hashtbl.find_opt tables key with
-    | Some e -> e
+    | Some e ->
+        Metric.incr m_table_hits;
+        e
     | None ->
+        Metric.incr m_table_misses;
         let e = { call = lit; answers = []; keys = Hashtbl.create 8 } in
         Hashtbl.add tables key e;
         changed := true;
@@ -66,6 +80,7 @@ let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
       Hashtbl.add e.keys key ();
       e.answers <- inst :: e.answers;
       incr total_answers;
+      Metric.incr m_answers;
       changed := true
     end
   in
@@ -129,6 +144,7 @@ let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
   while !changed && !rounds < max_rounds && !total_answers < max_answers do
     changed := false;
     incr rounds;
+    Metric.incr m_rounds;
     (* Snapshot: entries created during the sweep are evaluated next
        round (their creation set [changed]). *)
     let snapshot = Hashtbl.fold (fun _ e acc -> e :: acc) tables [] in
@@ -152,6 +168,28 @@ let solve ?(max_rounds = 10_000) ?(max_answers = 100_000)
          with
          | exception Invalid_argument _ -> None
          | s -> s)
+
+let solve ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
+  Metric.incr m_queries;
+  let run () =
+    solve_body ?max_rounds ?max_answers ?externals ?bindings ~self kb goals
+  in
+  let result =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer
+        ~attrs:
+          [
+            ( "goal",
+              Peertrust_obs.Json.Str
+                (String.concat ", " (List.map Literal.to_string goals)) );
+            ("self", Peertrust_obs.Json.Str self);
+          ]
+        "tabled.solve" run
+    else run ()
+  in
+  Metric.observe_int h_tables !last_table_count;
+  result
 
 let provable ?max_rounds ?externals ?bindings ~self kb goals =
   solve ?max_rounds ?externals ?bindings ~self kb goals <> []

@@ -1,7 +1,29 @@
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+
 exception Unreachable of string
 exception Budget_exhausted
 
 type handler = from:string -> Message.payload -> Message.payload
+
+(* The registry mirror of {!Stats}: process-wide totals that survive
+   across sessions and export with the rest of the metrics. *)
+let m_messages = Obs.counter "net.messages"
+let m_bytes = Obs.counter "net.bytes"
+let m_kind_query = Obs.counter "net.messages.query"
+let m_kind_answer = Obs.counter "net.messages.answer"
+let m_kind_deny = Obs.counter "net.messages.deny"
+let m_kind_disclosure = Obs.counter "net.messages.disclosure"
+let m_kind_other = Obs.counter "net.messages.other"
+let h_message_bytes = Obs.histogram "net.message_bytes"
+
+let kind_counter = function
+  | Stats.Query -> m_kind_query
+  | Stats.Answer -> m_kind_answer
+  | Stats.Deny -> m_kind_deny
+  | Stats.Disclosure -> m_kind_disclosure
+  | Stats.Other -> m_kind_other
 
 type entry = {
   time : int;
@@ -62,20 +84,29 @@ let deliver t ~from ~target payload =
   | Some budget when Stats.messages t.stats >= budget -> raise Budget_exhausted
   | Some _ | None -> ());
   let bytes_ = Message.size payload in
+  let kind = Message.kind payload in
   Clock.advance t.clock (link_latency t ~from ~target);
-  Stats.record t.stats (Message.kind payload) ~bytes_ ~from ~target;
+  Stats.record t.stats kind ~bytes_ ~from ~target;
+  Metric.incr m_messages;
+  Metric.add m_bytes bytes_;
+  Metric.incr (kind_counter kind);
+  Metric.observe_int h_message_bytes bytes_;
+  let summary = Message.summary payload in
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then
+    Otracer.event tracer (Printf.sprintf "%s -> %s: %s" from target summary);
   t.log <-
     {
       time = Clock.now t.clock;
       from;
       target;
-      summary = Message.summary payload;
+      summary;
       bytes_;
       certs_ = Message.cert_count payload;
     }
     :: t.log
 
-let send t ~from ~target payload =
+let send_inner t ~from ~target payload =
   if is_down t target then raise (Unreachable target);
   match Hashtbl.find_opt t.peers target with
   | None -> raise (Unreachable target)
@@ -84,6 +115,22 @@ let send t ~from ~target payload =
       let response = handler ~from payload in
       deliver t ~from:target ~target:from response;
       response
+
+let send t ~from ~target payload =
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then
+    Otracer.with_span tracer
+      ~attrs:
+        [
+          ("from", Peertrust_obs.Json.Str from);
+          ("target", Peertrust_obs.Json.Str target);
+          ( "kind",
+            Peertrust_obs.Json.Str
+              (Stats.kind_to_string (Message.kind payload)) );
+        ]
+      "net.send"
+      (fun () -> send_inner t ~from ~target payload)
+  else send_inner t ~from ~target payload
 
 let notify t ~from ~target payload =
   if is_down t target then raise (Unreachable target);

@@ -5,6 +5,7 @@ type t = {
   mutable total_bytes : int;
   by_kind : (kind, int) Hashtbl.t;
   by_pair : (string * string, int) Hashtbl.t;
+  peer_set : (string, unit) Hashtbl.t;  (* membership *)
   mutable peers : string list;  (* reverse first-seen order *)
 }
 
@@ -14,13 +15,18 @@ let create () =
     total_bytes = 0;
     by_kind = Hashtbl.create 8;
     by_pair = Hashtbl.create 16;
+    peer_set = Hashtbl.create 16;
     peers = [];
   }
 
 let bump tbl key by =
   Hashtbl.replace tbl key (by + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-let see t p = if not (List.mem p t.peers) then t.peers <- p :: t.peers
+let see t p =
+  if not (Hashtbl.mem t.peer_set p) then begin
+    Hashtbl.add t.peer_set p ();
+    t.peers <- p :: t.peers
+  end
 
 let record t kind ~bytes_ ~from ~target =
   t.total <- t.total + 1;
@@ -42,6 +48,7 @@ let reset t =
   t.total_bytes <- 0;
   Hashtbl.reset t.by_kind;
   Hashtbl.reset t.by_pair;
+  Hashtbl.reset t.peer_set;
   t.peers <- []
 
 let kind_to_string = function

@@ -1,0 +1,58 @@
+(* Structured exporters: a JSONL span log, a metrics JSON snapshot, and
+   the human-readable span tree. *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* ------------------------------------------------------------------ *)
+(* Spans: JSONL, one span object per line, in start order *)
+
+let spans_to_jsonl spans =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun span ->
+      Json.to_buffer buf (Span.to_json span);
+      Buffer.add_char buf '\n')
+    spans;
+  Buffer.contents buf
+
+let spans_of_jsonl text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.of_string line with
+        | Error e -> Error e
+        | Ok j -> (
+            match Span.of_json j with
+            | Some span -> go (span :: acc) rest
+            | None -> Error (Printf.sprintf "not a span record: %s" line)))
+  in
+  go [] lines
+
+let write_spans_jsonl path spans = write_file path (spans_to_jsonl spans)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshot *)
+
+let metrics_to_string ?label snap =
+  Json.to_string (Registry.to_json ?label snap) ^ "\n"
+
+let metrics_of_string text =
+  match Json.of_string (String.trim text) with
+  | Error e -> Error e
+  | Ok j -> Registry.of_json j
+
+let write_metrics_json ?label path snap =
+  write_file path (metrics_to_string ?label snap)
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable span tree *)
+
+let span_tree = Span.tree_to_string

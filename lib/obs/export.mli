@@ -1,0 +1,25 @@
+(** Structured exporters for traces and metrics.
+
+    Three formats:
+    - a JSONL span log (one {!Span.to_json} object per line, start order),
+    - a metrics JSON snapshot under {!Registry.schema_version} — the same
+      schema the benchmark harness writes to [BENCH_*.json],
+    - a human-readable span tree for terminal output.
+
+    Each serialiser has an inverse, used by the round-trip tests and by
+    external tooling that consumes the artifacts. *)
+
+val spans_to_jsonl : Span.t list -> string
+val spans_of_jsonl : string -> (Span.t list, string) result
+
+val write_spans_jsonl : string -> Span.t list -> unit
+(** @raise Sys_error on unwritable paths. *)
+
+val metrics_to_string : ?label:string -> Registry.snapshot -> string
+val metrics_of_string : string -> (Registry.snapshot, string) result
+
+val write_metrics_json : ?label:string -> string -> Registry.snapshot -> unit
+(** @raise Sys_error on unwritable paths. *)
+
+val span_tree : Span.t list -> string
+(** {!Span.tree_to_string}. *)

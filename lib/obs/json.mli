@@ -1,0 +1,31 @@
+(** Minimal JSON values: enough for the observability exporters and their
+    round-trip tests, with no external dependency.  The writer emits
+    compact one-line JSON (suitable for JSONL); the reader parses what the
+    writer emits plus ordinary whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats become [null]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; [Error] carries a message with an offset. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,26 @@
+(* Ambient observability state.
+
+   The repo's engines (Sld, Network, Engine, ...) are instrumented against
+   this module rather than threading a context through every signature:
+   one process-wide metrics registry whose cells are bound once at module
+   initialisation, and one tracer slot holding Tracer.noop unless a caller
+   (CLI, bench, tests) installs a real tracer. *)
+
+let metrics = Registry.create ()
+let tracer_ref = ref Tracer.noop
+
+let tracer () = !tracer_ref
+let set_tracer t = tracer_ref := t
+let disable_tracing () = tracer_ref := Tracer.noop
+
+let counter name = Registry.counter metrics name
+let gauge name = Registry.gauge metrics name
+let histogram ?buckets name = Registry.histogram ?buckets metrics name
+
+let snapshot () = Registry.snapshot metrics
+let reset_metrics () = Registry.reset metrics
+
+let with_span ?attrs name f = Tracer.with_span !tracer_ref ?attrs name f
+let event message = Tracer.event !tracer_ref message
+let set_attr key value = Tracer.set_attr !tracer_ref key value
+let spans () = Tracer.spans !tracer_ref

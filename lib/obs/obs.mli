@@ -1,0 +1,42 @@
+(** Ambient observability: the process-wide metrics registry and tracer
+    slot that the engines are instrumented against.
+
+    Metrics are always on — cells are plain mutable records
+    ({!Metric.counter}), so recording costs a field update.  Tracing is
+    off by default ({!Tracer.noop}); install a real tracer around a run to
+    capture spans:
+
+    {[
+      Obs.reset_metrics ();
+      Obs.set_tracer (Tracer.create ~now:(fun () -> Clock.now clock) ());
+      (* ... run negotiations ... *)
+      Export.write_metrics_json "m.json" (Obs.snapshot ());
+      Export.write_spans_jsonl "t.jsonl" (Obs.spans ());
+      Obs.disable_tracing ()
+    ]} *)
+
+val metrics : Registry.t
+(** The global registry.  Lives for the whole process; {!reset_metrics}
+    zeroes it in place. *)
+
+val tracer : unit -> Tracer.t
+val set_tracer : Tracer.t -> unit
+val disable_tracing : unit -> unit
+
+val counter : string -> Metric.counter
+(** [Registry.counter metrics] — bind once at module initialisation. *)
+
+val gauge : string -> Metric.gauge
+val histogram : ?buckets:float array -> string -> Metric.histogram
+val snapshot : unit -> Registry.snapshot
+val reset_metrics : unit -> unit
+
+val with_span :
+  ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** {!Tracer.with_span} on the installed tracer. *)
+
+val event : string -> unit
+val set_attr : string -> Json.t -> unit
+
+val spans : unit -> Span.t list
+(** Spans recorded by the installed tracer, in start order. *)

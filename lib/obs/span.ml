@@ -1,0 +1,124 @@
+type event = { at : int; message : string }
+
+type t = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ticks : int;
+  mutable end_ticks : int option;
+  mutable attrs : (string * Json.t) list;  (* reverse insertion order *)
+  mutable events : event list;  (* reverse insertion order *)
+}
+
+let make ~id ~parent ~name ~start_ticks =
+  { id; parent; name; start_ticks; end_ticks = None; attrs = []; events = [] }
+
+let finish span ~at =
+  if span.end_ticks = None then span.end_ticks <- Some at
+
+let set_attr span key value =
+  span.attrs <- (key, value) :: List.remove_assoc key span.attrs
+
+let add_event span ~at message = span.events <- { at; message } :: span.events
+let attrs span = List.rev span.attrs
+let events span = List.rev span.events
+
+let duration span =
+  match span.end_ticks with
+  | Some e -> e - span.start_ticks
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let to_json span =
+  Json.Obj
+    [
+      ("id", Json.Int span.id);
+      ( "parent",
+        match span.parent with Some p -> Json.Int p | None -> Json.Null );
+      ("name", Json.Str span.name);
+      ("start", Json.Int span.start_ticks);
+      ( "end",
+        match span.end_ticks with Some e -> Json.Int e | None -> Json.Null );
+      ("attrs", Json.Obj (attrs span));
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj [ ("at", Json.Int e.at); ("msg", Json.Str e.message) ])
+             (events span)) );
+    ]
+
+let of_json j =
+  let open Json in
+  match (member "id" j, member "name" j, member "start" j) with
+  | Some (Int id), Some (Str name), Some (Int start_ticks) ->
+      let parent =
+        match member "parent" j with Some (Int p) -> Some p | _ -> None
+      in
+      let span = make ~id ~parent ~name ~start_ticks in
+      (match member "end" j with
+      | Some (Int e) -> span.end_ticks <- Some e
+      | _ -> ());
+      (match member "attrs" j with
+      | Some (Obj fields) ->
+          List.iter (fun (k, v) -> set_attr span k v) fields
+      | _ -> ());
+      (match member "events" j with
+      | Some (List evs) ->
+          List.iter
+            (fun e ->
+              match (member "at" e, member "msg" e) with
+              | Some (Int at), Some (Str msg) -> add_event span ~at msg
+              | _ -> ())
+            evs
+      | _ -> ());
+      Some span
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Tree rendering *)
+
+let pp_attr fmt (k, v) =
+  Format.fprintf fmt "%s=%s" k
+    (match v with Json.Str s -> s | other -> Json.to_string other)
+
+let pp_one fmt span =
+  (match span.end_ticks with
+  | Some e ->
+      Format.fprintf fmt "%s [%d..%d]" span.name span.start_ticks e
+  | None -> Format.fprintf fmt "%s [%d..)" span.name span.start_ticks);
+  List.iter (fun a -> Format.fprintf fmt " %a" pp_attr a) (attrs span)
+
+(* Spans come in start order; children preserve that order under each
+   parent.  A span whose parent is unknown (e.g. a truncated log) renders
+   as a root. *)
+let pp_tree fmt spans =
+  let known = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace known s.id ()) spans;
+  let children = Hashtbl.create 64 in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.parent with
+        | Some p when Hashtbl.mem known p ->
+            Hashtbl.replace children p
+              (s :: Option.value ~default:[] (Hashtbl.find_opt children p));
+            false
+        | Some _ | None -> true)
+      spans
+  in
+  let rec render indent span =
+    Format.fprintf fmt "%s%a@\n" (String.make (2 * indent) ' ') pp_one span;
+    List.iter (render (indent + 1))
+      (List.rev (Option.value ~default:[] (Hashtbl.find_opt children span.id)))
+  in
+  List.iter (render 0) roots
+
+let tree_to_string spans =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  pp_tree fmt spans;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** One span of a hierarchical trace: a named interval on the simulated
+    clock with attributes and point events.  Spans are produced by
+    {!Tracer} and identify their parent by id, so a flat JSONL log can be
+    re-assembled into the negotiation > query > resolution tree. *)
+
+type event = { at : int; message : string }
+
+type t = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_ticks : int;
+  mutable end_ticks : int option;  (** [None] while the span is open *)
+  mutable attrs : (string * Json.t) list;
+  mutable events : event list;
+}
+
+val make : id:int -> parent:int option -> name:string -> start_ticks:int -> t
+
+val finish : t -> at:int -> unit
+(** Idempotent: the first end tick wins. *)
+
+val set_attr : t -> string -> Json.t -> unit
+(** Replaces an existing value for the same key. *)
+
+val add_event : t -> at:int -> string -> unit
+
+val attrs : t -> (string * Json.t) list
+(** In insertion order. *)
+
+val events : t -> event list
+(** In insertion order. *)
+
+val duration : t -> int
+(** End minus start ticks; 0 while open. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t option
+
+val pp_tree : Format.formatter -> t list -> unit
+(** Render spans (given in start order) as an indented tree.  Spans with
+    an unknown parent id render as roots. *)
+
+val tree_to_string : t list -> string

@@ -1,0 +1,85 @@
+type t = {
+  enabled : bool;
+  now : unit -> int;
+  mutable next_id : int;
+  mutable stack : Span.t list;  (* open spans, innermost first *)
+  mutable recorded : Span.t list;  (* reverse start order *)
+  max_spans : int;
+}
+
+let noop =
+  {
+    enabled = false;
+    now = (fun () -> 0);
+    next_id = 1;
+    stack = [];
+    recorded = [];
+    max_spans = 0;
+  }
+
+let create ?(now = fun () -> 0) ?(max_spans = 1_000_000) () =
+  { enabled = true; now; next_id = 1; stack = []; recorded = []; max_spans }
+
+let enabled t = t.enabled
+
+let start t ?(attrs = []) name =
+  if not t.enabled then None
+  else if t.next_id > t.max_spans then None (* cap: drop, don't grow *)
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let parent =
+      match t.stack with [] -> None | s :: _ -> Some s.Span.id
+    in
+    let span = Span.make ~id ~parent ~name ~start_ticks:(t.now ()) in
+    List.iter (fun (k, v) -> Span.set_attr span k v) attrs;
+    t.stack <- span :: t.stack;
+    t.recorded <- span :: t.recorded;
+    Some span
+  end
+
+let finish t = function
+  | None -> ()
+  | Some span ->
+      Span.finish span ~at:(t.now ());
+      (* Pop up to and including this span; handles mismatched nesting
+         from exceptional exits conservatively. *)
+      let rec pop = function
+        | [] -> []
+        | s :: rest when s == span -> rest
+        | s :: rest ->
+            Span.finish s ~at:(t.now ());
+            pop rest
+      in
+      if List.memq span t.stack then t.stack <- pop t.stack
+
+let with_span t ?attrs name f =
+  if not t.enabled then f ()
+  else begin
+    let span = start t ?attrs name in
+    Fun.protect ~finally:(fun () -> finish t span) f
+  end
+
+let event t message =
+  if t.enabled then
+    match t.stack with
+    | [] -> ()
+    | span :: _ -> Span.add_event span ~at:(t.now ()) message
+
+let set_attr t key value =
+  if t.enabled then
+    match t.stack with
+    | [] -> ()
+    | span :: _ -> Span.set_attr span key value
+
+let current t = match t.stack with [] -> None | s :: _ -> Some s
+
+let spans t = List.rev t.recorded
+
+let finished t =
+  List.rev t.recorded |> List.filter (fun s -> s.Span.end_ticks <> None)
+
+let clear t =
+  t.stack <- [];
+  t.recorded <- [];
+  t.next_id <- 1

@@ -1,0 +1,51 @@
+(** Span tracer: records hierarchical spans into an in-memory sink.
+
+    The disabled tracer ({!noop}) is the default everywhere; every
+    operation on it reduces to a single boolean test, so instrumentation
+    can stay inline on hot paths.  An enabled tracer maintains a stack of
+    open spans — nesting falls out of the synchronous call structure —
+    and keeps every started span for later export ({!Export}).
+
+    Time comes from the [now] callback, wired by callers to the session's
+    simulated {!Peertrust_net.Clock} (this library has no dependency on
+    the network layer). *)
+
+type t
+
+val noop : t
+(** Disabled: records nothing, costs a boolean test per operation. *)
+
+val create : ?now:(unit -> int) -> ?max_spans:int -> unit -> t
+(** An enabled tracer.  [now] defaults to a constant 0 (ordering is still
+    meaningful via ids); [max_spans] (default 1_000_000) caps recorded
+    spans — once hit, further spans are silently dropped. *)
+
+val enabled : t -> bool
+
+val with_span :
+  t -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a fresh span (child of the innermost open one).
+    The span is finished even on exceptional exit. *)
+
+val start : t -> ?attrs:(string * Json.t) list -> string -> Span.t option
+(** Explicit variant of {!with_span} for non-lexical extents.  [None] on a
+    disabled tracer or past the span cap. *)
+
+val finish : t -> Span.t option -> unit
+(** Close the span (and any still-open spans nested inside it). *)
+
+val event : t -> string -> unit
+(** Attach a point event to the innermost open span (no-op without one). *)
+
+val set_attr : t -> string -> Json.t -> unit
+(** Set an attribute on the innermost open span (no-op without one). *)
+
+val current : t -> Span.t option
+
+val spans : t -> Span.t list
+(** Every recorded span, in start order. *)
+
+val finished : t -> Span.t list
+(** Only finished spans, in start order. *)
+
+val clear : t -> unit

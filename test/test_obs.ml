@@ -1,0 +1,317 @@
+(* Tests for the observability layer: spans, metrics, exporters, and the
+   engine instrumentation feeding them during a real scenario run. *)
+
+open Peertrust_obs
+module Core = Peertrust
+module Net = Peertrust_net
+
+(* ------------------------------------------------------------------ *)
+(* Spans and tracer *)
+
+let span_names spans = List.map (fun (s : Span.t) -> s.Span.name) spans
+
+let test_span_nesting () =
+  let t = Tracer.create () in
+  let result =
+    Tracer.with_span t "outer" (fun () ->
+        Tracer.with_span t "inner1" (fun () -> ());
+        Tracer.with_span t "inner2" (fun () -> 42))
+  in
+  Alcotest.(check int) "result passes through" 42 result;
+  let spans = Tracer.spans t in
+  Alcotest.(check (list string))
+    "start order" [ "outer"; "inner1"; "inner2" ] (span_names spans);
+  let find name = List.find (fun (s : Span.t) -> s.Span.name = name) spans in
+  let outer = find "outer" in
+  Alcotest.(check (option int)) "outer is a root" None outer.Span.parent;
+  Alcotest.(check (option int))
+    "inner1 child of outer" (Some outer.Span.id) (find "inner1").Span.parent;
+  Alcotest.(check (option int))
+    "inner2 child of outer (sibling of inner1)" (Some outer.Span.id)
+    (find "inner2").Span.parent;
+  List.iter
+    (fun (s : Span.t) ->
+      Alcotest.(check bool)
+        (s.Span.name ^ " finished") true
+        (s.Span.end_ticks <> None))
+    spans
+
+let test_span_clock_and_events () =
+  let ticks = ref 0 in
+  let t = Tracer.create ~now:(fun () -> !ticks) () in
+  Tracer.with_span t "work" (fun () ->
+      ticks := 3;
+      Tracer.event t "milestone";
+      Tracer.set_attr t "k" (Json.Str "v");
+      ticks := 7);
+  match Tracer.spans t with
+  | [ s ] ->
+      Alcotest.(check int) "start ticks" 0 s.Span.start_ticks;
+      Alcotest.(check (option int)) "end ticks" (Some 7) s.Span.end_ticks;
+      Alcotest.(check int) "duration" 7 (Span.duration s);
+      (match Span.events s with
+      | [ e ] ->
+          Alcotest.(check int) "event tick" 3 e.Span.at;
+          Alcotest.(check string) "event message" "milestone" e.Span.message
+      | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+      Alcotest.(check bool)
+        "attr recorded" true
+        (List.mem_assoc "k" (Span.attrs s))
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_span_exception_safety () =
+  let t = Tracer.create () in
+  (try Tracer.with_span t "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  match Tracer.finished t with
+  | [ s ] -> Alcotest.(check string) "span closed" "boom" s.Span.name
+  | _ -> Alcotest.fail "span not finished on exceptional exit"
+
+let test_noop_tracer () =
+  Alcotest.(check bool) "noop disabled" false (Tracer.enabled Tracer.noop);
+  let r = Tracer.with_span Tracer.noop "ignored" (fun () -> 7) in
+  Alcotest.(check int) "thunk still runs" 7 r;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Tracer.spans Tracer.noop))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let test_histogram_buckets () =
+  let h = Metric.histogram ~buckets:[| 1.; 10.; 100. |] "h" in
+  List.iter (Metric.observe_int h) [ 0; 1; 2; 10; 50; 1000 ];
+  Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |] h.Metric.counts;
+  Alcotest.(check int) "count" 6 h.Metric.count;
+  let hs = Metric.snapshot_histogram h in
+  Alcotest.(check (float 1e-9)) "sum" 1063. hs.Metric.hs_sum;
+  Alcotest.(check (float 1e-9))
+    "mean" (1063. /. 6.) (Metric.mean hs)
+
+let test_histogram_percentiles () =
+  let h = Metric.histogram ~buckets:[| 1.; 2.; 4.; 8. |] "p" in
+  (* 10 samples: four 1s, three 2s, two 4s, one 8. *)
+  List.iter (Metric.observe_int h) [ 1; 1; 1; 1; 2; 2; 2; 4; 4; 8 ];
+  let hs = Metric.snapshot_histogram h in
+  Alcotest.(check (float 1e-9)) "p25 in first bucket" 1. (Metric.percentile hs 0.25);
+  Alcotest.(check (float 1e-9)) "p50 in second bucket" 2. (Metric.percentile hs 0.5);
+  Alcotest.(check (float 1e-9)) "p90 in third bucket" 4. (Metric.percentile hs 0.9);
+  Alcotest.(check (float 1e-9)) "p100" 8. (Metric.percentile hs 1.);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metric.percentile: q outside [0,1]") (fun () ->
+      ignore (Metric.percentile hs 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_merge () =
+  let make c1 hsamples gauge =
+    let r = Registry.create () in
+    Metric.add (Registry.counter r "c") c1;
+    let h = Registry.histogram ~buckets:[| 1.; 2. |] r "h" in
+    List.iter (Metric.observe_int h) hsamples;
+    Metric.set (Registry.gauge r "g") gauge;
+    Registry.snapshot r
+  in
+  let a = make 3 [ 1; 2 ] 1.0 in
+  let b = make 4 [ 2; 5 ] 2.0 in
+  let m = Registry.merge a b in
+  Alcotest.(check int) "counters add" 7 (Registry.counter_value m "c");
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "right gauge wins" [ ("g", 2.0) ] m.Registry.sn_gauges;
+  (match Registry.histogram_snapshot m "h" with
+  | Some hs ->
+      Alcotest.(check (array int)) "histogram buckets add" [| 1; 2; 1 |]
+        hs.Metric.hs_counts;
+      Alcotest.(check int) "histogram count adds" 4 hs.Metric.hs_count
+  | None -> Alcotest.fail "merged histogram missing");
+  (* Merging with the empty snapshot is the identity. *)
+  let id = Registry.merge a Registry.empty_snapshot in
+  Alcotest.(check int) "identity merge" 3 (Registry.counter_value id "c")
+
+let test_registry_reset_keeps_cells () =
+  let r = Registry.create () in
+  let c = Registry.counter r "c" in
+  Metric.incr c;
+  Registry.reset r;
+  Alcotest.(check int) "zeroed" 0 (Metric.value c);
+  Metric.incr c;
+  Alcotest.(check int) "cell still registered" 1
+    (Registry.counter_value (Registry.snapshot r) "c")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let test_metrics_json_roundtrip () =
+  let r = Registry.create () in
+  Metric.add (Registry.counter r "queries") 12;
+  Metric.set (Registry.gauge r "load") 0.5;
+  let h = Registry.histogram r "steps" in
+  List.iter (Metric.observe_int h) [ 1; 3; 70000 ];
+  let snap = Registry.snapshot r in
+  let text = Export.metrics_to_string ~label:"test" snap in
+  (* The schema tag is embedded verbatim. *)
+  (match Json.of_string text with
+  | Ok json ->
+      Alcotest.(check (option string))
+        "schema tag" (Some Registry.schema_version)
+        (Option.bind (Json.member "schema" json) Json.to_str)
+  | Error e -> Alcotest.failf "export not valid JSON: %s" e);
+  match Export.metrics_of_string text with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok snap' ->
+      Alcotest.(check int) "counter survives" 12
+        (Registry.counter_value snap' "queries");
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "gauge survives" snap.Registry.sn_gauges snap'.Registry.sn_gauges;
+      (match Registry.histogram_snapshot snap' "steps" with
+      | Some hs ->
+          let orig = Metric.snapshot_histogram h in
+          Alcotest.(check (array int)) "buckets survive" orig.Metric.hs_counts
+            hs.Metric.hs_counts;
+          Alcotest.(check int) "count survives" 3 hs.Metric.hs_count
+      | None -> Alcotest.fail "histogram lost in round-trip")
+
+let test_spans_jsonl_roundtrip () =
+  let t = Tracer.create () in
+  Tracer.with_span t "negotiation" (fun () ->
+      Tracer.with_span t
+        ~attrs:[ ("goal", Json.Str {|p("x")|}); ("depth", Json.Int 3) ]
+        "query"
+        (fun () -> Tracer.event t "hit"));
+  let spans = Tracer.spans t in
+  let text = Export.spans_to_jsonl spans in
+  Alcotest.(check int) "one line per span" (List.length spans)
+    (List.length
+       (List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' text)));
+  match Export.spans_of_jsonl text with
+  | Error e -> Alcotest.failf "JSONL parse failed: %s" e
+  | Ok spans' ->
+      Alcotest.(check (list string))
+        "names survive" (span_names spans) (span_names spans');
+      let q = List.nth spans' 1 in
+      Alcotest.(check (option int))
+        "parent link survives"
+        (Some (List.nth spans 0).Span.id)
+        q.Span.parent;
+      Alcotest.(check bool) "attrs survive" true
+        (List.mem_assoc "goal" (Span.attrs q));
+      Alcotest.(check int) "events survive" 1 (List.length (Span.events q))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_span_tree_render () =
+  let t = Tracer.create () in
+  Tracer.with_span t "root" (fun () ->
+      Tracer.with_span t "child" (fun () -> ()));
+  let tree = Export.span_tree (Tracer.spans t) in
+  Alcotest.(check bool) "root present" true (contains ~sub:"root" tree);
+  Alcotest.(check bool) "child indented under root" true
+    (contains ~sub:"  child" tree)
+
+(* ------------------------------------------------------------------ *)
+(* Integration: a scenario run feeds the ambient registry and tracer *)
+
+let test_scenario_instrumentation () =
+  Obs.reset_metrics ();
+  let s = Core.Scenario.scenario1 () in
+  let session = s.Core.Scenario.s1_session in
+  let clock = Net.Network.clock session.Core.Session.network in
+  Obs.set_tracer (Tracer.create ~now:(fun () -> Net.Clock.now clock) ());
+  Fun.protect ~finally:Obs.disable_tracing (fun () ->
+      let r =
+        Core.Negotiation.request_str session ~requester:"Alice"
+          ~target:"E-Learn" {|discountEnroll(spanish101, "Alice")|}
+      in
+      Alcotest.(check bool) "negotiation granted" true
+        (Core.Negotiation.succeeded r);
+      let snap = Obs.snapshot () in
+      let nonzero name =
+        Alcotest.(check bool)
+          (name ^ " counted") true
+          (Registry.counter_value snap name > 0)
+      in
+      List.iter nonzero
+        [
+          "engine.queries"; "engine.answers"; "net.messages";
+          "net.messages.query"; "sld.queries"; "sld.steps";
+          "negotiation.count"; "negotiation.granted";
+        ];
+      (match Registry.histogram_snapshot snap "negotiation.messages" with
+      | Some hs -> Alcotest.(check int) "one negotiation observed" 1
+            hs.Metric.hs_count
+      | None -> Alcotest.fail "negotiation.messages histogram missing");
+      (* The span tree nests negotiation > query > resolution. *)
+      let spans = Obs.spans () in
+      let find name =
+        List.find_opt (fun (sp : Span.t) -> sp.Span.name = name) spans
+      in
+      let get name =
+        match find name with
+        | Some sp -> sp
+        | None -> Alcotest.failf "missing %S span" name
+      in
+      let nego = get "negotiation" in
+      let query = get "query" in
+      let sld = get "sld.solve" in
+      Alcotest.(check (option int)) "negotiation is a root" None
+        nego.Span.parent;
+      Alcotest.(check (option string))
+        "query under negotiation (via net.send)"
+        (Some "negotiation")
+        (let rec root_of (sp : Span.t) =
+           match sp.Span.parent with
+           | None -> Some sp.Span.name
+           | Some pid -> (
+               match
+                 List.find_opt (fun (p : Span.t) -> p.Span.id = pid) spans
+               with
+               | Some p -> root_of p
+               | None -> None)
+         in
+         root_of query);
+      Alcotest.(check bool) "sld.solve nested below query" true
+        (sld.Span.id > query.Span.id && sld.Span.parent <> None))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "clock, events, attrs" `Quick
+            test_span_clock_and_events;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "noop tracer" `Quick test_noop_tracer;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "registry merge" `Quick test_registry_merge;
+          Alcotest.test_case "reset keeps cells" `Quick
+            test_registry_reset_keeps_cells;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "metrics JSON round-trip" `Quick
+            test_metrics_json_roundtrip;
+          Alcotest.test_case "spans JSONL round-trip" `Quick
+            test_spans_jsonl_roundtrip;
+          Alcotest.test_case "span tree rendering" `Quick
+            test_span_tree_render;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "scenario run is instrumented" `Quick
+            test_scenario_instrumentation;
+        ] );
+    ]
