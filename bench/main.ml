@@ -738,6 +738,72 @@ let e13 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* chaos: resilience under randomized fault schedules *)
+
+let chaos () =
+  (* 100-seed sweep over scenario 1 with drops, duplicates, delays,
+     reordering and periodic UIUC outages.  Every run must terminate with
+     the fault-free outcome or a structured denial; the table breaks the
+     outcomes down by denial class.  Small keys keep the sweep fast. *)
+  let seeds = 100 in
+  let max_steps = 20_000 in
+  let tally = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)) in
+  let worst_steps = ref 0 in
+  for seed = 1 to seeds do
+    let s = Scenario.scenario1 ~key_bits:288 () in
+    let session = s.Scenario.s1_session in
+    let faults =
+      Net.Faults.create ~drop:0.12 ~duplicate:0.1 ~delay:0.25 ~delay_max:4
+        ~reorder:0.1 ~seed:(Int64.of_int seed) ()
+    in
+    if seed mod 3 = 0 then
+      Net.Faults.add_outage faults ~peer:"UIUC" ~from_tick:3 ~until_tick:9;
+    Net.Network.set_faults session.Session.network faults;
+    let reactor = Reactor.create session in
+    let id =
+      Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+        (Scenario.scenario1_goal ())
+    in
+    let steps = Reactor.run ~max_steps reactor in
+    worst_steps := max !worst_steps steps;
+    (match Reactor.outcome reactor id with
+    | Negotiation.Granted _ -> bump "granted"
+    | Negotiation.Denied reason ->
+        bump
+          ("denied: "
+          ^ Negotiation.denial_class_to_string
+              (Negotiation.classify_denial reason)))
+  done;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> [ k; string_of_int v ])
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "CHAOS Scenario-1 outcomes over %d fault seeds (drop 0.12, dup 0.1, \
+          delay 0.25, reorder 0.1, UIUC outage every 3rd seed; worst run %d \
+          steps)"
+         seeds !worst_steps)
+    ~header:[ "outcome"; "runs" ]
+    rows;
+  let snapshot = Pobs.Obs.snapshot () in
+  let counters =
+    [
+      "net.drops"; "net.duplicates"; "net.delayed"; "reactor.retries";
+      "reactor.timeouts"; "reactor.dup_deliveries"; "reactor.drops";
+    ]
+  in
+  print_table ~title:"CHAOS fault-machinery counters across the sweep"
+    ~header:[ "counter"; "total" ]
+    (List.map
+       (fun name ->
+         [ name; string_of_int (Pobs.Registry.counter_value snapshot name) ])
+       counters)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -827,7 +893,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", e11); ("e12", e12); ("e13", e13);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("chaos", chaos);
   ]
 
 (* Run one experiment with a fresh metrics registry and drop the snapshot

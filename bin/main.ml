@@ -75,6 +75,125 @@ let setup_obs ~verbose ~metrics_out ~trace_out session =
     end;
     Pobs.Obs.disable_tracing ()
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection flags shared by negotiate and scenario *)
+
+type fault_opts = {
+  fo_seed : int option;
+  fo_drop : float;
+  fo_duplicate : float;
+  fo_delay : float;
+  fo_delay_max : int;
+  fo_reorder : float;
+  fo_outages : (string * int * int) list;
+  fo_queued : bool;
+}
+
+let fault_opts_term =
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the deterministic fault plan; required by the \
+             probability flags below.")
+  in
+  let prob name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+  in
+  let drop = prob "drop" "Per-message drop probability in [0,1]." in
+  let duplicate = prob "duplicate" "Per-message duplication probability." in
+  let delay = prob "delay" "Per-message extra-delay probability." in
+  let delay_max =
+    Arg.(
+      value & opt int 4
+      & info [ "delay-max" ] ~docv:"TICKS"
+          ~doc:"Maximum extra delivery delay in simulated ticks.")
+  in
+  let reorder = prob "reorder" "Per-message reordering probability." in
+  let outage_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ peer; a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some f, Some u when 0 <= f && f <= u -> Ok (peer, f, u)
+          | _ -> Error (`Msg "expected PEER:FROM:UNTIL with 0 <= FROM <= UNTIL")
+          )
+      | _ -> Error (`Msg "expected PEER:FROM:UNTIL")
+    in
+    Arg.conv (parse, fun fmt (p, f, u) -> Format.fprintf fmt "%s:%d:%d" p f u)
+  in
+  let outages =
+    Arg.(
+      value
+      & opt_all outage_conv []
+      & info [ "outage" ] ~docv:"PEER:FROM:UNTIL"
+          ~doc:
+            "Make PEER unreachable for the simulated-clock window \
+             [FROM,UNTIL) (repeatable).")
+  in
+  let queued =
+    Arg.(
+      value & flag
+      & info [ "queued" ]
+          ~doc:
+            "Run over the queued (reactor) engine even without faults; \
+             implied by any fault flag.")
+  in
+  let make fo_seed fo_drop fo_duplicate fo_delay fo_delay_max fo_reorder
+      fo_outages fo_queued =
+    {
+      fo_seed;
+      fo_drop;
+      fo_duplicate;
+      fo_delay;
+      fo_delay_max;
+      fo_reorder;
+      fo_outages;
+      fo_queued;
+    }
+  in
+  Term.(
+    const make $ seed $ drop $ duplicate $ delay $ delay_max $ reorder
+    $ outages $ queued)
+
+(* Install the requested fault plan on the session network.  Returns
+   [true] when the run should go through the queued (reactor) engine —
+   i.e. when any fault is configured or --queued was passed. *)
+let install_faults session o =
+  let has_rates =
+    o.fo_drop > 0. || o.fo_duplicate > 0. || o.fo_delay > 0.
+    || o.fo_reorder > 0.
+  in
+  let plan =
+    match o.fo_seed with
+    | Some seed -> (
+        try
+          Peertrust_net.Faults.create ~drop:o.fo_drop
+            ~duplicate:o.fo_duplicate ~delay:o.fo_delay
+            ~delay_max:o.fo_delay_max ~reorder:o.fo_reorder
+            ~seed:(Int64.of_int seed) ()
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+    | None ->
+        if has_rates then begin
+          Printf.eprintf
+            "error: --drop/--duplicate/--delay/--reorder require \
+             --fault-seed\n";
+          exit 1
+        end;
+        Peertrust_net.Faults.none ()
+  in
+  List.iter
+    (fun (peer, from_tick, until_tick) ->
+      Peertrust_net.Faults.add_outage plan ~peer ~from_tick ~until_tick)
+    o.fo_outages;
+  let active = not (Peertrust_net.Faults.is_none plan) in
+  if active then Peertrust_net.Network.set_faults session.Session.network plan;
+  active || o.fo_queued
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -199,7 +318,8 @@ let forward_cmd =
 
 let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
-      narrative mermaid wallet save_wallet save_world metrics_out trace_out =
+      narrative mermaid wallet save_wallet save_world metrics_out trace_out
+      fault_opts =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
     let session = Session.create () in
@@ -234,9 +354,15 @@ let negotiate_cmd =
           Printf.eprintf "unknown strategy %S\n" other;
           exit 1
     in
+    let queued = install_faults session fault_opts in
     let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
     let report =
-      Strategy.negotiate_str session ~strategy ~requester ~target goal
+      (* Faulted runs go through the queued reactor (the engine with
+         retransmission and timeouts); it negotiates relevant-style. *)
+      if queued then
+        Reactor.negotiate session ~requester ~target
+          (Dlp.Parser.parse_literal goal)
+      else Strategy.negotiate_str session ~strategy ~requester ~target goal
     in
     Format.printf "%a@." Negotiation.pp_report report;
     if narrative then print_endline (Explain.narrative report);
@@ -339,7 +465,7 @@ let negotiate_cmd =
     Term.(
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
       $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ fault_opts_term)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -497,7 +623,7 @@ let analyze_cmd =
 (* scenario *)
 
 let scenario_cmd =
-  let run verbose name metrics_out trace_out =
+  let run verbose name metrics_out trace_out fault_opts =
     setup_logs verbose;
     let show (r : Negotiation.report) =
       Format.printf "%a@." Negotiation.pp_report r;
@@ -512,23 +638,29 @@ let scenario_cmd =
       let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
       Fun.protect ~finally:finish_obs body
     in
+    (* Under faults (or --queued) each goal runs through the reactor. *)
+    let negotiate session ~queued ~requester ~target goal =
+      if queued then Reactor.negotiate session ~requester ~target goal
+      else Negotiation.request session ~requester ~target goal
+    in
     match name with
     | "elearn" ->
         let s = Scenario.scenario1 () in
+        let queued = install_faults s.Scenario.s1_session fault_opts in
         with_obs s.Scenario.s1_session (fun () ->
             show
-              (Negotiation.request_str s.Scenario.s1_session ~requester:"Alice"
-                 ~target:"E-Learn" {|discountEnroll(spanish101, "Alice")|}))
+              (negotiate s.Scenario.s1_session ~queued ~requester:"Alice"
+                 ~target:"E-Learn" (Scenario.scenario1_goal ())))
     | "services" ->
         let s = Scenario.scenario2 () in
+        let queued = install_faults s.Scenario.s2_session fault_opts in
         with_obs s.Scenario.s2_session (fun () ->
             show
-              (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
-                 ~target:"E-Learn" {|enroll(cs101, "Bob", "IBM", Email, 0)|});
+              (negotiate s.Scenario.s2_session ~queued ~requester:"Bob"
+                 ~target:"E-Learn" (Scenario.scenario2_goal_free ()));
             show
-              (Negotiation.request_str s.Scenario.s2_session ~requester:"Bob"
-                 ~target:"E-Learn"
-                 {|enroll(cs411, "Bob", "IBM", Email, Price)|}))
+              (negotiate s.Scenario.s2_session ~queued ~requester:"Bob"
+                 ~target:"E-Learn" (Scenario.scenario2_goal_paid ())))
     | other ->
         Printf.eprintf "unknown scenario %S (try elearn or services)\n" other;
         exit 1
@@ -543,7 +675,7 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
     Term.(
       const run $ verbose_arg $ scenario_name $ metrics_out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ fault_opts_term)
 
 let () =
   let info =

@@ -1,7 +1,17 @@
 #!/bin/sh
-# Pre-merge gate: build, test, and formatting check.
+# Pre-merge gate: build, test, formatting, and a chaos smoke run.
 set -eux
 
 dune build
 dune runtest
 dune build @fmt
+
+# Chaos smoke: scenario 1 under a fixed-seed fault schedule must terminate
+# and export non-empty fault metrics.
+metrics=$(mktemp)
+trap 'rm -f "$metrics"' EXIT
+./_build/default/bin/main.exe scenario elearn \
+  --fault-seed 7 --drop 0.15 --duplicate 0.1 --delay 0.2 --outage UIUC:3:9 \
+  --metrics-out "$metrics" > /dev/null
+grep -q '"net.drops"' "$metrics"
+grep -q '"reactor.retries"' "$metrics"

@@ -7,6 +7,45 @@ module Ojson = Peertrust_obs.Json
 
 type outcome = Granted of Engine.instance list | Denied of string
 
+type denial_class =
+  | Policy
+  | Timeout
+  | Unreachable
+  | Budget
+  | Cycle
+  | Quiescent
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* The resilience machinery uses a small stable vocabulary of reasons;
+   anything else is an ordinary policy denial. *)
+let classify_denial reason =
+  if has_prefix ~prefix:"timeout" reason then Timeout
+  else if
+    has_prefix ~prefix:"unreachable" reason
+    || has_prefix ~prefix:"peer unreachable" reason
+  then Unreachable
+  else if String.equal reason "message budget exhausted" then Budget
+  else if String.equal reason "negotiation cycle" then Cycle
+  else if String.equal reason "negotiation quiescent" then Quiescent
+  else Policy
+
+let denial_class_to_string = function
+  | Policy -> "policy"
+  | Timeout -> "timeout"
+  | Unreachable -> "unreachable"
+  | Budget -> "budget"
+  | Cycle -> "cycle"
+  | Quiescent -> "quiescent"
+
+(* Denials produced by transport failures rather than policy decisions. *)
+let transport_denial reason =
+  match classify_denial reason with
+  | Timeout | Unreachable | Budget -> true
+  | Policy | Cycle | Quiescent -> false
+
 type report = {
   outcome : outcome;
   messages : int;

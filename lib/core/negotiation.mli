@@ -13,6 +13,26 @@ type outcome =
       (** access granted; the provable instances of the goal *)
   | Denied of string
 
+type denial_class =
+  | Policy  (** the target's policies do not release the resource *)
+  | Timeout  (** a sub-query exhausted its retransmission budget *)
+  | Unreachable  (** a peer was down or unregistered *)
+  | Budget  (** the session's message budget ran out *)
+  | Cycle  (** deadlocked release policies (negotiation cycle) *)
+  | Quiescent  (** the queue drained without resolving the request *)
+
+val classify_denial : string -> denial_class
+(** Classify a [Denied] reason string.  The queued engine's resilience
+    machinery emits reasons from a stable vocabulary ([timeout: <peer>],
+    [unreachable: <peer>], [message budget exhausted], ...); everything
+    else is a {!Policy} denial. *)
+
+val denial_class_to_string : denial_class -> string
+
+val transport_denial : string -> bool
+(** [true] for denials produced by transport failures ({!Timeout},
+    {!Unreachable}, {!Budget}) rather than policy decisions. *)
+
 type report = {
   outcome : outcome;
   messages : int;  (** messages exchanged during this negotiation *)

@@ -12,7 +12,18 @@ let m_steps = Obs.counter "reactor.steps"
 let m_posts = Obs.counter "reactor.posts"
 let m_parks = Obs.counter "reactor.parks"
 let m_quiescence_breaks = Obs.counter "reactor.quiescence_breaks"
+let m_drops = Obs.counter "reactor.drops"
+let m_retries = Obs.counter "reactor.retries"
+let m_timeouts = Obs.counter "reactor.timeouts"
+let m_dup_deliveries = Obs.counter "reactor.dup_deliveries"
 let h_steps = Obs.histogram "reactor.steps_per_run"
+
+type config = {
+  rto : int;  (* initial retransmission timeout, ticks *)
+  retry_limit : int;  (* retransmissions per sub-query before timeout *)
+}
+
+let default_config = { rto = 8; retry_limit = 3 }
 
 type parked = {
   pk_peer : string;  (* the peer holding the goal *)
@@ -22,14 +33,36 @@ type parked = {
   pk_request : int option;  (* top-level request id *)
 }
 
+(* Retransmission state of one outstanding sub-query. *)
+type timer = {
+  tm_goal : Literal.t;
+  mutable tm_attempt : int;
+  mutable tm_rto : int;
+  mutable tm_next : int;  (* clock tick of the next retransmit/timeout *)
+}
+
+(* Delivery queue ordered by (deliver_at, envelope id): earliest delivery
+   first, post order on ties — plain FIFO when no delays are injected. *)
+module Dq = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 type t = {
   session : Session.t;
-  queue : (string * string * Net.Message.payload) Queue.t;  (* from, target *)
+  config : config;
+  mutable dq : Net.Envelope.t Dq.t;
+  mutable next_synth : int;  (* ids for locally synthesized messages, < 0 *)
+  seen : (int, unit) Hashtbl.t;  (* delivered envelope ids (dedup) *)
+  timers : (string * string * string, timer) Hashtbl.t;
   (* (peer, target, goal key) -> resolved? — each sub-query is posted at
      most once per asking peer. *)
   pending : (string * string * string, bool ref) Hashtbl.t;
   (* (peer, target, goal key) -> instances of the last Answer *)
   answers : (string * string * string, Engine.instance list) Hashtbl.t;
+  (* (peer, target, goal key) -> reason of the last Deny *)
+  denials : (string * string * string, string) Hashtbl.t;
   mutable parked : parked list;
   results : (int, Negotiation.outcome) Hashtbl.t;
   mutable next_request : int;
@@ -38,7 +71,10 @@ type t = {
 
 type request = int
 
-let create session =
+let create ?(config = default_config) session =
+  if config.rto < 1 then invalid_arg "Reactor.create: rto must be >= 1";
+  if config.retry_limit < 0 then
+    invalid_arg "Reactor.create: retry_limit must be >= 0";
   (* Detach any synchronous handlers: reactor sessions route everything
      through the queue.  A handler that acks keeps Network.send usable for
      unrelated traffic without invoking the engine. *)
@@ -49,9 +85,14 @@ let create session =
     session.Session.peers;
   {
     session;
-    queue = Queue.create ();
+    config;
+    dq = Dq.empty;
+    next_synth = -1;
+    seen = Hashtbl.create 64;
+    timers = Hashtbl.create 16;
     pending = Hashtbl.create 64;
     answers = Hashtbl.create 64;
+    denials = Hashtbl.create 16;
     parked = [];
     results = Hashtbl.create 8;
     next_request = 1;
@@ -59,24 +100,85 @@ let create session =
   }
 
 let goal_key = Peer.goal_key
+let now t = Net.Clock.now (Net.Network.clock t.session.Session.network)
+let enqueue t env = t.dq <- Dq.add (env.Net.Envelope.deliver_at, env.Net.Envelope.id) env t.dq
 
-(* Post a message: account it on the network and enqueue for delivery.  An
-   unreachable target of a query turns into a synthetic denial; other
-   payloads to unreachable peers are dropped. *)
-let post t ~from ~target payload =
+(* Enqueue a locally synthesized message (not charged on the network):
+   the denial a sender owes itself when a target is unreachable or a
+   sub-query times out. *)
+let enqueue_synthetic t ~from ~target payload =
+  let id = t.next_synth in
+  t.next_synth <- id - 1;
+  let at = now t in
+  enqueue t
+    {
+      Net.Envelope.id;
+      seq = 0;
+      from_ = from;
+      target;
+      sent_at = at;
+      deliver_at = at;
+      attempt = 0;
+      payload;
+    }
+
+(* Post a message: account it on the network under the fault plan and
+   enqueue the surviving copies.  An unreachable target of a query turns
+   into a synthetic denial; other payloads to unreachable peers are
+   counted and traced as reactor drops. *)
+let post ?attempt t ~from ~target payload =
   Metric.incr m_posts;
-  match Net.Network.notify t.session.Session.network ~from ~target payload with
-  | () -> Queue.add (from, target, payload) t.queue
+  match
+    Net.Network.post t.session.Session.network ~from ~target ?attempt payload
+  with
+  | envelopes -> List.iter (enqueue t) envelopes
   | exception Net.Network.Unreachable _ -> (
       match payload with
       | Net.Message.Query { goal } ->
-          Queue.add
-            (target, from, Net.Message.Deny { goal; reason = "unreachable" })
-            t.queue
+          enqueue_synthetic t ~from:target ~target:from
+            (Net.Message.Deny { goal; reason = "unreachable" })
       | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
       | Net.Message.Ack ->
-          ())
+          Metric.incr m_drops;
+          Otracer.event (Obs.tracer ())
+            (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
+              target
+              (Net.Message.summary payload));
+          Log.debug (fun m ->
+              m "dropping %s -> %s: %s (unreachable)" from target
+                (Net.Message.summary payload)))
   | exception Net.Network.Budget_exhausted -> t.budget_hit <- true
+
+(* Retransmission timers only run under an active fault plan: without one
+   every posted message is delivered, and spurious retransmits would
+   perturb the fault-free transcript. *)
+let resilient t =
+  not (Net.Faults.is_none (Net.Network.faults t.session.Session.network))
+
+let arm_timer t ~peer ~target ~key goal =
+  if resilient t then
+    let pkey = (peer, target, key) in
+    if not (Hashtbl.mem t.timers pkey) then
+      Hashtbl.replace t.timers pkey
+        {
+          tm_goal = goal;
+          tm_attempt = 0;
+          tm_rto = t.config.rto;
+          tm_next = now t + t.config.rto;
+        }
+
+(* Post a sub-query, registering it as pending and arming its
+   retransmission timer. *)
+let post_query t ~from ~target ~key goal =
+  Hashtbl.add t.pending (from, target, key) (ref false);
+  post t ~from ~target (Net.Message.Query { goal });
+  arm_timer t ~peer:from ~target ~key goal
+
+let resolve t pkey =
+  (match Hashtbl.find_opt t.pending pkey with
+  | Some resolved -> resolved := true
+  | None -> Hashtbl.add t.pending pkey (ref true));
+  Hashtbl.remove t.timers pkey
 
 (* Evaluate a goal at a peer with a collecting remote callback; either
    respond (true) or report the blocked sub-goals (false). *)
@@ -102,9 +204,7 @@ let evaluate_goal t peer ~requester goal ~respond =
             match Hashtbl.find_opt t.pending pkey with
             | Some resolved -> if !resolved then None else Some (target, key)
             | None ->
-                Hashtbl.add t.pending pkey (ref false);
-                post t ~from:peer.Peer.name ~target
-                  (Net.Message.Query { goal = lit });
+                post_query t ~from:peer.Peer.name ~target ~key lit;
                 Some (target, key))
           pairs
       in
@@ -116,6 +216,14 @@ let evaluate_goal t peer ~requester goal ~respond =
 
 let settle_request t id outcome =
   if not (Hashtbl.mem t.results id) then Hashtbl.replace t.results id outcome
+
+(* A transport-level denial (injected by the resilience machinery, not by
+   the target's policies) surfaces as a structured outcome reason. *)
+let denial_reason t ~target pkey =
+  match Hashtbl.find_opt t.denials pkey with
+  | Some (("timeout" | "unreachable") as transport) ->
+      Printf.sprintf "%s: %s" transport target
+  | Some _ | None -> "denied by target"
 
 (* Try to settle one parked goal; [true] when it is resolved. *)
 let try_settle t p =
@@ -130,7 +238,9 @@ let try_settle t p =
           | Some { contents = true } ->
               (match Hashtbl.find_opt t.answers pkey with
               | Some instances -> settle_request t id (Negotiation.Granted instances)
-              | None -> settle_request t id (Negotiation.Denied "denied by target"));
+              | None ->
+                  settle_request t id
+                    (Negotiation.Denied (denial_reason t ~target pkey)));
               true
           | Some _ | None -> false)
       | _ -> false)
@@ -187,15 +297,13 @@ let dispatch t (from, target, payload) =
             instances;
           let pkey = (target, from, goal_key goal) in
           Hashtbl.replace t.answers pkey instances;
-          (match Hashtbl.find_opt t.pending pkey with
-          | Some resolved -> resolved := true
-          | None -> Hashtbl.add t.pending pkey (ref true));
+          resolve t pkey;
           reevaluate t target
-      | Net.Message.Deny { goal; _ } ->
+      | Net.Message.Deny { goal; reason } ->
           let pkey = (target, from, goal_key goal) in
-          (match Hashtbl.find_opt t.pending pkey with
-          | Some resolved -> resolved := true
-          | None -> Hashtbl.add t.pending pkey (ref true));
+          if not (Hashtbl.mem t.answers pkey) then
+            Hashtbl.replace t.denials pkey reason;
+          resolve t pkey;
           reevaluate t target
       | Net.Message.Disclosure { certs; _ } ->
           Engine.learn ~from_:from t.session peer certs;
@@ -206,11 +314,8 @@ let submit t ~requester ~target goal =
   let id = t.next_request in
   t.next_request <- id + 1;
   let key = goal_key goal in
-  let pkey = (requester, target, key) in
-  if not (Hashtbl.mem t.pending pkey) then begin
-    Hashtbl.add t.pending pkey (ref false);
-    post t ~from:requester ~target (Net.Message.Query { goal })
-  end;
+  if not (Hashtbl.mem t.pending (requester, target, key)) then
+    post_query t ~from:requester ~target ~key goal;
   let p =
     {
       pk_peer = requester;
@@ -223,11 +328,79 @@ let submit t ~requester ~target goal =
   if not (try_settle t p) then t.parked <- p :: t.parked;
   id
 
+(* ------------------------------------------------------------------ *)
+(* Event loop: deliveries and retransmission timers on one timeline *)
+
+let next_timer t =
+  Hashtbl.fold
+    (fun key tm acc ->
+      match acc with
+      | Some (bt, bk, _) when (bt, bk) <= (tm.tm_next, key) -> acc
+      | Some _ | None -> Some (tm.tm_next, key, tm))
+    t.timers None
+
+let clock_to t tick =
+  Net.Clock.advance_to (Net.Network.clock t.session.Session.network) tick
+
+(* A timer came due: retransmit with doubled timeout while the retry
+   budget lasts, then give up and synthesize a timeout denial. *)
+let fire_timer t ((peer, target, _key) as pkey) tm =
+  clock_to t tm.tm_next;
+  if tm.tm_attempt < t.config.retry_limit then begin
+    tm.tm_attempt <- tm.tm_attempt + 1;
+    tm.tm_rto <- tm.tm_rto * 2;
+    tm.tm_next <- now t + tm.tm_rto;
+    Metric.incr m_retries;
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.retry #%d %s -> %s: %s" tm.tm_attempt peer
+         target
+         (Literal.to_string tm.tm_goal));
+    Log.debug (fun m ->
+        m "retry #%d %s -> %s: %s" tm.tm_attempt peer target
+          (Literal.to_string tm.tm_goal));
+    post ~attempt:tm.tm_attempt t ~from:peer ~target
+      (Net.Message.Query { goal = tm.tm_goal })
+  end
+  else begin
+    Hashtbl.remove t.timers pkey;
+    Metric.incr m_timeouts;
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.timeout %s -> %s: %s (after %d retries)" peer
+         target
+         (Literal.to_string tm.tm_goal)
+         tm.tm_attempt);
+    Log.debug (fun m ->
+        m "timeout %s -> %s: %s" peer target (Literal.to_string tm.tm_goal));
+    enqueue_synthetic t ~from:target ~target:peer
+      (Net.Message.Deny { goal = tm.tm_goal; reason = "timeout" })
+  end
+
+let deliver_envelope t env =
+  clock_to t env.Net.Envelope.deliver_at;
+  if Hashtbl.mem t.seen env.Net.Envelope.id then begin
+    Metric.incr m_dup_deliveries;
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.duplicate %s" (Net.Envelope.summary env))
+  end
+  else begin
+    Hashtbl.add t.seen env.Net.Envelope.id ();
+    dispatch t (env.Net.Envelope.from_, env.Net.Envelope.target, env.Net.Envelope.payload)
+  end
+
+(* Process the next event — a delivery or a timer, whichever is due
+   first (delivery wins ties); [false] when both timelines are empty. *)
 let step t =
-  match Queue.take_opt t.queue with
-  | None -> false
-  | Some msg ->
-      dispatch t msg;
+  match (Dq.min_binding_opt t.dq, next_timer t) with
+  | None, None -> false
+  | Some ((at, _), _), Some (tt, tkey, tm) when tt < at ->
+      fire_timer t tkey tm;
+      true
+  | Some (dkey, env), _ ->
+      t.dq <- Dq.remove dkey t.dq;
+      deliver_envelope t env;
+      true
+  | None, Some (_, tkey, tm) ->
+      fire_timer t tkey tm;
       true
 
 (* At quiescence, parked goals form dependency cycles (or wait on goals
@@ -294,3 +467,11 @@ let outcome t id =
   | None -> Negotiation.Denied "negotiation quiescent"
 
 let parked_count t = List.length t.parked
+let pending_timers t = Hashtbl.length t.timers
+
+let negotiate ?config ?max_steps session ~requester ~target goal =
+  Negotiation.measure session (fun () ->
+      let t = create ?config session in
+      let id = submit t ~requester ~target goal in
+      ignore (run ?max_steps t);
+      outcome t id)

@@ -23,16 +23,42 @@
     goals) rather than needing an in-flight cycle check.
 
     Messages are accounted on the session network (statistics, transcript,
-    latency, budget) exactly like synchronous traffic. *)
+    latency, budget) exactly like synchronous traffic.
+
+    {2 Resilience under faults}
+
+    When the session network carries an active {!Peertrust_net.Faults}
+    plan, the reactor tolerates lost, duplicated, delayed and reordered
+    deliveries: messages travel in {!Peertrust_net.Envelope}s whose ids
+    make duplicate deliveries idempotent, deliveries are ordered by their
+    simulated delivery time, and every outstanding sub-query carries a
+    retransmission timer with exponential backoff ({!config}).  A
+    sub-query that exhausts its retry budget degrades into a structured
+    denial — [timeout: <peer>] or [unreachable: <peer>] — that propagates
+    through {!Negotiation.outcome} (see {!Negotiation.classify_denial})
+    instead of hanging the negotiation.  With the fault-free plan the
+    timers stay disarmed and behaviour is identical to the plain queue. *)
 
 open Peertrust_dlp
 
 type t
 
-val create : Session.t -> t
+type config = {
+  rto : int;
+      (** initial retransmission timeout in simulated ticks (doubles per
+          retry) *)
+  retry_limit : int;  (** retransmissions per sub-query before giving up *)
+}
+
+val default_config : config
+(** [{ rto = 8; retry_limit = 3 }] — a sub-query is abandoned as timed
+    out after 8 + 16 + 32 + 64 unanswered ticks. *)
+
+val create : ?config:config -> Session.t -> t
 (** The reactor replaces the peers' network handlers; create it after all
     peers are added.  Sessions should not mix reactor and synchronous
-    {!Engine} traffic. *)
+    {!Engine} traffic.  @raise Invalid_argument on [rto < 1] or a negative
+    [retry_limit]. *)
 
 type request
 
@@ -41,12 +67,13 @@ val submit :
 (** Enqueue a top-level negotiation; nothing runs until {!run}/{!step}. *)
 
 val step : t -> bool
-(** Deliver one queued message; [false] when the queue is empty. *)
+(** Process one event — the earliest queued delivery or retransmission
+    timer; [false] when both timelines are empty. *)
 
 val run : ?max_steps:int -> t -> int
-(** Process messages until quiescence (or [max_steps], default 100_000);
+(** Process events until quiescence (or [max_steps], default 100_000);
     unresolved requests are then denied as quiescent.  Returns the number
-    of messages delivered. *)
+    of events processed. *)
 
 val result : t -> request -> Negotiation.outcome option
 (** [None] while the request is still unresolved. *)
@@ -57,3 +84,18 @@ val outcome : t -> request -> Negotiation.outcome
 
 val parked_count : t -> int
 (** Goals currently parked across all peers (for tests/monitoring). *)
+
+val pending_timers : t -> int
+(** Outstanding retransmission timers (for tests/monitoring). *)
+
+val negotiate :
+  ?config:config ->
+  ?max_steps:int ->
+  Session.t ->
+  requester:string ->
+  target:string ->
+  Literal.t ->
+  Negotiation.report
+(** One-shot convenience: create a reactor, submit the goal, run to
+    quiescence and wrap the outcome in a measured {!Negotiation.report}
+    (used by the CLI's fault-injected runs). *)

@@ -51,8 +51,11 @@ let uiuc_program_s1 =
     student(X) $ Requester = "UIUC Registrar" <- student(X) @ "UIUC Registrar".
   |}
 
-let scenario1 ?config () =
-  let session = Session.create ?config () in
+let scenario1_goal () =
+  Parser.parse_literal {|discountEnroll(spanish101, "Alice")|}
+
+let scenario1 ?config ?key_bits () =
+  let session = Session.create ?config ?key_bits () in
   ignore (Session.add_peer session ~program:elearn_program_s1 "E-Learn");
   ignore (Session.add_peer session ~program:alice_program_s1 "Alice");
   ignore (Session.add_peer session ~program:uiuc_program_s1 "UIUC");
@@ -152,8 +155,14 @@ let visa_externals limit : Sld.externals = function
           | _ -> [])
   | _ -> None
 
-let scenario2 ?config ?(visa_limit = 5000) () =
-  let session = Session.create ?config () in
+let scenario2_goal_free () =
+  Parser.parse_literal {|enroll(cs101, "Bob", "IBM", Email, 0)|}
+
+let scenario2_goal_paid () =
+  Parser.parse_literal {|enroll(cs411, "Bob", "IBM", Email, Price)|}
+
+let scenario2 ?config ?key_bits ?(visa_limit = 5000) () =
+  let session = Session.create ?config ?key_bits () in
   ignore (Session.add_peer session ~program:elearn_program_s2 "E-Learn");
   ignore (Session.add_peer session ~program:bob_program_s2 "Bob");
   ignore

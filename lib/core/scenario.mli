@@ -14,10 +14,13 @@ type scenario1 = {
   s1_uiuc : string;
 }
 
-val scenario1 : ?config:Session.config -> unit -> scenario1
+val scenario1 : ?config:Session.config -> ?key_bits:int -> unit -> scenario1
 (** Alice & E-Learn: discounted enrolment for UIUC students (via ELENA's
     preferred-customer rule), with the registrar delegation and Alice's
     BBB-membership release policy. *)
+
+val scenario1_goal : unit -> Peertrust_dlp.Literal.t
+(** The headline §4.1 goal: [discountEnroll(spanish101, "Alice")]. *)
 
 type scenario2 = {
   s2_session : Session.t;
@@ -27,11 +30,19 @@ type scenario2 = {
 }
 
 val scenario2 :
-  ?config:Session.config -> ?visa_limit:int -> unit -> scenario2
+  ?config:Session.config -> ?key_bits:int -> ?visa_limit:int -> unit ->
+  scenario2
 (** Signing up for learning services: free courses for employees of ELENA
     members, pay-per-use courses against a company VISA card protected by
     policy27, and the purchase-approval external call to the VISA peer
     (default credit limit 5000). *)
+
+val scenario2_goal_free : unit -> Peertrust_dlp.Literal.t
+(** The §4.2 free-course goal: [enroll(cs101, "Bob", "IBM", Email, 0)]. *)
+
+val scenario2_goal_paid : unit -> Peertrust_dlp.Literal.t
+(** The §4.2 pay-per-use goal:
+    [enroll(cs411, "Bob", "IBM", Email, Price)]. *)
 
 type chain_world = {
   cw_session : Session.t;

@@ -5,5 +5,11 @@ type t
 
 val create : unit -> t
 val now : t -> int
+
 val advance : t -> int -> unit
 (** @raise Invalid_argument on negative increments. *)
+
+val advance_to : t -> int -> unit
+(** Jump forward to an absolute tick; no-op when it is in the past.  Used
+    by queued engines to skip idle time to the next retransmission
+    deadline. *)

@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  seq : int;
+  from_ : string;
+  target : string;
+  sent_at : int;
+  deliver_at : int;
+  attempt : int;
+  payload : Message.payload;
+}
+
+let compare_delivery a b =
+  let c = Int.compare a.deliver_at b.deliver_at in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let summary e =
+  Printf.sprintf "#%d/%d %s -> %s @%d%s: %s" e.id e.seq e.from_ e.target
+    e.deliver_at
+    (if e.attempt > 0 then Printf.sprintf " (retry %d)" e.attempt else "")
+    (Message.summary e.payload)

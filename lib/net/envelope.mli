@@ -1,0 +1,26 @@
+(** Delivery envelopes around message payloads.
+
+    The network wraps every posted payload in an envelope carrying a
+    process-unique message id (shared by duplicated copies, so receivers
+    can deduplicate), a per-link sequence number, the retransmission
+    attempt, and the simulated-clock send and delivery times.  Queued
+    engines order deliveries by {!compare_delivery}: delivery time first,
+    then id — which degenerates to FIFO when no extra delays are
+    injected. *)
+
+type t = {
+  id : int;  (** unique per original send; duplicate copies share it *)
+  seq : int;  (** per-directed-link sequence number, from 0 *)
+  from_ : string;
+  target : string;
+  sent_at : int;  (** clock when the send was accounted *)
+  deliver_at : int;  (** clock when the copy becomes deliverable *)
+  attempt : int;  (** 0 for the original send, >0 for retransmissions *)
+  payload : Message.payload;
+}
+
+val compare_delivery : t -> t -> int
+(** Order by [deliver_at], ties broken by [id] (post order). *)
+
+val summary : t -> string
+(** One-line rendering for tracer events and logs. *)

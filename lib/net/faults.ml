@@ -1,0 +1,110 @@
+module Prng = Peertrust_crypto.Prng
+
+type rates = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_max : int;
+  reorder : float;
+}
+
+let zero_rates =
+  { drop = 0.; duplicate = 0.; delay = 0.; delay_max = 4; reorder = 0. }
+
+type t = {
+  prng : Prng.t option;
+  default : rates;
+  links : (string * string, rates) Hashtbl.t;
+  mutable outage_list : (string * int * int) list;  (* reverse order *)
+}
+
+let none () =
+  {
+    prng = None;
+    default = zero_rates;
+    links = Hashtbl.create 1;
+    outage_list = [];
+  }
+
+let check_rates r =
+  let prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Faults: %s must be in [0,1]" name)
+  in
+  prob "drop" r.drop;
+  prob "duplicate" r.duplicate;
+  prob "delay" r.delay;
+  prob "reorder" r.reorder;
+  if r.delay_max < 0 then invalid_arg "Faults: delay_max must be >= 0"
+
+let create ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.) ?(delay_max = 4)
+    ?(reorder = 0.) ~seed () =
+  let default = { drop; duplicate; delay; delay_max; reorder } in
+  check_rates default;
+  {
+    prng = Some (Prng.create seed);
+    default;
+    links = Hashtbl.create 8;
+    outage_list = [];
+  }
+
+let rates_zero r =
+  r.drop = 0. && r.duplicate = 0. && r.delay = 0. && r.reorder = 0.
+
+let is_none t =
+  (match t.prng with
+  | None -> true
+  | Some _ ->
+      rates_zero t.default
+      && Hashtbl.fold (fun _ r acc -> acc && rates_zero r) t.links true)
+  && t.outage_list = []
+
+let set_link t ~from ~target r =
+  check_rates r;
+  Hashtbl.replace t.links (from, target) r
+
+let link_rates t ~from ~target =
+  Option.value ~default:t.default (Hashtbl.find_opt t.links (from, target))
+
+let add_outage t ~peer ~from_tick ~until_tick =
+  if until_tick < from_tick then
+    invalid_arg "Faults.add_outage: until_tick < from_tick";
+  t.outage_list <- (peer, from_tick, until_tick) :: t.outage_list
+
+let outages t = List.rev t.outage_list
+
+let in_outage t peer ~now =
+  List.exists
+    (fun (p, from_tick, until_tick) ->
+      String.equal p peer && from_tick <= now && now < until_tick)
+    t.outage_list
+
+type decision = { dec_delays : int list }
+
+let deliver_plain = { dec_delays = [ 0 ] }
+
+(* 53 uniform bits, as for a double's mantissa. *)
+let next_float g =
+  Int64.to_float (Int64.shift_right_logical (Prng.next_int64 g) 11)
+  /. 9007199254740992.
+
+let hit g p = p > 0. && next_float g < p
+
+let decide t ~from ~target =
+  match t.prng with
+  | None -> deliver_plain
+  | Some g ->
+      let r = link_rates t ~from ~target in
+      if rates_zero r then deliver_plain
+      else if hit g r.drop then { dec_delays = [] }
+      else
+        let copies = if hit g r.duplicate then 2 else 1 in
+        let delay_of _ =
+          let d =
+            if hit g r.delay && r.delay_max > 0 then
+              1 + Prng.next_int g r.delay_max
+            else 0
+          in
+          if hit g r.reorder then d + 1 + Prng.next_int g 2 else d
+        in
+        { dec_delays = List.init copies delay_of }

@@ -1,0 +1,73 @@
+(** Deterministic fault-injection plans for the simulated network.
+
+    A plan samples per-message faults — drop, duplicate, extra delay,
+    reorder jitter — from a seeded {!Peertrust_crypto.Prng} stream, and
+    schedules transient peer outages as windows on the simulated clock.
+    Equal seeds and equal call sequences yield equal fault schedules, so
+    every chaos run is replayable.
+
+    A plan with no seed ({!none}) never samples and injects nothing; the
+    network treats it as the fault-free fast path. *)
+
+type rates = {
+  drop : float;  (** probability a message is lost in transit *)
+  duplicate : float;  (** probability a message is delivered twice *)
+  delay : float;  (** probability of extra delivery delay *)
+  delay_max : int;  (** max extra ticks when delayed (uniform in [1..max]) *)
+  reorder : float;
+      (** probability of a small (1-2 tick) jitter — enough to swap a
+          message past its successors on the delivery queue *)
+}
+
+val zero_rates : rates
+(** All probabilities 0. *)
+
+type t
+
+val none : unit -> t
+(** A fresh fault-free plan (no sampling, no outages). *)
+
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay:float ->
+  ?delay_max:int ->
+  ?reorder:float ->
+  seed:int64 ->
+  unit ->
+  t
+(** A seeded plan with the given default per-link rates (all default 0,
+    [delay_max] defaults to 4).
+    @raise Invalid_argument on probabilities outside [[0,1]] or a negative
+    [delay_max]. *)
+
+val is_none : t -> bool
+(** [true] when the plan can never inject a fault: unseeded, all rates
+    zero, and no scheduled outages. *)
+
+val set_link : t -> from:string -> target:string -> rates -> unit
+(** Override the rates of one directed link. *)
+
+val link_rates : t -> from:string -> target:string -> rates
+
+val add_outage : t -> peer:string -> from_tick:int -> until_tick:int -> unit
+(** Schedule a transient outage: messages sent to [peer] while
+    [from_tick <= now < until_tick] are lost in transit (the peer recovers
+    afterwards, unlike {!Network.set_down}).
+    @raise Invalid_argument when [until_tick < from_tick]. *)
+
+val outages : t -> (string * int * int) list
+(** Scheduled outages as [(peer, from_tick, until_tick)], in schedule
+    order. *)
+
+val in_outage : t -> string -> now:int -> bool
+
+type decision = {
+  dec_delays : int list;
+      (** one extra-delay per delivered copy, in delivery order; [[]]
+          means the message is dropped *)
+}
+
+val decide : t -> from:string -> target:string -> decision
+(** Sample the fate of one message on a directed link.  Consumes PRNG
+    state; the fault-free plan always answers [{ dec_delays = [0] }]. *)

@@ -18,6 +18,11 @@ let m_kind_disclosure = Obs.counter "net.messages.disclosure"
 let m_kind_other = Obs.counter "net.messages.other"
 let h_message_bytes = Obs.histogram "net.message_bytes"
 
+(* Fault-injection accounting. *)
+let m_drops = Obs.counter "net.drops"
+let m_duplicates = Obs.counter "net.duplicates"
+let m_delayed = Obs.counter "net.delayed"
+
 let kind_counter = function
   | Stats.Query -> m_kind_query
   | Stats.Answer -> m_kind_answer
@@ -42,10 +47,18 @@ type t = {
   max_messages : int option;
   peers : (string, handler) Hashtbl.t;
   down : (string, unit) Hashtbl.t;
-  mutable log : entry list;  (* reverse order *)
+  log : entry Queue.t;  (* chronological; bounded ring *)
+  log_cap : int;
+  mutable log_dropped : int;
+  mutable faults : Faults.t;
+  mutable next_id : int;  (* envelope ids *)
+  seq : (string * string, int ref) Hashtbl.t;  (* per-link sequence *)
 }
 
-let create ?(latency = 1) ?max_messages () =
+let default_log_cap = 10_000
+
+let create ?(latency = 1) ?max_messages ?(log_cap = default_log_cap) () =
+  if log_cap < 1 then invalid_arg "Network.create: log_cap must be >= 1";
   {
     clock = Clock.create ();
     stats = Stats.create ();
@@ -54,7 +67,12 @@ let create ?(latency = 1) ?max_messages () =
     max_messages;
     peers = Hashtbl.create 16;
     down = Hashtbl.create 4;
-    log = [];
+    log = Queue.create ();
+    log_cap;
+    log_dropped = 0;
+    faults = Faults.none ();
+    next_id = 0;
+    seq = Hashtbl.create 16;
   }
 
 let clock t = t.clock
@@ -71,6 +89,8 @@ let set_down t name down =
   else Hashtbl.remove t.down name
 
 let is_down t name = Hashtbl.mem t.down name
+let set_faults t plan = t.faults <- plan
+let faults t = t.faults
 
 let set_link_latency t ~from ~target ticks =
   if ticks < 0 then invalid_arg "Network.set_link_latency: negative";
@@ -79,7 +99,16 @@ let set_link_latency t ~from ~target ticks =
 let link_latency t ~from ~target =
   Option.value ~default:t.latency (Hashtbl.find_opt t.link_latency (from, target))
 
-let deliver t ~from ~target payload =
+let log_entry t entry =
+  Queue.add entry t.log;
+  if Queue.length t.log > t.log_cap then begin
+    ignore (Queue.pop t.log);
+    t.log_dropped <- t.log_dropped + 1
+  end
+
+let dropped_log_entries t = t.log_dropped
+
+let deliver ?(note = "") t ~from ~target payload =
   (match t.max_messages with
   | Some budget when Stats.messages t.stats >= budget -> raise Budget_exhausted
   | Some _ | None -> ());
@@ -91,11 +120,11 @@ let deliver t ~from ~target payload =
   Metric.add m_bytes bytes_;
   Metric.incr (kind_counter kind);
   Metric.observe_int h_message_bytes bytes_;
-  let summary = Message.summary payload in
+  let summary = Message.summary payload ^ note in
   let tracer = Obs.tracer () in
   if Otracer.enabled tracer then
     Otracer.event tracer (Printf.sprintf "%s -> %s: %s" from target summary);
-  t.log <-
+  log_entry t
     {
       time = Clock.now t.clock;
       from;
@@ -104,7 +133,6 @@ let deliver t ~from ~target payload =
       bytes_;
       certs_ = Message.cert_count payload;
     }
-    :: t.log
 
 let send_inner t ~from ~target payload =
   if is_down t target then raise (Unreachable target);
@@ -136,12 +164,72 @@ let notify t ~from ~target payload =
   if is_down t target then raise (Unreachable target);
   deliver t ~from ~target payload
 
-let transcript t = List.rev t.log
-let clear_transcript t = t.log <- []
+let next_seq t ~from ~target =
+  match Hashtbl.find_opt t.seq (from, target) with
+  | Some r ->
+      let s = !r in
+      incr r;
+      s
+  | None ->
+      Hashtbl.add t.seq (from, target) (ref 1);
+      0
+
+let lost_event ~from ~target ~why payload =
+  Metric.incr m_drops;
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then
+    Otracer.event tracer
+      (Printf.sprintf "%s -> %s: %s lost in transit (%s)" from target
+         (Message.summary payload) why)
+
+let post t ~from ~target ?(attempt = 0) payload =
+  if is_down t target then raise (Unreachable target);
+  let decision = Faults.decide t.faults ~from ~target in
+  let outage = Faults.in_outage t.faults target ~now:(Clock.now t.clock) in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = next_seq t ~from ~target in
+  match decision.Faults.dec_delays with
+  | [] ->
+      (* Sampled as lost: the send is still charged and logged. *)
+      deliver ~note:" [lost]" t ~from ~target payload;
+      lost_event ~from ~target ~why:"fault" payload;
+      []
+  | delays when outage ->
+      (* Transient outage window: every copy is lost in transit. *)
+      List.iter
+        (fun _ -> deliver ~note:" [lost: outage]" t ~from ~target payload)
+        delays;
+      lost_event ~from ~target ~why:"outage" payload;
+      []
+  | delays ->
+      List.mapi
+        (fun i extra ->
+          let sent_at = Clock.now t.clock in
+          deliver ~note:(if i > 0 then " [dup]" else "") t ~from ~target payload;
+          if i > 0 then Metric.incr m_duplicates;
+          if extra > 0 then Metric.incr m_delayed;
+          {
+            Envelope.id;
+            seq;
+            from_ = from;
+            target;
+            sent_at;
+            deliver_at = Clock.now t.clock + extra;
+            attempt;
+            payload;
+          })
+        delays
+
+let transcript t = List.of_seq (Queue.to_seq t.log)
+
+let clear_transcript t =
+  Queue.clear t.log;
+  t.log_dropped <- 0
 
 let pp_transcript fmt t =
-  List.iter
+  Queue.iter
     (fun e ->
       Format.fprintf fmt "[%4d] %s -> %s: %s (%d bytes)@\n" e.time e.from
         e.target e.summary e.bytes_)
-    (transcript t)
+    t.log

@@ -6,8 +6,10 @@
     transcript.  Deterministic by construction — no real I/O, no threads —
     which is what makes the benchmark tables reproducible.
 
-    Failure injection: peers can be marked down ({!set_down}), and a
-    message budget can be imposed to abort runaway negotiations. *)
+    Failure injection: peers can be marked down ({!set_down}), a message
+    budget can be imposed to abort runaway negotiations, and a seeded
+    {!Faults} plan ({!set_faults}) injects drops, duplicates, delays and
+    transient outages into the queued ({!post}) path. *)
 
 type t
 
@@ -28,8 +30,11 @@ type entry = {
   certs_ : int;  (** certificates carried by this message *)
 }
 
-val create : ?latency:int -> ?max_messages:int -> unit -> t
-(** [latency] (default 1) is the tick cost of one message direction. *)
+val create : ?latency:int -> ?max_messages:int -> ?log_cap:int -> unit -> t
+(** [latency] (default 1) is the tick cost of one message direction.
+    [log_cap] (default 10_000) bounds the transcript ring buffer: past the
+    cap the oldest entries are discarded and counted by
+    {!dropped_log_entries}.  @raise Invalid_argument when [log_cap < 1]. *)
 
 val clock : t -> Clock.t
 val stats : t -> Stats.t
@@ -40,6 +45,12 @@ val unregister : t -> string -> unit
 val registered : t -> string list
 val set_down : t -> string -> bool -> unit
 val is_down : t -> string -> bool
+
+val set_faults : t -> Faults.t -> unit
+(** Install a fault plan; it applies to {!post} (the queued engines).
+    Synchronous {!send}/{!notify} traffic is not fault-injected. *)
+
+val faults : t -> Faults.t
 
 val set_link_latency : t -> from:string -> target:string -> int -> unit
 (** Override the tick cost of one directed link (e.g. a slow WAN hop to a
@@ -59,8 +70,31 @@ val notify : t -> from:string -> target:string -> Message.payload -> unit
     forwarding traffic handled out-of-band (e.g. device-to-proxy hops).
     @raise Unreachable / Budget_exhausted as {!send}. *)
 
+val post :
+  t ->
+  from:string ->
+  target:string ->
+  ?attempt:int ->
+  Message.payload ->
+  Envelope.t list
+(** Queue-oriented one-way send under the installed fault plan: charge and
+    log the transmission, then return the envelope copies that actually
+    reach the target — [[]] when the message is lost (sampled drop, or the
+    target is inside a scheduled outage window), one envelope normally,
+    two sharing an id when duplicated.  Extra delivery delay is reflected
+    in [deliver_at].  Lost and duplicated sends increment [net.drops] /
+    [net.duplicates].  With the fault-free plan this is exactly {!notify}
+    plus one envelope.
+    @raise Unreachable if the target is down ({!set_down}) or the message
+    budget is exhausted ([Budget_exhausted]); scheduled outages do NOT
+    raise — the sender only learns through missing answers. *)
+
 val transcript : t -> entry list
-(** All messages in delivery order (both directions of each round trip). *)
+(** Retained messages in delivery order (both directions of each round
+    trip).  Long runs keep only the newest [log_cap] entries. *)
+
+val dropped_log_entries : t -> int
+(** Transcript entries discarded by the ring buffer so far. *)
 
 val clear_transcript : t -> unit
 val pp_transcript : Format.formatter -> t -> unit

@@ -1,0 +1,263 @@
+(* Chaos tests: the paper's §4.1/§4.2 scenarios replayed under seeded
+   fault schedules (drops, duplicates, delays, reordering, transient
+   outages).  The property under test: every run terminates within the
+   step budget and ends in either the fault-free outcome or a clean
+   structured denial — never a hang, an uncaught exception, or a silent
+   drop — and with all fault rates at zero the transcript is identical to
+   the fault-free run. *)
+
+open Peertrust
+module Net = Peertrust_net
+module Pobs = Peertrust_obs
+
+let key_bits = 288 (* small keys keep the 100-seed sweeps fast *)
+let max_steps = 20_000
+
+let granted = function
+  | Negotiation.Granted _ -> true
+  | Negotiation.Denied _ -> false
+
+(* One queued scenario-1 run; [faults] installs a plan before the
+   reactor starts. *)
+let run_s1 ?faults () =
+  let s = Scenario.scenario1 ~key_bits () in
+  let net = s.Scenario.s1_session.Session.network in
+  Option.iter (Net.Network.set_faults net) faults;
+  let reactor = Reactor.create s.Scenario.s1_session in
+  let id =
+    Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+      (Scenario.scenario1_goal ())
+  in
+  let steps = Reactor.run ~max_steps reactor in
+  (Reactor.outcome reactor id, steps, reactor, net)
+
+(* One queued scenario-2 run with the free and paid goals interleaved
+   over a single reactor queue. *)
+let run_s2 ?faults () =
+  let s = Scenario.scenario2 ~key_bits () in
+  let net = s.Scenario.s2_session.Session.network in
+  Option.iter (Net.Network.set_faults net) faults;
+  let reactor = Reactor.create s.Scenario.s2_session in
+  let free =
+    Reactor.submit reactor ~requester:"Bob" ~target:"E-Learn"
+      (Scenario.scenario2_goal_free ())
+  in
+  let paid =
+    Reactor.submit reactor ~requester:"Bob" ~target:"E-Learn"
+      (Scenario.scenario2_goal_paid ())
+  in
+  let steps = Reactor.run ~max_steps reactor in
+  ((Reactor.outcome reactor free, Reactor.outcome reactor paid), steps, reactor, net)
+
+let chaos_plan ?(drop = 0.12) ?(outage = None) seed =
+  let f =
+    Net.Faults.create ~drop ~duplicate:0.1 ~delay:0.25 ~delay_max:4
+      ~reorder:0.1 ~seed ()
+  in
+  (match outage with
+  | Some (peer, from_tick, until_tick) ->
+      Net.Faults.add_outage f ~peer ~from_tick ~until_tick
+  | None -> ());
+  f
+
+(* A faulted outcome is acceptable when it matches the fault-free outcome
+   or degrades into a denial (all denial reasons classify cleanly). *)
+let acceptable ~label ~baseline outcome =
+  match (baseline, outcome) with
+  | _, Negotiation.Denied reason ->
+      ignore (Negotiation.classify_denial reason : Negotiation.denial_class)
+  | Negotiation.Granted _, Negotiation.Granted _ -> ()
+  | Negotiation.Denied _, Negotiation.Granted _ ->
+      Alcotest.failf "%s: granted under faults but denied fault-free" label
+
+let transcript_sig net =
+  List.map
+    (fun e ->
+      Printf.sprintf "[%d] %s->%s %s %d" e.Net.Network.time e.Net.Network.from
+        e.Net.Network.target e.Net.Network.summary e.Net.Network.bytes_)
+    (Net.Network.transcript net)
+
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_sweep_scenario1 () =
+  let baseline, _, _, _ = run_s1 () in
+  Alcotest.(check bool) "fault-free baseline granted" true (granted baseline);
+  Pobs.Obs.reset_metrics ();
+  for seed = 1 to 100 do
+    let faults =
+      chaos_plan
+        ~outage:(if seed mod 3 = 0 then Some ("UIUC", 3, 9) else None)
+        (Int64.of_int seed)
+    in
+    let outcome, steps, reactor, _ =
+      try run_s1 ~faults () with
+      | exn ->
+          Alcotest.failf "seed %d: uncaught exception %s" seed
+            (Printexc.to_string exn)
+    in
+    if steps >= max_steps then Alcotest.failf "seed %d: hit step budget" seed;
+    acceptable ~label:(Printf.sprintf "seed %d" seed) ~baseline outcome;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: nothing parked" seed)
+      0 (Reactor.parked_count reactor);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: no timers left" seed)
+      0 (Reactor.pending_timers reactor)
+  done;
+  (* The sweep must have exercised the fault machinery and exported it. *)
+  let snapshot = Pobs.Obs.snapshot () in
+  let count name = Pobs.Registry.counter_value snapshot name in
+  Alcotest.(check bool) "drops recorded" true (count "net.drops" > 0);
+  Alcotest.(check bool) "duplicates recorded" true (count "net.duplicates" > 0);
+  Alcotest.(check bool) "retries recorded" true (count "reactor.retries" > 0)
+
+let test_chaos_sweep_scenario2 () =
+  let (base_free, base_paid), _, _, _ = run_s2 () in
+  Alcotest.(check bool) "free baseline granted" true (granted base_free);
+  Alcotest.(check bool) "paid baseline granted" true (granted base_paid);
+  for seed = 101 to 200 do
+    let faults =
+      chaos_plan
+        ~outage:(if seed mod 4 = 0 then Some ("VISA", 2, 10) else None)
+        (Int64.of_int seed)
+    in
+    let (free, paid), steps, reactor, _ =
+      try run_s2 ~faults () with
+      | exn ->
+          Alcotest.failf "seed %d: uncaught exception %s" seed
+            (Printexc.to_string exn)
+    in
+    if steps >= max_steps then Alcotest.failf "seed %d: hit step budget" seed;
+    acceptable ~label:(Printf.sprintf "seed %d free" seed) ~baseline:base_free
+      free;
+    acceptable ~label:(Printf.sprintf "seed %d paid" seed) ~baseline:base_paid
+      paid;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: nothing parked" seed)
+      0 (Reactor.parked_count reactor);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: no timers left" seed)
+      0 (Reactor.pending_timers reactor)
+  done
+
+let test_zero_faults_byte_identical () =
+  (* A seeded plan with all-zero rates and no outages must not change a
+     single transcript byte relative to an untouched network. *)
+  let plain_outcome, plain_steps, _, plain_net = run_s1 () in
+  let zeroed = Net.Faults.create ~seed:42L () in
+  Alcotest.(check bool) "zero-rate plan is fault-free" true
+    (Net.Faults.is_none zeroed);
+  let zero_outcome, zero_steps, _, zero_net = run_s1 ~faults:zeroed () in
+  let none_outcome, none_steps, _, none_net =
+    run_s1 ~faults:(Net.Faults.none ()) ()
+  in
+  Alcotest.(check (list string))
+    "transcript identical (zero rates)" (transcript_sig plain_net)
+    (transcript_sig zero_net);
+  Alcotest.(check (list string))
+    "transcript identical (none plan)" (transcript_sig plain_net)
+    (transcript_sig none_net);
+  Alcotest.(check int) "same steps (zero rates)" plain_steps zero_steps;
+  Alcotest.(check int) "same steps (none plan)" plain_steps none_steps;
+  Alcotest.(check bool) "same outcome" (granted plain_outcome)
+    (granted zero_outcome && granted none_outcome)
+
+let test_same_seed_same_schedule () =
+  let a_outcome, a_steps, _, a_net = run_s1 ~faults:(chaos_plan 7L) () in
+  let b_outcome, b_steps, _, b_net = run_s1 ~faults:(chaos_plan 7L) () in
+  Alcotest.(check (list string))
+    "identical transcripts" (transcript_sig a_net) (transcript_sig b_net);
+  Alcotest.(check int) "identical steps" a_steps b_steps;
+  Alcotest.(check bool) "identical outcome" (granted a_outcome)
+    (granted b_outcome)
+
+let test_outage_recovers_with_retries () =
+  (* The target is unreachable for the opening window; retransmission with
+     backoff rides it out and the negotiation still grants. *)
+  Pobs.Obs.reset_metrics ();
+  let faults = Net.Faults.none () in
+  Net.Faults.add_outage faults ~peer:"E-Learn" ~from_tick:0 ~until_tick:12;
+  let outcome, _, _, _ = run_s1 ~faults () in
+  Alcotest.(check bool) "granted after the outage" true (granted outcome);
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "retries happened" true
+    (Pobs.Registry.counter_value snapshot "reactor.retries" > 0);
+  Alcotest.(check bool) "drops counted" true
+    (Pobs.Registry.counter_value snapshot "net.drops" > 0)
+
+let test_black_hole_times_out () =
+  (* Every copy of the top-level query is lost: the retry budget drains
+     and the outcome is a structured timeout denial. *)
+  let faults = Net.Faults.create ~seed:1L () in
+  Net.Faults.set_link faults ~from:"Alice" ~target:"E-Learn"
+    { Net.Faults.zero_rates with Net.Faults.drop = 1.0 };
+  Pobs.Obs.reset_metrics ();
+  let outcome, _, _, _ = run_s1 ~faults () in
+  (match outcome with
+  | Negotiation.Denied reason ->
+      Alcotest.(check string)
+        "classified as timeout" "timeout"
+        (Negotiation.denial_class_to_string
+           (Negotiation.classify_denial reason));
+      Alcotest.(check bool) "transport denial" true
+        (Negotiation.transport_denial reason)
+  | Negotiation.Granted _ -> Alcotest.fail "black hole cannot grant");
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "timeout counted" true
+    (Pobs.Registry.counter_value snapshot "reactor.timeouts" > 0)
+
+let test_duplicates_are_idempotent () =
+  (* Every message delivered twice: outcome and grant-set match the
+     fault-free run, and the duplicate deliveries are counted. *)
+  Pobs.Obs.reset_metrics ();
+  let faults =
+    Net.Faults.create ~duplicate:1.0 ~seed:5L ()
+  in
+  let outcome, _, _, _ = run_s1 ~faults () in
+  Alcotest.(check bool) "still granted" true (granted outcome);
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "duplicates counted" true
+    (Pobs.Registry.counter_value snapshot "net.duplicates" > 0);
+  Alcotest.(check bool) "duplicate deliveries deduplicated" true
+    (Pobs.Registry.counter_value snapshot "reactor.dup_deliveries" > 0)
+
+let test_transcript_ring_buffer () =
+  let net = Net.Network.create ~log_cap:8 () in
+  Net.Network.register net "b" (fun ~from:_ _ -> Net.Message.Ack);
+  for _ = 1 to 20 do
+    Net.Network.notify net ~from:"a" ~target:"b" Net.Message.Ack
+  done;
+  Alcotest.(check int) "ring keeps cap entries" 8
+    (List.length (Net.Network.transcript net));
+  Alcotest.(check int) "dropped entries counted" 12
+    (Net.Network.dropped_log_entries net);
+  let newest_first = List.rev (Net.Network.transcript net) in
+  Alcotest.(check int) "newest entry retained" 20
+    (match newest_first with e :: _ -> e.Net.Network.time | [] -> -1);
+  Net.Network.clear_transcript net;
+  Alcotest.(check int) "clear resets the drop count" 0
+    (Net.Network.dropped_log_entries net)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "chaos"
+    [
+      ( "sweeps",
+        [
+          tc "scenario 1 under 100 seeds" test_chaos_sweep_scenario1;
+          tc "scenario 2 under 100 seeds" test_chaos_sweep_scenario2;
+        ] );
+      ( "identity",
+        [
+          tc "zero faults are byte-identical" test_zero_faults_byte_identical;
+          tc "same seed, same schedule" test_same_seed_same_schedule;
+        ] );
+      ( "degradation",
+        [
+          tc "outage rides out on retries" test_outage_recovers_with_retries;
+          tc "black hole times out" test_black_hole_times_out;
+          tc "duplicates are idempotent" test_duplicates_are_idempotent;
+        ] );
+      ( "bounds",
+        [ tc "transcript ring buffer" test_transcript_ring_buffer ] );
+    ]

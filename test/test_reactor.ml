@@ -5,6 +5,7 @@
 open Peertrust
 open Peertrust_dlp
 module Net = Peertrust_net
+module Pobs = Peertrust_obs
 
 let lit = Parser.parse_literal
 
@@ -191,8 +192,101 @@ let test_reactor_unreachable_target () =
   ignore (Session.add_peer session ~program:{|info(1) $ true.|} "owner");
   ignore (Session.add_peer session "req");
   Net.Network.set_down session.Session.network "owner" true;
-  Alcotest.(check bool) "denied" false
-    (granted (run_reactor session ~requester:"req" ~target:"owner" (lit "info(X)")))
+  match run_reactor session ~requester:"req" ~target:"owner" (lit "info(X)") with
+  | Negotiation.Denied reason ->
+      Alcotest.(check string) "structured reason" "unreachable: owner" reason;
+      Alcotest.(check bool) "classified as transport denial" true
+        (Negotiation.transport_denial reason)
+  | Negotiation.Granted _ -> Alcotest.fail "down peer cannot grant"
+
+let counter_query_world ?max_messages () =
+  let session = Session.create ?max_messages () in
+  ignore
+    (Session.add_peer session
+       ~program:
+         {|resource("r") $ cred(Requester) @ "CA" <-{true} haveIt("r").
+           haveIt("r").
+           cred(X) @ "CA" <- cred(X) @ "CA" @ X.|}
+       "owner");
+  ignore
+    (Session.add_peer session
+       ~program:{|cred("req") @ "CA" $ true signedBy ["CA"].|}
+       "req");
+  session
+
+let test_reactor_down_mid_negotiation () =
+  (* The owner goes down after sending its counter-query: the requester's
+     answer can no longer be delivered.  The reactor must count and trace
+     the dropped reply (not lose it silently), and the negotiation must
+     still terminate in a denial rather than hang. *)
+  Pobs.Obs.reset_metrics ();
+  let session = counter_query_world () in
+  let reactor = Reactor.create session in
+  let id =
+    Reactor.submit reactor ~requester:"req" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  (* Deliver the top-level query; the owner parks it and counter-queries. *)
+  Alcotest.(check bool) "first event processed" true (Reactor.step reactor);
+  Net.Network.set_down session.Session.network "owner" true;
+  let steps = Reactor.run reactor in
+  Alcotest.(check bool) "terminates" true (steps < 1000);
+  Alcotest.(check bool) "denied" false (granted (Reactor.outcome reactor id));
+  Alcotest.(check int) "nothing left parked" 0 (Reactor.parked_count reactor);
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "dropped reply counted" true
+    (Pobs.Registry.counter_value snapshot "reactor.drops" > 0)
+
+let test_reactor_duplicate_answers_idempotent () =
+  (* Every delivery duplicated: the duplicate Answer dispatch must be
+     deduplicated and the outcome must match the fault-free run. *)
+  Pobs.Obs.reset_metrics ();
+  let session = counter_query_world () in
+  Net.Network.set_faults session.Session.network
+    (Net.Faults.create ~duplicate:1.0 ~seed:11L ());
+  Alcotest.(check bool) "granted despite duplication" true
+    (granted
+       (run_reactor session ~requester:"req" ~target:"owner"
+          (lit {|resource("r")|})));
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "duplicates deduplicated on dispatch" true
+    (Pobs.Registry.counter_value snapshot "reactor.dup_deliveries" > 0)
+
+let test_reactor_budget_denies_all_parked () =
+  (* Two top-level goals are parked when the budget trips; both must be
+     settled with the structured budget denial, not left unresolved. *)
+  let session = counter_query_world ~max_messages:3 () in
+  let reactor = Reactor.create session in
+  let r1 =
+    Reactor.submit reactor ~requester:"req" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  let r2 =
+    Reactor.submit reactor ~requester:"req" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  ignore (Reactor.run reactor);
+  List.iter
+    (fun id ->
+      match Reactor.outcome reactor id with
+      | Negotiation.Denied reason ->
+          Alcotest.(check string) "budget reason" "message budget exhausted"
+            reason;
+          Alcotest.(check bool) "classified as budget" true
+            (Negotiation.transport_denial reason)
+      | Negotiation.Granted _ -> Alcotest.fail "should hit the budget")
+    [ r1; r2 ]
+
+let test_reactor_negotiate_convenience () =
+  let session = counter_query_world () in
+  let report =
+    Reactor.negotiate session ~requester:"req" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  Alcotest.(check bool) "granted" true
+    (granted report.Negotiation.outcome);
+  Alcotest.(check bool) "messages measured" true
+    (report.Negotiation.messages > 0)
 
 let test_reactor_message_budget () =
   let session = Session.create ~max_messages:2 () in
@@ -273,5 +367,13 @@ let () =
           tc "deadlock quiesces" test_reactor_deadlock_quiesces;
           tc "unreachable target" test_reactor_unreachable_target;
           tc "message budget" test_reactor_message_budget;
+        ] );
+      ( "degraded",
+        [
+          tc "peer down mid-negotiation" test_reactor_down_mid_negotiation;
+          tc "duplicate answers idempotent"
+            test_reactor_duplicate_answers_idempotent;
+          tc "budget denies all parked" test_reactor_budget_denies_all_parked;
+          tc "negotiate convenience" test_reactor_negotiate_convenience;
         ] );
     ]
