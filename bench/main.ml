@@ -804,6 +804,107 @@ let chaos () =
        counters)
 
 (* ------------------------------------------------------------------ *)
+(* cache: cross-negotiation answer cache, cold vs warm *)
+
+let cache_bench () =
+  (* Each scenario runs three times on fresh sessions: once without a
+     cache (baseline), once with an empty shared cache (cold), and once
+     more reusing that cache (warm).  Sessions are rebuilt from the same
+     deterministic keystore seed, so certificates replayed out of the
+     cache still verify in the fresh session. *)
+  let run ?config ~session goals =
+    let stats = Net.Network.stats session.Session.network in
+    let before = Net.Stats.messages stats in
+    let reactor = Reactor.create ?config session in
+    let ids =
+      List.map
+        (fun (req, tgt, goal) ->
+          Reactor.submit reactor ~requester:req ~target:tgt goal)
+        goals
+    in
+    ignore (Reactor.run reactor);
+    let ok =
+      List.for_all
+        (fun id ->
+          match Reactor.outcome reactor id with
+          | Negotiation.Granted _ -> true
+          | Negotiation.Denied _ -> false)
+        ids
+    in
+    ( ok,
+      Net.Stats.messages stats - before,
+      Net.Clock.now (Net.Network.clock session.Session.network) )
+  in
+  let scenarios =
+    [
+      ( "s1",
+        fun () ->
+          let s = Scenario.scenario1 ~key_bits:288 () in
+          ( s.Scenario.s1_session,
+            [ ("Alice", "E-Learn", Scenario.scenario1_goal ()) ] ) );
+      ( "s2",
+        fun () ->
+          let s = Scenario.scenario2 ~key_bits:288 () in
+          ( s.Scenario.s2_session,
+            [
+              ("Bob", "E-Learn", Scenario.scenario2_goal_free ());
+              ("Bob", "E-Learn", Scenario.scenario2_goal_paid ());
+            ] ) );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        let session, goals = build () in
+        let ok_off, msgs_off, ticks_off = run ~session goals in
+        let cache = Answer_cache.create () in
+        let config =
+          { Reactor.default_config with Reactor.cache = Some cache }
+        in
+        let s_cold, goals_cold = build () in
+        let ok_cold, msgs_cold, ticks_cold =
+          run ~config ~session:s_cold goals_cold
+        in
+        let hits_cold = Answer_cache.hits cache in
+        let s_warm, goals_warm = build () in
+        let ok_warm, msgs_warm, ticks_warm =
+          run ~config ~session:s_warm goals_warm
+        in
+        let hits_warm = Answer_cache.hits cache - hits_cold in
+        let g key v =
+          Pobs.Metric.set
+            (Pobs.Obs.gauge (Printf.sprintf "cache.%s.%s" name key))
+            (float_of_int v)
+        in
+        g "off_envelopes" msgs_off;
+        g "cold_envelopes" msgs_cold;
+        g "warm_envelopes" msgs_warm;
+        g "off_ticks" ticks_off;
+        g "cold_ticks" ticks_cold;
+        g "warm_ticks" ticks_warm;
+        let row mode ok msgs ticks hits =
+          [
+            name; mode;
+            (if ok then "granted" else "denied");
+            string_of_int msgs; string_of_int ticks; string_of_int hits;
+          ]
+        in
+        [
+          row "no cache" ok_off msgs_off ticks_off 0;
+          row "cold" ok_cold msgs_cold ticks_cold hits_cold;
+          row "warm" ok_warm msgs_warm ticks_warm hits_warm;
+        ])
+      scenarios
+  in
+  print_table
+    ~title:
+      "CACHE Cross-negotiation answer cache: the same scenario negotiated \
+       on a fresh session with a shared cache — warm runs answer from the \
+       cache and post (almost) no envelopes"
+    ~header:[ "scenario"; "mode"; "outcome"; "envelopes"; "ticks"; "hits" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -893,7 +994,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", e11); ("e12", e12); ("e13", e13); ("chaos", chaos);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("cache", cache_bench);
+    ("chaos", chaos);
   ]
 
 (* Run one experiment with a fresh metrics registry and drop the snapshot

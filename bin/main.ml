@@ -158,6 +158,55 @@ let fault_opts_term =
     const make $ seed $ drop $ duplicate $ delay $ delay_max $ reorder
     $ outages $ queued)
 
+(* ------------------------------------------------------------------ *)
+(* Answer-cache flags shared by negotiate and scenario *)
+
+type cache_opts = { co_on : bool; co_off : bool; co_ttl : int }
+
+let cache_opts_term =
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the cross-negotiation answer cache (implies the queued \
+             reactor engine).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Explicitly disable the answer cache (overrides --cache).")
+  in
+  let ttl =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-ttl" ] ~docv:"TICKS"
+          ~doc:"Lifetime of cached answers in simulated clock ticks.")
+  in
+  let make co_on co_off co_ttl = { co_on; co_off; co_ttl } in
+  Term.(const make $ cache $ no_cache $ ttl)
+
+(* The cache requested by the flags; [--no-cache] wins over [--cache]. *)
+let resolve_cache o =
+  if o.co_on && not o.co_off then
+    try Some (Answer_cache.create ~ttl:o.co_ttl ())
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  else None
+
+let reactor_config_of_cache =
+  Option.map (fun c -> { Reactor.default_config with Reactor.cache = Some c })
+
+let print_cache_summary =
+  Option.iter (fun c ->
+      Printf.printf "cache: %d hit(s), %d miss(es), %d entr%s, %d eviction(s), %d invalidation(s)\n"
+        (Answer_cache.hits c) (Answer_cache.misses c) (Answer_cache.length c)
+        (if Answer_cache.length c = 1 then "y" else "ies")
+        (Answer_cache.evictions c)
+        (Answer_cache.invalidations c))
+
 (* Install the requested fault plan on the session network.  Returns
    [true] when the run should go through the queued (reactor) engine —
    i.e. when any fault is configured or --queued was passed. *)
@@ -319,7 +368,7 @@ let forward_cmd =
 let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
       narrative mermaid wallet save_wallet save_world metrics_out trace_out
-      fault_opts =
+      fault_opts cache_opts =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
     let session = Session.create () in
@@ -354,17 +403,22 @@ let negotiate_cmd =
           Printf.eprintf "unknown strategy %S\n" other;
           exit 1
     in
-    let queued = install_faults session fault_opts in
+    let cache = resolve_cache cache_opts in
+    let queued = install_faults session fault_opts || cache <> None in
     let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
     let report =
-      (* Faulted runs go through the queued reactor (the engine with
-         retransmission and timeouts); it negotiates relevant-style. *)
+      (* Faulted (and cached) runs go through the queued reactor (the
+         engine with retransmission and timeouts); it negotiates
+         relevant-style. *)
       if queued then
-        Reactor.negotiate session ~requester ~target
+        Reactor.negotiate
+          ?config:(reactor_config_of_cache cache)
+          session ~requester ~target
           (Dlp.Parser.parse_literal goal)
       else Strategy.negotiate_str session ~strategy ~requester ~target goal
     in
     Format.printf "%a@." Negotiation.pp_report report;
+    print_cache_summary cache;
     if narrative then print_endline (Explain.narrative report);
     if mermaid then print_string (Explain.sequence_diagram report);
     if show_transcript then
@@ -465,7 +519,7 @@ let negotiate_cmd =
     Term.(
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
       $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
-      $ metrics_out_arg $ trace_out_arg $ fault_opts_term)
+      $ metrics_out_arg $ trace_out_arg $ fault_opts_term $ cache_opts_term)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -623,8 +677,12 @@ let analyze_cmd =
 (* scenario *)
 
 let scenario_cmd =
-  let run verbose name metrics_out trace_out fault_opts =
+  let run verbose name metrics_out trace_out fault_opts cache_opts repeat =
     setup_logs verbose;
+    if repeat < 1 then begin
+      Printf.eprintf "error: --repeat must be >= 1\n";
+      exit 1
+    end;
     let show (r : Negotiation.report) =
       Format.printf "%a@." Negotiation.pp_report r;
       List.iter
@@ -634,36 +692,42 @@ let scenario_cmd =
             e.Peertrust_net.Network.summary)
         r.Negotiation.transcript
     in
-    let with_obs session body =
-      let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
-      Fun.protect ~finally:finish_obs body
+    let session, goals =
+      match name with
+      | "elearn" ->
+          let s = Scenario.scenario1 () in
+          ( s.Scenario.s1_session,
+            [ ("Alice", "E-Learn", Scenario.scenario1_goal ()) ] )
+      | "services" ->
+          let s = Scenario.scenario2 () in
+          ( s.Scenario.s2_session,
+            [
+              ("Bob", "E-Learn", Scenario.scenario2_goal_free ());
+              ("Bob", "E-Learn", Scenario.scenario2_goal_paid ());
+            ] )
+      | other ->
+          Printf.eprintf "unknown scenario %S (try elearn or services)\n"
+            other;
+          exit 1
     in
-    (* Under faults (or --queued) each goal runs through the reactor. *)
-    let negotiate session ~queued ~requester ~target goal =
-      if queued then Reactor.negotiate session ~requester ~target goal
-      else Negotiation.request session ~requester ~target goal
-    in
-    match name with
-    | "elearn" ->
-        let s = Scenario.scenario1 () in
-        let queued = install_faults s.Scenario.s1_session fault_opts in
-        with_obs s.Scenario.s1_session (fun () ->
-            show
-              (negotiate s.Scenario.s1_session ~queued ~requester:"Alice"
-                 ~target:"E-Learn" (Scenario.scenario1_goal ())))
-    | "services" ->
-        let s = Scenario.scenario2 () in
-        let queued = install_faults s.Scenario.s2_session fault_opts in
-        with_obs s.Scenario.s2_session (fun () ->
-            show
-              (negotiate s.Scenario.s2_session ~queued ~requester:"Bob"
-                 ~target:"E-Learn" (Scenario.scenario2_goal_free ()));
-            show
-              (negotiate s.Scenario.s2_session ~queued ~requester:"Bob"
-                 ~target:"E-Learn" (Scenario.scenario2_goal_paid ())))
-    | other ->
-        Printf.eprintf "unknown scenario %S (try elearn or services)\n" other;
-        exit 1
+    (* One cache shared by every goal (and every --repeat pass): later
+       negotiations run warm. *)
+    let cache = resolve_cache cache_opts in
+    let queued = install_faults session fault_opts || cache <> None in
+    let config = reactor_config_of_cache cache in
+    let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
+    Fun.protect ~finally:finish_obs (fun () ->
+        for pass = 1 to repeat do
+          if repeat > 1 then Printf.printf "%% pass %d\n" pass;
+          List.iter
+            (fun (requester, target, goal) ->
+              show
+                (if queued then
+                   Reactor.negotiate ?config session ~requester ~target goal
+                 else Negotiation.request session ~requester ~target goal))
+            goals
+        done;
+        print_cache_summary cache)
   in
   let scenario_name =
     Arg.(
@@ -671,11 +735,19 @@ let scenario_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Scenario name: elearn or services.")
   in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Run the scenario's goal sequence N times over one session \
+             (with --cache, later passes run warm).")
+  in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
     Term.(
       const run $ verbose_arg $ scenario_name $ metrics_out_arg
-      $ trace_out_arg $ fault_opts_term)
+      $ trace_out_arg $ fault_opts_term $ cache_opts_term $ repeat)
 
 let () =
   let info =

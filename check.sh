@@ -1,5 +1,7 @@
 #!/bin/sh
-# Pre-merge gate: build, test, formatting, and a chaos smoke run.
+# Pre-merge gate: build, test, formatting, and fixed-seed smoke runs.
+# CHECK_SLOW=1 additionally re-runs the property suite with 5x the
+# iteration counts.
 set -eux
 
 dune build
@@ -9,9 +11,25 @@ dune build @fmt
 # Chaos smoke: scenario 1 under a fixed-seed fault schedule must terminate
 # and export non-empty fault metrics.
 metrics=$(mktemp)
-trap 'rm -f "$metrics"' EXIT
+cache_metrics=$(mktemp)
+trap 'rm -f "$metrics" "$cache_metrics"' EXIT
 ./_build/default/bin/main.exe scenario elearn \
   --fault-seed 7 --drop 0.15 --duplicate 0.1 --delay 0.2 --outage UIUC:3:9 \
   --metrics-out "$metrics" > /dev/null
 grep -q '"net.drops"' "$metrics"
 grep -q '"reactor.retries"' "$metrics"
+
+# Cache smoke: a cold + warm scenario pass over one session must record
+# cache hits in the exported metrics.
+./_build/default/bin/main.exe scenario services --cache --repeat 2 \
+  --metrics-out "$cache_metrics" > /dev/null
+grep -q '"cache.hits"' "$cache_metrics"
+if grep -q '"cache.hits":0[,}]' "$cache_metrics"; then
+  echo "cache smoke: no cache hits recorded" >&2
+  exit 1
+fi
+
+# Slow gate: the property suite again, with raised iteration counts.
+if [ "${CHECK_SLOW:-0}" != "0" ]; then
+  CHECK_SLOW=1 ./_build/default/test/test_properties.exe
+fi

@@ -1,0 +1,131 @@
+open Peertrust_dlp
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+
+let m_hits = Obs.counter "cache.hits"
+let m_misses = Obs.counter "cache.misses"
+let m_evictions = Obs.counter "cache.evictions"
+let m_invalidations = Obs.counter "cache.invalidations"
+
+type answer = {
+  instances : (Literal.t * Trace.t option) list;
+  certs : Peertrust_crypto.Cert.t list;
+}
+
+type slot = {
+  sl_answer : answer;
+  sl_owner : string;
+  sl_expires : int;  (* first tick the entry is no longer live *)
+  sl_stamp : int;  (* insertion order, for oldest-first eviction *)
+}
+
+type t = {
+  ttl : int;
+  capacity : int;
+  (* (asker, owner, goal skeleton) -> slot *)
+  table : (string * string * string, slot) Hashtbl.t;
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(ttl = 1024) ?(capacity = 4096) () =
+  if ttl < 1 then invalid_arg "Answer_cache.create: ttl must be >= 1";
+  if capacity < 1 then invalid_arg "Answer_cache.create: capacity must be >= 1";
+  {
+    ttl;
+    capacity;
+    table = Hashtbl.create 64;
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let key ~asker ~owner goal = (asker, owner, Peer.goal_key goal)
+
+let evict t k =
+  Hashtbl.remove t.table k;
+  t.evictions <- t.evictions + 1;
+  Metric.incr m_evictions
+
+let find t ~now ~asker ~owner goal =
+  let k = key ~asker ~owner goal in
+  match Hashtbl.find_opt t.table k with
+  | Some slot when now < slot.sl_expires ->
+      t.hits <- t.hits + 1;
+      Metric.incr m_hits;
+      Some slot.sl_answer
+  | Some _ ->
+      (* Expired: drop on contact so the table does not accumulate dead
+         entries between stores. *)
+      evict t k;
+      t.misses <- t.misses + 1;
+      Metric.incr m_misses;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      Metric.incr m_misses;
+      None
+
+let evict_oldest t =
+  let oldest =
+    Hashtbl.fold
+      (fun k slot acc ->
+        match acc with
+        | Some (_, s) when s.sl_stamp <= slot.sl_stamp -> acc
+        | Some _ | None -> Some (k, slot))
+      t.table None
+  in
+  Option.iter (fun (k, _) -> evict t k) oldest
+
+let store t ~now ~asker ~owner goal answer =
+  let k = key ~asker ~owner goal in
+  if (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.capacity
+  then evict_oldest t;
+  t.stamp <- t.stamp + 1;
+  Hashtbl.replace t.table k
+    {
+      sl_answer = answer;
+      sl_owner = owner;
+      sl_expires = now + t.ttl;
+      sl_stamp = t.stamp;
+    }
+
+let invalidate_where t pred =
+  let doomed =
+    Hashtbl.fold
+      (fun k slot acc -> if pred k slot then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  let n = List.length doomed in
+  t.invalidations <- t.invalidations + n;
+  Metric.add m_invalidations n;
+  n
+
+let invalidate_owner t owner =
+  invalidate_where t (fun _ slot -> String.equal slot.sl_owner owner)
+
+let invalidate_goal t ~owner goal =
+  let skel = Peer.goal_key goal in
+  invalidate_where t (fun (_, o, s) _ ->
+      String.equal o owner && String.equal s skel)
+
+let watch_accounts t ~owner accounts =
+  Externals.Accounts.subscribe accounts (fun _account ->
+      ignore (invalidate_owner t owner : int))
+
+let watch_peer t (peer : Peer.t) =
+  Peer.on_kb_update peer (fun () ->
+      ignore (invalidate_owner t peer.Peer.name : int))
+
+let clear t = ignore (invalidate_where t (fun _ _ -> true) : int)
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations

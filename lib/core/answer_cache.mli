@@ -1,0 +1,96 @@
+(** Cross-negotiation answer cache.
+
+    Negotiations repeatedly re-derive the same remote sub-goals — the
+    paper's §4.2 scenario re-checks the same credentials (e.g.
+    [member(Requester) @ institution]) across steps.  This cache lets a
+    reactor skip the round-trip (and the full SLD proof at the remote
+    peer) for a sub-query it has already seen answered.
+
+    {2 Keying}
+
+    An entry is keyed by the {e asker}, the {e owner} (the peer that
+    produced the answer) and the variant of the sub-query — its
+    alpha-invariant skeleton ({!Peer.goal_key}), so renamed-apart copies
+    of the same goal share one entry.  The asker is part of the key
+    because answers are computed under the owner's release policies for
+    that particular requester: an answer released to one peer must never
+    be replayed to another.
+
+    Only positive answers are cached.  A denial may later become an
+    answer as knowledge bases grow, so denials are re-asked; answers are
+    monotonically safe until revoked.
+
+    {2 Lifetime}
+
+    Entries carry a TTL measured on the simulated clock
+    ({!Peertrust_net.Clock}); [find ~now] treats an entry stored at [s]
+    with TTL [ttl] as live while [now < s + ttl].  Because [now] is a
+    parameter, one cache can be shared by sessions with independent
+    clocks (the cross-session mode behind {!Reactor.config}).
+
+    Explicit invalidation drops entries before their TTL:
+    {!invalidate_owner} on revocation ({!watch_accounts} subscribes to
+    {!Externals.Accounts} changes) or on a setup-style KB change at the
+    owning peer ({!watch_peer} subscribes to {!Peer.on_kb_update}).
+
+    Counters [cache.hits] / [cache.misses] / [cache.evictions] /
+    [cache.invalidations] are exported through {!Peertrust_obs.Obs};
+    per-instance totals are also available ({!hits} etc.) for tests that
+    run several caches side by side. *)
+
+open Peertrust_dlp
+
+type t
+
+type answer = {
+  instances : (Literal.t * Trace.t option) list;
+  certs : Peertrust_crypto.Cert.t list;
+}
+(** What an [Answer] payload carries: the provable instances (with
+    optional proof traces) and the supporting credentials. *)
+
+val create : ?ttl:int -> ?capacity:int -> unit -> t
+(** [ttl] (default 1024 ticks) bounds entry lifetime on the simulated
+    clock; [capacity] (default 4096 entries) bounds the table — storing
+    beyond it evicts the oldest entry.  @raise Invalid_argument on
+    [ttl < 1] or [capacity < 1]. *)
+
+val find :
+  t -> now:int -> asker:string -> owner:string -> Literal.t -> answer option
+(** Look up a live entry for [goal] as asked of [owner] by [asker].
+    Expired entries are dropped on contact (counted as evictions); every
+    call counts a hit or a miss. *)
+
+val store :
+  t -> now:int -> asker:string -> owner:string -> Literal.t -> answer -> unit
+(** Insert or refresh an entry, stamping its expiry at [now + ttl]. *)
+
+val invalidate_owner : t -> string -> int
+(** Drop every entry answered by the given peer; returns the number of
+    entries dropped (also added to [cache.invalidations]). *)
+
+val invalidate_goal : t -> owner:string -> Literal.t -> int
+(** Drop the entries for one goal (any asker) at one owner — e.g. the
+    top-level goals of a scenario, to force a fresh end-to-end run while
+    keeping sub-query answers warm. *)
+
+val watch_accounts : t -> owner:string -> Externals.Accounts.t -> unit
+(** Subscribe to an account table backing [owner]'s external predicates:
+    any revocation or limit change there invalidates every answer cached
+    from [owner]. *)
+
+val watch_peer : t -> Peer.t -> unit
+(** Subscribe to setup-style KB updates at a peer: a reloaded or replaced
+    program invalidates every answer cached from it. *)
+
+val clear : t -> unit
+(** Drop everything (counted as invalidations). *)
+
+val length : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val invalidations : t -> int
+(** Per-instance totals since {!create} (the process-wide [cache.*]
+    counters aggregate across instances). *)

@@ -74,7 +74,7 @@ let rec remote_callback session peer ~target lit =
                 instances;
               instances
           | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
-          | Net.Message.Query _ ->
+          | Net.Message.Query _ | Net.Message.Batch _ ->
               [])
     end
   in
@@ -473,7 +473,10 @@ let handler session peer : Net.Network.handler =
         (fun r -> if not (Rule.is_signed r) then Peer.add_rule peer r)
         rules;
       Net.Message.Ack
-  | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack ->
+  | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
+  | Net.Message.Batch _ ->
+      (* Batches belong to the queued reactor; the synchronous
+         request/response pair cannot carry several answers back. *)
       Net.Message.Ack
 
 let handler_for = handler

@@ -85,20 +85,33 @@ end
 
 module Accounts = struct
   type account = { mutable limit : int; mutable revoked : bool }
-  type t = (string, account) Hashtbl.t
 
-  let create () : t = Hashtbl.create 16
+  type t = {
+    accounts : (string, account) Hashtbl.t;
+    mutable watchers : (string -> unit) list;
+  }
+
+  let create () : t = { accounts = Hashtbl.create 16; watchers = [] }
+  let subscribe t f = t.watchers <- f :: t.watchers
+
+  let notify t account =
+    List.iter (fun f -> f account) (List.rev t.watchers)
 
   let get t name =
-    match Hashtbl.find_opt t name with
+    match Hashtbl.find_opt t.accounts name with
     | Some a -> a
     | None ->
         let a = { limit = 0; revoked = false } in
-        Hashtbl.add t name a;
+        Hashtbl.add t.accounts name a;
         a
 
-  let set_limit t ~account limit = (get t account).limit <- limit
-  let revoke t ~account = (get t account).revoked <- true
+  let set_limit t ~account limit =
+    (get t account).limit <- limit;
+    notify t account
+
+  let revoke t ~account =
+    (get t account).revoked <- true;
+    notify t account
 
   let externals ?(pred = "purchaseApproved") t : Sld.externals = function
     | (p, 2) when String.equal p pred ->
@@ -106,7 +119,7 @@ module Accounts = struct
           (fun (lit : Literal.t) s ->
             match List.map (Subst.apply s) lit.Literal.args with
             | [ (Term.Str name | Term.Atom name); Term.Int amount ] -> (
-                match Hashtbl.find_opt t name with
+                match Hashtbl.find_opt t.accounts name with
                 | Some a when (not a.revoked) && amount <= a.limit -> [ s ]
                 | Some _ | None -> [])
             | _ -> [])

@@ -59,6 +59,13 @@ module Accounts : sig
   val set_limit : t -> account:string -> int -> unit
   val revoke : t -> account:string -> unit
 
+  val subscribe : t -> (string -> unit) -> unit
+  (** [subscribe t f] registers [f] to be called with the account name
+      whenever that account changes ({!set_limit} or {!revoke}) — the
+      revocation speech act other components react to (e.g.
+      {!Answer_cache} invalidation).  Watchers fire in subscription
+      order. *)
+
   val externals : ?pred:string -> t -> Sld.externals
   (** Provides [<pred>(Account, Amount)] (default pred
       ["purchaseApproved"]): succeeds when the account exists, is not

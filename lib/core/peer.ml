@@ -8,6 +8,7 @@ type t = {
   externals : Sld.externals;
   options : Sld.options;
   mutable active : (string * string) list;
+  mutable kb_watchers : (unit -> unit) list;
 }
 
 let create ?(options = Sld.default_options) ?(externals = fun _ -> None)
@@ -20,9 +21,23 @@ let create ?(options = Sld.default_options) ?(externals = fun _ -> None)
     externals;
     options;
     active = [];
+    kb_watchers = [];
   }
 
-let load_program t src = t.kb <- Kb.add_list (Parser.parse_program src) t.kb
+let on_kb_update t f = t.kb_watchers <- f :: t.kb_watchers
+let notify_kb t = List.iter (fun f -> f ()) (List.rev t.kb_watchers)
+
+let load_program t src =
+  t.kb <- Kb.add_list (Parser.parse_program src) t.kb;
+  notify_kb t
+
+let set_kb t kb =
+  t.kb <- kb;
+  notify_kb t
+
+(* Deliberately does NOT notify the KB watchers: [add_rule] fires for
+   every fact learned during a negotiation (the hot path), and learned
+   facts only ever grow the derivable set — cached answers stay sound. *)
 let add_rule t r = t.kb <- Kb.add r t.kb
 
 let add_cert ?origin t (c : Peertrust_crypto.Cert.t) =

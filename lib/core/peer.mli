@@ -21,6 +21,9 @@ type t = {
   mutable active : (string * string) list;
       (** in-flight (requester, goal skeleton) pairs, for cross-peer cycle
           detection *)
+  mutable kb_watchers : (unit -> unit) list;
+      (** callbacks fired on setup-style KB mutations; see
+          {!on_kb_update} *)
 }
 
 val create :
@@ -29,6 +32,16 @@ val create :
 val load_program : t -> string -> unit
 (** Parse a program text and add its rules to the KB.
     @raise Parser.Error on bad syntax. *)
+
+val set_kb : t -> Kb.t -> unit
+(** Replace the KB wholesale and notify the KB watchers. *)
+
+val on_kb_update : t -> (unit -> unit) -> unit
+(** Register a callback fired after setup-style KB mutations
+    ({!load_program}, {!set_kb}) — the hooks answer caches use to drop
+    entries owned by this peer.  {!add_rule} does {e not} fire the
+    watchers: it runs on the negotiation hot path and only adds facts,
+    which is a monotone (cache-sound) change. *)
 
 val add_rule : t -> Rule.t -> unit
 val add_cert : ?origin:string -> t -> Peertrust_crypto.Cert.t -> unit

@@ -41,7 +41,8 @@ let attach_device session ~device ~proxy =
           payload;
         Engine.learn ~from_:from session proxy_peer certs;
         Net.Message.Ack
-    | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack ->
+    | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
+    | Net.Message.Batch _ ->
         Net.Message.Ack
   in
   (* Replace the device's default handler with the forwarding one. *)

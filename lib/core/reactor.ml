@@ -21,9 +21,16 @@ let h_steps = Obs.histogram "reactor.steps_per_run"
 type config = {
   rto : int;  (* initial retransmission timeout, ticks *)
   retry_limit : int;  (* retransmissions per sub-query before timeout *)
+  cache : Answer_cache.t option;
+  (* answer cache consulted before posting a sub-query and filled on
+     answer delivery; pass one reactor's cache to the next for the
+     shared cross-session mode *)
+  batch : bool;
+  (* coalesce same-tick sub-queries to one peer into a single Batch
+     envelope *)
 }
 
-let default_config = { rto = 8; retry_limit = 3 }
+let default_config = { rto = 8; retry_limit = 3; cache = None; batch = false }
 
 type parked = {
   pk_peer : string;  (* the peer holding the goal *)
@@ -132,21 +139,25 @@ let post ?attempt t ~from ~target payload =
     Net.Network.post t.session.Session.network ~from ~target ?attempt payload
   with
   | envelopes -> List.iter (enqueue t) envelopes
-  | exception Net.Network.Unreachable _ -> (
-      match payload with
-      | Net.Message.Query { goal } ->
-          enqueue_synthetic t ~from:target ~target:from
-            (Net.Message.Deny { goal; reason = "unreachable" })
-      | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
-      | Net.Message.Ack ->
-          Metric.incr m_drops;
-          Otracer.event (Obs.tracer ())
-            (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
-              target
-              (Net.Message.summary payload));
-          Log.debug (fun m ->
-              m "dropping %s -> %s: %s (unreachable)" from target
-                (Net.Message.summary payload)))
+  | exception Net.Network.Unreachable _ ->
+      let rec unreachable payload =
+        match payload with
+        | Net.Message.Query { goal } ->
+            enqueue_synthetic t ~from:target ~target:from
+              (Net.Message.Deny { goal; reason = "unreachable" })
+        | Net.Message.Batch payloads -> List.iter unreachable payloads
+        | Net.Message.Answer _ | Net.Message.Deny _
+        | Net.Message.Disclosure _ | Net.Message.Ack ->
+            Metric.incr m_drops;
+            Otracer.event (Obs.tracer ())
+              (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
+                 target
+                 (Net.Message.summary payload));
+            Log.debug (fun m ->
+                m "dropping %s -> %s: %s (unreachable)" from target
+                  (Net.Message.summary payload))
+      in
+      unreachable payload
   | exception Net.Network.Budget_exhausted -> t.budget_hit <- true
 
 (* Retransmission timers only run under an active fault plan: without one
@@ -167,12 +178,93 @@ let arm_timer t ~peer ~target ~key goal =
           tm_next = now t + t.config.rto;
         }
 
+(* Consult the answer cache (if configured) for a sub-query; [None] with
+   the cache off. *)
+let cache_find t ~asker ~owner goal =
+  match t.config.cache with
+  | None -> None
+  | Some c -> Answer_cache.find c ~now:(now t) ~asker ~owner goal
+
+(* Send one sub-query whose pending entry the caller has registered: a
+   cache hit short-circuits into a locally synthesized Answer (no
+   envelope, no timer); a miss posts the query and arms its
+   retransmission timer. *)
+let send_query t ~from ~target ~key goal =
+  match cache_find t ~asker:from ~owner:target goal with
+  | Some a ->
+      Otracer.event (Obs.tracer ())
+        (Printf.sprintf "reactor.cache_hit %s -> %s: %s" from target
+           (Literal.to_string goal));
+      enqueue_synthetic t ~from:target ~target:from
+        (Net.Message.Answer
+           {
+             goal;
+             instances = a.Answer_cache.instances;
+             certs = a.Answer_cache.certs;
+           })
+  | None ->
+      post t ~from ~target (Net.Message.Query { goal });
+      arm_timer t ~peer:from ~target ~key goal
+
 (* Post a sub-query, registering it as pending and arming its
    retransmission timer. *)
 let post_query t ~from ~target ~key goal =
   Hashtbl.add t.pending (from, target, key) (ref false);
-  post t ~from ~target (Net.Message.Query { goal });
-  arm_timer t ~peer:from ~target ~key goal
+  send_query t ~from ~target ~key goal
+
+(* Send a group of fresh sub-queries from one peer (pending entries
+   already registered).  With batching on, cache misses bound for the
+   same target coalesce into one Batch envelope — one envelope of
+   transport accounting for the whole group — while each query keeps its
+   own pending entry and retransmission timer (retries travel
+   individually). *)
+let flush_queries t ~from items =
+  if not t.config.batch then
+    List.iter
+      (fun (target, key, goal) -> send_query t ~from ~target ~key goal)
+      items
+  else
+    let to_send =
+      List.filter
+        (fun (target, key, goal) ->
+          match cache_find t ~asker:from ~owner:target goal with
+          | Some a ->
+              Otracer.event (Obs.tracer ())
+                (Printf.sprintf "reactor.cache_hit %s -> %s: %s" from target
+                   (Literal.to_string goal));
+              enqueue_synthetic t ~from:target ~target:from
+                (Net.Message.Answer
+                   {
+                     goal;
+                     instances = a.Answer_cache.instances;
+                     certs = a.Answer_cache.certs;
+                   });
+              ignore key;
+              false
+          | None -> true)
+        items
+    in
+    let targets =
+      List.sort_uniq String.compare
+        (List.map (fun (target, _, _) -> target) to_send)
+    in
+    List.iter
+      (fun target ->
+        let group =
+          List.filter (fun (tg, _, _) -> String.equal tg target) to_send
+        in
+        (match group with
+        | [ (_, _, goal) ] -> post t ~from ~target (Net.Message.Query { goal })
+        | _ ->
+            post t ~from ~target
+              (Net.Message.Batch
+                 (List.map
+                    (fun (_, _, goal) -> Net.Message.Query { goal })
+                    group)));
+        List.iter
+          (fun (_, key, goal) -> arm_timer t ~peer:from ~target ~key goal)
+          group)
+      targets
 
 let resolve t pkey =
   (match Hashtbl.find_opt t.pending pkey with
@@ -197,6 +289,7 @@ let evaluate_goal t peer ~requester goal ~respond =
         List.sort_uniq compare
           (List.map (fun (tg, lit) -> (tg, goal_key lit, lit)) !blocked)
       in
+      let fresh = ref [] in
       let waiting =
         List.filter_map
           (fun (target, key, lit) ->
@@ -204,10 +297,14 @@ let evaluate_goal t peer ~requester goal ~respond =
             match Hashtbl.find_opt t.pending pkey with
             | Some resolved -> if !resolved then None else Some (target, key)
             | None ->
-                post_query t ~from:peer.Peer.name ~target ~key lit;
+                (* Register before sending so a later variant of the same
+                   goal in [pairs] is not posted twice. *)
+                Hashtbl.add t.pending pkey (ref false);
+                fresh := (target, key, lit) :: !fresh;
                 Some (target, key))
           pairs
       in
+      flush_queries t ~from:peer.Peer.name (List.rev !fresh);
       if waiting = [] then begin
         respond (Net.Message.Deny { goal; reason });
         `Settled
@@ -281,7 +378,7 @@ let handle_query t peer ~from goal =
         }
         :: t.parked
 
-let dispatch t (from, target, payload) =
+let rec dispatch t ~synthetic (from, target, payload) =
   match Hashtbl.find_opt t.session.Session.peers target with
   | None -> ()
   | Some peer -> (
@@ -295,6 +392,14 @@ let dispatch t (from, target, payload) =
                 Peer.add_rule peer
                   (Rule.fact (Literal.push_authority inst (Term.Str from))))
             instances;
+          (* Fill the cache from answers that travelled the wire; replayed
+             (synthetic) hits must not refresh their own TTL. *)
+          (match t.config.cache with
+          | Some c when not synthetic ->
+              Answer_cache.store c ~now:(now t) ~asker:target ~owner:from
+                goal
+                { Answer_cache.instances; certs }
+          | Some _ | None -> ());
           let pkey = (target, from, goal_key goal) in
           Hashtbl.replace t.answers pkey instances;
           resolve t pkey;
@@ -308,6 +413,8 @@ let dispatch t (from, target, payload) =
       | Net.Message.Disclosure { certs; _ } ->
           Engine.learn ~from_:from t.session peer certs;
           reevaluate t target
+      | Net.Message.Batch payloads ->
+          List.iter (fun p -> dispatch t ~synthetic (from, target, p)) payloads
       | Net.Message.Ack -> ())
 
 let submit t ~requester ~target goal =
@@ -384,7 +491,9 @@ let deliver_envelope t env =
   end
   else begin
     Hashtbl.add t.seen env.Net.Envelope.id ();
-    dispatch t (env.Net.Envelope.from_, env.Net.Envelope.target, env.Net.Envelope.payload)
+    dispatch t
+      ~synthetic:(env.Net.Envelope.id < 0)
+      (env.Net.Envelope.from_, env.Net.Envelope.target, env.Net.Envelope.payload)
   end
 
 (* Process the next event — a delivery or a timer, whichever is due

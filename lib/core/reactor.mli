@@ -37,7 +37,20 @@
     denial — [timeout: <peer>] or [unreachable: <peer>] — that propagates
     through {!Negotiation.outcome} (see {!Negotiation.classify_denial})
     instead of hanging the negotiation.  With the fault-free plan the
-    timers stay disarmed and behaviour is identical to the plain queue. *)
+    timers stay disarmed and behaviour is identical to the plain queue.
+
+    {2 Answer caching and batching}
+
+    With {!config}[.cache] set, a sub-query whose variant the cache has
+    already seen answered by the same peer (for the same asker) is
+    short-circuited: the cached answer is replayed as a locally
+    synthesized delivery — no envelope is posted and no retransmission
+    timer is armed — and answers delivered off the wire fill the cache
+    (see {!Answer_cache} for keying, TTL and invalidation).  With
+    {!config}[.batch] set, the sub-queries one goal evaluation emits
+    towards the same peer travel as one {!Peertrust_net.Message.Batch}
+    envelope.  Both default off; the default configuration's fault-free
+    transcripts are byte-identical to the cache-less engine. *)
 
 open Peertrust_dlp
 
@@ -48,11 +61,26 @@ type config = {
       (** initial retransmission timeout in simulated ticks (doubles per
           retry) *)
   retry_limit : int;  (** retransmissions per sub-query before giving up *)
+  cache : Answer_cache.t option;
+      (** answer cache consulted before a sub-query is posted (and before
+          its retransmission timer is armed) and filled when an answer is
+          delivered off the wire.  [Some (Answer_cache.create ())] gives
+          per-reactor caching; passing the {e same} cache value to several
+          reactors (even over rebuilt sessions) gives the shared
+          cross-session mode.  [None] (the default) disables caching and
+          keeps fault-free transcripts byte-identical to the pre-cache
+          engine. *)
+  batch : bool;
+      (** coalesce the same-tick sub-queries a goal evaluation emits
+          towards one peer into a single {!Peertrust_net.Message.Batch}
+          envelope.  Off by default: batching changes the transcript
+          shape (fewer, larger envelopes). *)
 }
 
 val default_config : config
-(** [{ rto = 8; retry_limit = 3 }] — a sub-query is abandoned as timed
-    out after 8 + 16 + 32 + 64 unanswered ticks. *)
+(** [{ rto = 8; retry_limit = 3; cache = None; batch = false }] — a
+    sub-query is abandoned as timed out after 8 + 16 + 32 + 64 unanswered
+    ticks; caching and batching are opt-in. *)
 
 val create : ?config:config -> Session.t -> t
 (** The reactor replaces the peers' network handlers; create it after all

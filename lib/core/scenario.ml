@@ -75,6 +75,7 @@ type scenario2 = {
   s2_bob : string;
   s2_elearn : string;
   s2_visa : string;
+  s2_accounts : Externals.Accounts.t;
 }
 
 let elearn_program_s2 =
@@ -146,14 +147,13 @@ let visa_program = {|
     purchaseApproved(Company, Price) $ true <- approve(Company, Price).
   |}
 
-let visa_externals limit : Sld.externals = function
-  | ("approve", 2) ->
-      Some
-        (fun (lit : Literal.t) s ->
-          match List.map (Subst.apply s) lit.Literal.args with
-          | [ Term.Str _; Term.Int price ] when price <= limit -> [ s ]
-          | _ -> [])
-  | _ -> None
+(* The paper's credit-limit check backed by the revocable account table,
+   so revocation speech acts (and cache invalidation) reach the
+   scenario. *)
+let visa_accounts limit =
+  let accounts = Externals.Accounts.create () in
+  Externals.Accounts.set_limit accounts ~account:"IBM" limit;
+  accounts
 
 let scenario2_goal_free () =
   Parser.parse_literal {|enroll(cs101, "Bob", "IBM", Email, 0)|}
@@ -163,17 +163,20 @@ let scenario2_goal_paid () =
 
 let scenario2 ?config ?key_bits ?(visa_limit = 5000) () =
   let session = Session.create ?config ?key_bits () in
+  let accounts = visa_accounts visa_limit in
   ignore (Session.add_peer session ~program:elearn_program_s2 "E-Learn");
   ignore (Session.add_peer session ~program:bob_program_s2 "Bob");
   ignore
     (Session.add_peer session ~program:visa_program
-       ~externals:(visa_externals visa_limit) "VISA");
+       ~externals:(Externals.Accounts.externals ~pred:"approve" accounts)
+       "VISA");
   Engine.attach_all session;
   {
     s2_session = session;
     s2_bob = "Bob";
     s2_elearn = "E-Learn";
     s2_visa = "VISA";
+    s2_accounts = accounts;
   }
 
 (* ------------------------------------------------------------------ *)

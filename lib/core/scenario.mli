@@ -27,6 +27,12 @@ type scenario2 = {
   s2_bob : string;
   s2_elearn : string;
   s2_visa : string;
+  s2_accounts : Externals.Accounts.t;
+      (** the VISA peer's account table (pred [approve]); revoking or
+          re-limiting the ["IBM"] account changes what
+          [purchaseApproved] admits — and fires the table's watchers
+          (see {!Externals.Accounts.subscribe},
+          {!Answer_cache.watch_accounts}) *)
 }
 
 val scenario2 :

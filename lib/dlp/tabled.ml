@@ -17,8 +17,7 @@ type entry = {
   mutable keys : (string, unit) Hashtbl.t;  (* canonical answer forms *)
 }
 
-let last_table_count = ref 0
-let stats () = !last_table_count
+type stats = { tables : int }
 
 let skeleton lit = Rule.canonical (Rule.fact lit)
 
@@ -150,31 +149,34 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
     let snapshot = Hashtbl.fold (fun _ e acc -> e :: acc) tables [] in
     List.iter eval_entry snapshot
   done;
-  last_table_count := Hashtbl.length tables;
   (* Read answers off the query table as substitutions on [qvars]. *)
   let query_entry = get_table query_head in
-  List.rev query_entry.answers
-  |> List.filter_map (fun (inst : Literal.t) ->
-         match
-           List.fold_left2
-             (fun acc v t ->
-               match acc with
-               | None -> None
-               | Some s -> (
-                   match Subst.find v s with
-                   | Some _ -> acc  (* already bound consistently via unify *)
-                   | None -> Some (Subst.bind v t s)))
-             (Some Subst.empty) qvars inst.Literal.args
-         with
-         | exception Invalid_argument _ -> None
-         | s -> s)
+  let answers =
+    List.rev query_entry.answers
+    |> List.filter_map (fun (inst : Literal.t) ->
+           match
+             List.fold_left2
+               (fun acc v t ->
+                 match acc with
+                 | None -> None
+                 | Some s -> (
+                     match Subst.find v s with
+                     | Some _ ->
+                         acc  (* already bound consistently via unify *)
+                     | None -> Some (Subst.bind v t s)))
+               (Some Subst.empty) qvars inst.Literal.args
+           with
+           | exception Invalid_argument _ -> None
+           | s -> s)
+  in
+  (answers, { tables = Hashtbl.length tables })
 
-let solve ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
+let solve_stats ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
   Metric.incr m_queries;
   let run () =
     solve_body ?max_rounds ?max_answers ?externals ?bindings ~self kb goals
   in
-  let result =
+  let ((_, stats) as result) =
     let tracer = Obs.tracer () in
     if Otracer.enabled tracer then
       Otracer.with_span tracer
@@ -188,8 +190,12 @@ let solve ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
         "tabled.solve" run
     else run ()
   in
-  Metric.observe_int h_tables !last_table_count;
+  Metric.observe_int h_tables stats.tables;
   result
+
+let solve ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
+  fst
+    (solve_stats ?max_rounds ?max_answers ?externals ?bindings ~self kb goals)
 
 let provable ?max_rounds ?externals ?bindings ~self kb goals =
   solve ?max_rounds ?externals ?bindings ~self kb goals <> []

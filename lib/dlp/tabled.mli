@@ -19,6 +19,12 @@
 
 exception Unsupported of string
 
+type stats = { tables : int  (** tables allocated by the call *) }
+(** Per-call statistics, returned alongside the answers by
+    {!solve_stats}.  Statistics are values threaded out of each call —
+    there is no "most recent solve" global, so interleaved callers (and
+    tests) can never observe another call's counts. *)
+
 val solve :
   ?max_rounds:int ->
   ?max_answers:int ->
@@ -34,6 +40,17 @@ val solve :
     either returns the answers found so far.
     @raise Unsupported on a negation-as-failure literal. *)
 
+val solve_stats :
+  ?max_rounds:int ->
+  ?max_answers:int ->
+  ?externals:Sld.externals ->
+  ?bindings:(string * Term.t) list ->
+  self:string ->
+  Kb.t ->
+  Literal.t list ->
+  Subst.t list * stats
+(** Like {!solve}, also returning the call's {!stats}. *)
+
 val provable :
   ?max_rounds:int ->
   ?externals:Sld.externals ->
@@ -42,7 +59,3 @@ val provable :
   Kb.t ->
   Literal.t list ->
   bool
-
-val stats : unit -> int
-(** Number of tables allocated by the most recent {!solve} call (for tests
-    and benchmarks). *)

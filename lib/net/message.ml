@@ -12,14 +12,18 @@ type payload =
       certs : Peertrust_crypto.Cert.t list;
       rules : Rule.t list;
     }
+  | Batch of payload list
   | Ack
 
-let kind = function
+let rec kind = function
   | Query _ -> Stats.Query
   | Answer _ -> Stats.Answer
   | Deny _ -> Stats.Deny
   | Disclosure _ -> Stats.Disclosure
-  | Ack -> Stats.Other
+  (* A batch is one envelope; classify it by its first payload (in
+     practice batches carry only queries). *)
+  | Batch (p :: _) -> kind p
+  | Batch [] | Ack -> Stats.Other
 
 let cert_size (c : Peertrust_crypto.Cert.t) =
   String.length (Peertrust_crypto.Cert.payload c)
@@ -31,7 +35,7 @@ let cert_size (c : Peertrust_crypto.Cert.t) =
 let literal_size l = String.length (Literal.to_string l)
 let rule_size r = String.length (Rule.to_string r)
 
-let size = function
+let rec size = function
   | Query { goal } -> 8 + literal_size goal
   | Answer { goal; instances; certs } ->
       8 + literal_size goal
@@ -46,13 +50,16 @@ let size = function
       8
       + List.fold_left (fun acc c -> acc + cert_size c) 0 certs
       + List.fold_left (fun acc r -> acc + rule_size r) 0 rules
+  | Batch payloads -> 8 + List.fold_left (fun acc p -> acc + size p) 0 payloads
   | Ack -> 8
 
-let cert_count = function
+let rec cert_count = function
   | Query _ | Deny _ | Ack -> 0
   | Answer { certs; _ } | Disclosure { certs; _ } -> List.length certs
+  | Batch payloads ->
+      List.fold_left (fun acc p -> acc + cert_count p) 0 payloads
 
-let summary = function
+let rec summary = function
   | Query { goal } -> Printf.sprintf "query %s" (Literal.to_string goal)
   | Answer { goal; instances; certs } ->
       Printf.sprintf "answer %s: %d instance(s), %d cert(s)"
@@ -62,4 +69,7 @@ let summary = function
   | Disclosure { certs; rules } ->
       Printf.sprintf "disclose %d cert(s), %d rule(s)" (List.length certs)
         (List.length rules)
+  | Batch payloads ->
+      Printf.sprintf "batch(%d): %s" (List.length payloads)
+        (String.concat "; " (List.map summary payloads))
   | Ack -> "ack"

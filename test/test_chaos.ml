@@ -18,12 +18,13 @@ let granted = function
   | Negotiation.Denied _ -> false
 
 (* One queued scenario-1 run; [faults] installs a plan before the
-   reactor starts. *)
-let run_s1 ?faults () =
+   reactor starts, [config] selects reactor options (answer cache,
+   batching). *)
+let run_s1 ?faults ?config () =
   let s = Scenario.scenario1 ~key_bits () in
   let net = s.Scenario.s1_session.Session.network in
   Option.iter (Net.Network.set_faults net) faults;
-  let reactor = Reactor.create s.Scenario.s1_session in
+  let reactor = Reactor.create ?config s.Scenario.s1_session in
   let id =
     Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
       (Scenario.scenario1_goal ())
@@ -33,11 +34,11 @@ let run_s1 ?faults () =
 
 (* One queued scenario-2 run with the free and paid goals interleaved
    over a single reactor queue. *)
-let run_s2 ?faults () =
+let run_s2 ?faults ?config () =
   let s = Scenario.scenario2 ~key_bits () in
   let net = s.Scenario.s2_session.Session.network in
   Option.iter (Net.Network.set_faults net) faults;
-  let reactor = Reactor.create s.Scenario.s2_session in
+  let reactor = Reactor.create ?config s.Scenario.s2_session in
   let free =
     Reactor.submit reactor ~requester:"Bob" ~target:"E-Learn"
       (Scenario.scenario2_goal_free ())
@@ -221,6 +222,83 @@ let test_duplicates_are_idempotent () =
   Alcotest.(check bool) "duplicate deliveries deduplicated" true
     (Pobs.Registry.counter_value snapshot "reactor.dup_deliveries" > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Answer cache under chaos: across 100 fault seeds (50 per scenario),
+   a run with a cold cache must be byte-identical to a cache-off run of
+   the same fault plan — consulting an empty cache and filling it changes
+   no behaviour — and a warm re-run (fresh session, same cache, same
+   fault plan) must post no more envelopes than the cold run.  The
+   top-level goals are invalidated between the cold and warm runs so the
+   warm run exercises sub-query hits, not just whole-answer replay. *)
+
+let posts net = Net.Stats.messages (Net.Network.stats net)
+
+let cache_sweep ~label ~seeds
+    ~(run :
+       ?config:Reactor.config ->
+       Net.Faults.t ->
+       bool * int * Reactor.t * Net.Network.t) ~invalidate_top =
+  let warm_hits = ref 0 in
+  List.iter
+    (fun seed ->
+      let plan () = chaos_plan (Int64.of_int seed) in
+      let off_out, off_steps, _, off_net = run ?config:None (plan ()) in
+      let cache = Answer_cache.create () in
+      let config =
+        { Reactor.default_config with Reactor.cache = Some cache }
+      in
+      let cold_out, cold_steps, _, cold_net = run ~config (plan ()) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s seed %d: cold cache run is byte-identical" label
+           seed)
+        (transcript_sig off_net) (transcript_sig cold_net);
+      Alcotest.(check int)
+        (Printf.sprintf "%s seed %d: same steps" label seed)
+        off_steps cold_steps;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d: same outcome" label seed)
+        off_out cold_out;
+      invalidate_top cache;
+      let hits_before = Answer_cache.hits cache in
+      let warm_out, warm_steps, _, warm_net = run ~config (plan ()) in
+      if warm_steps >= max_steps then
+        Alcotest.failf "%s seed %d: warm run hit step budget" label seed;
+      if cold_out && not warm_out then
+        Alcotest.failf "%s seed %d: warm run lost the grant" label seed;
+      if cold_out && posts warm_net > posts cold_net then
+        Alcotest.failf "%s seed %d: warm run posted more envelopes (%d > %d)"
+          label seed (posts warm_net) (posts cold_net);
+      if Answer_cache.hits cache > hits_before then incr warm_hits)
+    seeds;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: warm runs used the cache" label)
+    true (!warm_hits > 0)
+
+let test_cache_equivalence_scenario1 () =
+  cache_sweep ~label:"s1"
+    ~seeds:(List.init 50 (fun i -> 201 + i))
+    ~run:(fun ?config faults ->
+      let outcome, steps, reactor, net = run_s1 ~faults ?config () in
+      (granted outcome, steps, reactor, net))
+    ~invalidate_top:(fun cache ->
+      ignore
+        (Answer_cache.invalidate_goal cache ~owner:"E-Learn"
+           (Scenario.scenario1_goal ())))
+
+let test_cache_equivalence_scenario2 () =
+  cache_sweep ~label:"s2"
+    ~seeds:(List.init 50 (fun i -> 251 + i))
+    ~run:(fun ?config faults ->
+      let (free, paid), steps, reactor, net = run_s2 ~faults ?config () in
+      (granted free && granted paid, steps, reactor, net))
+    ~invalidate_top:(fun cache ->
+      ignore
+        (Answer_cache.invalidate_goal cache ~owner:"E-Learn"
+           (Scenario.scenario2_goal_free ()));
+      ignore
+        (Answer_cache.invalidate_goal cache ~owner:"E-Learn"
+           (Scenario.scenario2_goal_paid ())))
+
 let test_transcript_ring_buffer () =
   let net = Net.Network.create ~log_cap:8 () in
   Net.Network.register net "b" (fun ~from:_ _ -> Net.Message.Ack);
@@ -246,6 +324,13 @@ let () =
         [
           tc "scenario 1 under 100 seeds" test_chaos_sweep_scenario1;
           tc "scenario 2 under 100 seeds" test_chaos_sweep_scenario2;
+        ] );
+      ( "cache",
+        [
+          tc "scenario 1: cache on == cache off under faults"
+            test_cache_equivalence_scenario1;
+          tc "scenario 2: cache on == cache off under faults"
+            test_cache_equivalence_scenario2;
         ] );
       ( "identity",
         [

@@ -866,12 +866,22 @@ let test_tabled_table_sharing () =
     Kb.of_string
       "a(X) <- base(X). b(X) <- base(X). c(X) <- a(X), b(X). base(1). base(2)."
   in
-  let answers = Tabled.solve ~self:"p" kb (Parser.parse_query "c(X)") in
+  let answers, stats =
+    Tabled.solve_stats ~self:"p" kb (Parser.parse_query "c(X)")
+  in
   Alcotest.(check int) "answers" 2 (List.length answers);
   (* Call-variant tabling: open calls share (query, c(V), a(V), base(V)),
      while calls instantiated by earlier body answers get their own tables
      (b(1), b(2), base(1), base(2)) — eight in total. *)
-  Alcotest.(check int) "eight tables" 8 (Tabled.stats ())
+  Alcotest.(check int) "eight tables" 8 stats.Tabled.tables;
+  (* The counts are per call, not "most recent solve" globals: an
+     interleaved unrelated solve must not disturb them. *)
+  let tiny = Kb.of_string "t(1)." in
+  let _, tiny_stats = Tabled.solve_stats ~self:"p" tiny (Parser.parse_query "t(X)") in
+  Alcotest.(check int) "interleaved call sees its own count" 2
+    tiny_stats.Tabled.tables;
+  let _, again = Tabled.solve_stats ~self:"p" kb (Parser.parse_query "c(X)") in
+  Alcotest.(check int) "repeat call count is stable" 8 again.Tabled.tables
 
 (* ------------------------------------------------------------------ *)
 (* Program lint *)

@@ -17,6 +17,14 @@ module Crypto = Peertrust_crypto
 
 let granted = Negotiation.succeeded
 
+(* CHECK_SLOW=1 (see check.sh) multiplies every iteration count. *)
+let slow =
+  match Sys.getenv_opt "CHECK_SLOW" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let scale n = if slow then n * 5 else n
+
 (* ------------------------------------------------------------------ *)
 (* Generators *)
 
@@ -47,7 +55,7 @@ let run_world strategy (w : Scenario.chain_world) =
 
 let prop_no_unsafe_disclosure =
   QCheck.Test.make ~name:"engine: every received credential was releasable"
-    ~count:40 gen_world_params (fun params ->
+    ~count:(scale 40) gen_world_params (fun params ->
       let w = build_world params in
       let session = w.Scenario.cw_session in
       ignore (run_world Strategy.Relevant w);
@@ -77,7 +85,7 @@ let prop_no_unsafe_disclosure =
 let prop_strategies_agree =
   QCheck.Test.make
     ~name:"strategies: all succeed on solvable worlds, all fail otherwise"
-    ~count:30 gen_world_params (fun ((_, _, missing) as params) ->
+    ~count:(scale 30) gen_world_params (fun ((_, _, missing) as params) ->
       let solvable = missing = None in
       List.for_all
         (fun strategy ->
@@ -88,7 +96,7 @@ let prop_strategies_agree =
 let prop_multi_eager_matches_two_party =
   QCheck.Test.make
     ~name:"strategies: n-party eager with both parties behaves like 2-party"
-    ~count:20 gen_world_params (fun params ->
+    ~count:(scale 20) gen_world_params (fun params ->
       let w = build_world params in
       let multi =
         Strategy.negotiate_multi w.Scenario.cw_session
@@ -105,7 +113,7 @@ let prop_multi_eager_matches_two_party =
 
 let prop_analysis_agrees =
   QCheck.Test.make ~name:"analysis: prediction matches engine on chain worlds"
-    ~count:30 gen_world_params (fun params ->
+    ~count:(scale 30) gen_world_params (fun params ->
       let w = build_world params in
       let world = Analysis.world_of_session w.Scenario.cw_session in
       let predicted =
@@ -135,7 +143,7 @@ let gen_graph =
 
 let prop_tabled_forward_agree =
   QCheck.Test.make ~name:"engines: tabled and forward agree on reachability"
-    ~count:40 gen_graph (fun (n, edges) ->
+    ~count:(scale 40) gen_graph (fun (n, edges) ->
       let buf = Buffer.create 128 in
       (* Left-recursive formulation: the regime where SLD is incomplete
          and tabling must still match the forward fixpoint. *)
@@ -157,7 +165,7 @@ let prop_tabled_forward_agree =
 
 let prop_forward_backward_agree =
   QCheck.Test.make ~name:"engines: forward and SLD agree on reachability"
-    ~count:60 gen_graph (fun (n, edges) ->
+    ~count:(scale 60) gen_graph (fun (n, edges) ->
       let buf = Buffer.create 128 in
       Buffer.add_string buf
         "path(X, Y) <- edge(X, Y). path(X, Z) <- edge(X, Y), path(Y, Z).\n";
@@ -186,36 +194,183 @@ let prop_forward_backward_agree =
         (List.init n succ))
 
 (* ------------------------------------------------------------------ *)
+(* Differential testing: the three evaluation paradigms on random
+   stratified, non-recursive, ground-able Datalog programs.  This is the
+   regime where SLD, tabling and forward chaining are all defined, so
+   their answer sets must coincide exactly.  Programs that draw a NAF
+   rule exercise the documented divergence instead: the tabled engine
+   must reject the whole program ([Tabled.Unsupported] — a NAF check
+   against an unfinished table would be unsound), forward chaining skips
+   the NAF rule, and SLD on the program without that rule must agree
+   with forward chaining on the full program.  Tabled skips are counted
+   and reported by the last test of the [paradigms] section. *)
+
+type stratified = {
+  sp_base : string;  (* NAF-free program text *)
+  sp_naf : string option;  (* one stratified NAF rule for the top pred *)
+  sp_top : string;  (* top predicate name *)
+  sp_nconst : int;  (* constants c1..c<n> *)
+}
+
+let gen_stratified =
+  QCheck.Gen.(
+    let pred_of k = if k = 0 then "e0" else Printf.sprintf "p%d" k in
+    let* nconst = int_range 2 3 in
+    let* facts =
+      list_size (int_range 2 6) (pair (int_range 1 nconst) (int_range 1 nconst))
+    in
+    let* depth = int_range 1 3 in
+    let gen_rule_at i =
+      let* q = int_range 0 (i - 1) in
+      let* r = int_range 0 (i - 1) in
+      let* shape = int_range 0 2 in
+      return
+        (match shape with
+        | 0 -> Printf.sprintf "%s(X, Y) <- %s(X, Y).\n" (pred_of i) (pred_of q)
+        | 1 ->
+            Printf.sprintf "%s(X, Z) <- %s(X, Y), %s(Y, Z).\n" (pred_of i)
+              (pred_of q) (pred_of r)
+        | _ ->
+            Printf.sprintf "%s(X, Y) <- %s(X, Y), %s(Y, W).\n" (pred_of i)
+              (pred_of q) (pred_of r))
+    in
+    let rec strata i acc =
+      if i > depth then return acc
+      else
+        let* rules = list_size (int_range 1 2) (gen_rule_at i) in
+        strata (i + 1) (acc ^ String.concat "" rules)
+    in
+    let base_facts =
+      String.concat ""
+        (List.map
+           (fun (a, b) -> Printf.sprintf "e0(c%d, c%d).\n" a b)
+           facts)
+    in
+    let* base = strata 1 base_facts in
+    let* naf =
+      frequency
+        [
+          (3, return None);
+          ( 1,
+            let* q = int_range 0 (depth - 1) in
+            return
+              (Some
+                 (Printf.sprintf "%s(X, Y) <- e0(X, Y), not %s(X, Y).\n"
+                    (pred_of depth) (pred_of q))) );
+        ]
+    in
+    return
+      { sp_base = base; sp_naf = naf; sp_top = pred_of depth;
+        sp_nconst = nconst })
+
+let arb_stratified =
+  QCheck.make
+    ~print:(fun sp -> sp.sp_base ^ Option.value ~default:"" sp.sp_naf)
+    gen_stratified
+
+let naf_skips = ref 0
+
+let prop_three_paradigms_agree =
+  QCheck.Test.make
+    ~name:"engines: SLD, tabled and forward agree on stratified programs"
+    ~count:(scale 60) arb_stratified (fun sp ->
+      let kb_base = Kb.of_string sp.sp_base in
+      let kb_full =
+        match sp.sp_naf with
+        | None -> kb_base
+        | Some r -> Kb.of_string (sp.sp_base ^ r)
+      in
+      (* Forward chaining is the reference answer set. *)
+      let fwd = Forward.saturate ~self:"p" kb_full in
+      let fwd_set =
+        List.filter
+          (fun (l : Literal.t) -> String.equal l.Literal.pred sp.sp_top)
+          fwd.Forward.facts
+        |> List.map Literal.to_string
+        |> List.sort_uniq String.compare
+      in
+      (* SLD: point queries over the whole ground space (complete here:
+         the programs are non-recursive).  In the NAF case the engine
+         runs on the base program, mirroring forward chaining's
+         skip-NAF-rules semantics. *)
+      let consts = List.init sp.sp_nconst succ in
+      let sld_agrees =
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                let text = Printf.sprintf "%s(c%d, c%d)" sp.sp_top a b in
+                let in_fwd =
+                  List.mem
+                    (Literal.to_string (Parser.parse_literal text))
+                    fwd_set
+                in
+                Sld.provable
+                  ~options:{ Sld.max_depth = 64; max_solutions = 1 }
+                  ~self:"p" kb_base (Parser.parse_query text)
+                = in_fwd)
+              consts)
+          consts
+      in
+      let goal = Parser.parse_query (sp.sp_top ^ "(A, B)") in
+      match sp.sp_naf with
+      | Some _ ->
+          incr naf_skips;
+          let rejected =
+            match Tabled.solve ~self:"p" kb_full goal with
+            | _ -> false
+            | exception Tabled.Unsupported _ -> true
+          in
+          rejected && sld_agrees
+      | None ->
+          let goal_lit = List.hd goal in
+          let tabled_set =
+            Tabled.solve ~self:"p" kb_full goal
+            |> List.map (fun s -> Literal.to_string (Literal.apply s goal_lit))
+            |> List.sort_uniq String.compare
+          in
+          tabled_set = fwd_set && sld_agrees)
+
+let report_naf_skips () =
+  Printf.printf
+    "  tabled: %d generated NAF program(s) skipped via Unsupported (as \
+     documented — tabling rejects negation as failure)\n"
+    !naf_skips
+
+(* ------------------------------------------------------------------ *)
 (* Printer/parser roundtrip on generated rules *)
+
+let gen_const =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun i -> Term.Int i) (int_bound 99);
+      map (fun i -> Term.Str (Printf.sprintf "s%d" i)) (int_bound 4);
+      map (fun i -> Term.Atom (Printf.sprintf "a%d" i)) (int_bound 4);
+    ]
+
+let gen_term =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map (fun i -> Term.Var (Printf.sprintf "V%d" i)) (int_bound 3));
+      (3, gen_const);
+      ( 1,
+        map2
+          (fun f args -> Term.Compound (Printf.sprintf "f%d" f, args))
+          (int_bound 2)
+          (list_size (int_range 1 2) gen_const) );
+    ]
+
+let gen_literal =
+  let open QCheck.Gen in
+  let* p = int_bound 4 in
+  let* args = list_size (int_range 0 3) gen_term in
+  let* auth = list_size (int_range 0 2) gen_term in
+  return (Literal.make ~auth (Printf.sprintf "p%d" p) args)
 
 let gen_rule =
   let open QCheck.Gen in
-  let gen_const =
-    oneof
-      [
-        map (fun i -> Term.Int i) (int_bound 99);
-        map (fun i -> Term.Str (Printf.sprintf "s%d" i)) (int_bound 4);
-        map (fun i -> Term.Atom (Printf.sprintf "a%d" i)) (int_bound 4);
-      ]
-  in
-  let gen_term =
-    frequency
-      [
-        (2, map (fun i -> Term.Var (Printf.sprintf "V%d" i)) (int_bound 3));
-        (3, gen_const);
-        ( 1,
-          map2
-            (fun f args -> Term.Compound (Printf.sprintf "f%d" f, args))
-            (int_bound 2)
-            (list_size (int_range 1 2) gen_const) );
-      ]
-  in
-  let gen_literal =
-    let* p = int_bound 4 in
-    let* args = list_size (int_range 0 3) gen_term in
-    let* auth = list_size (int_range 0 2) gen_term in
-    return (Literal.make ~auth (Printf.sprintf "p%d" p) args)
-  in
   let* head = gen_literal in
   let* body = list_size (int_range 0 3) gen_literal in
   let* head_ctx =
@@ -241,18 +396,18 @@ let arb_rule =
 
 let prop_rule_roundtrip =
   QCheck.Test.make ~name:"parser: print/parse roundtrip on generated rules"
-    ~count:300 arb_rule (fun r ->
+    ~count:(scale 300) arb_rule (fun r ->
       Rule.equal r (Parser.parse_rule (Rule.to_string r)))
 
 let prop_canonical_alpha_invariant =
-  QCheck.Test.make ~name:"rule: canonical form is alpha-invariant" ~count:200
+  QCheck.Test.make ~name:"rule: canonical form is alpha-invariant" ~count:(scale 200)
     arb_rule (fun r ->
       String.equal (Rule.canonical r)
         (Rule.canonical (Rule.rename ~suffix:"~x" r)))
 
 let prop_subsumes_reflexive_on_instances =
   QCheck.Test.make ~name:"rule: instances are subsumed by their rule"
-    ~count:200 arb_rule (fun r ->
+    ~count:(scale 200) arb_rule (fun r ->
       (* Ground every variable and check subsumption. *)
       let s =
         List.fold_left
@@ -262,11 +417,54 @@ let prop_subsumes_reflexive_on_instances =
       Rule.subsumes ~general:r ~specific:(Rule.apply s r))
 
 (* ------------------------------------------------------------------ *)
+(* First-argument indexing is invisible to [Kb.matching] up to the
+   unifiability filter (correctness side of the E12 ablation): the
+   indexed KB may return fewer candidates than the linear scan, but it
+   must never drop a clause whose head unifies with the goal, and every
+   candidate it returns must also be in the linear scan. *)
+
+let head_unifiable goal r =
+  (* Rename apart so shared variable names don't block unification. *)
+  let fresh = Rule.rename ~suffix:"!idx" r in
+  Option.is_some (Literal.unify goal fresh.Rule.head Subst.empty)
+
+let arb_kb_and_goal =
+  QCheck.make
+    ~print:(fun (rules, goal) ->
+      Printf.sprintf "goal=%s kb=[%s]" (Literal.to_string goal)
+        (String.concat " " (List.map Rule.to_string rules)))
+    QCheck.Gen.(
+      let* rules = list_size (int_range 0 30) gen_rule in
+      let* goal = gen_literal in
+      return (rules, goal))
+
+let prop_indexing_transparent =
+  QCheck.Test.make
+    ~name:"kb: first-argument indexing never changes the unifiable match set"
+    ~count:(scale 300) arb_kb_and_goal (fun (rules, goal) ->
+      let indexed = Kb.add_list rules Kb.empty in
+      let linear = Kb.add_list rules Kb.empty_linear in
+      let mi = Kb.matching goal indexed in
+      let ml = Kb.matching goal linear in
+      let subset = List.for_all (fun r -> List.exists (Rule.equal r) ml) mi in
+      let complete =
+        List.for_all
+          (fun r -> List.exists (Rule.equal r) mi || not (head_unifiable goal r))
+          ml
+      in
+      let key_set l =
+        List.filter (head_unifiable goal) l
+        |> List.map Rule.canonical
+        |> List.sort_uniq String.compare
+      in
+      subset && complete && key_set mi = key_set ml)
+
+(* ------------------------------------------------------------------ *)
 (* Certificates for random rules *)
 
 let prop_cert_roundtrip =
   QCheck.Test.make ~name:"cert: issue/verify for generated signed rules"
-    ~count:25 arb_rule (fun r ->
+    ~count:(scale 25) arb_rule (fun r ->
       QCheck.assume (Rule.is_signed r);
       let ks = Crypto.Keystore.create ~bits:320 ~seed:9L () in
       match Crypto.Cert.issue ks r with
@@ -297,7 +495,7 @@ let arb_junk =
       mixed)
 
 let total_with ~name f exns =
-  QCheck.Test.make ~name ~count:500 arb_junk (fun s ->
+  QCheck.Test.make ~name ~count:(scale 500) arb_junk (fun s ->
       match f s with
       | _ -> true
       | exception e -> List.exists (fun p -> p e) exns)
@@ -339,7 +537,14 @@ let () =
           ] );
       ( "paradigms",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_forward_backward_agree; prop_tabled_forward_agree ] );
+          [
+            prop_forward_backward_agree;
+            prop_tabled_forward_agree;
+            prop_three_paradigms_agree;
+          ]
+        @ [ Alcotest.test_case "NAF skip report" `Quick report_naf_skips ] );
+      ( "kb",
+        List.map QCheck_alcotest.to_alcotest [ prop_indexing_transparent ] );
       ( "syntax",
         List.map QCheck_alcotest.to_alcotest
           [

@@ -338,6 +338,186 @@ let test_reactor_chain_discovery () =
   Alcotest.(check bool) "certificates relayed" true
     (Hashtbl.length client.Peer.certs >= 7)
 
+(* ------------------------------------------------------------------ *)
+(* Answer cache: unit behaviour (TTL, capacity, invalidation, watchers)
+   and the reactor integration (warm cross-session runs, batching). *)
+
+let dummy_answer inst =
+  { Answer_cache.instances = [ (lit inst, None) ]; certs = [] }
+
+let find_some c ~now ~asker ~owner goal =
+  Option.is_some (Answer_cache.find c ~now ~asker ~owner (lit goal))
+
+let test_cache_ttl_expiry () =
+  let c = Answer_cache.create ~ttl:10 () in
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"o" (lit "p(X)")
+    (dummy_answer "p(1)");
+  Alcotest.(check bool) "live before the deadline" true
+    (find_some c ~now:9 ~asker:"a" ~owner:"o" "p(X)");
+  Alcotest.(check bool) "expired at the deadline" false
+    (find_some c ~now:10 ~asker:"a" ~owner:"o" "p(X)");
+  Alcotest.(check int) "expiry counted as eviction" 1
+    (Answer_cache.evictions c);
+  Alcotest.(check int) "the live lookup is a hit" 1 (Answer_cache.hits c);
+  Alcotest.(check int) "the expired lookup is a miss" 1
+    (Answer_cache.misses c);
+  Alcotest.(check int) "expired entry removed" 0 (Answer_cache.length c)
+
+let test_cache_variant_keying () =
+  let c = Answer_cache.create () in
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"o" (lit "p(X)")
+    (dummy_answer "p(1)");
+  Alcotest.(check bool) "alpha-variant goal hits" true
+    (find_some c ~now:1 ~asker:"a" ~owner:"o" "p(Zz)");
+  Alcotest.(check bool) "different asker misses" false
+    (find_some c ~now:1 ~asker:"b" ~owner:"o" "p(X)");
+  Alcotest.(check bool) "different owner misses" false
+    (find_some c ~now:1 ~asker:"a" ~owner:"o2" "p(X)");
+  Alcotest.(check bool) "more specific goal misses" false
+    (find_some c ~now:1 ~asker:"a" ~owner:"o" "p(1)")
+
+let test_cache_capacity_eviction () =
+  let c = Answer_cache.create ~capacity:2 () in
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"o" (lit "p1(X)")
+    (dummy_answer "p1(1)");
+  Answer_cache.store c ~now:1 ~asker:"a" ~owner:"o" (lit "p2(X)")
+    (dummy_answer "p2(1)");
+  Answer_cache.store c ~now:2 ~asker:"a" ~owner:"o" (lit "p3(X)")
+    (dummy_answer "p3(1)");
+  Alcotest.(check int) "capacity bounds the table" 2 (Answer_cache.length c);
+  Alcotest.(check int) "one eviction" 1 (Answer_cache.evictions c);
+  Alcotest.(check bool) "oldest entry evicted" false
+    (find_some c ~now:3 ~asker:"a" ~owner:"o" "p1(X)");
+  Alcotest.(check bool) "newer entries survive" true
+    (find_some c ~now:3 ~asker:"a" ~owner:"o" "p2(X)"
+    && find_some c ~now:3 ~asker:"a" ~owner:"o" "p3(X)")
+
+let test_cache_invalidation () =
+  let c = Answer_cache.create () in
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"visa" (lit "ok(X)")
+    (dummy_answer "ok(1)");
+  Answer_cache.store c ~now:0 ~asker:"b" ~owner:"visa" (lit "ok(X)")
+    (dummy_answer "ok(1)");
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"other" (lit "ok(X)")
+    (dummy_answer "ok(1)");
+  Alcotest.(check int) "goal invalidation hits every asker" 2
+    (Answer_cache.invalidate_goal c ~owner:"visa" (lit "ok(Y)"));
+  Alcotest.(check bool) "other owner untouched" true
+    (find_some c ~now:1 ~asker:"a" ~owner:"other" "ok(X)");
+  Alcotest.(check int) "owner invalidation sweeps the rest" 1
+    (Answer_cache.invalidate_owner c "other");
+  Alcotest.(check int) "invalidations counted" 3
+    (Answer_cache.invalidations c);
+  Alcotest.(check int) "cache empty" 0 (Answer_cache.length c)
+
+let test_cache_watch_accounts () =
+  (* Revoking the VISA account at the owning peer drops every cached
+     answer that peer produced (scenario 2's revocation hook). *)
+  let s = Scenario.scenario2 () in
+  let c = Answer_cache.create () in
+  Answer_cache.watch_accounts c ~owner:"VISA" s.Scenario.s2_accounts;
+  Answer_cache.store c ~now:0 ~asker:"E-Learn" ~owner:"VISA"
+    (lit {|purchaseApproved("IBM", X)|})
+    (dummy_answer {|purchaseApproved("IBM", 1000)|});
+  Answer_cache.store c ~now:0 ~asker:"a" ~owner:"elsewhere" (lit "q(X)")
+    (dummy_answer "q(1)");
+  Externals.Accounts.revoke s.Scenario.s2_accounts ~account:"IBM";
+  Alcotest.(check bool) "VISA answers invalidated" false
+    (find_some c ~now:1 ~asker:"E-Learn" ~owner:"VISA"
+       {|purchaseApproved("IBM", X)|});
+  Alcotest.(check bool) "unrelated owner untouched" true
+    (find_some c ~now:1 ~asker:"a" ~owner:"elsewhere" "q(X)");
+  Alcotest.(check bool) "invalidation counted" true
+    (Answer_cache.invalidations c > 0)
+
+let test_cache_watch_peer () =
+  let session = Session.create () in
+  let owner = Session.add_peer session ~program:{|f(1) $ true.|} "owner" in
+  let c = Answer_cache.create () in
+  Answer_cache.watch_peer c owner;
+  Answer_cache.store c ~now:0 ~asker:"req" ~owner:"owner" (lit "f(X)")
+    (dummy_answer "f(1)");
+  (* Learning a fact mid-negotiation is monotone and must NOT flush. *)
+  Peer.add_rule owner (Parser.parse_rule "g(2).");
+  Alcotest.(check bool) "add_rule keeps cached answers" true
+    (find_some c ~now:1 ~asker:"req" ~owner:"owner" "f(X)");
+  (* Replacing the KB is a real update and must flush. *)
+  Peer.load_program owner {|f(3) $ true.|};
+  Alcotest.(check bool) "load_program invalidates" false
+    (find_some c ~now:1 ~asker:"req" ~owner:"owner" "f(X)")
+
+let test_cache_warm_cross_session () =
+  (* Scenario 1 negotiated twice on fresh sessions sharing one cache:
+     the warm run answers entirely out of the cache and posts nothing. *)
+  let cache = Answer_cache.create () in
+  let config = { Reactor.default_config with Reactor.cache = Some cache } in
+  let run () =
+    let s = Scenario.scenario1 () in
+    let net = s.Scenario.s1_session.Session.network in
+    let reactor = Reactor.create ~config s.Scenario.s1_session in
+    let id =
+      Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+        (Scenario.scenario1_goal ())
+    in
+    ignore (Reactor.run reactor);
+    (granted (Reactor.outcome reactor id),
+     Net.Stats.messages (Net.Network.stats net))
+  in
+  let ok_cold, posts_cold = run () in
+  let ok_warm, posts_warm = run () in
+  Alcotest.(check bool) "cold run granted" true ok_cold;
+  Alcotest.(check bool) "warm run granted" true ok_warm;
+  Alcotest.(check bool) "cold run used the wire" true (posts_cold > 0);
+  Alcotest.(check int) "warm run posted nothing" 0 posts_warm;
+  Alcotest.(check bool) "warm run hit the cache" true
+    (Answer_cache.hits cache > 0)
+
+let test_reactor_batching () =
+  (* Same-tick sub-queries to one peer coalesce into a single Batch
+     envelope: same outcome, fewer envelopes, batch summary on the wire.
+     The release policy has two alternative rules, so one evaluation
+     probes both credentials at the requester in the same tick. *)
+  let posts net = Net.Stats.messages (Net.Network.stats net) in
+  let run config =
+    let session = Session.create () in
+    ignore
+      (Session.add_peer session
+         ~program:
+           {|resource("r") $ pass(Requester) <-{true} haveIt("r").
+             haveIt("r").
+             pass(X) <- c1(X) @ "CA" @ X.
+             pass(X) <- c2(X) @ "CA" @ X.|}
+         "owner");
+    ignore
+      (Session.add_peer session
+         ~program:{|c2("req") @ "CA" $ true signedBy ["CA"].|}
+         "req");
+    let net = session.Session.network in
+    let reactor = Reactor.create ?config session in
+    let id =
+      Reactor.submit reactor ~requester:"req" ~target:"owner"
+        (lit {|resource("r")|})
+    in
+    ignore (Reactor.run reactor);
+    (granted (Reactor.outcome reactor id), posts net, net)
+  in
+  let ok_plain, posts_plain, _ = run None in
+  let ok_batch, posts_batch, batch_net =
+    run (Some { Reactor.default_config with Reactor.batch = true })
+  in
+  Alcotest.(check bool) "plain granted" true ok_plain;
+  Alcotest.(check bool) "batched granted" true ok_batch;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer envelopes (%d < %d)" posts_batch posts_plain)
+    true
+    (posts_batch < posts_plain);
+  let is_batch e =
+    String.length e.Net.Network.summary >= 5
+    && String.equal (String.sub e.Net.Network.summary 0 5) "batch"
+  in
+  Alcotest.(check bool) "a batch envelope on the wire" true
+    (List.exists is_batch (Net.Network.transcript batch_net))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "reactor"
@@ -375,5 +555,16 @@ let () =
             test_reactor_duplicate_answers_idempotent;
           tc "budget denies all parked" test_reactor_budget_denies_all_parked;
           tc "negotiate convenience" test_reactor_negotiate_convenience;
+        ] );
+      ( "cache",
+        [
+          tc "ttl expiry" test_cache_ttl_expiry;
+          tc "variant keying" test_cache_variant_keying;
+          tc "capacity eviction" test_cache_capacity_eviction;
+          tc "explicit invalidation" test_cache_invalidation;
+          tc "revocation watcher" test_cache_watch_accounts;
+          tc "kb-update watcher" test_cache_watch_peer;
+          tc "warm cross-session run" test_cache_warm_cross_session;
+          tc "batched sub-queries" test_reactor_batching;
         ] );
     ]
