@@ -905,6 +905,228 @@ let cache_bench () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* RESOLUTION: resolution-core workloads.
+
+   Scaled workloads that bottom out in the lib/dlp term layer: deep
+   delegation-style rule chains, wide ground KBs (10k+ facts, exercising
+   first-argument indexing and full scans), long negotiation sessions on a
+   warm session, and tabled transitive closure.  Each workload reports
+   median wall time and words allocated per run; the numbers land in
+   BENCH_resolution.json as gauges ([resolution.<workload>.ms] and
+   [resolution.<workload>.kwords]).  With [--smoke], sizes shrink and each
+   SLD workload's answer set is checked against a map-based reference
+   resolution engine (substitution maps, rename-apart via substitution),
+   guarding the trailed core against answer drift. *)
+
+let resolution_smoke = ref false
+
+(* Map-based reference resolution engine: persistent substitution maps and
+   rename-apart rules, no binding trail — the pre-interning algorithm kept
+   as an answer-set oracle for the trailed core.  Pure Datalog (no
+   externals, remotes, or NAF): exactly what the resolution workloads
+   exercise. *)
+module Ref_sld = struct
+  let answers ~max_depth ~self kb goals =
+    let initial = Dlp.Subst.bind "Self" (Dlp.Term.str self) Dlp.Subst.empty in
+    let results = ref [] in
+    let rec prove goal subst depth k =
+      if depth <= 0 then ()
+      else
+        let goal = Dlp.Literal.apply subst goal in
+        match Dlp.Builtin.eval goal subst with
+        | Some substs -> List.iter k substs
+        | None ->
+            List.iter
+              (fun rule ->
+                let r = Dlp.Rule.rename_apart rule in
+                match Dlp.Literal.unify goal r.Dlp.Rule.head subst with
+                | None -> ()
+                | Some s' -> prove_all r.Dlp.Rule.body s' (depth - 1) k)
+              (Dlp.Kb.matching goal kb)
+    and prove_all goals subst depth k =
+      match goals with
+      | [] -> k subst
+      | g :: rest -> prove g subst depth (fun s' -> prove_all rest s' depth k)
+    in
+    let qvars =
+      List.concat_map Dlp.Literal.vars goals
+      |> List.filter (fun v -> not (Dlp.Term.is_pseudo v))
+    in
+    prove_all goals initial max_depth (fun s ->
+        results := Dlp.Subst.restrict qvars s :: !results);
+    let seen = Hashtbl.create 64 in
+    List.rev !results
+    |> List.filter (fun s ->
+           let key = Dlp.Subst.to_string s in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+end
+
+let kb_of_buf f =
+  let buf = Buffer.create 4096 in
+  f buf;
+  Dlp.Kb.of_string (Buffer.contents buf)
+
+(* l0(X) <- l1(X). ... l(d-1)(X) <- ld(X).  ld(leaf). *)
+let deep_chain_kb depth =
+  kb_of_buf (fun buf ->
+      for i = 0 to depth - 1 do
+        Printf.bprintf buf "l%d(X) <- l%d(X).\n" i (i + 1)
+      done;
+      Printf.bprintf buf "l%d(leaf).\n" depth)
+
+let transitive_kb n =
+  kb_of_buf (fun buf ->
+      Buffer.add_string buf
+        "path(X, Y) <- edge(X, Y).\npath(X, Z) <- edge(X, Y), path(Y, Z).\n";
+      for i = 1 to n do
+        Printf.bprintf buf "edge(n%d, n%d).\n" i (i + 1)
+      done)
+
+let wide_kb n =
+  kb_of_buf (fun buf ->
+      for i = 1 to n do
+        Printf.bprintf buf "item(c%d, %d).\n" i i
+      done;
+      Buffer.add_string buf "lookup(K, V) <- item(K, V).\n")
+
+(* Median wall time and mean words allocated of [runs] executions. *)
+let time_alloc ?(runs = 5) f =
+  let before = Gc.allocated_bytes () in
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  let words =
+    (Gc.allocated_bytes () -. before)
+    /. float_of_int runs
+    /. float_of_int (Sys.word_size / 8)
+  in
+  let sorted = List.sort compare samples in
+  (List.nth sorted (List.length sorted / 2), words)
+
+(* Answer sets as a sorted list of printed substitutions: the comparison
+   key for the engine-vs-reference differential. *)
+let answer_key answers =
+  List.sort compare (List.map Dlp.Subst.to_string answers)
+
+let resolution () =
+  let smoke = !resolution_smoke in
+  let scale full small = if smoke then small else full in
+  let sld_answers ?(max_solutions = 100_000) ~max_depth kb goals =
+    Dlp.Sld.answers
+      ~options:{ Dlp.Sld.max_depth; max_solutions }
+      ~self:"bench" kb goals
+  in
+  let check_differential = ref [] in
+  let workloads =
+    [
+      ( "deep_chain",
+        let depth = scale 1500 120 in
+        let kb = deep_chain_kb depth in
+        let goals = Dlp.Parser.parse_query "l0(X)" in
+        let max_depth = depth + 16 in
+        ( (fun () -> ignore (sld_answers ~max_solutions:4 ~max_depth kb goals)),
+          Some (kb, goals, max_depth) ) );
+      ( "transitive",
+        let n = scale 48 12 in
+        let kb = transitive_kb n in
+        let goals = Dlp.Parser.parse_query "path(X, Y)" in
+        let max_depth = (2 * n) + 8 in
+        ( (fun () -> ignore (sld_answers ~max_depth kb goals)),
+          Some (kb, goals, max_depth) ) );
+      ( "wide_indexed",
+        let n = scale 10_000 1_000 in
+        let kb = wide_kb n in
+        let goals =
+          Dlp.Parser.parse_query (Printf.sprintf "lookup(c%d, V)" (n - 13))
+        in
+        ( (fun () ->
+            for _ = 1 to scale 300 20 do
+              ignore (sld_answers ~max_solutions:4 ~max_depth:8 kb goals)
+            done),
+          Some (kb, goals, 8) ) );
+      ( "wide_scan",
+        let n = scale 10_000 1_000 in
+        let kb = wide_kb n in
+        let goals = Dlp.Parser.parse_query "item(K, V)" in
+        ( (fun () -> ignore (sld_answers ~max_depth:4 kb goals)), None ) );
+      ( "negotiation_session",
+        let w = Scenario.scenario1 () in
+        let goal = {|discountEnroll(spanish101, "Alice")|} in
+        ( (fun () ->
+            for _ = 1 to scale 30 3 do
+              ignore
+                (Negotiation.request_str w.Scenario.s1_session
+                   ~requester:"Alice" ~target:"E-Learn" goal)
+            done),
+          None ) );
+      ( "tabled_transitive",
+        let n = scale 28 10 in
+        let kb = transitive_kb n in
+        let goals = Dlp.Parser.parse_query "path(X, Y)" in
+        ( (fun () -> ignore (Dlp.Tabled.solve ~self:"bench" kb goals)), None )
+      );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, (run, differential)) ->
+        run () (* warm-up, and interner/caches settle *);
+        let runs = if smoke then 1 else 5 in
+        let ms, words = time_alloc ~runs run in
+        Pobs.Metric.set
+          (Pobs.Obs.gauge ("resolution." ^ name ^ ".ms"))
+          (ms *. 1000.);
+        Pobs.Metric.set
+          (Pobs.Obs.gauge ("resolution." ^ name ^ ".kwords"))
+          (words /. 1000.);
+        Option.iter
+          (fun d -> check_differential := (name, d) :: !check_differential)
+          differential;
+        [
+          name;
+          fmt_ms ms;
+          Printf.sprintf "%.0f" (words /. 1000.);
+          (if differential = None then "-" else "yes");
+        ])
+      workloads
+  in
+  print_table
+    ~title:
+      "RESOLUTION  Resolution-core workloads (deep chains, wide KBs, \
+       negotiation sessions)"
+    ~header:[ "workload"; "ms/run"; "kwords/run"; "differential" ]
+    rows;
+  (* Differential gate: the engine's answers on each SLD workload must
+     match the map-based reference resolution engine. *)
+  if smoke then
+    List.iter
+      (fun (name, (kb, goals, max_depth)) ->
+        let engine =
+          answer_key
+            (sld_answers ~max_solutions:100_000 ~max_depth kb goals)
+        in
+        let reference =
+          answer_key (Ref_sld.answers ~max_depth ~self:"bench" kb goals)
+        in
+        if engine <> reference then begin
+          Printf.eprintf
+            "resolution --smoke: differential MISMATCH on %s (%d engine vs \
+             %d reference answers)\n"
+            name (List.length engine) (List.length reference);
+          exit 1
+        end
+        else Printf.printf "  differential ok: %s (%d answers)\n" name
+          (List.length engine))
+      !check_differential
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -995,7 +1217,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("cache", cache_bench);
-    ("chaos", chaos);
+    ("chaos", chaos); ("resolution", resolution);
   ]
 
 (* Run one experiment with a fresh metrics registry and drop the snapshot
@@ -1015,6 +1237,9 @@ let () =
   let rec split_args dir acc = function
     | [] -> (dir, List.rev acc)
     | "--metrics-dir" :: d :: rest -> split_args (Some d) acc rest
+    | "--smoke" :: rest ->
+        resolution_smoke := true;
+        split_args dir acc rest
     | a :: rest -> split_args dir (a :: acc) rest
   in
   let dir, args = split_args None [] (List.tl (Array.to_list Sys.argv)) in

@@ -29,7 +29,13 @@ if grep -q '"cache.hits":0[,}]' "$cache_metrics"; then
   exit 1
 fi
 
-# Slow gate: the property suite again, with raised iteration counts.
+# Resolution smoke: the scaled resolution-core workloads once, with the
+# engine's answer sets diffed against the map-based reference engine.
+./_build/default/bench/main.exe resolution --smoke > /dev/null
+
+# Slow gate: the property suite again with raised iteration counts, and
+# the full resolution sweep (timed, 5 runs per workload).
 if [ "${CHECK_SLOW:-0}" != "0" ]; then
   CHECK_SLOW=1 ./_build/default/test/test_properties.exe
+  ./_build/default/bench/main.exe resolution
 fi

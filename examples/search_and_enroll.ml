@@ -71,7 +71,8 @@ let () =
       (fun (provider, rows) ->
         List.filter_map
           (function
-            | [ Dlp.Term.Atom c; Dlp.Term.Int p ] -> Some (provider, c, p)
+            | [ Dlp.Term.Atom c; Dlp.Term.Int p ] ->
+                Some (provider, Dlp.Sym.name c, p)
             | _ -> None)
           rows)
       hits

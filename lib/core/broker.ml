@@ -1,7 +1,7 @@
 open Peertrust_dlp
 
 let authority_fact ~pred ~authority =
-  Rule.fact (Literal.make "authority" [ Term.Atom pred; Term.Str authority ])
+  Rule.fact (Literal.make "authority" [ Term.atom pred; Term.str authority ])
 
 let install_directory peer directory =
   List.iter
@@ -22,11 +22,10 @@ let add_broker session ~name ~directory =
 
 let lookup session ~requester ~broker ~pred =
   let goal =
-    Literal.make "authority" [ Term.Atom pred; Term.Var "Authority" ]
+    Literal.make "authority" [ Term.atom pred; Term.var "Authority" ]
   in
   Engine.query session ~requester ~target:broker goal
   |> List.filter_map (fun ((inst : Literal.t), _) ->
          match inst.Literal.args with
-         | [ _; Term.Str a ] -> Some a
-         | [ _; Term.Atom a ] -> Some a
+         | [ _; a ] -> Term.const_name a
          | _ -> None)

@@ -15,7 +15,7 @@ let cert_serials (peer : Peer.t) =
 let discover session ~requester ~root goal =
   let peer = Session.peer session requester in
   let before = cert_serials peer in
-  let decorated = Literal.push_authority goal (Term.Str root) in
+  let decorated = Literal.push_authority goal (Term.str root) in
   let report = Negotiation.request session ~requester ~target:root decorated in
   let chain =
     Hashtbl.fold

@@ -1,16 +1,16 @@
 open Peertrust_dlp
 
-let vars_of_arity n = List.init n (fun i -> Term.Var (Printf.sprintf "X%d" (i + 1)))
+let vars_of_arity n = List.init n (fun i -> Term.var (Printf.sprintf "X%d" (i + 1)))
 
 let delegation_rule ?(release = []) ~issuer ~delegate ~pred ~arity () =
   let args = vars_of_arity arity in
   Rule.make ~rule_ctx:release ~signer:[ issuer ]
-    (Literal.make ~auth:[ Term.Str issuer ] pred args)
-    [ Literal.make ~auth:[ Term.Str delegate ] pred args ]
+    (Literal.make ~auth:[ Term.str issuer ] pred args)
+    [ Literal.make ~auth:[ Term.str delegate ] pred args ]
 
 let credential_fact ?(release = []) ~issuer ~pred ~subject () =
   Rule.make ~head_ctx:release ~signer:[ issuer ]
-    (Literal.make ~auth:[ Term.Str issuer ] pred subject)
+    (Literal.make ~auth:[ Term.str issuer ] pred subject)
     []
 
 let grant session ~holder rule =

@@ -70,7 +70,7 @@ let rec remote_callback session peer ~target lit =
                   if Literal.is_ground inst then
                     Peer.add_rule peer
                       (Rule.fact
-                         (Literal.push_authority inst (Term.Str target))))
+                         (Literal.push_authority inst (Term.str target))))
                 instances;
               instances
           | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
@@ -94,7 +94,7 @@ and evaluate ?(allow_remote = true) ?remote ?solutions ?requester session
     peer goals =
   let bindings =
     match requester with
-    | Some r -> [ ("Requester", Term.Str r) ]
+    | Some r -> [ ("Requester", Term.str r) ]
     | None -> []
   in
   let remote =
@@ -121,22 +121,24 @@ let prover ?allow_remote ?remote session peer : Policy.prover =
   | [] -> None
   | a :: _ -> Some a
 
-(* Rename the residual engine-generated variables ([X~e12]) in an answer
-   instance to neutral names, so reports and clients see [_G1] instead of
-   internal renaming suffixes. *)
+(* Rename the residual engine-generated variables ([X~e12], [Email~2], or
+   raw fresh ids) in an answer instance to neutral names, so reports and
+   clients see [_G1] instead of internal renaming suffixes. *)
 let tidy_instance (l : Literal.t) =
   let mapping = Hashtbl.create 4 in
   let counter = ref 0 in
+  let internal v =
+    Term.is_fresh v || String.contains (Term.var_name v) '~'
+  in
   let rec tidy = function
-    | Term.Var v when String.contains v '~' ->
-        Term.Var
-          (match Hashtbl.find_opt mapping v with
-          | Some fresh -> fresh
-          | None ->
-              incr counter;
-              let fresh = Printf.sprintf "_G%d" !counter in
-              Hashtbl.add mapping v fresh;
-              fresh)
+    | Term.Var v when internal v -> (
+        match Hashtbl.find_opt mapping v with
+        | Some fresh -> fresh
+        | None ->
+            incr counter;
+            let fresh = Term.var (Printf.sprintf "_G%d" !counter) in
+            Hashtbl.add mapping v fresh;
+            fresh)
     | (Term.Var _ | Term.Str _ | Term.Int _ | Term.Atom _) as t -> t
     | Term.Compound (f, args) -> Term.Compound (f, List.map tidy args)
   in
@@ -198,8 +200,8 @@ let answer_body ?(allow_remote = true) ?remote session peer ~requester goal =
             peer.Peer.certs []
         in
         let bindings =
-          Subst.bind "Requester" (Term.Str requester)
-            (Subst.bind "Self" (Term.Str self) Subst.empty)
+          Subst.bind "Requester" (Term.str requester)
+            (Subst.bind "Self" (Term.str self) Subst.empty)
         in
         let results = ref [] (* (instance, proofs) *) in
         let certs = ref [] in
@@ -220,7 +222,7 @@ let answer_body ?(allow_remote = true) ?remote session peer ~requester goal =
                 ::
                 (if Rule.is_signed r then
                    List.map
-                     (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
+                     (fun a -> Literal.push_authority r.Rule.head (Term.str a))
                      r.Rule.signer
                  else [])
               in
@@ -325,7 +327,7 @@ let answer_body ?(allow_remote = true) ?remote session peer ~requester goal =
             let heads =
               r.Rule.head
               :: List.map
-                   (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
+                   (fun a -> Literal.push_authority r.Rule.head (Term.str a))
                    r.Rule.signer
             in
             let try_head head =

@@ -21,10 +21,7 @@ module Identity = struct
           (fun (lit : Literal.t) s ->
             match List.map (Subst.apply s) lit.Literal.args with
             | [ x; y ] -> (
-                let name_of = function
-                  | Term.Str n | Term.Atom n -> Some n
-                  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
-                in
+                let name_of = Term.const_name in
                 match name_of x with
                 | None -> []  (* the principal must be known *)
                 | Some principal -> (
@@ -34,7 +31,7 @@ module Identity = struct
                     match y with
                     | Term.Var _ ->
                         List.filter_map
-                          (fun id -> Unify.terms y (Term.Str id) s)
+                          (fun id -> Unify.terms y (Term.str id) s)
                           identities
                     | _ -> (
                         match name_of y with
@@ -68,11 +65,7 @@ module Reputation = struct
           (fun (lit : Literal.t) s ->
             match List.map (Subst.apply s) lit.Literal.args with
             | [ subject_t; r_t ] -> (
-                let subject =
-                  match subject_t with
-                  | Term.Str n | Term.Atom n -> Some n
-                  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
-                in
+                let subject = Term.const_name subject_t in
                 match Option.map (fun n -> average t ~subject:n) subject with
                 | Some (Some avg) -> (
                     match Unify.terms r_t (Term.Int avg) s with
@@ -119,7 +112,7 @@ module Accounts = struct
           (fun (lit : Literal.t) s ->
             match List.map (Subst.apply s) lit.Literal.args with
             | [ (Term.Str name | Term.Atom name); Term.Int amount ] -> (
-                match Hashtbl.find_opt t.accounts name with
+                match Hashtbl.find_opt t.accounts (Sym.name name) with
                 | Some a when (not a.revoked) && amount <= a.limit -> [ s ]
                 | Some _ | None -> [])
             | _ -> [])

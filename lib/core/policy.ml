@@ -26,7 +26,7 @@ let is_release_rule (r : Rule.t) = Option.is_some r.Rule.head_ctx
 let credential_heads (c : Rule.t) =
   c.Rule.head
   :: List.map
-       (fun s -> Literal.push_authority c.Rule.head (Term.Str s))
+       (fun s -> Literal.push_authority c.Rule.head (Term.str s))
        c.Rule.signer
 
 let credential_releasable ~prover ~kb ~requester ~self (c : Rule.t) =

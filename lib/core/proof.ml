@@ -75,7 +75,7 @@ let establishes ~signers b c =
   let unifies x y = Option.is_some (Literal.unify x y Subst.empty) in
   unifies b c
   || List.exists
-       (fun s -> unifies b (Literal.push_authority c (Term.Str s)))
+       (fun s -> unifies b (Literal.push_authority c (Term.str s)))
        signers
 
 let rec check_trace = function

@@ -36,7 +36,7 @@ let parse src =
       let body_vars = List.concat_map Literal.vars body in
       List.iter
         (fun v ->
-          if not (List.mem v body_vars) then
+          if not (List.mem (Term.var_id v) body_vars) then
             invalid_arg ("Qel.parse: unbound projection variable " ^ v))
         projection;
       { projection; body }
@@ -64,7 +64,7 @@ let dedup_rows rows =
 let project q substs =
   dedup_rows
     (List.map
-       (fun s -> List.map (fun v -> Subst.apply s (Term.Var v)) q.projection)
+       (fun s -> List.map (fun v -> Subst.apply s (Term.var v)) q.projection)
        substs)
 
 let eval_kb ~self kb q = project q (Sld.answers ~self kb q.body)
@@ -101,7 +101,7 @@ let search session ~requester ~provider q =
   let peer = Session.peer session requester in
   let decorated =
     List.map
-      (fun l -> Literal.push_authority l (Term.Str provider))
+      (fun l -> Literal.push_authority l (Term.str provider))
       q.body
   in
   let answers = Engine.evaluate session peer decorated in

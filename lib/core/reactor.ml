@@ -390,7 +390,7 @@ let rec dispatch t ~synthetic (from, target, payload) =
             (fun ((inst : Literal.t), _) ->
               if Literal.is_ground inst then
                 Peer.add_rule peer
-                  (Rule.fact (Literal.push_authority inst (Term.Str from))))
+                  (Rule.fact (Literal.push_authority inst (Term.str from))))
             instances;
           (* Fill the cache from answers that travelled the wire; replayed
              (synthetic) hits must not refresh their own TTL. *)

@@ -19,7 +19,7 @@ let service_skeleton goal =
 let token_rule ~issuer ~holder ~goal =
   Rule.fact ~signer:[ issuer ]
     (Literal.make "accessToken"
-       [ Term.Str holder; Term.Str (service_skeleton goal) ])
+       [ Term.str holder; Term.str (service_skeleton goal) ])
 
 let grant session ~issuer ~holder ~goal ~ttl =
   let rule = token_rule ~issuer ~holder ~goal in
@@ -44,6 +44,7 @@ let redeem session ~issuer ~bearer ~goal (token : t) =
       args = [ Term.Str holder; Term.Str service ];
       auth = [];
     } ->
+      let holder = Sym.name holder and service = Sym.name service in
       if not (List.mem issuer token.Crypto.Cert.rule.Rule.signer) then
         Error (Invalid (Crypto.Cert.Missing_signature issuer))
       else if not (String.equal holder bearer) then Error (Wrong_holder bearer)

@@ -1,24 +1,32 @@
 let builtins = [ "="; "!="; "<"; "<="; ">"; ">=" ]
 let is_builtin (p, n) = n = 2 && List.mem p builtins
 
+let plus_op = Sym.intern "+"
+let minus_op = Sym.intern "-"
+let times_op = Sym.intern "*"
+let div_op = Sym.intern "/"
+
+let is_arith_op op =
+  Sym.equal op plus_op || Sym.equal op minus_op || Sym.equal op times_op
+  || Sym.equal op div_op
+
 (* Evaluate a ground arithmetic expression; [None] for non-arithmetic or
    non-ground terms (and for division by zero). *)
 let rec eval_arith = function
   | Term.Int i -> Some i
-  | Term.Compound (op, [ a; b ]) when List.mem op [ "+"; "-"; "*"; "/" ] -> (
+  | Term.Compound (op, [ a; b ]) when is_arith_op op -> (
       match (eval_arith a, eval_arith b) with
-      | Some x, Some y -> (
-          match op with
-          | "+" -> Some (x + y)
-          | "-" -> Some (x - y)
-          | "*" -> Some (x * y)
-          | "/" -> if y = 0 then None else Some (x / y)
-          | _ -> None)
+      | Some x, Some y ->
+          if Sym.equal op plus_op then Some (x + y)
+          else if Sym.equal op minus_op then Some (x - y)
+          else if Sym.equal op times_op then Some (x * y)
+          else if y = 0 then None
+          else Some (x / y)
       | _, _ -> None)
   | Term.Var _ | Term.Str _ | Term.Atom _ | Term.Compound _ -> None
 
 let is_arith_expr = function
-  | Term.Compound (op, [ _; _ ]) -> List.mem op [ "+"; "-"; "*"; "/" ]
+  | Term.Compound (op, [ _; _ ]) -> is_arith_op op
   | _ -> false
 
 (* Normalise a comparison operand: evaluate it if it is arithmetic. *)
@@ -30,13 +38,40 @@ let normalise t =
 let compare_ground a b =
   match (a, b) with
   | Term.Int x, Term.Int y -> Some (Int.compare x y)
-  | Term.Str x, Term.Str y -> Some (String.compare x y)
-  | Term.Atom x, Term.Atom y -> Some (String.compare x y)
+  | Term.Str x, Term.Str y -> Some (Sym.compare_names x y)
+  | Term.Atom x, Term.Atom y -> Some (Sym.compare_names x y)
   (* Mixed ground constants have a fixed but arbitrary order; only equality
      and disequality are meaningful across sorts. *)
   | _, _ ->
       if Term.is_ground a && Term.is_ground b then Some (Term.compare a b)
       else None
+
+(* Shared comparison logic over normalised operands; [`Unify] means the
+   caller should unify [a] with [b] (the [=] case). *)
+let decide pred a b =
+  match pred with
+  | "=" ->
+      (* An arithmetic expression that survived normalisation is
+         unevaluable (non-ground operand or division by zero): the
+         comparison fails rather than unifying structurally. *)
+      if is_arith_expr a || is_arith_expr b then `Fail else `Unify
+  | "!=" ->
+      if Term.is_ground a && Term.is_ground b then
+        if Term.equal a b then `Fail else `Hold
+      else `Fail
+  | op -> (
+      match compare_ground a b with
+      | None -> `Fail
+      | Some c ->
+          let holds =
+            match op with
+            | "<" -> c < 0
+            | "<=" -> c <= 0
+            | ">" -> c > 0
+            | ">=" -> c >= 0
+            | _ -> assert false
+          in
+          if holds then `Hold else `Fail)
 
 let eval (lit : Literal.t) s =
   if not (is_builtin (Literal.key lit)) then None
@@ -44,31 +79,32 @@ let eval (lit : Literal.t) s =
     match lit.Literal.args with
     | [ a; b ] -> (
         let a = normalise (Subst.apply s a) and b = normalise (Subst.apply s b) in
-        match lit.Literal.pred with
-        | "=" ->
-            (* An arithmetic expression that survived normalisation is
-               unevaluable (non-ground operand or division by zero): the
-               comparison fails rather than unifying structurally. *)
-            if is_arith_expr a || is_arith_expr b then Some []
-            else (
-              match Unify.terms a b s with
-              | Some s' -> Some [ s' ]
-              | None -> Some [])
-        | "!=" ->
-            if Term.is_ground a && Term.is_ground b then
-              Some (if Term.equal a b then [] else [ s ])
-            else Some []
-        | op -> (
-            match compare_ground a b with
-            | None -> Some []
-            | Some c ->
-                let holds =
-                  match op with
-                  | "<" -> c < 0
-                  | "<=" -> c <= 0
-                  | ">" -> c > 0
-                  | ">=" -> c >= 0
-                  | _ -> assert false
-                in
-                Some (if holds then [ s ] else [])))
+        match decide lit.Literal.pred a b with
+        | `Fail -> Some []
+        | `Hold -> Some [ s ]
+        | `Unify -> (
+            match Unify.terms a b s with
+            | Some s' -> Some [ s' ]
+            | None -> Some []))
+    | _ -> None
+
+(* Trailed variant: operands resolve through the store; [=] binds
+   destructively, undoing its own partial bindings on failure. *)
+let eval_store st (lit : Literal.t) =
+  if not (is_builtin (Literal.key lit)) then None
+  else
+    match lit.Literal.args with
+    | [ a; b ] -> (
+        let a = normalise (Store.resolve st a)
+        and b = normalise (Store.resolve st b) in
+        match decide lit.Literal.pred a b with
+        | `Fail -> Some false
+        | `Hold -> Some true
+        | `Unify ->
+            let m = Store.mark st in
+            if Unify.store_terms st a b then Some true
+            else begin
+              Store.undo st m;
+              Some false
+            end)
     | _ -> None

@@ -16,3 +16,8 @@ val eval : Literal.t -> Subst.t -> Subst.t list option
 (** [eval lit s] is [None] when [lit] is not a built-in; otherwise
     [Some answers] where [answers] are the extensions of [s] under which the
     built-in holds (at most one for every current built-in). *)
+
+val eval_store : Store.t -> Literal.t -> bool option
+(** Trailed variant: [None] when not a built-in; [Some holds] otherwise,
+    with any [=] bindings recorded in the store (already undone when
+    [holds] is [false]). *)

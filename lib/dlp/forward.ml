@@ -30,16 +30,18 @@ let head_variants (r : Rule.t) =
   r.Rule.head
   :: (if Rule.is_signed r then
         List.map
-          (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
+          (fun a -> Literal.push_authority r.Rule.head (Term.str a))
           r.Rule.signer
       else [])
 
 let strip_self_auth ~self lit =
   let rec go l =
     match Literal.pop_authority l with
-    | Some (inner, Term.Str a) when String.equal a self -> go inner
-    | Some (inner, Term.Atom a) when String.equal a self -> go inner
-    | Some _ | None -> l
+    | Some (inner, a) -> (
+        match Term.const_name a with
+        | Some n when String.equal n self -> go inner
+        | Some _ | None -> l)
+    | None -> l
   in
   go lit
 
@@ -49,7 +51,7 @@ let saturate ?(bindings = []) ?(max_rounds = 1000) ?(max_facts = 100_000)
     List.fold_left
       (fun s (v, t) -> if String.equal v "Self" then s else Subst.bind v t s)
       Subst.empty bindings
-    |> Subst.bind "Self" (Term.Str self)
+    |> Subst.bind "Self" (Term.str self)
   in
   let st = store_create () in
   let facts0, proper_rules =
@@ -96,7 +98,7 @@ let saturate ?(bindings = []) ?(max_rounds = 1000) ?(max_facts = 100_000)
     let delta_set = LitSet.of_list !delta in
     let next = ref [] in
     let fire r =
-      let fresh = Rule.rename ~suffix:(Printf.sprintf "~f%d" !rounds) r in
+      let fresh = Rule.rename_apart r in
       join fresh ~delta_set ~require_delta:(!rounds > 1) (fun subst ->
           let derive h =
             let inst = strip_self_auth ~self (Literal.apply subst h) in

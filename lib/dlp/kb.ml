@@ -1,21 +1,47 @@
 module Key = struct
-  type t = string * int
+  type t = Sym.t * int
 
   let compare (p1, a1) (p2, a2) =
-    let c = String.compare p1 p2 in
+    let c = Int.compare p1 p2 in
     if c <> 0 then c else Int.compare a1 a2
 end
 
 module M = Map.Make (Key)
-module SM = Map.Make (String)
+
+(* First-argument index key: a small sum over interned ids — exact,
+   allocation-free comparisons, no string building. *)
+type akey =
+  | KStr of Sym.t
+  | KInt of int
+  | KAtom of Sym.t
+  | KComp of Sym.t * int
+
+module AK = Map.Make (struct
+  type t = akey
+
+  let compare a b =
+    match (a, b) with
+    | KStr x, KStr y | KInt x, KInt y | KAtom x, KAtom y -> Int.compare x y
+    | KComp (f, n), KComp (g, m) ->
+        let c = Int.compare f g in
+        if c <> 0 then c else Int.compare n m
+    | KStr _, _ -> -1
+    | _, KStr _ -> 1
+    | KInt _, _ -> -1
+    | _, KInt _ -> 1
+    | KAtom _, _ -> -1
+    | _, KAtom _ -> 1
+end)
 
 (* Entries carry a sequence number so that [rules]/[matching] can restore
-   global insertion order; buckets keep entries in reverse order. *)
-type entry = int * Rule.t
+   global insertion order; buckets keep entries in reverse order.  Rules are
+   compiled once at insertion: the hot path resolves against the compiled
+   form and never re-processes the source rule. *)
+type entry = int * Rule.compiled
 
 type bucket = {
   all : entry list;
-  by_first : entry list SM.t;  (* first-argument key -> entries *)
+  by_first : entry list AK.t;  (* first-argument key -> entries *)
   var_first : entry list;  (* heads whose first argument is a variable *)
 }
 
@@ -23,32 +49,34 @@ type t = { buckets : bucket M.t; next : int; indexing : bool }
 
 let empty = { buckets = M.empty; next = 0; indexing = true }
 let empty_linear = { buckets = M.empty; next = 0; indexing = false }
-let empty_bucket = { all = []; by_first = SM.empty; var_first = [] }
+let empty_bucket = { all = []; by_first = AK.empty; var_first = [] }
 
 (* Index key of a term in head position: constants and functors are
    discriminating, variables are not ([None]). *)
 let arg_key = function
   | Term.Var _ -> None
-  | Term.Str s -> Some ("s:" ^ s)
-  | Term.Int i -> Some ("i:" ^ string_of_int i)
-  | Term.Atom a -> Some ("a:" ^ a)
-  | Term.Compound (f, args) ->
-      Some (Printf.sprintf "c:%s/%d" f (List.length args))
+  | Term.Str s -> Some (KStr s)
+  | Term.Int i -> Some (KInt i)
+  | Term.Atom a -> Some (KAtom a)
+  | Term.Compound (f, args) -> Some (KComp (f, List.length args))
 
 let first_arg (l : Literal.t) =
   match l.Literal.args with [] -> None | a :: _ -> Some a
 
+let lit_key (l : Literal.t) = (Sym.intern l.Literal.pred, Literal.arity l)
+
 let mem r kb =
-  match M.find_opt (Literal.key r.Rule.head) kb.buckets with
+  match M.find_opt (lit_key r.Rule.head) kb.buckets with
   | None -> false
-  | Some bucket -> List.exists (fun (_, r') -> Rule.equal r r') bucket.all
+  | Some bucket ->
+      List.exists (fun (_, c) -> Rule.equal r (Rule.source c)) bucket.all
 
 let add r kb =
   if mem r kb then kb
   else begin
-    let key = Literal.key r.Rule.head in
+    let key = lit_key r.Rule.head in
     let bucket = Option.value ~default:empty_bucket (M.find_opt key kb.buckets) in
-    let entry = (kb.next, r) in
+    let entry = (kb.next, Rule.compile r) in
     let bucket = { bucket with all = entry :: bucket.all } in
     let bucket =
       match Option.map arg_key (first_arg r.Rule.head) with
@@ -56,8 +84,8 @@ let add r kb =
           (* no arguments, or a variable first argument *)
           { bucket with var_first = entry :: bucket.var_first }
       | Some (Some k) ->
-          let prev = Option.value ~default:[] (SM.find_opt k bucket.by_first) in
-          { bucket with by_first = SM.add k (entry :: prev) bucket.by_first }
+          let prev = Option.value ~default:[] (AK.find_opt k bucket.by_first) in
+          { bucket with by_first = AK.add k (entry :: prev) bucket.by_first }
     in
     { kb with buckets = M.add key bucket kb.buckets; next = kb.next + 1 }
   end
@@ -65,15 +93,17 @@ let add r kb =
 let add_list rs kb = List.fold_left (fun kb r -> add r kb) kb rs
 
 let remove r kb =
-  let key = Literal.key r.Rule.head in
+  let key = lit_key r.Rule.head in
   match M.find_opt key kb.buckets with
   | None -> kb
   | Some bucket ->
-      let drop = List.filter (fun (_, r') -> not (Rule.equal r r')) in
+      let drop =
+        List.filter (fun (_, c) -> not (Rule.equal r (Rule.source c)))
+      in
       let bucket =
         {
           all = drop bucket.all;
-          by_first = SM.map drop bucket.by_first;
+          by_first = AK.map drop bucket.by_first;
           var_first = drop bucket.var_first;
         }
       in
@@ -85,27 +115,44 @@ let remove r kb =
       }
 
 let entries_in_order entries =
-  List.sort (fun (i, _) (j, _) -> Int.compare i j) entries |> List.map snd
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) entries
+  |> List.map (fun (_, c) -> Rule.source c)
 
 let find key kb =
-  match M.find_opt key kb.buckets with
+  let pred, arity = key in
+  match M.find_opt (Sym.intern pred, arity) kb.buckets with
   | None -> []
   | Some bucket -> entries_in_order bucket.all
 
-let matching lit kb =
-  match M.find_opt (Literal.key lit) kb.buckets with
+(* Merge two reverse-(descending-seq-)ordered entry lists, still
+   descending; [matching] then reverses once into insertion order —
+   no per-call sort. *)
+let rec merge_desc a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | ((i, _) as x) :: a', ((j, _) as y) :: b' ->
+      if i > j then x :: merge_desc a' b else y :: merge_desc a b'
+
+let matching_entries lit kb =
+  match M.find_opt (lit_key lit) kb.buckets with
   | None -> []
   | Some bucket ->
-      if not kb.indexing then entries_in_order bucket.all
+      if not kb.indexing then bucket.all
       else begin
         match Option.map arg_key (first_arg lit) with
-        | None | Some None -> entries_in_order bucket.all
+        | None | Some None -> bucket.all
         | Some (Some k) ->
             let indexed =
-              Option.value ~default:[] (SM.find_opt k bucket.by_first)
+              Option.value ~default:[] (AK.find_opt k bucket.by_first)
             in
-            entries_in_order (indexed @ bucket.var_first)
+            merge_desc indexed bucket.var_first
       end
+
+let matching lit kb =
+  List.rev_map (fun (_, c) -> Rule.source c) (matching_entries lit kb)
+
+let matching_compiled lit kb =
+  List.rev_map snd (matching_entries lit kb)
 
 let rules kb =
   M.fold (fun _ bucket acc -> List.rev_append bucket.all acc) kb.buckets []

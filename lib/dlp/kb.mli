@@ -31,6 +31,10 @@ val matching : Literal.t -> t -> Rule.t list
     key, and (with indexing) a compatible first argument.  Insertion
     order. *)
 
+val matching_compiled : Literal.t -> t -> Rule.compiled list
+(** As {!matching}, returning the pre-compiled rules; the resolution hot
+    path instantiates these without re-processing the source rules. *)
+
 val rules : t -> Rule.t list
 (** All rules, in insertion order. *)
 

@@ -30,38 +30,72 @@ let apply s l =
     auth = List.map (Subst.apply s) l.auth;
   }
 
-let rename ~suffix l =
+let resolve st l =
   {
     l with
-    args = List.map (Term.rename ~suffix) l.args;
-    auth = List.map (Term.rename ~suffix) l.auth;
+    args = List.map (Store.resolve st) l.args;
+    auth = List.map (Store.resolve st) l.auth;
   }
 
-let vars l =
-  let add acc v = if List.mem v acc then acc else v :: acc in
-  List.rev
-    (List.fold_left
-       (fun acc t -> List.fold_left add acc (Term.vars t))
-       [] (l.args @ l.auth))
+let display st l =
+  {
+    l with
+    args = List.map (Store.display st) l.args;
+    auth = List.map (Store.display st) l.auth;
+  }
 
-let is_ground l = List.for_all Term.is_ground (l.args @ l.auth)
+let rename_with mapping l =
+  {
+    l with
+    args = List.map (Term.rename_with mapping) l.args;
+    auth = List.map (Term.rename_with mapping) l.auth;
+  }
+
+let rename_apart l = rename_with (Hashtbl.create 8) l
+
+let shift_fresh k0 l =
+  let args = Term.map_sharing (Term.shift_fresh k0) l.args in
+  let auth = Term.map_sharing (Term.shift_fresh k0) l.auth in
+  if args == l.args && auth == l.auth then l else { l with args; auth }
+
+let map_vars f l =
+  let args = Term.map_sharing (Term.map_vars f) l.args in
+  let auth = Term.map_sharing (Term.map_vars f) l.auth in
+  if args == l.args && auth == l.auth then l else { l with args; auth }
+
+let add_vars seen acc l =
+  List.iter (Term.add_vars seen acc) l.args;
+  List.iter (Term.add_vars seen acc) l.auth
+
+let vars l =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  add_vars seen acc l;
+  List.rev !acc
+
+let is_ground l =
+  List.for_all Term.is_ground l.args && List.for_all Term.is_ground l.auth
+
+let at_sym = Sym.intern "@"
 
 let to_term l =
   let base =
     match l.args with
-    | [] -> Term.Atom l.pred
-    | args -> Term.Compound (l.pred, args)
+    | [] -> Term.atom l.pred
+    | args -> Term.compound l.pred args
   in
-  List.fold_left (fun t a -> Term.Compound ("@", [ t; a ])) base l.auth
+  List.fold_left (fun t a -> Term.Compound (at_sym, [ t; a ])) base l.auth
 
 let of_term t =
   let rec strip acc = function
-    | Term.Compound ("@", [ inner; a ]) -> strip (a :: acc) inner
+    | Term.Compound (f, [ inner; a ]) when Sym.equal f at_sym ->
+        strip (a :: acc) inner
     | base -> (base, acc)
   in
   match strip [] t with
-  | Term.Atom p, auth -> Some { pred = p; args = []; auth }
-  | Term.Compound (p, args), auth when p <> "@" -> Some { pred = p; args; auth }
+  | Term.Atom p, auth -> Some { pred = Sym.name p; args = []; auth }
+  | Term.Compound (p, args), auth when not (Sym.equal p at_sym) ->
+      Some { pred = Sym.name p; args; auth }
   | (Term.Var _ | Term.Str _ | Term.Int _ | Term.Compound _), _ -> None
 
 let unify a b s =
@@ -70,6 +104,12 @@ let unify a b s =
     | Some s' -> Unify.term_lists a.auth b.auth s'
     | None -> None
   else None
+
+(* Trailed variant: caller brackets with Store.mark/undo. *)
+let unify_store st a b =
+  String.equal a.pred b.pred
+  && Unify.store_term_lists st a.args b.args
+  && Unify.store_term_lists st a.auth b.auth
 
 let negate l = { pred = "not"; args = [ to_term l ]; auth = [] }
 

@@ -29,8 +29,27 @@ val push_authority : t -> Term.t -> t
 (** [push_authority l a] appends [a] as the new outermost authority. *)
 
 val apply : Subst.t -> t -> t
-val rename : suffix:string -> t -> t
-val vars : t -> string list
+
+val resolve : Store.t -> t -> t
+(** Fully resolve arguments and authorities through the store. *)
+
+val display : Store.t -> t -> t
+(** {!resolve} with display-name conversion ({!Store.display}); for
+    literals that escape the solver. *)
+
+val rename_apart : t -> t
+(** Rename all non-pseudo variables to globally fresh ones. *)
+
+val rename_with : (int, int) Hashtbl.t -> t -> t
+(** As {!rename_apart}, sharing the renaming across calls via [mapping]. *)
+
+val shift_fresh : int -> t -> t
+(** Relocate compiled-local variables (see {!Term.shift_fresh}). *)
+
+val map_vars : (int -> int) -> t -> t
+
+val vars : t -> int list
+val add_vars : (int, unit) Hashtbl.t -> int list ref -> t -> unit
 val is_ground : t -> bool
 
 val to_term : t -> Term.t
@@ -41,6 +60,10 @@ val of_term : Term.t -> t option
 
 val unify : t -> t -> Subst.t -> Subst.t option
 (** Unify predicate, arguments and authority chains. *)
+
+val unify_store : Store.t -> t -> t -> bool
+(** Trailed variant of {!unify}; on [false] some bindings may remain —
+    callers bracket with [Store.mark]/[Store.undo]. *)
 
 val negate : t -> t
 (** Wrap a literal as negation-as-failure: [not lit].  Encoded as the

@@ -23,8 +23,8 @@ let expect st token msg =
 let rec parse_term_st st =
   let t = next st in
   match t.Lexer.token with
-  | Lexer.VAR v -> Term.Var v
-  | Lexer.STRING s -> Term.Str s
+  | Lexer.VAR v -> Term.var v
+  | Lexer.STRING s -> Term.str s
   | Lexer.INT i -> Term.Int i
   | Lexer.IDENT name -> (
       match (peek st).Lexer.token with
@@ -32,8 +32,8 @@ let rec parse_term_st st =
           ignore (next st);
           let args = parse_term_list st in
           expect st Lexer.RPAREN ")";
-          Term.Compound (name, args)
-      | _ -> Term.Atom name)
+          Term.compound name args
+      | _ -> Term.atom name)
   | tok -> fail_at t (Format.asprintf "expected term, found %a" Lexer.pp_token tok)
 
 and parse_term_list st =
@@ -57,8 +57,8 @@ let parse_auth_chain st =
 
 let literal_of_term t auth =
   match t with
-  | Term.Atom p -> Literal.make ~auth p []
-  | Term.Compound (p, args) -> Literal.make ~auth p args
+  | Term.Atom p -> Literal.make ~auth (Sym.name p) []
+  | Term.Compound (p, args) -> Literal.make ~auth (Sym.name p) args
   | Term.Var _ | Term.Str _ | Term.Int _ -> invalid_arg "literal_of_term"
 
 let is_comparison op = List.mem op [ "="; "!="; "<"; "<="; ">"; ">=" ]
@@ -73,7 +73,7 @@ let rec parse_arith st =
     match (peek st).Lexer.token with
     | Lexer.OP (("+" | "-") as op) ->
         ignore (next st);
-        go (Term.Compound (op, [ lhs; parse_factor st ]))
+        go (Term.compound op [ lhs; parse_factor st ])
     | _ -> lhs
   in
   go lhs
@@ -84,7 +84,7 @@ and parse_factor st =
     match (peek st).Lexer.token with
     | Lexer.OP (("*" | "/") as op) ->
         ignore (next st);
-        go (Term.Compound (op, [ lhs; parse_operand st ]))
+        go (Term.compound op [ lhs; parse_operand st ])
     | _ -> lhs
   in
   go lhs
@@ -120,7 +120,7 @@ let rec parse_bodylit st =
           Literal.make op [ lhs; rhs ]
       | _ -> (
           match lhs with
-          | Term.Compound (op, [ _; _ ]) when is_arith op ->
+          | Term.Compound (op, [ _; _ ]) when is_arith (Sym.name op) ->
               fail_at t0 "an arithmetic expression is not a literal"
           | Term.Atom _ | Term.Compound _ ->
               let auth = parse_auth_chain st in

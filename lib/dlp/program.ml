@@ -3,6 +3,10 @@ type warning =
   | Unbound_authority of Rule.t * string
   | Unbound_naf of Rule.t * string
 
+(* Warnings carry the source variable name for display; the checks below
+   work on variable ids. *)
+let warn_name = Term.var_name
+
 let parse = Parser.parse_program
 
 let to_string rules =
@@ -28,7 +32,7 @@ let check rules =
       List.iter
         (fun v ->
           if (not (Term.is_pseudo v)) && not (List.mem v body_vars) then
-            warn (Unsafe_head_var (r, v)))
+            warn (Unsafe_head_var (r, warn_name v)))
         head_arg_vars;
     (* Authority variables must be bindable by the time their literal is
        reached: by the head, a pseudo-variable, or an earlier body
@@ -41,7 +45,7 @@ let check rules =
               List.iter
                 (fun v ->
                   if (not (Term.is_pseudo v)) && not (List.mem v bound) then
-                    warn (Unbound_authority (r, v)))
+                    warn (Unbound_authority (r, warn_name v)))
                 (Term.vars a))
             b.Literal.auth;
           (match Literal.naf_inner b with
@@ -49,7 +53,7 @@ let check rules =
               List.iter
                 (fun v ->
                   if (not (Term.is_pseudo v)) && not (List.mem v bound) then
-                    warn (Unbound_naf (r, v)))
+                    warn (Unbound_naf (r, warn_name v)))
                 (Literal.vars inner)
           | None -> ());
           scan (bound @ Literal.vars b) rest

@@ -37,43 +37,54 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let apply s r =
-  let app_ctx = Option.map (List.map (Literal.apply s)) in
+let map_literals f r =
+  let ctx = Option.map (List.map f) in
   {
     r with
-    head = Literal.apply s r.head;
-    head_ctx = app_ctx r.head_ctx;
-    rule_ctx = app_ctx r.rule_ctx;
-    body = List.map (Literal.apply s) r.body;
+    head = f r.head;
+    head_ctx = ctx r.head_ctx;
+    rule_ctx = ctx r.rule_ctx;
+    body = List.map f r.body;
   }
 
+let apply s r = map_literals (Literal.apply s) r
+let display st r = map_literals (Literal.display st) r
+let rename_apart r = map_literals (Literal.rename_with (Hashtbl.create 8)) r
+
+(* Name-based renaming for the cold paths (release-rule evaluation, policy
+   unfolding) whose suffixed variable names are user-visible in reports and
+   observability output. *)
 let rename ~suffix r =
-  let ren_ctx = Option.map (List.map (Literal.rename ~suffix)) in
-  {
-    r with
-    head = Literal.rename ~suffix r.head;
-    head_ctx = ren_ctx r.head_ctx;
-    rule_ctx = ren_ctx r.rule_ctx;
-    body = List.map (Literal.rename ~suffix) r.body;
-  }
+  let mapping = Hashtbl.create 8 in
+  let f v =
+    if Term.is_pseudo v then v
+    else
+      match Hashtbl.find_opt mapping v with
+      | Some v' -> v'
+      | None ->
+          let v' = Term.var_id (Term.var_name v ^ suffix) in
+          Hashtbl.add mapping v v';
+          v'
+  in
+  map_literals (Literal.map_vars f) r
 
 let vars r =
-  let add acc v = if List.mem v acc then acc else v :: acc in
-  let of_lits acc lits =
-    List.fold_left (fun acc l -> List.fold_left add acc (Literal.vars l)) acc lits
-  in
-  let acc = of_lits [] [ r.head ] in
-  let acc = of_lits acc (Option.value ~default:[] r.head_ctx) in
-  let acc = of_lits acc (Option.value ~default:[] r.rule_ctx) in
-  List.rev (of_lits acc r.body)
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let of_lits = List.iter (Literal.add_vars seen acc) in
+  of_lits [ r.head ];
+  of_lits (Option.value ~default:[] r.head_ctx);
+  of_lits (Option.value ~default:[] r.rule_ctx);
+  of_lits r.body;
+  List.rev !acc
 
 let strip_contexts r = { r with head_ctx = None; rule_ctx = None }
 
 let subsumes ~general ~specific =
-  List.length general.body = List.length specific.body
+  List.compare_lengths general.body specific.body = 0
   && List.equal String.equal general.signer specific.signer
   &&
-  let g = rename ~suffix:"~sub" general in
+  let g = rename_apart general in
   let terms r = Literal.to_term r.head :: List.map Literal.to_term r.body in
   let rec go pairs s =
     match pairs with
@@ -105,12 +116,12 @@ let canonical r =
     | Term.Var v -> Buffer.add_string buf (var v)
     | Term.Str s ->
         Buffer.add_char buf '"';
-        Buffer.add_string buf (String.escaped s);
+        Buffer.add_string buf (String.escaped (Sym.name s));
         Buffer.add_char buf '"'
     | Term.Int i -> Buffer.add_string buf (string_of_int i)
-    | Term.Atom a -> Buffer.add_string buf a
+    | Term.Atom a -> Buffer.add_string buf (Sym.name a)
     | Term.Compound (f, args) ->
-        Buffer.add_string buf f;
+        Buffer.add_string buf (Sym.name f);
         Buffer.add_char buf '(';
         List.iteri
           (fun i t ->
@@ -142,6 +153,71 @@ let canonical r =
       literal l)
     r.body;
   Buffer.contents buf
+
+(* Compiled form: the rule with its distinct non-pseudo variables renumbered
+   into the compiled-local id space [Term.local_id 0 .. local_id (n-1)], the
+   signed head variants precomputed, and the variable count recorded.
+   Renaming apart at resolution time is then a single fresh-block bump plus
+   one structure-sharing shift — no hash tables, no string building.  The
+   source rule is kept alongside: traces, signatures and equality all refer
+   to it. *)
+type compiled = {
+  c_source : t;
+  c_rule : t;
+  c_nvars : int;
+  c_names : string array;
+  c_heads : Literal.t list;
+  c_is_fact : bool;
+}
+
+let compile r =
+  let mapping = Hashtbl.create 8 in
+  let n = ref 0 in
+  let names = ref [] in
+  let f v =
+    if Term.is_pseudo v then v
+    else
+      match Hashtbl.find_opt mapping v with
+      | Some j -> j
+      | None ->
+          let j = Term.local_id !n in
+          incr n;
+          names := Term.var_name v :: !names;
+          Hashtbl.add mapping v j;
+          j
+  in
+  let c_rule = map_literals (Literal.map_vars f) r in
+  let c_heads =
+    c_rule.head
+    ::
+    (if is_signed c_rule then
+       List.map
+         (fun a -> Literal.push_authority c_rule.head (Term.str a))
+         c_rule.signer
+     else [])
+  in
+  {
+    c_source = r;
+    c_rule;
+    c_nvars = !n;
+    c_names = Array.of_list (List.rev !names);
+    c_heads;
+    c_is_fact = is_fact r;
+  }
+
+let source c = c.c_source
+let compiled_is_fact c = c.c_is_fact
+let nvars c = c.c_nvars
+let slot_names c = c.c_names
+
+let instantiate c =
+  if c.c_nvars = 0 then (c.c_rule, c.c_heads, 0)
+  else begin
+    let k0 = Term.fresh_block c.c_nvars in
+    ( map_literals (Literal.shift_fresh k0) c.c_rule,
+      List.map (Literal.shift_fresh k0) c.c_heads,
+      k0 )
+  end
 
 let pp_ctx fmt = function
   | [] -> Format.pp_print_string fmt "true"

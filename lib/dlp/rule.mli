@@ -46,10 +46,20 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val apply : Subst.t -> t -> t
 
-val rename : suffix:string -> t -> t
-(** Rename every variable in the rule (head, contexts, body) apart. *)
+val display : Store.t -> t -> t
+(** Resolve every literal through the store with display-name conversion
+    ({!Literal.display}); for rules that escape the solver (proof traces). *)
 
-val vars : t -> string list
+val rename_apart : t -> t
+(** Rename all (non-pseudo) variables of the rule to globally fresh ones;
+    used to rename a rule apart before resolving against a goal. *)
+
+val rename : suffix:string -> t -> t
+(** Append [suffix] to every non-pseudo variable name.  Cold-path renaming
+    whose result names are user-visible (reports, observability spans);
+    the hot path uses compiled rules and integer fresh variables instead. *)
+
+val vars : t -> int list
 
 val strip_contexts : t -> t
 (** Remove both contexts; the paper strips contexts from rules and literals
@@ -65,6 +75,35 @@ val subsumes : general:t -> specific:t -> bool
 val canonical : t -> string
 (** A canonical serialisation used as the signing payload for signed rules.
     Two alpha-equivalent rules share a canonical form. *)
+
+(** {2 Compiled rules}
+
+    A rule pre-processed for the resolution hot path: variables renumbered
+    into a compiled-local block and signed head variants precomputed, so
+    renaming apart is one counter bump plus a structure-sharing shift.
+    Ground rules instantiate with zero allocation. *)
+
+type compiled
+
+val compile : t -> compiled
+
+val source : compiled -> t
+(** The original rule (as stored in the KB); traces and signatures use it. *)
+
+val compiled_is_fact : compiled -> bool
+
+val nvars : compiled -> int
+(** Number of distinct non-pseudo variables in the rule. *)
+
+val slot_names : compiled -> string array
+(** Source display name of each compiled variable slot, in slot order; used
+    to name the fresh variables of an instantiation for user-visible output
+    ({!Store.note_names}). *)
+
+val instantiate : compiled -> t * Literal.t list * int
+(** A copy of the rule renamed apart with globally fresh variables, paired
+    with its head variants (head plus one [head @ signer] per signature)
+    and the fresh-block offset [k0] ([0] when the rule is ground). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -24,63 +24,81 @@ exception Enough
 let no_externals : externals = fun _ -> None
 let no_remote : remote = fun ~target:_ _ -> []
 
-(* Fully instantiate a finished trace with the answer substitution; traces
-   are built with partially bound rules as resolution proceeds. *)
-let rec apply_trace s = function
+(* Fully instantiate a finished trace against the store at answer time;
+   traces are built with partially bound rules as resolution proceeds, so
+   their snapshots still contain raw solver variables.  [display] both
+   resolves them and converts leftover named fresh variables to their
+   user-visible [name~ordinal] form. *)
+let rec display_trace st = function
   | Trace.Apply (r, subs) ->
-      Trace.Apply (Rule.apply s r, List.map (apply_trace s) subs)
-  | Trace.Builtin l -> Trace.Builtin (Literal.apply s l)
-  | Trace.External l -> Trace.External (Literal.apply s l)
+      Trace.Apply (Rule.display st r, List.map (display_trace st) subs)
+  | Trace.Builtin l -> Trace.Builtin (Literal.display st l)
+  | Trace.External l -> Trace.External (Literal.display st l)
   | Trace.Remote { peer; goal; proof } ->
       Trace.Remote
         {
           peer;
-          goal = Literal.apply s goal;
-          proof = Option.map (apply_trace s) proof;
+          goal = Literal.display st goal;
+          proof = Option.map (display_trace st) proof;
         }
 
 let peer_name_of_term = function
-  | Term.Str s | Term.Atom s -> Some s
+  | Term.Str s | Term.Atom s -> Some (Sym.name s)
   | Term.Var _ | Term.Int _ | Term.Compound _ -> None
 
+(* The solver threads one trailed {!Store} through the whole proof:
+   unification binds cells destructively, each choice point brackets its
+   attempt with mark/undo, and persistent substitutions are materialised
+   only at the boundaries (answers, external calls). *)
 let solve_body ?(options = default_options) ?(externals = no_externals)
     ?(remote = no_remote) ?(bindings = []) ~self kb goals =
-  let initial =
-    let s =
-      List.fold_left
-        (fun s (v, t) ->
-          if String.equal v "Self" then s else Subst.bind v t s)
-        Subst.empty bindings
-    in
-    Subst.bind "Self" (Term.Str self) s
+  let st = Store.create () in
+  let bind_initial v t =
+    let id = Term.var_id v in
+    if Store.is_bound st id then
+      invalid_arg ("Subst.bind: already bound: " ^ v)
+    else Store.bind st id t
   in
-  let fresh = ref 0 in
+  List.iter
+    (fun (v, t) -> if not (String.equal v "Self") then bind_initial v t)
+    bindings;
+  bind_initial "Self" (Term.str self);
+  (* Rule-application ordinal: fresh variables of application [n] display
+     as [Name~n], the user-visible renaming scheme (deterministic per
+     solve, so transcripts do not depend on global solver state). *)
+  let app = ref 0 in
   let results = ref [] in
   let count = ref 0 in
   (* Pop authority layers that refer to the local peer. *)
-  let rec strip_self subst goal =
+  let rec strip_self goal =
     match Literal.pop_authority goal with
     | Some (inner, a) -> (
-        match peer_name_of_term (Subst.walk subst a) with
-        | Some name when String.equal name self -> strip_self subst inner
+        match peer_name_of_term (Store.walk st a) with
+        | Some name when String.equal name self -> strip_self inner
         | Some _ | None -> goal)
     | None -> goal
   in
-  let is_ancestor subst goal ancestors =
+  let is_ancestor goal ancestors =
     let gt = Literal.to_term goal in
     List.exists
-      (fun anc ->
-        Unify.variant (Literal.to_term (Literal.apply subst anc)) gt)
+      (fun anc -> Unify.variant (Literal.to_term (Literal.resolve st anc)) gt)
       ancestors
+  in
+  (* Merge the delta of an external's answer substitution back into the
+     store (externals work on materialised substitutions). *)
+  let merge_delta s' =
+    Subst.fold_ids
+      (fun v t () -> if not (Store.is_bound st v) then Store.bind st v t)
+      s' ()
   in
   (* Remote dispatch is disabled inside negation-as-failure sub-proofs:
      absence of a remote answer is not evidence of falsity. *)
   let remote_enabled = ref true in
-  let rec prove_one goal subst depth ancestors k =
+  let rec prove_one goal depth ancestors k =
     Metric.incr m_steps;
     if depth <= 0 then Metric.incr m_depth_cutoffs
     else
-      let goal = strip_self subst (Literal.apply subst goal) in
+      let goal = strip_self (Literal.resolve st goal) in
       match Literal.naf_inner goal with
       | Some inner ->
           (* Negation as failure: only for ground inner literals (a
@@ -90,57 +108,53 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
             let exception Found in
             let saved = !remote_enabled in
             remote_enabled := false;
+            let m = Store.mark st in
             Fun.protect
-              ~finally:(fun () -> remote_enabled := saved)
+              ~finally:(fun () ->
+                remote_enabled := saved;
+                Store.undo st m)
               (fun () ->
                 try
-                  prove_one inner subst (depth - 1) ancestors (fun _ _ ->
+                  prove_one inner (depth - 1) ancestors (fun _ ->
                       found := true;
                       raise Found)
                 with Found -> ());
-            if not !found then k subst (Trace.Builtin goal)
+            if not !found then k (Trace.Builtin goal)
           end
       | None -> (
-      match Builtin.eval goal subst with
-      | Some substs ->
-          List.iter
-            (fun s' -> k s' (Trace.Builtin (Literal.apply s' goal)))
-            substs
+      match Builtin.eval_store st goal with
+      | Some holds -> if holds then k (Trace.Builtin (Literal.resolve st goal))
       | None -> (
           match externals (Literal.key goal) with
           | Some f ->
+              let s = Store.to_subst st in
               List.iter
-                (fun s' -> k s' (Trace.External (Literal.apply s' goal)))
-                (f goal subst)
+                (fun s' ->
+                  let m = Store.mark st in
+                  merge_delta s';
+                  k (Trace.External (Literal.resolve st goal));
+                  Store.undo st m)
+                (f goal s)
           | None ->
-              if is_ancestor subst goal ancestors then ()
+              if is_ancestor goal ancestors then ()
               else begin
                 let ancestors' = goal :: ancestors in
                 let local_hit = ref false in
-                let k s tr =
+                let k tr =
                   local_hit := true;
-                  k s tr
+                  k tr
                 in
-                let resolve_with rule =
-                  incr fresh;
-                  let r = Rule.rename ~suffix:(Printf.sprintf "~%d" !fresh) rule in
-                  let heads =
-                    r.Rule.head
-                    ::
-                    (if Rule.is_signed r then
-                       List.map
-                         (fun a ->
-                           Literal.push_authority r.Rule.head (Term.Str a))
-                         r.Rule.signer
-                     else [])
-                  in
+                let resolve_with compiled =
+                  incr app;
+                  let r, heads, k0 = Rule.instantiate compiled in
+                  if Rule.nvars compiled > 0 then
+                    Store.note_names st k0 (Rule.slot_names compiled) !app;
                   let try_head head =
-                    match Literal.unify goal head subst with
-                    | None -> ()
-                    | Some s' ->
-                        prove_goals r.Rule.body s' (depth - 1) ancestors'
-                          (fun s'' children ->
-                            k s'' (Trace.Apply (r, children)))
+                    let m = Store.mark st in
+                    if Literal.unify_store st goal head then
+                      prove_goals r.Rule.body (depth - 1) ancestors'
+                        (fun children -> k (Trace.Apply (r, children)));
+                    Store.undo st m
                   in
                   List.iter try_head heads
                 in
@@ -148,7 +162,8 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                    answers the goal without the counter-queries a proper
                    rule's body might trigger. *)
                 let facts, proper =
-                  List.partition Rule.is_fact (Kb.matching goal kb)
+                  List.partition Rule.compiled_is_fact
+                    (Kb.matching_compiled goal kb)
                 in
                 List.iter resolve_with facts;
                 List.iter resolve_with proper;
@@ -161,38 +176,39 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                 match Literal.pop_authority goal with
                 | None -> ()
                 | Some (inner, a) -> (
-                    match peer_name_of_term (Subst.walk subst a) with
+                    match peer_name_of_term (Store.walk st a) with
                     | Some peer when not (String.equal peer self) ->
-                        let shipped = Literal.apply subst inner in
+                        let shipped = Literal.display st inner in
                         let use_instance (inst, proof) =
                           let inst_lit =
-                            Literal.push_authority inst (Term.Str peer)
+                            Literal.push_authority inst (Term.str peer)
                           in
-                          match Literal.unify goal inst_lit subst with
-                          | Some s' ->
-                              k s'
-                                (Trace.Remote
-                                   {
-                                     peer;
-                                     goal = Literal.apply s' goal;
-                                     proof;
-                                   })
-                          | None -> ()
+                          let m = Store.mark st in
+                          if Literal.unify_store st goal inst_lit then
+                            k
+                              (Trace.Remote
+                                 {
+                                   peer;
+                                   goal = Literal.resolve st goal;
+                                   proof;
+                                 });
+                          Store.undo st m
                         in
                         List.iter use_instance (remote ~target:peer shipped)
                     | Some _ | None -> ())
               end))
-  and prove_goals goals subst depth ancestors k =
+  and prove_goals goals depth ancestors k =
     match goals with
-    | [] -> k subst []
+    | [] -> k []
     | g :: rest ->
-        prove_one g subst depth ancestors (fun s' tr ->
-            prove_goals rest s' depth ancestors (fun s'' trs ->
-                k s'' (tr :: trs)))
+        prove_one g depth ancestors (fun tr ->
+            prove_goals rest depth ancestors (fun trs -> k (tr :: trs)))
   in
   (try
-     prove_goals goals initial options.max_depth [] (fun s trs ->
-         results := { subst = s; proofs = List.map (apply_trace s) trs } :: !results;
+     prove_goals goals options.max_depth [] (fun trs ->
+         let s = Store.answer_subst st in
+         results :=
+           { subst = s; proofs = List.map (display_trace st) trs } :: !results;
          incr count;
          if !count >= options.max_solutions then raise Enough)
    with Enough -> ());
@@ -233,11 +249,13 @@ let answers ?options ?externals ?remote ?bindings ~self kb goals =
   in
   let all = solve ?options ?externals ?remote ?bindings ~self kb goals in
   let restricted = List.map (fun a -> Subst.restrict qvars a.subst) all in
-  let rec dedup seen = function
-    | [] -> []
-    | s :: rest ->
-        let key = Subst.to_string s in
-        if List.mem key seen then dedup seen rest
-        else s :: dedup (key :: seen) rest
-  in
-  dedup [] restricted
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      let key = Subst.to_string s in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    restricted

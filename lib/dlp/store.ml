@@ -1,0 +1,192 @@
+(* Mutable trailed binding store: the WAM-style core of the resolution hot
+   path.  Binding writes a cell and pushes the variable id on the trail;
+   backtracking pops the trail back to a mark, so a failed unification costs
+   exactly the bindings it made — no persistent maps, no copying.
+
+   Cells live in two arrays: [named] is indexed directly by named-variable
+   id, and [fresh] by the fresh counter offset [k - k_base], where [k_base]
+   is the global fresh counter at store creation — fresh variables born
+   during this solve land in the array without translation.  "Foreign" fresh
+   variables (escaped from an earlier solve, e.g. inside a learned rule that
+   was added to the KB) predate [k_base] and fall back to a small hash
+   table. *)
+
+type t = {
+  mutable named : Term.t array;
+  mutable fresh : Term.t array;
+  k_base : int;
+  foreign : (int, Term.t) Hashtbl.t;
+  mutable trail : int array;
+  mutable trail_len : int;
+  (* Display names for fresh variables, recorded per instantiation
+     ([note_names]): source variable name, per-solve application ordinal,
+     and a memoised interned id for the [name~ordinal] display variable.
+     Indexed like [fresh]; [""] / [-1] mean "unnamed". *)
+  mutable nstr : string array;
+  mutable nord : int array;
+  mutable ndisp : int array;
+  mutable nhi : int;  (* slots below this may carry a name *)
+}
+
+(* Distinguished unbound sentinel, compared physically. *)
+let unbound : Term.t = Term.Var (-1)
+
+(* [named] starts small and grows on demand ([set_cell]): sizing it by the
+   interner's named-variable count would make store creation proportional
+   to every display name ever interned by the process. *)
+let create () =
+  {
+    named = Array.make 64 unbound;
+    fresh = Array.make 64 unbound;
+    k_base = Term.fresh_mark ();
+    foreign = Hashtbl.create 8;
+    trail = Array.make 64 (-1);
+    trail_len = 0;
+    nstr = [||];
+    nord = [||];
+    ndisp = [||];
+    nhi = 0;
+  }
+
+let grow_to arr n =
+  let cap = max (2 * Array.length arr) (n + 1) in
+  let bigger = Array.make cap unbound in
+  Array.blit arr 0 bigger 0 (Array.length arr);
+  bigger
+
+let lookup st v =
+  if Term.is_fresh v then begin
+    let slot = max_int - 1 - v - st.k_base in
+    if slot >= 0 then
+      if slot < Array.length st.fresh then st.fresh.(slot) else unbound
+    else
+      match Hashtbl.find_opt st.foreign v with Some t -> t | None -> unbound
+  end
+  else if v < Array.length st.named then st.named.(v)
+  else unbound
+
+let set_cell st v t =
+  if Term.is_fresh v then begin
+    let slot = max_int - 1 - v - st.k_base in
+    if slot >= 0 then begin
+      if slot >= Array.length st.fresh then st.fresh <- grow_to st.fresh slot;
+      st.fresh.(slot) <- t
+    end
+    else if t == unbound then Hashtbl.remove st.foreign v
+    else Hashtbl.replace st.foreign v t
+  end
+  else begin
+    if v >= Array.length st.named then st.named <- grow_to st.named v;
+    st.named.(v) <- t
+  end
+
+let bind st v t =
+  set_cell st v t;
+  if st.trail_len = Array.length st.trail then begin
+    let bigger = Array.make (2 * st.trail_len) (-1) in
+    Array.blit st.trail 0 bigger 0 st.trail_len;
+    st.trail <- bigger
+  end;
+  st.trail.(st.trail_len) <- v;
+  st.trail_len <- st.trail_len + 1
+
+let is_bound st v = lookup st v != unbound
+let mark st = st.trail_len
+
+let undo st m =
+  for i = st.trail_len - 1 downto m do
+    set_cell st st.trail.(i) unbound
+  done;
+  st.trail_len <- m
+
+let rec walk st t =
+  match t with
+  | Term.Var v ->
+      let c = lookup st v in
+      if c == unbound then t else walk st c
+  | _ -> t
+
+let rec resolve st t =
+  match walk st t with
+  | Term.Compound (f, args) -> Term.Compound (f, List.map (resolve st) args)
+  | t' -> t'
+
+(* ------------------------------------------------------------------ *)
+(* Display names *)
+
+let note_names st k0 (names : string array) ord =
+  let n = Array.length names in
+  let lo = k0 - st.k_base in
+  if lo >= 0 && n > 0 then begin
+    if lo + n > Array.length st.nstr then begin
+      let cap = max (2 * Array.length st.nstr) (max 64 (lo + n)) in
+      let ns = Array.make cap "" in
+      let no = Array.make cap (-1) in
+      let nd = Array.make cap (-1) in
+      Array.blit st.nstr 0 ns 0 (Array.length st.nstr);
+      Array.blit st.nord 0 no 0 (Array.length st.nord);
+      Array.blit st.ndisp 0 nd 0 (Array.length st.ndisp);
+      st.nstr <- ns;
+      st.nord <- no;
+      st.ndisp <- nd
+    end;
+    for j = 0 to n - 1 do
+      st.nstr.(lo + j) <- names.(j);
+      st.nord.(lo + j) <- ord
+    done;
+    if lo + n > st.nhi then st.nhi <- lo + n
+  end
+
+(* Interned id of the [name~ordinal] display variable for a named fresh
+   slot, memoised per slot. *)
+let display_id st slot =
+  let d = st.ndisp.(slot) in
+  if d >= 0 then d
+  else begin
+    let d =
+      Term.var_id (st.nstr.(slot) ^ "~" ^ string_of_int st.nord.(slot))
+    in
+    st.ndisp.(slot) <- d;
+    d
+  end
+
+let display_var st v =
+  if Term.is_fresh v then begin
+    let slot = max_int - 1 - v - st.k_base in
+    if slot >= 0 && slot < st.nhi && String.length st.nstr.(slot) > 0 then
+      Term.Var (display_id st slot)
+    else Term.Var v
+  end
+  else Term.Var v
+
+(* [resolve], with leftover named fresh variables converted to their
+   [name~ordinal] display form; used when a term escapes the solver (wire
+   messages, answers, traces). *)
+let rec display st t =
+  match walk st t with
+  | Term.Compound (f, args) -> Term.Compound (f, List.map (display st) args)
+  | Term.Var v -> display_var st v
+  | t' -> t'
+
+(* Materialise the trail as a persistent substitution.  Every binding is
+   fully resolved through the store, so no reference to a trailed cell
+   survives into the result: answers stay valid after backtracking. *)
+let to_subst st =
+  let s = ref Subst.empty in
+  for i = 0 to st.trail_len - 1 do
+    let v = st.trail.(i) in
+    s := Subst.bind_id v (resolve st (Term.Var v)) !s
+  done;
+  !s
+
+(* Answer-boundary substitution: the trail bindings, fully resolved with
+   display names.  O(trail) per answer — trace snapshots are instantiated
+   against the store directly (Sld.display_trace), so nothing here walks
+   every fresh slot of the solve. *)
+let answer_subst st =
+  let s = ref Subst.empty in
+  for i = 0 to st.trail_len - 1 do
+    let v = st.trail.(i) in
+    s := Subst.bind_id v (display st (Term.Var v)) !s
+  done;
+  !s

@@ -1,0 +1,58 @@
+(** Mutable trailed binding store for the resolution hot path.
+
+    [bind] writes a cell and pushes the slot on the trail; [undo] pops the
+    trail back to a [mark], unbinding in reverse order.  The SLD and tabled
+    engines thread one store through a whole solve and materialise
+    persistent {!Subst.t} values only at boundaries (answers, traces,
+    externals, the wire) via {!to_subst}.
+
+    Invariant: terms returned by {!resolve}/{!to_subst} are fully
+    dereferenced — no trailed cell is reachable from a returned answer, so
+    answers survive backtracking. *)
+
+type t
+
+val create : unit -> t
+(** A store with every variable unbound.  Fresh variables allocated after
+    creation get array-backed cells; earlier ("foreign") fresh ids fall
+    back to a hash table. *)
+
+val bind : t -> int -> Term.t -> unit
+(** [bind st v t] binds variable id [v] (which must be unbound) to [t] and
+    records [v] on the trail. *)
+
+val lookup : t -> int -> Term.t
+(** Raw cell contents; physically equal to the internal unbound sentinel
+    when unbound — use {!walk} instead for dereferencing. *)
+
+val is_bound : t -> int -> bool
+val mark : t -> int
+val undo : t -> int -> unit
+(** [undo st m] unbinds everything trailed since [mark] returned [m]. *)
+
+val walk : t -> Term.t -> Term.t
+(** Dereference while the term is a bound variable; result is a non-variable
+    term or an unbound variable. *)
+
+val resolve : t -> Term.t -> Term.t
+(** Fully resolve a term (deep walk). *)
+
+val note_names : t -> int -> string array -> int -> unit
+(** [note_names st k0 names ord] records display names for the fresh block
+    at offset [k0]: slot [j] of the block is the source variable
+    [names.(j)] of rule application number [ord] of the current solve, and
+    displays as [names.(j) ^ "~" ^ ord] (the user-visible renaming scheme
+    of reports and wire messages). *)
+
+val display : t -> Term.t -> Term.t
+(** {!resolve}, with leftover named fresh variables converted to their
+    [name~ordinal] display variables; used when a term escapes the solver
+    (wire messages, answers, traces). *)
+
+val to_subst : t -> Subst.t
+(** Materialise the current bindings as a persistent substitution, fully
+    resolved. *)
+
+val answer_subst : t -> Subst.t
+(** {!to_subst} with display-name conversion: values containing leftover
+    named fresh variables show them as [name~ordinal] display variables. *)

@@ -1,15 +1,20 @@
-module M = Map.Make (String)
+module M = Map.Make (Int)
 
 type t = Term.t M.t
 
 let empty = M.empty
 let is_empty = M.is_empty
 
-let bind v t s =
-  if M.mem v s then invalid_arg ("Subst.bind: already bound: " ^ v)
+let bind_id v t s =
+  if M.mem v s then
+    invalid_arg ("Subst.bind: already bound: " ^ Term.var_name v)
   else M.add v t s
 
-let find v s = M.find_opt v s
+let bind v t s = bind_id (Term.var_id v) t s
+let find_id v s = M.find_opt v s
+let find v s = M.find_opt (Term.var_id v) s
+let fold_ids f s acc = M.fold f s acc
+let mem_id v s = M.mem v s
 
 let rec walk s t =
   match t with
@@ -21,8 +26,13 @@ let rec apply s t =
   | Term.Compound (f, args) -> Term.Compound (f, List.map (apply s) args)
   | t' -> t'
 
-let domain s = M.fold (fun v _ acc -> v :: acc) s [] |> List.rev
-let bindings s = M.bindings s
+(* User-visible views are ordered by source variable name, as they were when
+   substitutions were string-keyed maps: CLI and trace output depend on it. *)
+let bindings s =
+  M.fold (fun v t acc -> (Term.var_name v, t) :: acc) s []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let domain s = List.map fst (bindings s)
 
 let restrict vs s =
   List.fold_left
@@ -38,6 +48,6 @@ let pp fmt s =
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
        pp_binding)
-    (M.bindings s)
+    (bindings s)
 
 let to_string s = Format.asprintf "%a" pp s

@@ -1,9 +1,11 @@
-(** Idempotent substitutions: finite maps from variable names to terms.
+(** Idempotent substitutions: finite maps from variable ids to terms.
 
     Substitutions are kept in triangular form: bindings may map a variable
     to a term that itself contains bound variables; [apply] walks bindings
-    to a fixpoint.  This is the standard representation for unification in
-    logic-programming engines. *)
+    to a fixpoint.  This persistent representation is the engine's public
+    interface for answers, traces and the wire; the resolution hot path
+    uses the mutable trailed {!Store} internally and materialises a
+    [Subst.t] at those boundaries. *)
 
 type t
 
@@ -11,11 +13,20 @@ val empty : t
 val is_empty : t -> bool
 
 val bind : string -> Term.t -> t -> t
-(** [bind v t s] adds the binding [v -> t].  Raises [Invalid_argument] if
-    [v] is already bound. *)
+(** [bind v t s] adds the binding [v -> t] for the named variable [v].
+    Raises [Invalid_argument] if [v] is already bound. *)
+
+val bind_id : int -> Term.t -> t -> t
+(** As {!bind}, by variable id. *)
 
 val find : string -> t -> Term.t option
-(** Raw binding of [v], without walking. *)
+(** Raw binding of the named variable [v], without walking. *)
+
+val find_id : int -> t -> Term.t option
+val mem_id : int -> t -> bool
+
+val fold_ids : (int -> Term.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over raw bindings by variable id. *)
 
 val walk : t -> Term.t -> Term.t
 (** [walk s t] dereferences [t] while it is a variable bound in [s]; the
@@ -25,9 +36,12 @@ val apply : t -> Term.t -> Term.t
 (** [apply s t] fully resolves [t] under [s] (deep walk). *)
 
 val domain : t -> string list
-val bindings : t -> (string * Term.t) list
+(** Bound variable names, sorted by name. *)
 
-val restrict : string list -> t -> t
+val bindings : t -> (string * Term.t) list
+(** Raw bindings as [(name, term)], sorted by name. *)
+
+val restrict : int list -> t -> t
 (** [restrict vs s] keeps only the (fully applied) bindings of variables in
     [vs]; used to project answers onto the variables of a query. *)
 

@@ -1,0 +1,46 @@
+(* Global symbol interner: strings (functors, atoms, string constants) are
+   mapped to dense integer ids, so equality on the unification hot path is
+   integer comparison and index keys need no string building.  Interning is
+   append-only; ids are never reused, so a Sym.t is valid for the lifetime
+   of the process. *)
+
+module Interner = struct
+  type t = {
+    ids : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable size : int;
+  }
+
+  let create () = { ids = Hashtbl.create 256; names = Array.make 256 ""; size = 0 }
+
+  let intern t s =
+    match Hashtbl.find_opt t.ids s with
+    | Some i -> i
+    | None ->
+        let i = t.size in
+        if i = Array.length t.names then begin
+          let bigger = Array.make (2 * i) "" in
+          Array.blit t.names 0 bigger 0 i;
+          t.names <- bigger
+        end;
+        t.names.(i) <- s;
+        t.size <- i + 1;
+        Hashtbl.add t.ids s i;
+        i
+
+  let name t i = t.names.(i)
+  let find t s = Hashtbl.find_opt t.ids s
+  let size t = t.size
+end
+
+type t = int
+
+let table = Interner.create ()
+let intern s = Interner.intern table s
+let name i = Interner.name table i
+let equal (a : t) (b : t) = a = b
+let compare_ids (a : t) (b : t) = Int.compare a b
+
+(* Order symbols by their source text: sorted output (reports, canonical
+   forms) must not depend on interning order. *)
+let compare_names a b = String.compare (name a) (name b)

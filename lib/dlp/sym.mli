@@ -1,0 +1,30 @@
+(** Global symbol interner.
+
+    Functor names, atoms and string constants are interned into dense
+    integer ids: equality becomes integer comparison, and first-argument
+    index keys are built from ints instead of freshly allocated strings.
+    Ids are process-global and never reused. *)
+
+type t = int
+
+val intern : string -> t
+val name : t -> string
+val equal : t -> t -> bool
+
+val compare_ids : t -> t -> int
+(** Fast arbitrary total order (interning order). *)
+
+val compare_names : t -> t -> int
+(** Total order by source text; interning-order independent, used wherever
+    ordering is user-visible. *)
+
+(** Reusable interner for secondary namespaces (e.g. variable names). *)
+module Interner : sig
+  type t
+
+  val create : unit -> t
+  val intern : t -> string -> int
+  val name : t -> int -> string
+  val find : t -> string -> int option
+  val size : t -> int
+end

@@ -24,9 +24,11 @@ let skeleton lit = Rule.canonical (Rule.fact lit)
 let strip_self_auth ~self lit =
   let rec go l =
     match Literal.pop_authority l with
-    | Some (inner, Term.Str a) when String.equal a self -> go inner
-    | Some (inner, Term.Atom a) when String.equal a self -> go inner
-    | Some _ | None -> l
+    | Some (inner, a) -> (
+        match Term.const_name a with
+        | Some n when String.equal n self -> go inner
+        | Some _ | None -> l)
+    | None -> l
   in
   go lit
 
@@ -41,17 +43,29 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
   Kb.fold
     (fun r () -> List.iter check_naf r.Rule.body)
     kb ();
-  let initial =
-    List.fold_left
-      (fun s (v, t) -> if String.equal v "Self" then s else Subst.bind v t s)
-      Subst.empty bindings
-    |> Subst.bind "Self" (Term.Str self)
+  (* One trailed store for the whole fixpoint; every resolution attempt is
+     bracketed with mark/undo, and answers are snapshotted fully resolved. *)
+  let st = Store.create () in
+  let bind_initial v t =
+    let id = Term.var_id v in
+    if Store.is_bound st id then
+      invalid_arg ("Subst.bind: already bound: " ^ v)
+    else Store.bind st id t
+  in
+  List.iter
+    (fun (v, t) -> if not (String.equal v "Self") then bind_initial v t)
+    bindings;
+  bind_initial "Self" (Term.str self);
+  let merge_delta s' =
+    Subst.fold_ids
+      (fun v t () -> if not (Store.is_bound st v) then Store.bind st v t)
+      s' ()
   in
   (* Encode the conjunction as a synthetic rule so one table answers it. *)
   let qvars =
     List.concat_map Literal.vars goals
     |> List.filter (fun v -> not (Term.is_pseudo v))
-    |> List.sort_uniq String.compare
+    |> List.sort_uniq Int.compare
   in
   let query_head =
     Literal.make "__query__" (List.map (fun v -> Term.Var v) qvars)
@@ -83,59 +97,51 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
       changed := true
     end
   in
-  let fresh = ref 0 in
   (* One re-evaluation of a table: resolve its call against every rule,
      solving body literals from (and creating) tables. *)
   let eval_entry e =
-    let resolve_with rule =
-      incr fresh;
-      let r = Rule.rename ~suffix:(Printf.sprintf "~t%d" !fresh) rule in
-      let heads =
-        r.Rule.head
-        ::
-        (if Rule.is_signed r then
-           List.map
-             (fun a -> Literal.push_authority r.Rule.head (Term.Str a))
-             r.Rule.signer
-         else [])
-      in
-      let rec body goals subst k =
+    let resolve_with compiled =
+      let r, heads, _ = Rule.instantiate compiled in
+      let rec body goals k =
         match goals with
-        | [] -> k subst
+        | [] -> k ()
         | b :: rest -> (
-            let b = strip_self_auth ~self (Literal.apply subst b) in
-            match Builtin.eval b subst with
-            | Some substs -> List.iter (fun s' -> body rest s' k) substs
+            let b = strip_self_auth ~self (Literal.resolve st b) in
+            match Builtin.eval_store st b with
+            | Some holds -> if holds then body rest k
             | None -> (
                 match externals (Literal.key b) with
-                | Some f -> List.iter (fun s' -> body rest s' k) (f b subst)
+                | Some f ->
+                    let s = Store.to_subst st in
+                    List.iter
+                      (fun s' ->
+                        let m = Store.mark st in
+                        merge_delta s';
+                        body rest k;
+                        Store.undo st m)
+                      (f b s)
                 | None ->
                     let sub = get_table b in
                     List.iter
                       (fun ans ->
                         (* Rename the stored answer apart before unifying:
                            its free variables are local to its table. *)
-                        incr fresh;
-                        let ans =
-                          Literal.rename
-                            ~suffix:(Printf.sprintf "~a%d" !fresh)
-                            ans
-                        in
-                        match Literal.unify b ans subst with
-                        | Some s' -> body rest s' k
-                        | None -> ())
+                        let ans = Literal.rename_apart ans in
+                        let m = Store.mark st in
+                        if Literal.unify_store st b ans then body rest k;
+                        Store.undo st m)
                       sub.answers))
       in
       let try_head head =
-        match Literal.unify e.call head initial with
-        | None -> ()
-        | Some s0 ->
-            body r.Rule.body s0 (fun s ->
-                add_answer e (Literal.apply s e.call))
+        let m = Store.mark st in
+        if Literal.unify_store st e.call head then
+          body r.Rule.body (fun () ->
+              add_answer e (Literal.resolve st e.call));
+        Store.undo st m
       in
       List.iter try_head heads
     in
-    List.iter resolve_with (Kb.matching e.call kb)
+    List.iter resolve_with (Kb.matching_compiled e.call kb)
   in
   (* Seed with the query table and iterate to fixpoint. *)
   ignore (get_table query_head);
@@ -160,10 +166,10 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
                  match acc with
                  | None -> None
                  | Some s -> (
-                     match Subst.find v s with
+                     match Subst.find_id v s with
                      | Some _ ->
                          acc  (* already bound consistently via unify *)
-                     | None -> Some (Subst.bind v t s)))
+                     | None -> Some (Subst.bind_id v t s)))
                (Some Subst.empty) qvars inst.Literal.args
            with
            | exception Invalid_argument _ -> None

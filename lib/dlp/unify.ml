@@ -1,22 +1,24 @@
+(* Map-based unification over persistent substitutions (the public facade,
+   also the oracle for the differential tests), plus the trailed-store
+   variants used by the resolution hot path. *)
+
 let rec occurs v s t =
   match Subst.walk s t with
-  | Term.Var w -> String.equal v w
+  | Term.Var w -> v = w
   | Term.Str _ | Term.Int _ | Term.Atom _ -> false
   | Term.Compound (_, args) -> List.exists (occurs v s) args
 
 let rec terms a b s =
   let a = Subst.walk s a and b = Subst.walk s b in
   match (a, b) with
-  | Term.Var x, Term.Var y when String.equal x y -> Some s
-  | Term.Var x, t -> if occurs x s t then None else Some (Subst.bind x t s)
-  | t, Term.Var y -> if occurs y s t then None else Some (Subst.bind y t s)
-  | Term.Str x, Term.Str y -> if String.equal x y then Some s else None
+  | Term.Var x, Term.Var y when x = y -> Some s
+  | Term.Var x, t -> if occurs x s t then None else Some (Subst.bind_id x t s)
+  | t, Term.Var y -> if occurs y s t then None else Some (Subst.bind_id y t s)
+  | Term.Str x, Term.Str y -> if Sym.equal x y then Some s else None
   | Term.Int x, Term.Int y -> if Int.equal x y then Some s else None
-  | Term.Atom x, Term.Atom y -> if String.equal x y then Some s else None
+  | Term.Atom x, Term.Atom y -> if Sym.equal x y then Some s else None
   | Term.Compound (f, xs), Term.Compound (g, ys) ->
-      if String.equal f g && List.length xs = List.length ys then
-        term_lists xs ys s
-      else None
+      if Sym.equal f g then term_lists xs ys s else None
   | (Term.Str _ | Term.Int _ | Term.Atom _ | Term.Compound _), _ -> None
 
 and term_lists xs ys s =
@@ -28,18 +30,73 @@ and term_lists xs ys s =
       | None -> None)
   | _, _ -> None
 
+(* Trailed-store unification: bindings go through [Store.bind] and are
+   undone by the caller via mark/undo on failure. *)
+
+let rec occurs_st st v t =
+  match Store.walk st t with
+  | Term.Var w -> v = w
+  | Term.Str _ | Term.Int _ | Term.Atom _ -> false
+  | Term.Compound (_, args) -> List.exists (occurs_st st v) args
+
+let rec store_terms st a b =
+  let a = Store.walk st a and b = Store.walk st b in
+  match (a, b) with
+  | Term.Var x, Term.Var y when x = y -> true
+  | Term.Var x, t ->
+      if occurs_st st x t then false
+      else begin
+        Store.bind st x t;
+        true
+      end
+  | t, Term.Var y ->
+      if occurs_st st y t then false
+      else begin
+        Store.bind st y t;
+        true
+      end
+  | Term.Str x, Term.Str y -> Sym.equal x y
+  | Term.Int x, Term.Int y -> Int.equal x y
+  | Term.Atom x, Term.Atom y -> Sym.equal x y
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+      Sym.equal f g && store_term_lists st xs ys
+  | (Term.Str _ | Term.Int _ | Term.Atom _ | Term.Compound _), _ -> false
+
+and store_term_lists st xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs', y :: ys' -> store_terms st x y && store_term_lists st xs' ys'
+  | _, _ -> false
+
+(* Compare [pattern] resolved under [s] against the (as-is) term [t],
+   walking incrementally instead of materialising [apply s pattern]. *)
+let rec matches_resolved s pattern t =
+  match (Subst.walk s pattern, t) with
+  | Term.Var x, Term.Var y -> x = y
+  | Term.Str a, Term.Str b -> Sym.equal a b
+  | Term.Int a, Term.Int b -> Int.equal a b
+  | Term.Atom a, Term.Atom b -> Sym.equal a b
+  | Term.Compound (f, xs), Term.Compound (g, ys) ->
+      Sym.equal f g && matches_resolved_lists s xs ys
+  | _, _ -> false
+
+and matches_resolved_lists s xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs', y :: ys' -> matches_resolved s x y && matches_resolved_lists s xs' ys'
+  | _, _ -> false
+
 let rec one_way pattern t s =
   match (pattern, t) with
   | Term.Var x, _ -> (
       (* Bind the pattern variable; an existing binding must agree. *)
-      match Subst.find x s with
-      | Some bound -> if Term.equal (Subst.apply s bound) t then Some s else None
-      | None -> Some (Subst.bind x t s))
-  | Term.Str a, Term.Str b when String.equal a b -> Some s
+      match Subst.find_id x s with
+      | Some bound -> if matches_resolved s bound t then Some s else None
+      | None -> Some (Subst.bind_id x t s))
+  | Term.Str a, Term.Str b when Sym.equal a b -> Some s
   | Term.Int a, Term.Int b when Int.equal a b -> Some s
-  | Term.Atom a, Term.Atom b when String.equal a b -> Some s
-  | Term.Compound (f, xs), Term.Compound (g, ys)
-    when String.equal f g && List.length xs = List.length ys ->
+  | Term.Atom a, Term.Atom b when Sym.equal a b -> Some s
+  | Term.Compound (f, xs), Term.Compound (g, ys) when Sym.equal f g ->
       one_way_lists xs ys s
   | (Term.Str _ | Term.Int _ | Term.Atom _ | Term.Compound _), _ -> None
 
@@ -55,21 +112,18 @@ and one_way_lists xs ys s =
 (* Two terms are variants iff each one-way matches the other; we check with
    a pair of injective variable maps built in lockstep. *)
 let variant a b =
-  let module M = Map.Make (String) in
+  let module M = Map.Make (Int) in
   let rec go a b (f, g) =
     match (a, b) with
     | Term.Var x, Term.Var y -> (
         match (M.find_opt x f, M.find_opt y g) with
-        | Some y', Some x' ->
-            if String.equal y' y && String.equal x' x then Some (f, g)
-            else None
+        | Some y', Some x' -> if y' = y && x' = x then Some (f, g) else None
         | None, None -> Some (M.add x y f, M.add y x g)
         | _, _ -> None)
-    | Term.Str x, Term.Str y when String.equal x y -> Some (f, g)
+    | Term.Str x, Term.Str y when Sym.equal x y -> Some (f, g)
     | Term.Int x, Term.Int y when Int.equal x y -> Some (f, g)
-    | Term.Atom x, Term.Atom y when String.equal x y -> Some (f, g)
-    | Term.Compound (h, xs), Term.Compound (k, ys)
-      when String.equal h k && List.length xs = List.length ys ->
+    | Term.Atom x, Term.Atom y when Sym.equal x y -> Some (f, g)
+    | Term.Compound (h, xs), Term.Compound (k, ys) when Sym.equal h k ->
         go_list xs ys (f, g)
     | _, _ -> None
   and go_list xs ys acc =

@@ -16,3 +16,12 @@ val one_way : Term.t -> Term.t -> Subst.t -> Subst.t option
 (** [one_way pattern t s] extends [s] binding only variables of [pattern]
     so that it equals [t]; [t]'s variables are treated as constants.  Used
     for subsumption tests (is [t] an instance of [pattern]?). *)
+
+(** {2 Trailed-store unification (hot path)}
+
+    These bind destructively through {!Store.bind}; on failure some
+    bindings may already have been made — callers bracket each attempt
+    with [Store.mark]/[Store.undo]. *)
+
+val store_terms : Store.t -> Term.t -> Term.t -> bool
+val store_term_lists : Store.t -> Term.t list -> Term.t list -> bool

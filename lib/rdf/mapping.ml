@@ -23,11 +23,11 @@ let is_atom_name s =
 
 let term_of_iri iri =
   let l = local_name iri in
-  if is_atom_name l then Term.Atom l else Term.Str l
+  if is_atom_name l then Term.atom l else Term.str l
 
 let term_of_obj = function
   | Triple.Iri i -> term_of_iri i
-  | Triple.Str s -> Term.Str s
+  | Triple.Str s -> Term.str s
   | Triple.Int i -> Term.Int i
 
 let facts_of_triple (t : Triple.t) =
@@ -40,7 +40,7 @@ let facts_of_triple (t : Triple.t) =
   let generic =
     Rule.fact
       (Literal.make "triple"
-         [ subj; Term.Str t.Triple.predicate; obj ])
+         [ subj; Term.str t.Triple.predicate; obj ])
   in
   if is_atom_name pred_name then
     [ generic; Rule.fact (Literal.make pred_name [ subj; obj ]) ]

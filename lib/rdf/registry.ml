@@ -39,7 +39,7 @@ let to_kb t =
   let course_facts =
     List.concat_map
       (fun id ->
-        let atom = Term.Atom id in
+        let atom = Term.atom id in
         let subject = namespace ^ id in
         let price =
           match

@@ -15,7 +15,7 @@ let granted = function Negotiation.Granted _ -> true | Negotiation.Denied _ -> f
 let local_prover kb : Policy.prover =
  fun ~requester goals ->
   match
-    Sld.solve ~bindings:[ ("Requester", Term.Str requester) ] ~self:"me" kb
+    Sld.solve ~bindings:[ ("Requester", Term.str requester) ] ~self:"me" kb
       goals
   with
   | [] -> None

@@ -11,29 +11,32 @@ let rule = Alcotest.testable Rule.pp Rule.equal
 (* Terms *)
 
 let test_term_ground () =
-  Alcotest.(check bool) "string is ground" true (Term.is_ground (Term.Str "a"));
-  Alcotest.(check bool) "var not ground" false (Term.is_ground (Term.Var "X"));
+  Alcotest.(check bool) "string is ground" true (Term.is_ground (Term.str "a"));
+  Alcotest.(check bool) "var not ground" false (Term.is_ground (Term.var "X"));
   Alcotest.(check bool)
     "compound with var not ground" false
-    (Term.is_ground (Term.Compound ("f", [ Term.Var "X"; Term.Int 1 ])));
+    (Term.is_ground (Term.compound "f" ([ Term.var "X"; Term.Int 1 ])));
   Alcotest.(check bool)
     "compound ground" true
-    (Term.is_ground (Term.Compound ("f", [ Term.Atom "a"; Term.Int 1 ])))
+    (Term.is_ground (Term.compound "f" ([ Term.atom "a"; Term.Int 1 ])))
 
 let test_term_vars () =
-  let t = Term.Compound ("f", [ Term.Var "X"; Term.Compound ("g", [ Term.Var "Y"; Term.Var "X" ]) ]) in
-  Alcotest.(check (list string)) "vars in order" [ "X"; "Y" ] (Term.vars t)
+  let t = Term.compound "f" ([ Term.var "X"; Term.compound "g" ([ Term.var "Y"; Term.var "X" ]) ]) in
+  Alcotest.(check (list string)) "vars in order" [ "X"; "Y" ]
+    (List.map Term.var_name (Term.vars t))
 
 let test_term_rename () =
-  let t = Term.Compound ("f", [ Term.Var "X"; Term.Var "Requester" ]) in
-  Alcotest.(check term) "rename keeps pseudo"
-    (Term.Compound ("f", [ Term.Var "X_1"; Term.Var "Requester" ]))
-    (Term.rename ~suffix:"_1" t)
+  let t = Term.compound "f" [ Term.var "X"; Term.var "Requester" ] in
+  match Term.rename_with (Hashtbl.create 4) t with
+  | Term.Compound (_, [ Term.Var x'; req ]) ->
+      Alcotest.(check bool) "X renamed to a fresh var" true (Term.is_fresh x');
+      Alcotest.(check term) "pseudo-var kept" (Term.var "Requester") req
+  | _ -> Alcotest.fail "unexpected shape after renaming"
 
 let test_term_compare_total () =
   let ts =
-    [ Term.Var "A"; Term.Str "a"; Term.Int 0; Term.Atom "a";
-      Term.Compound ("f", [ Term.Int 1 ]) ]
+    [ Term.var "A"; Term.str "a"; Term.Int 0; Term.atom "a";
+      Term.compound "f" ([ Term.Int 1 ]) ]
   in
   List.iter
     (fun a ->
@@ -50,16 +53,16 @@ let test_term_compare_total () =
 let test_subst_walk_apply () =
   let s =
     Subst.empty
-    |> Subst.bind "X" (Term.Var "Y")
-    |> Subst.bind "Y" (Term.Compound ("f", [ Term.Var "Z" ]))
+    |> Subst.bind "X" (Term.var "Y")
+    |> Subst.bind "Y" (Term.compound "f" ([ Term.var "Z" ]))
     |> Subst.bind "Z" (Term.Int 3)
   in
   Alcotest.(check term) "walk stops at non-var"
-    (Term.Compound ("f", [ Term.Var "Z" ]))
-    (Subst.walk s (Term.Var "X"));
+    (Term.compound "f" ([ Term.var "Z" ]))
+    (Subst.walk s (Term.var "X"));
   Alcotest.(check term) "apply resolves deeply"
-    (Term.Compound ("f", [ Term.Int 3 ]))
-    (Subst.apply s (Term.Var "X"))
+    (Term.compound "f" ([ Term.Int 3 ]))
+    (Subst.apply s (Term.var "X"))
 
 let test_subst_rebind_rejected () =
   let s = Subst.bind "X" (Term.Int 1) Subst.empty in
@@ -70,13 +73,13 @@ let test_subst_rebind_rejected () =
 let test_subst_restrict () =
   let s =
     Subst.empty
-    |> Subst.bind "X" (Term.Var "Y")
+    |> Subst.bind "X" (Term.var "Y")
     |> Subst.bind "Y" (Term.Int 7)
   in
-  let r = Subst.restrict [ "X" ] s in
+  let r = Subst.restrict [ Term.var_id "X" ] s in
   Alcotest.(check (list string)) "domain" [ "X" ] (Subst.domain r);
   Alcotest.(check term) "restricted binding is applied" (Term.Int 7)
-    (Subst.apply r (Term.Var "X"))
+    (Subst.apply r (Term.var "X"))
 
 (* ------------------------------------------------------------------ *)
 (* Unification *)
@@ -87,56 +90,56 @@ let unify_ok a b =
   | None -> Alcotest.fail "expected unification to succeed"
 
 let test_unify_basic () =
-  let s = unify_ok (Term.Var "X") (Term.Str "alice") in
-  Alcotest.(check term) "X bound" (Term.Str "alice") (Subst.apply s (Term.Var "X"))
+  let s = unify_ok (Term.var "X") (Term.str "alice") in
+  Alcotest.(check term) "X bound" (Term.str "alice") (Subst.apply s (Term.var "X"))
 
 let test_unify_compound () =
-  let a = Term.Compound ("f", [ Term.Var "X"; Term.Int 2 ]) in
-  let b = Term.Compound ("f", [ Term.Int 1; Term.Var "Y" ]) in
+  let a = Term.compound "f" ([ Term.var "X"; Term.Int 2 ]) in
+  let b = Term.compound "f" ([ Term.Int 1; Term.var "Y" ]) in
   let s = unify_ok a b in
-  Alcotest.(check term) "X=1" (Term.Int 1) (Subst.apply s (Term.Var "X"));
-  Alcotest.(check term) "Y=2" (Term.Int 2) (Subst.apply s (Term.Var "Y"))
+  Alcotest.(check term) "X=1" (Term.Int 1) (Subst.apply s (Term.var "X"));
+  Alcotest.(check term) "Y=2" (Term.Int 2) (Subst.apply s (Term.var "Y"))
 
 let test_unify_occurs_check () =
-  let a = Term.Var "X" in
-  let b = Term.Compound ("f", [ Term.Var "X" ]) in
+  let a = Term.var "X" in
+  let b = Term.compound "f" ([ Term.var "X" ]) in
   Alcotest.(check bool) "occurs check fails" true
     (Unify.terms a b Subst.empty = None)
 
 let test_unify_clash () =
   Alcotest.(check bool) "functor clash" true
     (Unify.terms
-       (Term.Compound ("f", [ Term.Int 1 ]))
-       (Term.Compound ("g", [ Term.Int 1 ]))
+       (Term.compound "f" ([ Term.Int 1 ]))
+       (Term.compound "g" ([ Term.Int 1 ]))
        Subst.empty
     = None);
   Alcotest.(check bool) "arity clash" true
     (Unify.terms
-       (Term.Compound ("f", [ Term.Int 1 ]))
-       (Term.Compound ("f", [ Term.Int 1; Term.Int 2 ]))
+       (Term.compound "f" ([ Term.Int 1 ]))
+       (Term.compound "f" ([ Term.Int 1; Term.Int 2 ]))
        Subst.empty
     = None);
   Alcotest.(check bool) "string/atom distinct" true
-    (Unify.terms (Term.Str "a") (Term.Atom "a") Subst.empty = None)
+    (Unify.terms (Term.str "a") (Term.atom "a") Subst.empty = None)
 
 let test_unify_through_subst () =
-  let s = Subst.bind "X" (Term.Var "Y") Subst.empty in
-  match Unify.terms (Term.Var "X") (Term.Int 5) s with
+  let s = Subst.bind "X" (Term.var "Y") Subst.empty in
+  match Unify.terms (Term.var "X") (Term.Int 5) s with
   | None -> Alcotest.fail "should unify"
   | Some s' ->
       Alcotest.(check term) "Y gets the binding" (Term.Int 5)
-        (Subst.apply s' (Term.Var "Y"))
+        (Subst.apply s' (Term.var "Y"))
 
 let test_variant () =
-  let p x y = Term.Compound ("p", [ x; y ]) in
+  let p x y = Term.compound "p" ([ x; y ]) in
   Alcotest.(check bool) "renamed is variant" true
-    (Unify.variant (p (Term.Var "X") (Term.Var "Y")) (p (Term.Var "A") (Term.Var "B")));
+    (Unify.variant (p (Term.var "X") (Term.var "Y")) (p (Term.var "A") (Term.var "B")));
   Alcotest.(check bool) "non-linear not variant of linear" false
-    (Unify.variant (p (Term.Var "X") (Term.Var "X")) (p (Term.Var "A") (Term.Var "B")));
+    (Unify.variant (p (Term.var "X") (Term.var "X")) (p (Term.var "A") (Term.var "B")));
   Alcotest.(check bool) "linear not variant of non-linear" false
-    (Unify.variant (p (Term.Var "A") (Term.Var "B")) (p (Term.Var "X") (Term.Var "X")));
+    (Unify.variant (p (Term.var "A") (Term.var "B")) (p (Term.var "X") (Term.var "X")));
   Alcotest.(check bool) "instance not variant" false
-    (Unify.variant (p (Term.Var "X") (Term.Int 1)) (p (Term.Var "A") (Term.Var "B")))
+    (Unify.variant (p (Term.var "X") (Term.Int 1)) (p (Term.var "A") (Term.var "B")))
 
 (* ------------------------------------------------------------------ *)
 (* Lexer *)
@@ -185,21 +188,21 @@ let test_lexer_signedby_keyword () =
 let test_parse_fact () =
   let r = Parser.parse_rule {|freeCourse(cs101).|} in
   Alcotest.(check rule) "plain fact"
-    (Rule.fact (Literal.make "freeCourse" [ Term.Atom "cs101" ]))
+    (Rule.fact (Literal.make "freeCourse" [ Term.atom "cs101" ]))
     r
 
 let test_parse_signed_fact () =
   let r = Parser.parse_rule {|member("E-Learn") @ "BBB" signedBy ["BBB"].|} in
   Alcotest.(check rule) "signed fact"
     (Rule.fact ~signer:[ "BBB" ]
-       (Literal.make ~auth:[ Term.Str "BBB" ] "member" [ Term.Str "E-Learn" ]))
+       (Literal.make ~auth:[ Term.str "BBB" ] "member" [ Term.str "E-Learn" ]))
     r
 
 let test_parse_rule_with_body () =
   let r = Parser.parse_rule {|preferred(X) <- student(X) @ "UIUC".|} in
-  Alcotest.(check literal) "head" (Literal.make "preferred" [ Term.Var "X" ]) r.Rule.head;
+  Alcotest.(check literal) "head" (Literal.make "preferred" [ Term.var "X" ]) r.Rule.head;
   Alcotest.(check (list literal)) "body"
-    [ Literal.make ~auth:[ Term.Str "UIUC" ] "student" [ Term.Var "X" ] ]
+    [ Literal.make ~auth:[ Term.str "UIUC" ] "student" [ Term.var "X" ] ]
     r.Rule.body
 
 let test_parse_nested_authorities () =
@@ -210,10 +213,10 @@ let test_parse_nested_authorities () =
   | [ l ] ->
       Alcotest.(check int) "two authorities" 2 (List.length l.Literal.auth);
       Alcotest.(check bool) "outermost is X" true
-        (Literal.outer_authority l = Some (Term.Var "X"))
+        (Literal.outer_authority l = Some (Term.var "X"))
   | _ -> Alcotest.fail "one body literal expected");
   Alcotest.(check bool) "head has one authority" true
-    (Literal.outer_authority r.Rule.head = Some (Term.Str "UIUC"))
+    (Literal.outer_authority r.Rule.head = Some (Term.str "UIUC"))
 
 let test_parse_head_context () =
   let r =
@@ -237,7 +240,7 @@ let test_parse_requester_equals () =
   | Some [ l ] ->
       Alcotest.(check string) "equality context" "=" l.Literal.pred;
       Alcotest.(check (list term)) "args"
-        [ Term.Var "Requester"; Term.Var "Party" ]
+        [ Term.var "Requester"; Term.var "Party" ]
         l.Literal.args
   | _ -> Alcotest.fail "expected equality context"
 
@@ -257,7 +260,7 @@ let test_parse_comparison_in_body () =
   match r.Rule.body with
   | [ l ] ->
       Alcotest.(check string) "comparison pred" "<" l.Literal.pred;
-      Alcotest.(check (list term)) "args" [ Term.Var "Price"; Term.Int 2000 ] l.Literal.args
+      Alcotest.(check (list term)) "args" [ Term.var "Price"; Term.Int 2000 ] l.Literal.args
   | _ -> Alcotest.fail "expected comparison body"
 
 let test_parse_program_scenario () =
@@ -397,7 +400,7 @@ let test_builtin_comparisons () =
 
 let test_builtin_equality_unifies () =
   match eval_builtin "X = 5" Subst.empty with
-  | [ s ] -> Alcotest.(check term) "X bound" (Term.Int 5) (Subst.apply s (Term.Var "X"))
+  | [ s ] -> Alcotest.(check term) "X bound" (Term.Int 5) (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_builtin_disequality () =
@@ -431,7 +434,7 @@ let test_sld_fact () =
 let test_sld_conjunction () =
   let answers = solve ~self:"peer" "p(1). p(2). q(2). q(3)." "p(X), q(X)" in
   (match answers with
-  | [ s ] -> Alcotest.(check term) "X=2" (Term.Int 2) (Subst.apply s (Term.Var "X"))
+  | [ s ] -> Alcotest.(check term) "X=2" (Term.Int 2) (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected exactly one answer")
 
 let test_sld_chain () =
@@ -474,7 +477,7 @@ let test_sld_builtin_in_body () =
       "cheap(X)"
   in
   match answers with
-  | [ s ] -> Alcotest.(check term) "only a" (Term.Atom "a") (Subst.apply s (Term.Var "X"))
+  | [ s ] -> Alcotest.(check term) "only a" (Term.atom "a") (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_sld_authority_matching () =
@@ -492,8 +495,8 @@ let test_sld_signed_rule_axiom () =
   in
   match answers with
   | [ s ] ->
-      Alcotest.(check term) "company bound" (Term.Str "IBM")
-        (Subst.apply s (Term.Var "Company"))
+      Alcotest.(check term) "company bound" (Term.str "IBM")
+        (Subst.apply s (Term.var "Company"))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_sld_self_authority_stripped () =
@@ -506,13 +509,13 @@ let test_sld_self_pseudovar () =
 
 let test_sld_requester_binding () =
   let answers =
-    solve ~self:"elearn" ~bindings:[ ("Requester", Term.Str "alice") ]
+    solve ~self:"elearn" ~bindings:[ ("Requester", Term.str "alice") ]
       {|greet(R) <- R = Requester.|} "greet(X)"
   in
   match answers with
   | [ s ] ->
-      Alcotest.(check term) "requester flows" (Term.Str "alice")
-        (Subst.apply s (Term.Var "X"))
+      Alcotest.(check term) "requester flows" (Term.str "alice")
+        (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_sld_remote_dispatch () =
@@ -520,13 +523,13 @@ let test_sld_remote_dispatch () =
   let remote ~target lit =
     Alcotest.(check string) "dispatched to uiuc" "uiuc" target;
     Alcotest.(check string) "shipped literal" "student" lit.Literal.pred;
-    [ (Literal.make "student" [ Term.Str "Alice" ], None) ]
+    [ (Literal.make "student" [ Term.str "Alice" ], None) ]
   in
   let answers = solve ~self:"elearn" ~remote "" {|student(X) @ "uiuc"|} in
   match answers with
   | [ s ] ->
-      Alcotest.(check term) "instance unified" (Term.Str "Alice")
-        (Subst.apply s (Term.Var "X"))
+      Alcotest.(check term) "instance unified" (Term.str "Alice")
+        (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected one remote answer"
 
 let test_sld_remote_not_called_for_unbound_authority () =
@@ -545,7 +548,7 @@ let test_sld_nested_authority_dispatch () =
   let remote ~target lit =
     Alcotest.(check string) "asks alice" "alice" target;
     Alcotest.(check int) "inner chain kept" 1 (List.length lit.Literal.auth);
-    [ (Literal.make ~auth:[ Term.Str "UIUC" ] "student" [ Term.Str "Alice" ], None) ]
+    [ (Literal.make ~auth:[ Term.str "UIUC" ] "student" [ Term.str "Alice" ], None) ]
   in
   let answers = solve ~self:"elearn" ~remote "" {|student(X) @ "UIUC" @ "alice"|} in
   Alcotest.(check int) "answered" 1 (List.length answers)
@@ -618,7 +621,7 @@ let test_arith_in_comparison () =
     solve ~self:"peer" "p(5). q(X) <- p(Y), X = Y * 2 + 1." "q(X)"
   in
   match answers with
-  | [ s ] -> Alcotest.(check term) "computed" (Term.Int 11) (Subst.apply s (Term.Var "X"))
+  | [ s ] -> Alcotest.(check term) "computed" (Term.Int 11) (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_arith_precedence () =
@@ -690,7 +693,7 @@ let test_naf_semantics () =
       "ok(X)"
   in
   match answers with
-  | [ s ] -> Alcotest.(check term) "only a survives" (Term.Atom "a") (Subst.apply s (Term.Var "X"))
+  | [ s ] -> Alcotest.(check term) "only a survives" (Term.atom "a") (Subst.apply s (Term.var "X"))
   | _ -> Alcotest.fail "expected exactly one answer"
 
 let test_naf_double_negation () =
@@ -916,10 +919,10 @@ let gen_term =
           if n = 0 then
             oneof
               [
-                map (fun i -> Term.Var (Printf.sprintf "V%d" i)) (int_bound 5);
+                map (fun i -> Term.var (Printf.sprintf "V%d" i)) (int_bound 5);
                 map (fun i -> Term.Int i) (int_bound 100);
-                map (fun i -> Term.Str (Printf.sprintf "s%d" i)) (int_bound 5);
-                map (fun i -> Term.Atom (Printf.sprintf "a%d" i)) (int_bound 5);
+                map (fun i -> Term.str (Printf.sprintf "s%d" i)) (int_bound 5);
+                map (fun i -> Term.atom (Printf.sprintf "a%d" i)) (int_bound 5);
               ]
           else
             frequency
@@ -927,7 +930,7 @@ let gen_term =
                 (2, go 0);
                 ( 1,
                   map2
-                    (fun f args -> Term.Compound (Printf.sprintf "f%d" f, args))
+                    (fun f args -> Term.compound (Printf.sprintf "f%d" f) args)
                     (int_bound 2)
                     (list_size (int_range 1 3) (go (n / 4))) );
               ])
@@ -956,7 +959,7 @@ let prop_rename_preserves_ground =
   QCheck.Test.make ~name:"rename: ground terms unchanged" ~count:200 arb_term
     (fun t ->
       QCheck.assume (Term.is_ground t);
-      Term.equal t (Term.rename ~suffix:"_r" t))
+      Term.equal t (Term.rename_with (Hashtbl.create 4) t))
 
 let prop_variant_reflexive =
   QCheck.Test.make ~name:"variant: reflexive" ~count:200 arb_term (fun t ->
@@ -964,7 +967,7 @@ let prop_variant_reflexive =
 
 let prop_rename_variant =
   QCheck.Test.make ~name:"variant: renamed term is a variant" ~count:200
-    arb_term (fun t -> Unify.variant t (Term.rename ~suffix:"_v" t))
+    arb_term (fun t -> Unify.variant t (Term.rename_with (Hashtbl.create 4) t))
 
 let prop_compare_antisym =
   QCheck.Test.make ~name:"compare: antisymmetric" ~count:200
@@ -999,7 +1002,7 @@ let prop_one_way_matches_instance =
     arb_term (fun t ->
       let s =
         List.fold_left
-          (fun s v -> Subst.bind v (Term.Atom "k") s)
+          (fun s v -> Subst.bind_id v (Term.atom "k") s)
           Subst.empty (Term.vars t)
       in
       Option.is_some (Unify.one_way t (Subst.apply s t) Subst.empty))

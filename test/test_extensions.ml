@@ -595,9 +595,9 @@ let test_qel_eval_registry () =
   (* Only cs411 has a price below 1500 (the free course has no price/2
      projection fact besides the raw triple view). *)
   Alcotest.(check bool) "cs411 found" true
-    (List.mem [ Term.Atom "cs411" ] rows);
+    (List.mem [ Term.atom "cs411" ] rows);
   Alcotest.(check bool) "cs500 excluded" false
-    (List.mem [ Term.Atom "cs500" ] rows)
+    (List.mem [ Term.atom "cs500" ] rows)
 
 let test_qel_network_search () =
   let session = Session.create () in
@@ -610,9 +610,13 @@ let test_qel_network_search () =
   (* cs411 ($1000) and the raw zero-price fact of the free course. *)
   Alcotest.(check int) "two affordable rows" 2 (List.length rows);
   Alcotest.(check bool) "cs411 found" true
-    (List.mem [ Term.Atom "cs411"; Term.Int 1000 ] rows);
+    (List.mem [ Term.atom "cs411"; Term.Int 1000 ] rows);
   Alcotest.(check bool) "cs500 excluded" false
-    (List.exists (function [ Term.Atom "cs500"; _ ] -> true | _ -> false) rows)
+    (List.exists
+       (function
+         | [ c; _ ] -> Term.equal c (Term.atom "cs500")
+         | _ -> false)
+       rows)
 
 let test_qel_search_all () =
   let session = Session.create () in
@@ -633,9 +637,9 @@ let test_qel_search_all () =
   in
   Alcotest.(check int) "both providers answered" 2 (List.length results);
   Alcotest.(check bool) "alpha at a" true
-    (List.assoc "prov_a" results = [ [ Term.Atom "alpha" ] ]);
+    (List.assoc "prov_a" results = [ [ Term.atom "alpha" ] ]);
   Alcotest.(check bool) "beta at b" true
-    (List.assoc "prov_b" results = [ [ Term.Atom "beta" ] ])
+    (List.assoc "prov_b" results = [ [ Term.atom "beta" ] ])
 
 let test_qel_respects_release_policies () =
   (* A provider whose catalogue is guarded releases nothing to strangers. *)

@@ -345,19 +345,19 @@ let gen_const =
   oneof
     [
       map (fun i -> Term.Int i) (int_bound 99);
-      map (fun i -> Term.Str (Printf.sprintf "s%d" i)) (int_bound 4);
-      map (fun i -> Term.Atom (Printf.sprintf "a%d" i)) (int_bound 4);
+      map (fun i -> Term.str (Printf.sprintf "s%d" i)) (int_bound 4);
+      map (fun i -> Term.atom (Printf.sprintf "a%d" i)) (int_bound 4);
     ]
 
 let gen_term =
   let open QCheck.Gen in
   frequency
     [
-      (2, map (fun i -> Term.Var (Printf.sprintf "V%d" i)) (int_bound 3));
+      (2, map (fun i -> Term.var (Printf.sprintf "V%d" i)) (int_bound 3));
       (3, gen_const);
       ( 1,
         map2
-          (fun f args -> Term.Compound (Printf.sprintf "f%d" f, args))
+          (fun f args -> Term.compound (Printf.sprintf "f%d" f) args)
           (int_bound 2)
           (list_size (int_range 1 2) gen_const) );
     ]
@@ -403,7 +403,7 @@ let prop_canonical_alpha_invariant =
   QCheck.Test.make ~name:"rule: canonical form is alpha-invariant" ~count:(scale 200)
     arb_rule (fun r ->
       String.equal (Rule.canonical r)
-        (Rule.canonical (Rule.rename ~suffix:"~x" r)))
+        (Rule.canonical (Rule.rename_apart r)))
 
 let prop_subsumes_reflexive_on_instances =
   QCheck.Test.make ~name:"rule: instances are subsumed by their rule"
@@ -411,10 +411,68 @@ let prop_subsumes_reflexive_on_instances =
       (* Ground every variable and check subsumption. *)
       let s =
         List.fold_left
-          (fun s v -> Subst.bind v (Term.Atom "c") s)
+          (fun s v -> Subst.bind_id v (Term.atom "c") s)
           Subst.empty (Rule.vars r)
       in
       Rule.subsumes ~general:r ~specific:(Rule.apply s r))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: trailed-store unification vs the map-based oracle.
+   [Unify.terms] over persistent substitutions is the boundary-path
+   implementation and serves as the oracle; [Unify.store_terms] is the
+   destructive hot path.  They must agree on unifiability, and on success
+   both unifiers must make the pair syntactically equal.  The generator
+   draws from a small shared variable pool so aliasing chains and occurs
+   check failures (X =? f(X)) are common. *)
+
+let rec gen_unify_term depth =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, map (fun i -> Term.var (Printf.sprintf "U%d" i)) (int_bound 4));
+        (2, gen_const);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (2, leaf);
+        ( 3,
+          map2
+            (fun f args -> Term.compound (Printf.sprintf "g%d" f) args)
+            (int_bound 2)
+            (list_size (int_range 1 3) (gen_unify_term (depth - 1))) );
+      ]
+
+let arb_term_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a =? %a" Term.pp a Term.pp b)
+    QCheck.Gen.(
+      let* a = gen_unify_term 3 in
+      let* b = gen_unify_term 3 in
+      return (a, b))
+
+let prop_unify_differential =
+  QCheck.Test.make
+    ~name:"unify: trailed store agrees with the map-based oracle"
+    ~count:(scale 1000) arb_term_pair (fun (a, b) ->
+      let oracle = Unify.terms a b Subst.empty in
+      let st = Store.create () in
+      let m = Store.mark st in
+      let ok = Unify.store_terms st a b in
+      let agree =
+        match (oracle, ok) with
+        | None, false -> true
+        | Some s, true ->
+            Term.equal (Store.resolve st a) (Store.resolve st b)
+            && Term.equal (Subst.apply s a) (Subst.apply s b)
+        | Some _, false | None, true -> false
+      in
+      Store.undo st m;
+      agree)
 
 (* ------------------------------------------------------------------ *)
 (* First-argument indexing is invisible to [Kb.matching] up to the
@@ -425,7 +483,7 @@ let prop_subsumes_reflexive_on_instances =
 
 let head_unifiable goal r =
   (* Rename apart so shared variable names don't block unification. *)
-  let fresh = Rule.rename ~suffix:"!idx" r in
+  let fresh = Rule.rename_apart r in
   Option.is_some (Literal.unify goal fresh.Rule.head Subst.empty)
 
 let arb_kb_and_goal =
@@ -545,6 +603,8 @@ let () =
         @ [ Alcotest.test_case "NAF skip report" `Quick report_naf_skips ] );
       ( "kb",
         List.map QCheck_alcotest.to_alcotest [ prop_indexing_transparent ] );
+      ( "unify",
+        List.map QCheck_alcotest.to_alcotest [ prop_unify_differential ] );
       ( "syntax",
         List.map QCheck_alcotest.to_alcotest
           [
