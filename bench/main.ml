@@ -402,7 +402,12 @@ let e8 () =
           time_median (fun () ->
               ignore
                 (Dlp.Sld.solve
-                   ~options:{ Dlp.Sld.max_depth = (2 * n) + 8; max_solutions = 1 }
+                   ~options:
+                   {
+                     Dlp.Sld.default_options with
+                     max_depth = (2 * n) + 8;
+                     max_solutions = 1;
+                   }
                    ~self:"p" kb goal))
         in
         let all_goal = Dlp.Parser.parse_query "path(1, X)" in
@@ -410,7 +415,12 @@ let e8 () =
           time_median (fun () ->
               ignore
                 (Dlp.Sld.solve
-                   ~options:{ Dlp.Sld.max_depth = (2 * n) + 8; max_solutions = n + 4 }
+                   ~options:
+                   {
+                     Dlp.Sld.default_options with
+                     max_depth = (2 * n) + 8;
+                     max_solutions = n + 4;
+                   }
                    ~self:"p" kb all_goal))
         in
         let tabled_all_t =
@@ -665,7 +675,8 @@ let e12 () =
           let k = 1 + (q * 7 mod n) in
           ignore
             (Dlp.Sld.solve
-               ~options:{ Dlp.Sld.max_depth = 8; max_solutions = 1 }
+               ~options:
+               { Dlp.Sld.default_options with max_depth = 8; max_solutions = 1 }
                ~self:"p" kb
                (Dlp.Parser.parse_query (Printf.sprintf "lookup(k%d, V)" k)))
         done)
@@ -802,6 +813,128 @@ let chaos () =
        (fun name ->
          [ name; string_of_int (Pobs.Registry.counter_value snapshot name) ])
        counters)
+
+(* ------------------------------------------------------------------ *)
+(* adversary: goodput under misbehaving peers, guards on *)
+
+let adversary_smoke = ref false
+
+let adversary_bench () =
+  (* Scenario 1 with 0..4 seeded adversaries attached and the guard at
+     its tuned defaults.  Hard assertions, not just tables: every honest
+     negotiation must reach its fault-free outcome, every adversary
+     running a flooding/malformed mix must end the run quarantined, and
+     no honest peer may ever be quarantined.  The table reports the
+     goodput cost of the abuse: worst event count and mean envelopes per
+     run as the adversary count grows. *)
+  let smoke = !adversary_smoke in
+  let seeds = if smoke then 10 else 100 in
+  let counts = if smoke then [ 0; 2 ] else [ 0; 1; 2; 4 ] in
+  let max_steps = 40_000 in
+  let mixes =
+    [|
+      [ Net.Adversary.Flood 12; Net.Adversary.Malformed 4 ];
+      [
+        Net.Adversary.Unsolicited 4; Net.Adversary.Forged_certs;
+        Net.Adversary.Replay;
+      ];
+      [
+        Net.Adversary.Oversized 65536; Net.Adversary.Bomb 40;
+        Net.Adversary.Flood 6;
+      ];
+      [ Net.Adversary.Malformed 6; Net.Adversary.Replay; Net.Adversary.Bomb 24 ];
+    |]
+  in
+  let config = { Session.default_config with Session.guard = Guard.defaults } in
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "adversary: %s\n" m; exit 1) fmt in
+  let rows =
+    List.map
+      (fun n ->
+        let worst = ref 0 and envelopes = ref 0 and quarantines = ref 0 in
+        for seed = 1 to seeds do
+          let s = Scenario.scenario1 ~config ~key_bits:288 () in
+          let session = s.Scenario.s1_session in
+          let reactor = Reactor.create session in
+          let advs =
+            List.init n (fun i ->
+                Net.Adversary.create
+                  ~seed:(Int64.of_int ((seed * 100) + i))
+                  ~name:(Printf.sprintf "adv%d" i)
+                  mixes.(i mod Array.length mixes))
+          in
+          List.iter (Reactor.add_adversary reactor) advs;
+          let id =
+            Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+              (Scenario.scenario1_goal ())
+          in
+          let steps = Reactor.run ~max_steps reactor in
+          if steps >= max_steps then
+            fail "seed %d with %d adversaries hit the step budget" seed n;
+          worst := max !worst steps;
+          envelopes :=
+            !envelopes
+            + Net.Stats.messages (Net.Network.stats session.Session.network);
+          (match Reactor.outcome reactor id with
+          | Negotiation.Granted _ -> ()
+          | Negotiation.Denied reason ->
+              fail "seed %d with %d adversaries: honest negotiation denied (%s)"
+                seed n reason);
+          let offenders =
+            List.sort_uniq compare
+              (List.map snd (Guard.quarantined (Reactor.guard reactor)))
+          in
+          List.iter
+            (fun from ->
+              if not (List.exists (fun a -> Net.Adversary.name a = from) advs)
+              then fail "seed %d: honest peer %s quarantined" seed from)
+            offenders;
+          List.iter
+            (fun a ->
+              let noisy =
+                List.exists
+                  (function
+                    | Net.Adversary.Flood _ | Net.Adversary.Malformed _ -> true
+                    | _ -> false)
+                  (Net.Adversary.behaviors a)
+              in
+              if noisy && not (List.mem (Net.Adversary.name a) offenders) then
+                fail "seed %d: %s escaped quarantine" seed
+                  (Net.Adversary.name a))
+            advs;
+          quarantines := !quarantines + List.length offenders
+        done;
+        [
+          string_of_int n;
+          Printf.sprintf "%d/%d" seeds seeds;
+          string_of_int !worst;
+          string_of_int (!envelopes / seeds);
+          string_of_int !quarantines;
+        ])
+      counts
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "ADVERSARY Scenario-1 goodput over %d seeds per row (guards on, \
+          behavior mixes cycling per adversary)"
+         seeds)
+    ~header:
+      [ "adversaries"; "honest granted"; "worst steps"; "mean envelopes";
+        "quarantines" ]
+    rows;
+  let snapshot = Pobs.Obs.snapshot () in
+  print_table ~title:"ADVERSARY guard counters across the sweep"
+    ~header:[ "counter"; "total" ]
+    (List.map
+       (fun name ->
+         [ name; string_of_int (Pobs.Registry.counter_value snapshot name) ])
+       [
+         "guard.admitted"; "guard.rejected"; "guard.stale";
+         "guard.quarantines"; "guard.recoveries"; "guard.malformed";
+         "guard.oversized"; "guard.unsolicited"; "guard.bad_cert";
+         "guard.rate_limited"; "guard.quota"; "guard.bomb";
+         "adversary.actions"; "reactor.dedup_evictions";
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* cache: cross-negotiation answer cache, cold vs warm *)
@@ -1020,7 +1153,7 @@ let resolution () =
   let scale full small = if smoke then small else full in
   let sld_answers ?(max_solutions = 100_000) ~max_depth kb goals =
     Dlp.Sld.answers
-      ~options:{ Dlp.Sld.max_depth; max_solutions }
+      ~options:{ Dlp.Sld.default_options with max_depth; max_solutions }
       ~self:"bench" kb goals
   in
   let check_differential = ref [] in
@@ -1218,6 +1351,7 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("cache", cache_bench);
     ("chaos", chaos); ("resolution", resolution);
+    ("adversary", adversary_bench);
   ]
 
 (* Run one experiment with a fresh metrics registry and drop the snapshot
@@ -1239,6 +1373,7 @@ let () =
     | "--metrics-dir" :: d :: rest -> split_args (Some d) acc rest
     | "--smoke" :: rest ->
         resolution_smoke := true;
+        adversary_smoke := true;
         split_args dir acc rest
     | a :: rest -> split_args dir (a :: acc) rest
   in

@@ -159,6 +159,127 @@ let fault_opts_term =
     $ outages $ queued)
 
 (* ------------------------------------------------------------------ *)
+(* Guard and adversary flags shared by negotiate and scenario *)
+
+type guard_opts = {
+  go_on : bool;
+  go_rate : int option;
+  go_quota : int option;
+  go_quarantine : int option;
+}
+
+let guard_opts_term =
+  let on =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Enable the inbound guard layer at every peer: payload checks, \
+             per-requester rate limits and work quotas, and a quarantine \
+             circuit breaker (implies the queued engine; implied by \
+             --rate/--quota/--quarantine).")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rate" ] ~docv:"N"
+          ~doc:
+            "Queries admitted per requester per rate window (implies \
+             --guard).")
+  in
+  let quota =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quota" ] ~docv:"STEPS"
+          ~doc:
+            "Resolution steps a requester may burn at a peer over the whole \
+             run (implies --guard).")
+  in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quarantine" ] ~docv:"TICKS"
+          ~doc:
+            "Quarantine duration once a requester trips the breaker \
+             (implies --guard).")
+  in
+  let make go_on go_rate go_quota go_quarantine =
+    { go_on; go_rate; go_quota; go_quarantine }
+  in
+  Term.(const make $ on $ rate $ quota $ quarantine)
+
+let guard_requested o =
+  o.go_on || o.go_rate <> None || o.go_quota <> None || o.go_quarantine <> None
+
+let resolve_guard o =
+  if not (guard_requested o) then Guard.permissive
+  else
+    let d = Guard.defaults in
+    {
+      d with
+      Guard.rate = Option.value ~default:d.Guard.rate o.go_rate;
+      quota = Option.value ~default:d.Guard.quota o.go_quota;
+      quarantine_ticks =
+        Option.value ~default:d.Guard.quarantine_ticks o.go_quarantine;
+    }
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "adversary" ] ~docv:"PEER:BEHAVIORS"
+        ~doc:
+          "Attach a misbehaving peer, e.g. mallory:flood,malformed or \
+           trudy:bomb=40 (repeatable; implies the queued engine).  \
+           Behaviors: flood[=N], malformed[=N], unsolicited[=N], replay, \
+           forged, oversized[=BYTES], bomb[=DEPTH].")
+
+let parse_adversaries specs =
+  List.mapi
+    (fun i spec ->
+      match String.index_opt spec ':' with
+      | None ->
+          Printf.eprintf
+            "bad --adversary %S (expected PEER:BEHAVIOR[,BEHAVIOR...])\n" spec;
+          exit 1
+      | Some j ->
+          let name = String.sub spec 0 j in
+          let behaviors =
+            String.sub spec (j + 1) (String.length spec - j - 1)
+            |> String.split_on_char ','
+            |> List.map (fun b ->
+                   match Peertrust_net.Adversary.behavior_of_string b with
+                   | Ok b -> b
+                   | Error msg ->
+                       Printf.eprintf "bad --adversary %S: %s\n" spec msg;
+                       exit 1)
+          in
+          Peertrust_net.Adversary.create
+            ~seed:(Int64.of_int (i + 1))
+            ~name behaviors)
+    specs
+
+(* Post-run guard/adversary accounting, printed whenever either feature
+   was on (reads the same metrics registry setup_obs resets). *)
+let print_guard_summary ~guarded ~adversaries () =
+  if guarded || adversaries <> [] then begin
+    let snapshot = Pobs.Obs.snapshot () in
+    let c name = Pobs.Registry.counter_value snapshot name in
+    Printf.printf
+      "guard: %d admitted, %d rejected, %d stale, %d quarantine(s), %d \
+       recovery(ies)\n"
+      (c "guard.admitted") (c "guard.rejected") (c "guard.stale")
+      (c "guard.quarantines") (c "guard.recoveries");
+    if adversaries <> [] then
+      Printf.printf "adversary: %d action(s) sent by %d peer(s)\n"
+        (c "adversary.actions")
+        (List.length adversaries)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Answer-cache flags shared by negotiate and scenario *)
 
 type cache_opts = { co_on : bool; co_off : bool; co_ttl : int }
@@ -368,10 +489,16 @@ let forward_cmd =
 let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
       narrative mermaid wallet save_wallet save_world metrics_out trace_out
-      fault_opts cache_opts =
+      fault_opts cache_opts guard_opts adversary_specs =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
-    let session = Session.create () in
+    let guarded = guard_requested guard_opts in
+    let session =
+      Session.create
+        ~config:
+          { Session.default_config with Session.guard = resolve_guard guard_opts }
+        ()
+    in
     List.iter
       (fun spec ->
         match String.index_opt spec '=' with
@@ -404,21 +531,26 @@ let negotiate_cmd =
           exit 1
     in
     let cache = resolve_cache cache_opts in
-    let queued = install_faults session fault_opts || cache <> None in
+    let adversaries = parse_adversaries adversary_specs in
+    let queued =
+      install_faults session fault_opts
+      || cache <> None || guarded || adversaries <> []
+    in
     let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
     let report =
-      (* Faulted (and cached) runs go through the queued reactor (the
-         engine with retransmission and timeouts); it negotiates
-         relevant-style. *)
+      (* Faulted (cached, guarded, adversarial) runs go through the
+         queued reactor (the engine with retransmission, timeouts and the
+         inbound guard); it negotiates relevant-style. *)
       if queued then
         Reactor.negotiate
           ?config:(reactor_config_of_cache cache)
-          session ~requester ~target
+          ~adversaries session ~requester ~target
           (Dlp.Parser.parse_literal goal)
       else Strategy.negotiate_str session ~strategy ~requester ~target goal
     in
     Format.printf "%a@." Negotiation.pp_report report;
     print_cache_summary cache;
+    print_guard_summary ~guarded ~adversaries ();
     if narrative then print_endline (Explain.narrative report);
     if mermaid then print_string (Explain.sequence_diagram report);
     if show_transcript then
@@ -519,7 +651,8 @@ let negotiate_cmd =
     Term.(
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
       $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
-      $ metrics_out_arg $ trace_out_arg $ fault_opts_term $ cache_opts_term)
+      $ metrics_out_arg $ trace_out_arg $ fault_opts_term $ cache_opts_term
+      $ guard_opts_term $ adversary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -677,12 +810,17 @@ let analyze_cmd =
 (* scenario *)
 
 let scenario_cmd =
-  let run verbose name metrics_out trace_out fault_opts cache_opts repeat =
+  let run verbose name metrics_out trace_out fault_opts cache_opts guard_opts
+      adversary_specs repeat =
     setup_logs verbose;
     if repeat < 1 then begin
       Printf.eprintf "error: --repeat must be >= 1\n";
       exit 1
     end;
+    let guarded = guard_requested guard_opts in
+    let session_config =
+      { Session.default_config with Session.guard = resolve_guard guard_opts }
+    in
     let show (r : Negotiation.report) =
       Format.printf "%a@." Negotiation.pp_report r;
       List.iter
@@ -695,11 +833,11 @@ let scenario_cmd =
     let session, goals =
       match name with
       | "elearn" ->
-          let s = Scenario.scenario1 () in
+          let s = Scenario.scenario1 ~config:session_config () in
           ( s.Scenario.s1_session,
             [ ("Alice", "E-Learn", Scenario.scenario1_goal ()) ] )
       | "services" ->
-          let s = Scenario.scenario2 () in
+          let s = Scenario.scenario2 ~config:session_config () in
           ( s.Scenario.s2_session,
             [
               ("Bob", "E-Learn", Scenario.scenario2_goal_free ());
@@ -713,7 +851,11 @@ let scenario_cmd =
     (* One cache shared by every goal (and every --repeat pass): later
        negotiations run warm. *)
     let cache = resolve_cache cache_opts in
-    let queued = install_faults session fault_opts || cache <> None in
+    let adversaries = parse_adversaries adversary_specs in
+    let queued =
+      install_faults session fault_opts
+      || cache <> None || guarded || adversaries <> []
+    in
     let config = reactor_config_of_cache cache in
     let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
     Fun.protect ~finally:finish_obs (fun () ->
@@ -723,11 +865,13 @@ let scenario_cmd =
             (fun (requester, target, goal) ->
               show
                 (if queued then
-                   Reactor.negotiate ?config session ~requester ~target goal
+                   Reactor.negotiate ?config ~adversaries session ~requester
+                     ~target goal
                  else Negotiation.request session ~requester ~target goal))
             goals
         done;
-        print_cache_summary cache)
+        print_cache_summary cache;
+        print_guard_summary ~guarded ~adversaries ())
   in
   let scenario_name =
     Arg.(
@@ -747,7 +891,8 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
     Term.(
       const run $ verbose_arg $ scenario_name $ metrics_out_arg
-      $ trace_out_arg $ fault_opts_term $ cache_opts_term $ repeat)
+      $ trace_out_arg $ fault_opts_term $ cache_opts_term $ guard_opts_term
+      $ adversary_arg $ repeat)
 
 let () =
   let info =

@@ -33,9 +33,16 @@ fi
 # engine's answer sets diffed against the map-based reference engine.
 ./_build/default/bench/main.exe resolution --smoke > /dev/null
 
-# Slow gate: the property suite again with raised iteration counts, and
-# the full resolution sweep (timed, 5 runs per workload).
+# Adversary smoke: scenario 1 with misbehaving peers and guards on; the
+# bench hard-fails if an honest negotiation is lost, a flooding/malformed
+# adversary escapes quarantine, or an honest peer is quarantined.
+./_build/default/bench/main.exe adversary --smoke > /dev/null
+
+# Slow gate: the property suite again with raised iteration counts, the
+# full 100-seed adversary sweep, and the full resolution sweep (timed,
+# 5 runs per workload).
 if [ "${CHECK_SLOW:-0}" != "0" ]; then
   CHECK_SLOW=1 ./_build/default/test/test_properties.exe
+  ./_build/default/bench/main.exe adversary
   ./_build/default/bench/main.exe resolution
 fi

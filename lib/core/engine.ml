@@ -74,7 +74,7 @@ let rec remote_callback session peer ~target lit =
                 instances;
               instances
           | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
-          | Net.Message.Query _ | Net.Message.Batch _ ->
+          | Net.Message.Query _ | Net.Message.Batch _ | Net.Message.Raw _ ->
               [])
     end
   in
@@ -476,7 +476,7 @@ let handler session peer : Net.Network.handler =
         rules;
       Net.Message.Ack
   | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
-  | Net.Message.Batch _ ->
+  | Net.Message.Batch _ | Net.Message.Raw _ ->
       (* Batches belong to the queued reactor; the synchronous
          request/response pair cannot carry several answers back. *)
       Net.Message.Ack

@@ -14,6 +14,9 @@ type denial_class =
   | Budget
   | Cycle
   | Quiescent
+  | Quarantined
+  | Rate_limited
+  | Quota
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -30,6 +33,9 @@ let classify_denial reason =
   else if String.equal reason "message budget exhausted" then Budget
   else if String.equal reason "negotiation cycle" then Cycle
   else if String.equal reason "negotiation quiescent" then Quiescent
+  else if has_prefix ~prefix:"quarantined" reason then Quarantined
+  else if has_prefix ~prefix:"rate-limited" reason then Rate_limited
+  else if has_prefix ~prefix:"quota" reason then Quota
   else Policy
 
 let denial_class_to_string = function
@@ -39,12 +45,15 @@ let denial_class_to_string = function
   | Budget -> "budget"
   | Cycle -> "cycle"
   | Quiescent -> "quiescent"
+  | Quarantined -> "quarantined"
+  | Rate_limited -> "rate-limited"
+  | Quota -> "quota"
 
 (* Denials produced by transport failures rather than policy decisions. *)
 let transport_denial reason =
   match classify_denial reason with
   | Timeout | Unreachable | Budget -> true
-  | Policy | Cycle | Quiescent -> false
+  | Policy | Cycle | Quiescent | Quarantined | Rate_limited | Quota -> false
 
 type report = {
   outcome : outcome;

@@ -20,6 +20,9 @@ type denial_class =
   | Budget  (** the session's message budget ran out *)
   | Cycle  (** deadlocked release policies (negotiation cycle) *)
   | Quiescent  (** the queue drained without resolving the request *)
+  | Quarantined  (** rejected by a guard: requester's breaker is open *)
+  | Rate_limited  (** rejected by a guard: query rate above the limit *)
+  | Quota  (** rejected by a guard: resolution work quota spent *)
 
 val classify_denial : string -> denial_class
 (** Classify a [Denied] reason string.  The queued engine's resilience

@@ -17,7 +17,10 @@ type t = {
       (** certificate serial -> peer it was received from (absent for the
           peer's own certificates) *)
   externals : Sld.externals;
-  options : Sld.options;
+  mutable options : Sld.options;
+      (** evaluation limits; mutable so the reactor can cap [max_steps]
+          for the duration of one requester's evaluation (the guard's
+          per-requester work quota) *)
   mutable active : (string * string) list;
       (** in-flight (requester, goal skeleton) pairs, for cross-peer cycle
           detection *)

@@ -56,20 +56,32 @@ let save session ~dir =
     peers;
   write_file (Filename.concat dir "world.meta") (Buffer.contents meta)
 
+(* Loading must survive a corrupt world directory: a truncated meta
+   file, garbage rule or wallet files, unreadable entries — every
+   failure is a structured [Bad_world] naming the file and (where a
+   parser is involved) the offending line, never an exception. *)
 let load ?config ?seed ~dir () =
   let meta_path = Filename.concat dir "world.meta" in
   if not (Sys.file_exists meta_path) then
     Error (Bad_world "missing world.meta")
   else begin
-    match String.split_on_char '\n' (read_file meta_path) with
+    match read_file meta_path with
+    | exception Sys_error m -> Error (Bad_world m)
+    | exception End_of_file ->
+        Error (Bad_world "world.meta: truncated file")
+    | meta_contents -> (
+    match String.split_on_char '\n' meta_contents with
     | first :: rest when String.equal (String.trim first) magic -> (
-        let parse_line line =
+        let parse_line lineno line =
           let line = String.trim line in
+          let err msg =
+            Error (Bad_world (Printf.sprintf "world.meta line %d: %s" lineno msg))
+          in
           if line = "" then Ok None
           else if String.length line > 6 && String.sub line 0 6 = "peer: " then begin
             let payload = String.sub line 6 (String.length line - 6) in
             match String.index_opt payload ' ' with
-            | None -> Error (Bad_world ("bad index line: " ^ line))
+            | None -> err ("bad index line: " ^ line)
             | Some i -> (
                 let idx = String.sub payload 0 i in
                 let name_hex =
@@ -77,19 +89,20 @@ let load ?config ?seed ~dir () =
                 in
                 match (int_of_string_opt idx, string_of_hex name_hex) with
                 | Some idx, Some name -> Ok (Some (idx, name))
-                | _, _ -> Error (Bad_world ("bad index line: " ^ line)))
+                | _, _ -> err ("bad index line: " ^ line))
           end
-          else Error (Bad_world ("unrecognised line: " ^ line))
+          else err ("unrecognised line: " ^ line)
         in
-        let rec collect acc = function
+        let rec collect acc lineno = function
           | [] -> Ok (List.rev acc)
           | line :: rest -> (
-              match parse_line line with
-              | Ok None -> collect acc rest
-              | Ok (Some entry) -> collect (entry :: acc) rest
+              match parse_line lineno line with
+              | Ok None -> collect acc (lineno + 1) rest
+              | Ok (Some entry) -> collect (entry :: acc) (lineno + 1) rest
               | Error e -> Error e)
         in
-        match collect [] rest with
+        (* The magic header is line 1; entries start on line 2. *)
+        match collect [] 2 rest with
         | Error e -> Error e
         | Ok entries -> (
             let session = Session.create ?config ?seed () in
@@ -104,6 +117,7 @@ let load ?config ?seed ~dir () =
                   Session.add_peer session ~program:(read_file program_path)
                     name
                 with
+                | exception Sys_error m -> Error (Bad_world m)
                 | exception Peertrust_dlp.Parser.Error (m, l, _) ->
                     Error
                       (Bad_world
@@ -115,6 +129,7 @@ let load ?config ?seed ~dir () =
                     if not (Sys.file_exists wallet_path) then Ok ()
                     else
                       match Crypto.Wire.decode_many (read_file wallet_path) with
+                      | exception Sys_error m -> Error (Bad_world m)
                       | Ok certs ->
                           List.iter (Peer.add_cert peer) certs;
                           Ok ()
@@ -136,7 +151,7 @@ let load ?config ?seed ~dir () =
             | Ok () ->
                 Engine.attach_all session;
                 Ok session))
-    | _ -> Error (Bad_world "bad magic line")
+    | _ -> Error (Bad_world "world.meta line 1: bad magic line"))
   end
 
 let pp_error fmt (Bad_world msg) = Format.fprintf fmt "bad world: %s" msg

@@ -25,6 +25,10 @@ val load :
   ?config:Session.config -> ?seed:int64 -> dir:string -> unit ->
   (Session.t, error) result
 (** Rebuild a session from a world directory: peers, programs, wallets;
-    handlers attached. *)
+    handlers attached.  Total over corrupt input: a missing or truncated
+    index, unreadable files, garbage [.pt]/[.wallet] contents all come
+    back as [Error (Bad_world reason)] — with the reason naming the file
+    and offending line where a parser is involved — never an
+    exception. *)
 
 val pp_error : Format.formatter -> error -> unit

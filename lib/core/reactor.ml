@@ -16,7 +16,13 @@ let m_drops = Obs.counter "reactor.drops"
 let m_retries = Obs.counter "reactor.retries"
 let m_timeouts = Obs.counter "reactor.timeouts"
 let m_dup_deliveries = Obs.counter "reactor.dup_deliveries"
+let m_dedup_evictions = Obs.counter "reactor.dedup_evictions"
 let h_steps = Obs.histogram "reactor.steps_per_run"
+
+(* The SLD step counter, shared with the solver through the registry:
+   the delta around an evaluation is the work charged against the
+   requester's guard quota. *)
+let m_sld_steps = Obs.counter "sld.steps"
 
 type config = {
   rto : int;  (* initial retransmission timeout, ticks *)
@@ -28,9 +34,13 @@ type config = {
   batch : bool;
   (* coalesce same-tick sub-queries to one peer into a single Batch
      envelope *)
+  dedup_cap : int;
+  (* capacity of the delivered-envelope-id dedup set; past it the
+     oldest ids are forgotten (counted as reactor.dedup_evictions) *)
 }
 
-let default_config = { rto = 8; retry_limit = 3; cache = None; batch = false }
+let default_config =
+  { rto = 8; retry_limit = 3; cache = None; batch = false; dedup_cap = 8192 }
 
 type parked = {
   pk_peer : string;  (* the peer holding the goal *)
@@ -59,9 +69,11 @@ end)
 type t = {
   session : Session.t;
   config : config;
+  guard : Guard.t;
+  adversaries : (string, Net.Adversary.t) Hashtbl.t;
   mutable dq : Net.Envelope.t Dq.t;
   mutable next_synth : int;  (* ids for locally synthesized messages, < 0 *)
-  seen : (int, unit) Hashtbl.t;  (* delivered envelope ids (dedup) *)
+  seen : Net.Dedup.t;  (* delivered envelope ids (bounded dedup) *)
   timers : (string * string * string, timer) Hashtbl.t;
   (* (peer, target, goal key) -> resolved? — each sub-query is posted at
      most once per asking peer. *)
@@ -90,12 +102,21 @@ let create ?(config = default_config) session =
       Net.Network.register session.Session.network name (fun ~from:_ _ ->
           Net.Message.Ack))
     session.Session.peers;
+  let verify =
+    if session.Session.config.Session.verify_signatures then fun c ->
+      Peertrust_crypto.Cert.verify session.Session.keystore
+        ~now:session.Session.config.Session.now c
+      = Ok ()
+    else fun _ -> true
+  in
   {
     session;
     config;
+    guard = Guard.create ~config:session.Session.config.Session.guard ~verify ();
+    adversaries = Hashtbl.create 4;
     dq = Dq.empty;
     next_synth = -1;
-    seen = Hashtbl.create 64;
+    seen = Net.Dedup.create ~cap:config.dedup_cap;
     timers = Hashtbl.create 16;
     pending = Hashtbl.create 64;
     answers = Hashtbl.create 64;
@@ -147,7 +168,7 @@ let post ?attempt t ~from ~target payload =
               (Net.Message.Deny { goal; reason = "unreachable" })
         | Net.Message.Batch payloads -> List.iter unreachable payloads
         | Net.Message.Answer _ | Net.Message.Deny _
-        | Net.Message.Disclosure _ | Net.Message.Ack ->
+        | Net.Message.Disclosure _ | Net.Message.Ack | Net.Message.Raw _ ->
             Metric.incr m_drops;
             Otracer.event (Obs.tracer ())
               (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
@@ -273,14 +294,36 @@ let resolve t pkey =
   Hashtbl.remove t.timers pkey
 
 (* Evaluate a goal at a peer with a collecting remote callback; either
-   respond (true) or report the blocked sub-goals (false). *)
+   respond (true) or report the blocked sub-goals (false).  Work is done
+   on [requester]'s behalf: each inner solve is capped at the
+   requester's unspent guard quota and the steps actually burnt are
+   charged against it. *)
 let evaluate_goal t peer ~requester goal ~respond =
   let blocked = ref [] in
   let collector ~target lit =
     blocked := (target, lit) :: !blocked;
     []
   in
-  match Engine.answer ~remote:collector t.session peer ~requester goal with
+  let answer () =
+    let remaining =
+      Guard.remaining_work t.guard ~from:requester ~target:peer.Peer.name
+    in
+    if remaining = max_int then
+      Engine.answer ~remote:collector t.session peer ~requester goal
+    else begin
+      let saved = peer.Peer.options in
+      peer.Peer.options <-
+        { saved with Sld.max_steps = min remaining saved.Sld.max_steps };
+      let before = Metric.value m_sld_steps in
+      Fun.protect
+        ~finally:(fun () ->
+          peer.Peer.options <- saved;
+          Guard.charge_work t.guard ~from:requester ~target:peer.Peer.name
+            (Metric.value m_sld_steps - before))
+        (fun () -> Engine.answer ~remote:collector t.session peer ~requester goal)
+    end
+  in
+  match answer () with
   | Ok (instances, certs) ->
       respond (Net.Message.Answer { goal; instances; certs });
       `Settled
@@ -314,12 +357,14 @@ let evaluate_goal t peer ~requester goal ~respond =
 let settle_request t id outcome =
   if not (Hashtbl.mem t.results id) then Hashtbl.replace t.results id outcome
 
-(* A transport-level denial (injected by the resilience machinery, not by
-   the target's policies) surfaces as a structured outcome reason. *)
+(* A transport-level denial (injected by the resilience machinery, not
+   by the target's policies) or a guard rejection surfaces as a
+   structured outcome reason. *)
 let denial_reason t ~target pkey =
   match Hashtbl.find_opt t.denials pkey with
-  | Some (("timeout" | "unreachable") as transport) ->
-      Printf.sprintf "%s: %s" transport target
+  | Some (("timeout" | "unreachable" | "quarantined" | "rate-limited" | "quota")
+          as structured) ->
+      Printf.sprintf "%s: %s" structured target
   | Some _ | None -> "denied by target"
 
 (* Try to settle one parked goal; [true] when it is resolved. *)
@@ -415,7 +460,11 @@ let rec dispatch t ~synthetic (from, target, payload) =
           reevaluate t target
       | Net.Message.Batch payloads ->
           List.iter (fun p -> dispatch t ~synthetic (from, target, p)) payloads
-      | Net.Message.Ack -> ())
+      | Net.Message.Ack -> ()
+      | Net.Message.Raw _ ->
+          (* Garbage on the wire: without a guard there is nothing to do
+             with it; the guard layer rejects it before dispatch. *)
+          ())
 
 let submit t ~requester ~target goal =
   let id = t.next_request in
@@ -482,18 +531,71 @@ let fire_timer t ((peer, target, _key) as pkey) tm =
       (Net.Message.Deny { goal = tm.tm_goal; reason = "timeout" })
   end
 
+(* The guard's solicitation oracle: does [target] have this sub-query
+   outstanding toward [from]? *)
+let solicited_by t ~from ~target goal =
+  match Hashtbl.find_opt t.pending (target, from, goal_key goal) with
+  | None -> `Unknown
+  | Some resolved -> if !resolved then `Resolved else `Outstanding
+
+(* A rejected query still owes its sender a reply — the honest reading
+   of a rejection is a denial, and an honest requester that trips a
+   limit must terminate with a structured outcome rather than hang.
+   One Deny per query inside the payload (1:1, no amplification);
+   rejected non-query payloads are dropped silently. *)
+let reject_payload t ~from ~target violation payload =
+  let reason = Guard.denial_reason violation in
+  let rec deny = function
+    | Net.Message.Query { goal } ->
+        post t ~from:target ~target:from (Net.Message.Deny { goal; reason })
+    | Net.Message.Batch payloads -> List.iter deny payloads
+    | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
+    | Net.Message.Ack | Net.Message.Raw _ ->
+        ()
+  in
+  deny payload
+
+(* Inbound traffic for a registered adversary: let it misbehave in
+   response. *)
+let dispatch_adversary t adv ~from payload =
+  List.iter
+    (fun { Net.Adversary.act_target; act_payload } ->
+      post t ~from:(Net.Adversary.name adv) ~target:act_target act_payload)
+    (Net.Adversary.react adv ~from payload)
+
 let deliver_envelope t env =
   clock_to t env.Net.Envelope.deliver_at;
-  if Hashtbl.mem t.seen env.Net.Envelope.id then begin
+  if Net.Dedup.mem t.seen env.Net.Envelope.id then begin
     Metric.incr m_dup_deliveries;
     Otracer.event (Obs.tracer ())
       (Printf.sprintf "reactor.duplicate %s" (Net.Envelope.summary env))
   end
   else begin
-    Hashtbl.add t.seen env.Net.Envelope.id ();
-    dispatch t
-      ~synthetic:(env.Net.Envelope.id < 0)
-      (env.Net.Envelope.from_, env.Net.Envelope.target, env.Net.Envelope.payload)
+    if Net.Dedup.add t.seen env.Net.Envelope.id then
+      Metric.incr m_dedup_evictions;
+    let from = env.Net.Envelope.from_ in
+    let target = env.Net.Envelope.target in
+    let payload = env.Net.Envelope.payload in
+    match Hashtbl.find_opt t.adversaries target with
+    | Some adv -> dispatch_adversary t adv ~from payload
+    | None ->
+        (* Synthetic envelopes (ids < 0) are the reactor's own bookkeeping
+           — cache replays, timeout/unreachable denials — and bypass the
+           guard; everything that travelled the wire is judged first. *)
+        if env.Net.Envelope.id < 0 || not (Hashtbl.mem t.session.Session.peers target)
+        then dispatch t ~synthetic:(env.Net.Envelope.id < 0) (from, target, payload)
+        else
+          match
+            Guard.admit t.guard ~now:(now t) ~from ~target
+              ~solicited:(solicited_by t ~from ~target)
+              payload
+          with
+          | Guard.Admit -> dispatch t ~synthetic:false (from, target, payload)
+          | Guard.Stale why ->
+              Otracer.event (Obs.tracer ())
+                (Printf.sprintf "guard.stale %s -> %s: %s" from target why)
+          | Guard.Reject violation ->
+              reject_payload t ~from ~target violation payload
   end
 
 (* Process the next event — a delivery or a timer, whichever is due
@@ -577,10 +679,32 @@ let outcome t id =
 
 let parked_count t = List.length t.parked
 let pending_timers t = Hashtbl.length t.timers
+let guard t = t.guard
+let dedup_evictions t = Net.Dedup.evictions t.seen
 
-let negotiate ?config ?max_steps session ~requester ~target goal =
+(* Register an adversary: give it a network identity (an inert handler,
+   so posts to it succeed) and queue its opening burst against
+   [targets] (default: every honest session peer). *)
+let add_adversary ?targets t adv =
+  let name = Net.Adversary.name adv in
+  Net.Network.register t.session.Session.network name (fun ~from:_ _ ->
+      Net.Message.Ack);
+  Hashtbl.replace t.adversaries name adv;
+  let targets =
+    match targets with
+    | Some l -> l
+    | None -> Session.peer_names t.session
+  in
+  List.iter
+    (fun { Net.Adversary.act_target; act_payload } ->
+      post t ~from:name ~target:act_target act_payload)
+    (Net.Adversary.burst adv ~targets)
+
+let negotiate ?config ?max_steps ?(adversaries = []) session ~requester
+    ~target goal =
   Negotiation.measure session (fun () ->
       let t = create ?config session in
+      List.iter (add_adversary t) adversaries;
       let id = submit t ~requester ~target goal in
       ignore (run ?max_steps t);
       outcome t id)

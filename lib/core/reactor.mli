@@ -50,7 +50,25 @@
     {!config}[.batch] set, the sub-queries one goal evaluation emits
     towards the same peer travel as one {!Peertrust_net.Message.Batch}
     envelope.  Both default off; the default configuration's fault-free
-    transcripts are byte-identical to the cache-less engine. *)
+    transcripts are byte-identical to the cache-less engine.
+
+    {2 Guards and adversaries}
+
+    Every envelope that travelled the wire is judged by the session's
+    {!Guard} before dispatch (synthetic reactor bookkeeping — cache
+    replays, timeout denials — bypasses it).  A rejected query is
+    answered with a [Deny] carrying the guard's structured reason
+    ([quarantined]/[rate-limited]/[quota]/...), one reply per query so a
+    flood cannot amplify; other rejected payloads are dropped.  The
+    guard's work quota caps {!Peertrust_dlp.Sld.options} [max_steps]
+    while a requester's goal is evaluated and is charged with the solver
+    steps actually burnt.  With the default {!Guard.permissive} config
+    every payload is admitted and transcripts are unchanged.
+
+    {!add_adversary} attaches a misbehaving {!Peertrust_net.Adversary}:
+    it gets a network identity, opens with a burst against the honest
+    peers, and reacts to whatever it is sent until its action budget is
+    spent. *)
 
 open Peertrust_dlp
 
@@ -75,12 +93,17 @@ type config = {
           towards one peer into a single {!Peertrust_net.Message.Batch}
           envelope.  Off by default: batching changes the transcript
           shape (fewer, larger envelopes). *)
+  dedup_cap : int;
+      (** capacity of the delivered-envelope-id dedup set; past it the
+          oldest ids are forgotten, counted as
+          [reactor.dedup_evictions] *)
 }
 
 val default_config : config
-(** [{ rto = 8; retry_limit = 3; cache = None; batch = false }] — a
-    sub-query is abandoned as timed out after 8 + 16 + 32 + 64 unanswered
-    ticks; caching and batching are opt-in. *)
+(** [{ rto = 8; retry_limit = 3; cache = None; batch = false;
+    dedup_cap = 8192 }] — a sub-query is abandoned as timed out after
+    8 + 16 + 32 + 64 unanswered ticks; caching and batching are
+    opt-in. *)
 
 val create : ?config:config -> Session.t -> t
 (** The reactor replaces the peers' network handlers; create it after all
@@ -116,9 +139,23 @@ val parked_count : t -> int
 val pending_timers : t -> int
 (** Outstanding retransmission timers (for tests/monitoring). *)
 
+val guard : t -> Guard.t
+(** The guard instance judging this reactor's inbound traffic (built
+    from [Session.config.guard]); inspect it after a run for breaker
+    states and quarantined peers. *)
+
+val dedup_evictions : t -> int
+(** Ids forgotten by this reactor's bounded dedup set. *)
+
+val add_adversary :
+  ?targets:string list -> t -> Peertrust_net.Adversary.t -> unit
+(** Register a misbehaving peer on the session network and queue its
+    opening burst against [targets] (default: all session peers). *)
+
 val negotiate :
   ?config:config ->
   ?max_steps:int ->
+  ?adversaries:Peertrust_net.Adversary.t list ->
   Session.t ->
   requester:string ->
   target:string ->

@@ -4,6 +4,7 @@ type config = {
   verify_signatures : bool;
   attach_proofs : bool;
   now : int;
+  guard : Guard.config;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     verify_signatures = true;
     attach_proofs = false;
     now = 0;
+    guard = Guard.permissive;
   }
 
 type t = {

@@ -12,6 +12,10 @@ type config = {
   attach_proofs : bool;
       (** attach (redacted) proof traces to answers *)
   now : int;  (** certificate validity instant *)
+  guard : Guard.config;
+      (** inbound-guard and admission-control limits applied by the
+          queued reactor at each peer's boundary; {!Guard.permissive}
+          (disabled) by default so unguarded transcripts are unchanged *)
 }
 
 val default_config : config

@@ -51,18 +51,22 @@ let hex_to_bignum h =
   | Some bytes_str -> Some (Bignum.of_bytes_be (Bytes.of_string bytes_str))
   | None -> None
 
-let decode_block lines =
-  let err msg = Error (Malformed msg) in
+(* Lines travel as [(lineno, content)] pairs so every diagnostic can
+   name the offending line of the source text. *)
+let err_at lineno msg =
+  Error (Malformed (Printf.sprintf "line %d: %s" lineno msg))
+
+let decode_block ~start lines =
   let int_field name lines =
     match lines with
-    | line :: rest -> (
+    | (n, line) :: rest -> (
         match parse_field ~name line with
         | Some v -> (
             match int_of_string_opt v with
             | Some i -> Ok (i, rest)
-            | None -> err (name ^ ": not an integer"))
-        | None -> err ("expected " ^ name))
-    | [] -> err ("missing " ^ name)
+            | None -> err_at n (name ^ ": not an integer"))
+        | None -> err_at n ("expected " ^ name))
+    | [] -> err_at start ("missing " ^ name)
   in
   match int_field "serial" lines with
   | Error e -> Error e
@@ -74,22 +78,22 @@ let decode_block lines =
           | Error e -> Error e
           | Ok (not_after, lines) -> (
               match lines with
-              | rule_line :: rest -> (
+              | (n, rule_line) :: rest -> (
                   match parse_field ~name:"rule" rule_line with
-                  | None -> err "expected rule"
+                  | None -> err_at n "expected rule"
                   | Some rule_src -> (
                       match Peertrust_dlp.Parser.parse_rule rule_src with
                       | exception Peertrust_dlp.Parser.Error (m, _, _) ->
-                          err ("bad rule: " ^ m)
+                          err_at n ("bad rule: " ^ m)
                       | rule ->
                           let rec sigs acc = function
                             | [] -> Ok (List.rev acc)
-                            | line :: rest -> (
+                            | (n, line) :: rest -> (
                                 match parse_field ~name:"sig" line with
-                                | None -> err "expected sig line"
+                                | None -> err_at n "expected sig line"
                                 | Some v -> (
                                     match String.index_opt v ':' with
-                                    | None -> err "sig: missing ':'"
+                                    | None -> err_at n "sig: missing ':'"
                                     | Some i -> (
                                         let name_hex = String.sub v 0 i in
                                         let sig_hex =
@@ -102,7 +106,7 @@ let decode_block lines =
                                         with
                                         | Some issuer, Some signature ->
                                             sigs ((issuer, signature) :: acc) rest
-                                        | _, _ -> err "sig: bad hex")))
+                                        | _, _ -> err_at n "sig: bad hex")))
                           in
                           (match sigs [] rest with
                           | Error e -> Error e
@@ -115,27 +119,29 @@ let decode_block lines =
                                   not_after;
                                   signatures;
                                 })))
-              | [] -> err "missing rule")))
+              | [] -> err_at start "missing rule")))
 
 let split_blocks src =
   let lines =
     String.split_on_char '\n' src
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
-  let rec go acc current in_block = function
-    | [] -> if in_block then Error (Malformed "missing END") else Ok (List.rev acc)
-    | line :: rest ->
+  let rec go acc current start in_block = function
+    | [] ->
+        if in_block then Error (Malformed "unexpected end of input: missing END")
+        else Ok (List.rev acc)
+    | (n, line) :: rest ->
         if String.equal line header then
-          if in_block then Error (Malformed "nested BEGIN")
-          else go acc [] true rest
+          if in_block then err_at n "nested BEGIN"
+          else go acc [] n true rest
         else if String.equal line footer then
-          if in_block then go (List.rev current :: acc) [] false rest
-          else Error (Malformed "END without BEGIN")
-        else if in_block then go acc (line :: current) true rest
-        else Error (Malformed ("garbage outside certificate: " ^ line))
+          if in_block then go ((start, List.rev current) :: acc) [] 0 false rest
+          else err_at n "END without BEGIN"
+        else if in_block then go acc ((n, line) :: current) start true rest
+        else err_at n ("garbage outside certificate: " ^ line)
   in
-  go [] [] false lines
+  go [] [] 0 false lines
 
 let decode_many src =
   match split_blocks src with
@@ -143,8 +149,8 @@ let decode_many src =
   | Ok blocks ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)
-        | block :: rest -> (
-            match decode_block block with
+        | (start, block) :: rest -> (
+            match decode_block ~start block with
             | Ok c -> go (c :: acc) rest
             | Error e -> Error e)
       in

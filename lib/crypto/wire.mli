@@ -19,6 +19,9 @@
     round-trip. *)
 
 type error = Malformed of string
+(** Diagnostics name the offending line of the source text
+    (["line 4: sig: bad hex"]) so a corrupt wallet file points at its
+    damage. *)
 
 val encode : Cert.t -> string
 

@@ -2,15 +2,17 @@ module Obs = Peertrust_obs.Obs
 module Metric = Peertrust_obs.Metric
 module Otracer = Peertrust_obs.Tracer
 
-type options = { max_depth : int; max_solutions : int }
+type options = { max_depth : int; max_solutions : int; max_steps : int }
 
-let default_options = { max_depth = 64; max_solutions = 32 }
+let default_options =
+  { max_depth = 64; max_solutions = 32; max_steps = max_int }
 
 (* Always-on counters (a field update each); spans only when a tracer is
    installed. *)
 let m_queries = Obs.counter "sld.queries"
 let m_steps = Obs.counter "sld.steps"
 let m_depth_cutoffs = Obs.counter "sld.depth_cutoffs"
+let m_step_cutoffs = Obs.counter "sld.step_cutoffs"
 let m_solutions = Obs.counter "sld.solutions"
 let h_steps = Obs.histogram "sld.steps_per_query"
 
@@ -94,10 +96,18 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
   (* Remote dispatch is disabled inside negation-as-failure sub-proofs:
      absence of a remote answer is not evidence of falsity. *)
   let remote_enabled = ref true in
+  (* Resolution work budget: each [prove_one] call burns one unit of
+     fuel; at zero the remaining search space is abandoned (answers
+     found so far survive).  This is the per-requester work quota the
+     guard layer threads in — a bound on effort spent on one
+     counterparty's behalf, not a soundness device. *)
+  let fuel = ref options.max_steps in
   let rec prove_one goal depth ancestors k =
     Metric.incr m_steps;
-    if depth <= 0 then Metric.incr m_depth_cutoffs
-    else
+    if !fuel <= 0 then Metric.incr m_step_cutoffs
+    else if depth <= 0 then Metric.incr m_depth_cutoffs
+    else begin
+      decr fuel;
       let goal = strip_self (Literal.resolve st goal) in
       match Literal.naf_inner goal with
       | Some inner ->
@@ -197,6 +207,7 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                         List.iter use_instance (remote ~target:peer shipped)
                     | Some _ | None -> ())
               end))
+    end
   and prove_goals goals depth ancestors k =
     match goals with
     | [] -> k []

@@ -25,10 +25,19 @@
     Termination: a depth bound plus an ancestor check that fails any goal
     which is a variant of a goal already on its own call path. *)
 
-type options = { max_depth : int; max_solutions : int }
+type options = {
+  max_depth : int;
+  max_solutions : int;
+  max_steps : int;
+      (** resolution work budget: an upper bound on solver steps
+          ([prove_one] calls) per {!solve}; past it the remaining search
+          space is abandoned and the answers found so far are returned.
+          Used by the guard layer to cap the effort a peer spends on one
+          requester's behalf.  Cutoffs count into [sld.step_cutoffs]. *)
+}
 
 val default_options : options
-(** [{ max_depth = 64; max_solutions = 32 }] *)
+(** [{ max_depth = 64; max_solutions = 32; max_steps = max_int }] *)
 
 type answer = { subst : Subst.t; proofs : Trace.t list }
 (** One solution: the substitution (full, unrestricted) and one proof per

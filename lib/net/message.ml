@@ -14,6 +14,7 @@ type payload =
     }
   | Batch of payload list
   | Ack
+  | Raw of string
 
 let rec kind = function
   | Query _ -> Stats.Query
@@ -23,7 +24,7 @@ let rec kind = function
   (* A batch is one envelope; classify it by its first payload (in
      practice batches carry only queries). *)
   | Batch (p :: _) -> kind p
-  | Batch [] | Ack -> Stats.Other
+  | Batch [] | Ack | Raw _ -> Stats.Other
 
 let cert_size (c : Peertrust_crypto.Cert.t) =
   String.length (Peertrust_crypto.Cert.payload c)
@@ -52,9 +53,10 @@ let rec size = function
       + List.fold_left (fun acc r -> acc + rule_size r) 0 rules
   | Batch payloads -> 8 + List.fold_left (fun acc p -> acc + size p) 0 payloads
   | Ack -> 8
+  | Raw s -> 8 + String.length s
 
 let rec cert_count = function
-  | Query _ | Deny _ | Ack -> 0
+  | Query _ | Deny _ | Ack | Raw _ -> 0
   | Answer { certs; _ } | Disclosure { certs; _ } -> List.length certs
   | Batch payloads ->
       List.fold_left (fun acc p -> acc + cert_count p) 0 payloads
@@ -73,3 +75,4 @@ let rec summary = function
       Printf.sprintf "batch(%d): %s" (List.length payloads)
         (String.concat "; " (List.map summary payloads))
   | Ack -> "ack"
+  | Raw s -> Printf.sprintf "raw %d byte(s)" (String.length s)

@@ -27,6 +27,11 @@ type payload =
           envelope (the reactor's sub-query batching); pays one envelope
           of transport accounting for the whole group *)
   | Ack
+  | Raw of string
+      (** an uninterpreted byte string — honest peers never send one; the
+          adversary harness uses it to model garbage on the wire.  The
+          guard layer attempts {!Peertrust_crypto.Wire} decoding and
+          rejects it as malformed; an unguarded reactor ignores it. *)
 
 val kind : payload -> Stats.kind
 

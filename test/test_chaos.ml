@@ -299,6 +299,123 @@ let test_cache_equivalence_scenario2 () =
         (Answer_cache.invalidate_goal cache ~owner:"E-Learn"
            (Scenario.scenario2_goal_paid ())))
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial peers.  The headline invariant: with guards on, a sweep
+   of seeded misbehaving peers never costs an honest negotiation its
+   fault-free outcome, and every flooding/malformed adversary ends the
+   run quarantined.  With guards at the permissive default the run still
+   terminates (the adversary's action budget bounds the abuse). *)
+
+let slow =
+  match Sys.getenv_opt "CHECK_SLOW" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let adversary_seed_count = if slow then 100 else 40
+let guard_config = { Session.default_config with Session.guard = Guard.defaults }
+
+let mallory seed =
+  Net.Adversary.create ~seed ~name:"Mallory"
+    [ Net.Adversary.Flood 12; Net.Adversary.Malformed 4 ]
+
+let trudy seed =
+  Net.Adversary.create ~seed ~name:"Trudy"
+    [
+      Net.Adversary.Unsolicited 4;
+      Net.Adversary.Forged_certs;
+      Net.Adversary.Oversized 65536;
+      Net.Adversary.Bomb 40;
+      Net.Adversary.Replay;
+    ]
+
+let run_s1_with_adversaries ?(config = guard_config) adversaries =
+  let s = Scenario.scenario1 ~config ~key_bits () in
+  let reactor = Reactor.create s.Scenario.s1_session in
+  List.iter (Reactor.add_adversary reactor) adversaries;
+  let id =
+    Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+      (Scenario.scenario1_goal ())
+  in
+  let steps = Reactor.run ~max_steps:40_000 reactor in
+  (Reactor.outcome reactor id, steps, reactor)
+
+let test_adversary_sweep () =
+  let baseline, _, _, _ = run_s1 () in
+  Alcotest.(check bool) "fault-free baseline granted" true (granted baseline);
+  Pobs.Obs.reset_metrics ();
+  for seed = 1 to adversary_seed_count do
+    let adversaries =
+      [ mallory (Int64.of_int seed); trudy (Int64.of_int (seed + 5000)) ]
+    in
+    let outcome, steps, reactor =
+      try run_s1_with_adversaries adversaries with
+      | exn ->
+          Alcotest.failf "seed %d: uncaught exception %s" seed
+            (Printexc.to_string exn)
+    in
+    if steps >= 40_000 then Alcotest.failf "seed %d: hit step budget" seed;
+    (match outcome with
+    | Negotiation.Granted _ -> ()
+    | Negotiation.Denied r ->
+        Alcotest.failf "seed %d: honest negotiation denied: %s" seed r);
+    let offenders =
+      List.sort_uniq compare
+        (List.map snd (Guard.quarantined (Reactor.guard reactor)))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: Mallory quarantined" seed)
+      true
+      (List.mem "Mallory" offenders);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: Trudy quarantined" seed)
+      true
+      (List.mem "Trudy" offenders);
+    List.iter
+      (fun from ->
+        if from <> "Mallory" && from <> "Trudy" then
+          Alcotest.failf "seed %d: honest peer %s quarantined" seed from)
+      offenders;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: nothing parked" seed)
+      0 (Reactor.parked_count reactor)
+  done;
+  let snapshot = Pobs.Obs.snapshot () in
+  let count name = Pobs.Registry.counter_value snapshot name in
+  Alcotest.(check bool) "abuse rejected" true (count "guard.rejected" > 0);
+  Alcotest.(check bool) "quarantines recorded" true
+    (count "guard.quarantines" > 0);
+  Alcotest.(check bool) "adversaries acted" true
+    (count "adversary.actions" > 0)
+
+let test_unguarded_adversary_terminates () =
+  (* Guard permissive: the abuse lands, but the action budget still
+     bounds the run and the honest negotiation still grants. *)
+  let outcome, steps, reactor =
+    run_s1_with_adversaries ~config:Session.default_config
+      [ mallory 3L; trudy 4L ]
+  in
+  Alcotest.(check bool) "terminates" true (steps < 40_000);
+  Alcotest.(check bool) "honest goal still granted" true (granted outcome);
+  Alcotest.(check (list (pair string string))) "nothing quarantined" []
+    (Guard.quarantined (Reactor.guard reactor))
+
+let test_guard_defaults_honest_byte_identical () =
+  (* Guards on, no adversaries: honest scenario-1 traffic must not
+     change a single transcript byte relative to the permissive run. *)
+  let _, plain_steps, _, plain_net = run_s1 () in
+  let s = Scenario.scenario1 ~config:guard_config ~key_bits () in
+  let net = s.Scenario.s1_session.Session.network in
+  let reactor = Reactor.create s.Scenario.s1_session in
+  let id =
+    Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+      (Scenario.scenario1_goal ())
+  in
+  let steps = Reactor.run ~max_steps reactor in
+  Alcotest.(check bool) "granted" true (granted (Reactor.outcome reactor id));
+  Alcotest.(check (list string)) "transcript identical under guards"
+    (transcript_sig plain_net) (transcript_sig net);
+  Alcotest.(check int) "same steps" plain_steps steps
+
 let test_transcript_ring_buffer () =
   let net = Net.Network.create ~log_cap:8 () in
   Net.Network.register net "b" (fun ~from:_ _ -> Net.Message.Ack);
@@ -342,6 +459,15 @@ let () =
           tc "outage rides out on retries" test_outage_recovers_with_retries;
           tc "black hole times out" test_black_hole_times_out;
           tc "duplicates are idempotent" test_duplicates_are_idempotent;
+        ] );
+      ( "adversaries",
+        [
+          tc "guarded sweep: honest outcome, adversaries quarantined"
+            test_adversary_sweep;
+          tc "unguarded adversaries terminate"
+            test_unguarded_adversary_terminates;
+          tc "guards on honest traffic are byte-identical"
+            test_guard_defaults_honest_byte_identical;
         ] );
       ( "bounds",
         [ tc "transcript ring buffer" test_transcript_ring_buffer ] );

@@ -572,7 +572,7 @@ let test_sld_max_solutions () =
   let kb = Kb.of_string "p(1). p(2). p(3). p(4)." in
   let answers =
     Sld.solve
-      ~options:{ Sld.max_depth = 10; max_solutions = 2 }
+      ~options:{ Sld.default_options with max_depth = 10; max_solutions = 2 }
       ~self:"peer" kb
       (Parser.parse_query "p(X)")
   in
@@ -582,7 +582,7 @@ let test_sld_max_depth () =
   let kb = Kb.of_string "n(z). n(s(X)) <- n(X)." in
   let answers =
     Sld.solve
-      ~options:{ Sld.max_depth = 5; max_solutions = 100 }
+      ~options:{ Sld.default_options with max_depth = 5; max_solutions = 100 }
       ~self:"peer" kb
       (Parser.parse_query "n(X)")
   in

@@ -183,7 +183,12 @@ let prop_forward_backward_agree =
         in
         let bwd =
           Sld.provable
-            ~options:{ Sld.max_depth = (2 * (n + List.length edges)) + 8; max_solutions = 1 }
+            ~options:
+              {
+                Sld.default_options with
+                max_depth = (2 * (n + List.length edges)) + 8;
+                max_solutions = 1;
+              }
             ~self:"p" kb
             (Parser.parse_query goal)
         in
@@ -306,7 +311,7 @@ let prop_three_paradigms_agree =
                     fwd_set
                 in
                 Sld.provable
-                  ~options:{ Sld.max_depth = 64; max_solutions = 1 }
+                  ~options:{ Sld.default_options with max_depth = 64; max_solutions = 1 }
                   ~self:"p" kb_base (Parser.parse_query text)
                 = in_fwd)
               consts)
@@ -582,6 +587,68 @@ let prop_qel_total =
       (function Invalid_argument _ -> true | _ -> false);
     ]
 
+(* The wire codec under hostile input: decoding inverts encoding for
+   generated certificates, and no amount of byte-level damage to a valid
+   wallet makes the decoder raise — it is what the inbound guard runs on
+   every raw blob an adversary sends. *)
+
+let cert_of_rule ?(serial = 7) rule =
+  {
+    Crypto.Cert.serial;
+    rule;
+    not_before = 0;
+    not_after = 1000 + serial;
+    signatures =
+      [ ("Issuer: odd/name", Crypto.Bignum.of_int (424242 + serial)) ];
+  }
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire: decode inverts encode" ~count:(scale 60)
+    arb_rule (fun r ->
+      let cert = cert_of_rule r in
+      match Crypto.Wire.decode (Crypto.Wire.encode cert) with
+      | Ok c -> Crypto.Wire.encode c = Crypto.Wire.encode cert
+      | Error _ -> false)
+
+let arb_wallet_damage =
+  QCheck.make
+    ~print:(fun (muts, trunc) ->
+      Printf.sprintf "muts=[%s] trunc=%s"
+        (String.concat ";"
+           (List.map (fun (p, c) -> Printf.sprintf "%d:%d" p c) muts))
+        (match trunc with Some n -> string_of_int n | None -> "-"))
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 12) (pair small_nat (int_range 0 255)))
+        (option small_nat))
+
+let prop_wire_mutated_total =
+  QCheck.Test.make
+    ~name:"fuzz: wire decoder is total on mutated wallets"
+    ~count:(scale 300) arb_wallet_damage (fun (muts, trunc) ->
+      let wallet =
+        Crypto.Wire.encode_many
+          [
+            cert_of_rule ~serial:1
+              (Parser.parse_rule {|cred("alice") @ "CA" signedBy ["CA"].|});
+            cert_of_rule ~serial:2
+              (Parser.parse_rule {|member("bob") signedBy ["Org"].|});
+          ]
+      in
+      let b = Bytes.of_string wallet in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Crypto.Wire.decode_many s with
+      | Ok _ | Error (Crypto.Wire.Malformed _) -> true
+      | exception _ -> false)
+
 let () =
   Alcotest.run "properties"
     [
@@ -613,7 +680,8 @@ let () =
             prop_subsumes_reflexive_on_instances;
           ] );
       ( "crypto",
-        List.map QCheck_alcotest.to_alcotest [ prop_cert_roundtrip ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cert_roundtrip; prop_wire_roundtrip ] );
       ( "fuzz",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -621,6 +689,7 @@ let () =
             prop_query_parser_total;
             prop_turtle_total;
             prop_wire_total;
+            prop_wire_mutated_total;
             prop_qel_total;
           ] );
     ]

@@ -518,6 +518,173 @@ let test_reactor_batching () =
   Alcotest.(check bool) "a batch envelope on the wire" true
     (List.exists is_batch (Net.Network.transcript batch_net))
 
+(* ------------------------------------------------------------------ *)
+(* Inbound guard: structural checks, admission control and the circuit
+   breaker, driven directly with an explicit clock. *)
+
+module Crypto = Peertrust_crypto
+
+let guard_cfg =
+  {
+    Guard.defaults with
+    Guard.rate = 3;
+    rate_window = 8;
+    quota = 100;
+    quarantine_after = 2;
+    violation_window = 64;
+    quarantine_ticks = 10;
+  }
+
+let mk_guard () = Guard.create ~config:guard_cfg ~verify:(fun _ -> true) ()
+let garbage = Net.Message.Raw "not a certificate"
+let probe = Net.Message.Query { goal = lit "ping(1)" }
+
+let test_guard_breaker_transitions () =
+  let g = mk_guard () in
+  let admit ~now p = Guard.admit g ~now ~from:"mal" ~target:"owner" p in
+  let breaker () = Guard.breaker_state g ~from:"mal" ~target:"owner" in
+  (* Two violations inside the window trip the breaker... *)
+  (match admit ~now:0 garbage with
+  | Guard.Reject (Guard.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage must be rejected");
+  ignore (admit ~now:1 garbage);
+  (match breaker () with
+  | Guard.Open { until } -> Alcotest.(check int) "open until" 11 until
+  | _ -> Alcotest.fail "breaker should be open");
+  Alcotest.(check (list (pair string string))) "pair listed as quarantined"
+    [ ("owner", "mal") ] (Guard.quarantined g);
+  (* ...everything is rejected while it is open... *)
+  (match admit ~now:5 Net.Message.Ack with
+  | Guard.Reject Guard.Quarantined -> ()
+  | _ -> Alcotest.fail "quarantine must reject even Ack");
+  (* ...a served quarantine moves to half-open, and a clean payload
+     during probation closes it again... *)
+  (match admit ~now:11 Net.Message.Ack with
+  | Guard.Admit -> ()
+  | _ -> Alcotest.fail "probation should admit a clean payload");
+  Alcotest.(check bool) "closed after recovery" true (breaker () = Guard.Closed);
+  (* ...and a violation during probation re-opens immediately. *)
+  ignore (admit ~now:20 garbage);
+  ignore (admit ~now:21 garbage);
+  (match admit ~now:31 garbage with
+  | Guard.Reject (Guard.Malformed _) -> ()
+  | _ -> Alcotest.fail "half-open garbage must be judged, not waved in");
+  match breaker () with
+  | Guard.Open { until } -> Alcotest.(check int) "re-opened until" 41 until
+  | _ -> Alcotest.fail "half-open violation must re-open"
+
+let test_guard_rate_limit () =
+  let g = mk_guard () in
+  let admit ~now = Guard.admit g ~now ~from:"req" ~target:"owner" probe in
+  for i = 1 to 3 do
+    match admit ~now:0 with
+    | Guard.Admit -> ()
+    | _ -> Alcotest.failf "query %d is within the rate" i
+  done;
+  (match admit ~now:0 with
+  | Guard.Reject Guard.Flooding -> ()
+  | _ -> Alcotest.fail "fourth same-tick query must be rate-limited");
+  (* Outside the sliding window the rate recovers. *)
+  match admit ~now:20 with
+  | Guard.Admit -> ()
+  | _ -> Alcotest.fail "rate must recover after the window"
+
+let test_guard_quota () =
+  let g = mk_guard () in
+  let remaining () = Guard.remaining_work g ~from:"req" ~target:"owner" in
+  Alcotest.(check int) "full quota" 100 (remaining ());
+  Guard.charge_work g ~from:"req" ~target:"owner" 100;
+  Alcotest.(check int) "quota spent" 0 (remaining ());
+  match Guard.admit g ~now:0 ~from:"req" ~target:"owner" probe with
+  | Guard.Reject Guard.Quota_exhausted -> ()
+  | _ -> Alcotest.fail "query beyond the quota must be rejected"
+
+let test_guard_solicitation () =
+  let g = mk_guard () in
+  let answer =
+    Net.Message.Answer { goal = lit "p(1)"; instances = []; certs = [] }
+  in
+  (match Guard.admit g ~now:0 ~from:"peer" ~target:"owner" answer with
+  | Guard.Reject (Guard.Unsolicited _) -> ()
+  | _ -> Alcotest.fail "spoofed answer must be rejected");
+  (match
+     Guard.admit g ~now:0 ~from:"peer" ~target:"owner"
+       ~solicited:(fun _ -> `Outstanding)
+       answer
+   with
+  | Guard.Admit -> ()
+  | _ -> Alcotest.fail "solicited answer must be admitted");
+  (match
+     Guard.admit g ~now:0 ~from:"peer" ~target:"owner"
+       ~solicited:(fun _ -> `Resolved)
+       answer
+   with
+  | Guard.Stale _ -> ()
+  | _ -> Alcotest.fail "late duplicate must be stale, not a violation")
+
+let test_guard_bad_cert_and_bomb () =
+  (* verify = always-false: any certificate is forged. *)
+  let g = Guard.create ~config:guard_cfg ~verify:(fun _ -> false) () in
+  let forged =
+    {
+      Crypto.Cert.serial = 9;
+      rule = Parser.parse_rule {|c("x") @ "CA" signedBy ["CA"].|};
+      not_before = 0;
+      not_after = 10;
+      signatures = [];
+    }
+  in
+  let answer =
+    Net.Message.Answer { goal = lit "p(1)"; instances = []; certs = [ forged ] }
+  in
+  (match
+     Guard.admit g ~now:0 ~from:"peer" ~target:"owner"
+       ~solicited:(fun _ -> `Outstanding)
+       answer
+   with
+  | Guard.Reject (Guard.Bad_cert _) -> ()
+  | _ -> Alcotest.fail "forged certificate must be rejected");
+  (* A goal with an absurd authority chain is a delegation bomb. *)
+  let deep =
+    Literal.make "boom"
+      ~auth:(List.init 40 (fun _ -> Term.str "peer"))
+      []
+  in
+  match
+    Guard.admit g ~now:0 ~from:"peer" ~target:"owner"
+      (Net.Message.Query { goal = deep })
+  with
+  | Guard.Reject (Guard.Bomb _) -> ()
+  | _ -> Alcotest.fail "delegation bomb must be rejected"
+
+let test_classify_guard_denials () =
+  let check_class reason expect =
+    Alcotest.(check string) reason expect
+      (Negotiation.denial_class_to_string (Negotiation.classify_denial reason));
+    Alcotest.(check bool)
+      (reason ^ ": guard denials are not transport denials")
+      false
+      (Negotiation.transport_denial reason)
+  in
+  check_class "quarantined: E-Learn" "quarantined";
+  check_class "rate-limited: E-Learn" "rate-limited";
+  check_class "quota: E-Learn" "quota";
+  Alcotest.(check string) "policy fallback" "policy"
+    (Negotiation.denial_class_to_string
+       (Negotiation.classify_denial "release policy not satisfied"))
+
+let test_dedup_bounded () =
+  let d = Net.Dedup.create ~cap:4 in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fresh id not evicting" false (Net.Dedup.add d i)
+  done;
+  Alcotest.(check bool) "remembered" true (Net.Dedup.mem d 1);
+  Alcotest.(check bool) "fifth id evicts the oldest" true (Net.Dedup.add d 5);
+  Alcotest.(check bool) "oldest forgotten" false (Net.Dedup.mem d 1);
+  Alcotest.(check bool) "newest remembered" true (Net.Dedup.mem d 5);
+  Alcotest.(check int) "length capped" 4 (Net.Dedup.length d);
+  Alcotest.(check int) "evictions counted" 1 (Net.Dedup.evictions d)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "reactor"
@@ -566,5 +733,15 @@ let () =
           tc "kb-update watcher" test_cache_watch_peer;
           tc "warm cross-session run" test_cache_warm_cross_session;
           tc "batched sub-queries" test_reactor_batching;
+        ] );
+      ( "guard",
+        [
+          tc "breaker open/half-open/close" test_guard_breaker_transitions;
+          tc "rate limit" test_guard_rate_limit;
+          tc "work quota" test_guard_quota;
+          tc "solicitation" test_guard_solicitation;
+          tc "bad certs and bombs" test_guard_bad_cert_and_bomb;
+          tc "denial classification" test_classify_guard_denials;
+          tc "bounded dedup set" test_dedup_bounded;
         ] );
     ]

@@ -259,6 +259,85 @@ let test_persist_missing_meta () =
   | Error (Persist.Bad_world _) -> ()
   | Ok _ -> Alcotest.fail "empty dir accepted"
 
+(* Corrupt worlds: every flavour of damage must come back as a
+   structured [Bad_world] naming the file (and line, where a parser is
+   involved) — never an exception. *)
+
+let write_raw path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let expect_bad_world ~substr result =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    n = 0 || go 0
+  in
+  match result with
+  | Ok _ -> Alcotest.fail "corrupt world loaded"
+  | Error (Persist.Bad_world m) ->
+      if not (contains m substr) then
+        Alcotest.failf "reason %S does not mention %S" m substr
+
+let saved_single_peer_world dir =
+  let session = Session.create () in
+  ignore (Session.add_peer session ~program:{|info(1) $ true.|} "owner");
+  Engine.attach_all session;
+  Persist.save session ~dir
+
+let test_persist_bad_magic () =
+  with_temp_dir @@ fun dir ->
+  Sys.mkdir dir 0o755;
+  write_raw (Filename.concat dir "world.meta") "who knows\n";
+  expect_bad_world ~substr:"world.meta line 1" (Persist.load ~dir ())
+
+let test_persist_truncated_meta () =
+  with_temp_dir @@ fun dir ->
+  Sys.mkdir dir 0o755;
+  write_raw (Filename.concat dir "world.meta") "";
+  expect_bad_world ~substr:"world.meta line 1" (Persist.load ~dir ())
+
+let test_persist_corrupt_meta_entry () =
+  with_temp_dir @@ fun dir ->
+  Sys.mkdir dir 0o755;
+  write_raw
+    (Filename.concat dir "world.meta")
+    "peertrust-world 1\npeer: zero 6f776e6572\n";
+  expect_bad_world ~substr:"world.meta line 2" (Persist.load ~dir ())
+
+let test_persist_missing_program () =
+  with_temp_dir @@ fun dir ->
+  saved_single_peer_world dir;
+  Sys.remove (Filename.concat dir "peer0.pt");
+  expect_bad_world ~substr:"missing peer0.pt" (Persist.load ~dir ())
+
+let test_persist_garbage_program () =
+  with_temp_dir @@ fun dir ->
+  saved_single_peer_world dir;
+  write_raw (Filename.concat dir "peer0.pt") "info(1 $ true.\nrule( <- junk";
+  expect_bad_world ~substr:"peer0.pt line" (Persist.load ~dir ())
+
+let test_persist_garbage_wallet () =
+  with_temp_dir @@ fun dir ->
+  saved_single_peer_world dir;
+  write_raw
+    (Filename.concat dir "peer0.wallet")
+    "-----BEGIN PEERTRUST CERTIFICATE-----\n\
+     serial: x\n\
+     -----END PEERTRUST CERTIFICATE-----\n";
+  expect_bad_world ~substr:"peer0.wallet: line 2" (Persist.load ~dir ())
+
+let test_persist_truncated_wallet () =
+  with_temp_dir @@ fun dir ->
+  saved_single_peer_world dir;
+  write_raw
+    (Filename.concat dir "peer0.wallet")
+    "-----BEGIN PEERTRUST CERTIFICATE-----\nserial: 4\n";
+  expect_bad_world ~substr:"peer0.wallet" (Persist.load ~dir ())
+
 let test_persist_odd_peer_names () =
   with_temp_dir @@ fun dir ->
   let session = Session.create () in
@@ -300,5 +379,15 @@ let () =
           tc "learned state survives" test_persist_preserves_learned_state;
           tc "missing meta" test_persist_missing_meta;
           tc "odd peer names" test_persist_odd_peer_names;
+        ] );
+      ( "persist corruption",
+        [
+          tc "bad magic" test_persist_bad_magic;
+          tc "truncated meta" test_persist_truncated_meta;
+          tc "corrupt meta entry" test_persist_corrupt_meta_entry;
+          tc "missing program" test_persist_missing_program;
+          tc "garbage program" test_persist_garbage_program;
+          tc "garbage wallet" test_persist_garbage_wallet;
+          tc "truncated wallet" test_persist_truncated_wallet;
         ] );
     ]
