@@ -11,6 +11,11 @@
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe --metrics-dir D write BENCH_<name>.json metric
                                     snapshots into directory D (default ".")
+     bench/main.exe diff [--baseline FILE | --against-seed NAME]
+                         [--tolerance R] [--inflate R] [--json] FRESH.json
+                                    regression-check a fresh snapshot
+                                    against a committed baseline; exits 1
+                                    on any out-of-band metric
 *)
 
 open Peertrust
@@ -1354,6 +1359,139 @@ let experiments =
     ("adversary", adversary_bench);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* diff: regression gate over BENCH_*.json snapshots *)
+
+let read_snapshot file =
+  let text =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  match Pobs.Export.metrics_of_string text with
+  | Ok snapshot -> snapshot
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" file msg;
+      exit 1
+
+(* Multiply every fresh value by [r] — the gate's self-test: a simulated
+   uniform slowdown the diff must catch. *)
+let inflate_snapshot r (s : Pobs.Registry.snapshot) =
+  let scale_hist (h : Pobs.Metric.histogram_snapshot) =
+    {
+      h with
+      Pobs.Metric.hs_sum = h.Pobs.Metric.hs_sum *. r;
+      hs_min = h.Pobs.Metric.hs_min *. r;
+      hs_max = h.Pobs.Metric.hs_max *. r;
+    }
+  in
+  {
+    Pobs.Registry.sn_counters =
+      List.map
+        (fun (n, v) -> (n, int_of_float (Float.of_int v *. r)))
+        s.Pobs.Registry.sn_counters;
+    sn_gauges = List.map (fun (n, v) -> (n, v *. r)) s.Pobs.Registry.sn_gauges;
+    sn_histograms =
+      List.map (fun (n, h) -> (n, scale_hist h)) s.Pobs.Registry.sn_histograms;
+  }
+
+let diff_usage () =
+  prerr_endline
+    "usage: bench diff [--baseline FILE | --against-seed NAME] [--tolerance \
+     R] [--inflate R] [--json] FRESH.json";
+  exit 2
+
+let run_diff rest =
+  let baseline = ref None in
+  let against_seed = ref None in
+  let tolerance = ref None in
+  let inflate = ref None in
+  let json = ref false in
+  let fresh_file = ref None in
+  let float_arg flag v =
+    match float_of_string_opt v with
+    | Some f when f > 0. -> f
+    | Some _ | None ->
+        Printf.eprintf "error: %s expects a positive number, got %S\n" flag v;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        parse rest
+    | "--against-seed" :: name :: rest ->
+        against_seed := Some name;
+        parse rest
+    | "--tolerance" :: r :: rest ->
+        tolerance := Some (float_arg "--tolerance" r);
+        parse rest
+    | "--inflate" :: r :: rest ->
+        inflate := Some (float_arg "--inflate" r);
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | file :: rest when !fresh_file = None && String.length file > 0
+                       && file.[0] <> '-' ->
+        fresh_file := Some file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "error: bench diff: unexpected argument %S\n" arg;
+        diff_usage ()
+  in
+  parse rest;
+  let fresh_file =
+    match !fresh_file with Some f -> f | None -> diff_usage ()
+  in
+  let baseline_file =
+    match (!baseline, !against_seed) with
+    | Some file, None -> file
+    | None, Some name ->
+        (* Prefer a committed seed baseline; fall back to the plain
+           artifact for ad-hoc before/after comparisons. *)
+        let seed = Printf.sprintf "BENCH_%s_seed.json" name in
+        if Sys.file_exists seed then seed
+        else Printf.sprintf "BENCH_%s.json" name
+    | Some _, Some _ ->
+        prerr_endline "error: --baseline and --against-seed are exclusive";
+        exit 2
+    | None, None -> diff_usage ()
+  in
+  let baseline = read_snapshot baseline_file in
+  let fresh = read_snapshot fresh_file in
+  let fresh =
+    match !inflate with None -> fresh | Some r -> inflate_snapshot r fresh
+  in
+  let spec =
+    match !tolerance with
+    | None -> Pobs.Diff.default_spec
+    | Some tol_ratio ->
+        {
+          Pobs.Diff.default_spec with
+          Pobs.Diff.sp_default =
+            { Pobs.Diff.default_tolerance with Pobs.Diff.tol_ratio };
+          sp_timing = { Pobs.Diff.timing_tolerance with Pobs.Diff.tol_ratio };
+        }
+  in
+  let report = Pobs.Diff.compare_snapshots ~spec ~baseline ~fresh () in
+  if !json then
+    print_endline (Pobs.Json.to_string (Pobs.Diff.report_to_json report))
+  else begin
+    Printf.printf "bench diff: %s (baseline) vs %s (fresh)%s\n" baseline_file
+      fresh_file
+      (match !inflate with
+      | Some r -> Printf.sprintf " [fresh inflated x%g]" r
+      | None -> "");
+    Format.printf "%a@." Pobs.Diff.pp_report report
+  end;
+  exit (if report.Pobs.Diff.r_ok then 0 else 1)
+
 (* Run one experiment with a fresh metrics registry and drop the snapshot
    as BENCH_<name>.json next to the tables (schema: Peertrust_obs.Registry). *)
 let with_metrics dir name f =
@@ -1377,7 +1515,10 @@ let () =
         split_args dir acc rest
     | a :: rest -> split_args dir (a :: acc) rest
   in
-  let dir, args = split_args None [] (List.tl (Array.to_list Sys.argv)) in
+  match List.tl (Array.to_list Sys.argv) with
+  | "diff" :: rest -> run_diff rest
+  | raw_args ->
+  let dir, args = split_args None [] raw_args in
   let dir = Option.value dir ~default:"." in
   match args with
   | [] ->

@@ -6,6 +6,7 @@
      forward    saturate a program (forward chaining) and print the facts
      negotiate  run a trust negotiation between peers loaded from files
      scenario   run one of the paper's built-in scenarios
+     trace      reconstruct cross-peer timelines from a span log
 *)
 
 open Cmdliner
@@ -35,14 +36,38 @@ let trace_out_arg =
     value
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Write a JSONL span log of the run here.")
+        ~doc:
+          "Write a JSONL span log of the run here (input format of the \
+           trace subcommand).")
+
+let trace_chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run here (loadable in \
+           chrome://tracing or Perfetto).")
+
+let trace_causal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-causal" ] ~docv:"FILE"
+        ~doc:
+          "Write a flat causal JSONL stream here: one record per span \
+           start, point event and span end, in tick order.")
 
 (* Reset the global metrics, install a tracer on the session clock when
    spans are wanted (a trace file or -v), and return the finaliser that
    writes the artifacts and, under -v, renders the span tree. *)
-let setup_obs ~verbose ~metrics_out ~trace_out session =
+let setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
+    session =
   Pobs.Obs.reset_metrics ();
-  let tracing = verbose || trace_out <> None in
+  let tracing =
+    verbose || trace_out <> None || trace_chrome <> None
+    || trace_causal <> None
+  in
   if tracing then begin
     let clock = Peertrust_net.Network.clock session.Session.network in
     Pobs.Obs.set_tracer
@@ -63,6 +88,18 @@ let setup_obs ~verbose ~metrics_out ~trace_out session =
         Printf.printf "trace: %d span(s) written to %s\n" (List.length spans)
           file)
       trace_out;
+    Option.iter
+      (fun file ->
+        write "chrome trace" file (fun file ->
+            Pobs.Export.write_spans_chrome file spans);
+        Printf.printf "chrome trace written to %s\n" file)
+      trace_chrome;
+    Option.iter
+      (fun file ->
+        write "causal stream" file (fun file ->
+            Pobs.Export.write_spans_causal file spans);
+        Printf.printf "causal stream written to %s\n" file)
+      trace_causal;
     Option.iter
       (fun file ->
         write "metrics" file (fun file ->
@@ -489,7 +526,8 @@ let forward_cmd =
 let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
       narrative mermaid wallet save_wallet save_world metrics_out trace_out
-      fault_opts cache_opts guard_opts adversary_specs =
+      trace_chrome trace_causal fault_opts cache_opts guard_opts
+      adversary_specs =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
     let guarded = guard_requested guard_opts in
@@ -536,7 +574,10 @@ let negotiate_cmd =
       install_faults session fault_opts
       || cache <> None || guarded || adversaries <> []
     in
-    let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
+    let finish_obs =
+      setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
+        session
+    in
     let report =
       (* Faulted (cached, guarded, adversarial) runs go through the
          queued reactor (the engine with retransmission, timeouts and the
@@ -651,8 +692,8 @@ let negotiate_cmd =
     Term.(
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
       $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
-      $ metrics_out_arg $ trace_out_arg $ fault_opts_term $ cache_opts_term
-      $ guard_opts_term $ adversary_arg)
+      $ metrics_out_arg $ trace_out_arg $ trace_chrome_arg $ trace_causal_arg
+      $ fault_opts_term $ cache_opts_term $ guard_opts_term $ adversary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -810,8 +851,8 @@ let analyze_cmd =
 (* scenario *)
 
 let scenario_cmd =
-  let run verbose name metrics_out trace_out fault_opts cache_opts guard_opts
-      adversary_specs repeat =
+  let run verbose name metrics_out trace_out trace_chrome trace_causal
+      fault_opts cache_opts guard_opts adversary_specs repeat =
     setup_logs verbose;
     if repeat < 1 then begin
       Printf.eprintf "error: --repeat must be >= 1\n";
@@ -857,7 +898,10 @@ let scenario_cmd =
       || cache <> None || guarded || adversaries <> []
     in
     let config = reactor_config_of_cache cache in
-    let finish_obs = setup_obs ~verbose ~metrics_out ~trace_out session in
+    let finish_obs =
+      setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
+        session
+    in
     Fun.protect ~finally:finish_obs (fun () ->
         for pass = 1 to repeat do
           if repeat > 1 then Printf.printf "%% pass %d\n" pass;
@@ -891,8 +935,109 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run one of the paper's built-in scenarios.")
     Term.(
       const run $ verbose_arg $ scenario_name $ metrics_out_arg
-      $ trace_out_arg $ fault_opts_term $ cache_opts_term $ guard_opts_term
-      $ adversary_arg $ repeat)
+      $ trace_out_arg $ trace_chrome_arg $ trace_causal_arg $ fault_opts_term
+      $ cache_opts_term $ guard_opts_term $ adversary_arg $ repeat)
+
+(* ------------------------------------------------------------------ *)
+(* trace: reconstruct cross-peer timelines from a span log *)
+
+let trace_cmd =
+  let run file trace_id json chrome_out causal_out =
+    let text =
+      try read_file file
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    match Pobs.Export.spans_of_jsonl text with
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" file msg;
+        exit 1
+    | Ok spans ->
+        let write what out f =
+          try f out
+          with Sys_error reason ->
+            Printf.eprintf "error: cannot write %s to %s (%s)\n" what out
+              reason;
+            exit 1
+        in
+        Option.iter
+          (fun out ->
+            write "chrome trace" out (fun out ->
+                Pobs.Export.write_spans_chrome out spans);
+            Printf.printf "chrome trace written to %s\n" out)
+          chrome_out;
+        Option.iter
+          (fun out ->
+            write "causal stream" out (fun out ->
+                Pobs.Export.write_spans_causal out spans);
+            Printf.printf "causal stream written to %s\n" out)
+          causal_out;
+        let timelines = Pobs.Timeline.build spans in
+        let timelines =
+          match trace_id with
+          | None -> timelines
+          | Some id ->
+              List.filter
+                (fun tl -> tl.Pobs.Timeline.tl_trace = id)
+                timelines
+        in
+        if timelines = [] then begin
+          (match trace_id with
+          | Some id -> Printf.eprintf "error: no trace %d in %s\n" id file
+          | None ->
+              Printf.eprintf "error: no traced spans in %s (%d span(s))\n"
+                file (List.length spans));
+          exit 1
+        end;
+        if json then
+          print_endline
+            (Pobs.Json.to_string
+               (Pobs.Json.List (List.map Pobs.Timeline.to_json timelines)))
+        else
+          List.iter
+            (fun tl -> print_string (Pobs.Timeline.to_string tl))
+            timelines
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Span log written by --trace-out (JSONL).")
+  in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace" ] ~docv:"ID"
+          ~doc:"Only render the timeline of this trace id.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the timelines as JSON instead of text.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:"Also convert the log to Chrome trace_event JSON here.")
+  in
+  let causal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "causal-out" ] ~docv:"FILE"
+          ~doc:"Also convert the log to a flat causal JSONL stream here.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Reconstruct cross-peer negotiation timelines — per-peer lanes, \
+          critical path, latency breakdown and anomaly flags — from a span \
+          log.")
+    Term.(const run $ file $ trace_id $ json $ chrome_out $ causal_out)
 
 let () =
   let info =
@@ -904,5 +1049,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; eval_cmd; forward_cmd; negotiate_cmd; analyze_cmd;
-            world_cmd; scenario_cmd;
+            world_cmd; scenario_cmd; trace_cmd;
           ]))

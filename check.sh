@@ -1,7 +1,8 @@
 #!/bin/sh
-# Pre-merge gate: build, test, formatting, and fixed-seed smoke runs.
-# CHECK_SLOW=1 additionally re-runs the property suite with 5x the
-# iteration counts.
+# Pre-merge gate: build, test, formatting, fixed-seed smoke runs, and the
+# bench-regression diff against committed seed baselines.  CHECK_SLOW=1
+# additionally re-runs the property suite with 5x the iteration counts
+# and diffs the full benchmark sweeps.
 set -eux
 
 dune build
@@ -12,7 +13,10 @@ dune build @fmt
 # and export non-empty fault metrics.
 metrics=$(mktemp)
 cache_metrics=$(mktemp)
-trap 'rm -f "$metrics" "$cache_metrics"' EXIT
+trace_a=$(mktemp)
+trace_b=$(mktemp)
+bench_dir=$(mktemp -d)
+trap 'rm -f "$metrics" "$cache_metrics" "$trace_a" "$trace_b"; rm -rf "$bench_dir"' EXIT
 ./_build/default/bin/main.exe scenario elearn \
   --fault-seed 7 --drop 0.15 --duplicate 0.1 --delay 0.2 --outage UIUC:3:9 \
   --metrics-out "$metrics" > /dev/null
@@ -38,11 +42,43 @@ fi
 # adversary escapes quarantine, or an honest peer is quarantined.
 ./_build/default/bench/main.exe adversary --smoke > /dev/null
 
-# Slow gate: the property suite again with raised iteration counts, the
-# full 100-seed adversary sweep, and the full resolution sweep (timed,
-# 5 runs per workload).
+# Trace smoke: a faulted scenario run with tracing on must produce an
+# identical span log on a re-run (determinism is what makes the artifact
+# diffable), and the trace subcommand must reconstruct a timeline with a
+# cross-peer critical path from it.
+./_build/default/bin/main.exe scenario elearn \
+  --fault-seed 7 --drop 0.15 --duplicate 0.1 --delay 0.2 \
+  --trace-out "$trace_a" > /dev/null
+./_build/default/bin/main.exe scenario elearn \
+  --fault-seed 7 --drop 0.15 --duplicate 0.1 --delay 0.2 \
+  --trace-out "$trace_b" > /dev/null
+cmp "$trace_a" "$trace_b"
+./_build/default/bin/main.exe trace "$trace_a" | grep -q 'critical path'
+./_build/default/bin/main.exe trace "$trace_a" | grep -q 'net.wire'
+
+# Bench-regression gate: the smoke resolution metrics must stay inside
+# the per-metric tolerance bands of the committed seed baseline, and the
+# diff tool must catch an injected 2x inflation (self-test).
+./_build/default/bench/main.exe resolution --smoke \
+  --metrics-dir "$bench_dir" > /dev/null
+./_build/default/bench/main.exe diff --against-seed resolution_smoke \
+  "$bench_dir/BENCH_resolution.json"
+if ./_build/default/bench/main.exe diff --against-seed resolution_smoke \
+  --inflate 2 "$bench_dir/BENCH_resolution.json" > /dev/null 2>&1; then
+  echo "bench diff: failed to flag an injected 2x regression" >&2
+  exit 1
+fi
+
+# Slow gate: the property suite again with raised iteration counts, then
+# the full benchmark sweeps diffed against their committed baselines.
 if [ "${CHECK_SLOW:-0}" != "0" ]; then
   CHECK_SLOW=1 ./_build/default/test/test_properties.exe
-  ./_build/default/bench/main.exe adversary
-  ./_build/default/bench/main.exe resolution
+  ./_build/default/bench/main.exe adversary chaos resolution \
+    --metrics-dir "$bench_dir"
+  ./_build/default/bench/main.exe diff --against-seed adversary \
+    "$bench_dir/BENCH_adversary.json"
+  ./_build/default/bench/main.exe diff --against-seed chaos \
+    "$bench_dir/BENCH_chaos.json"
+  ./_build/default/bench/main.exe diff --against-seed resolution \
+    "$bench_dir/BENCH_resolution.json"
 fi

@@ -1,6 +1,7 @@
 open Peertrust_dlp
 module Obs = Peertrust_obs.Obs
 module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
 
 let m_hits = Obs.counter "cache.hits"
 let m_misses = Obs.counter "cache.misses"
@@ -105,6 +106,10 @@ let invalidate_where t pred =
   let n = List.length doomed in
   t.invalidations <- t.invalidations + n;
   Metric.add m_invalidations n;
+  if n > 0 then
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "cache.invalidate %d entr%s" n
+         (if n = 1 then "y" else "ies"));
   n
 
 let invalidate_owner t owner =

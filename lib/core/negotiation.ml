@@ -105,10 +105,18 @@ let measure session run =
   let report =
     let tracer = Obs.tracer () in
     if Otracer.enabled tracer then
-      Otracer.with_span tracer "negotiation" (fun () ->
+      (* Each negotiation roots its own causal trace; the minted context
+         propagates on every message the engines send on its behalf. *)
+      let ctx = Otracer.mint tracer in
+      Otracer.with_span tracer ?ctx "negotiation" (fun () ->
           let r = measure_inner session run in
           Otracer.set_attr tracer "outcome"
             (Ojson.Str (if succeeded r then "granted" else "denied"));
+          (match r.outcome with
+          | Denied reason ->
+              Otracer.set_attr tracer "denial.class"
+                (Ojson.Str (denial_class_to_string (classify_denial reason)))
+          | Granted _ -> ());
           Otracer.set_attr tracer "messages" (Ojson.Int r.messages);
           Otracer.set_attr tracer "disclosures" (Ojson.Int r.disclosures);
           r)

@@ -3,6 +3,8 @@ module Net = Peertrust_net
 module Obs = Peertrust_obs.Obs
 module Metric = Peertrust_obs.Metric
 module Otracer = Peertrust_obs.Tracer
+module Ojson = Peertrust_obs.Json
+module Tctx = Peertrust_obs.Trace_context
 
 let src = Logs.Src.create "peertrust.reactor" ~doc:"PeerTrust queued engine"
 
@@ -56,6 +58,9 @@ type timer = {
   mutable tm_attempt : int;
   mutable tm_rto : int;
   mutable tm_next : int;  (* clock tick of the next retransmit/timeout *)
+  tm_trace : Tctx.t option;
+      (* trace context captured when the timer was armed, so retransmits
+         and timeout denials stay on the originating negotiation's trace *)
 }
 
 (* Delivery queue ordered by (deliver_at, envelope id): earliest delivery
@@ -131,10 +136,22 @@ let goal_key = Peer.goal_key
 let now t = Net.Clock.now (Net.Network.clock t.session.Session.network)
 let enqueue t env = t.dq <- Dq.add (env.Net.Envelope.deliver_at, env.Net.Envelope.id) env t.dq
 
+(* The trace context a message sent right now should carry: the innermost
+   open span's, [None] on untraced runs.  Callers that act on behalf of a
+   message received earlier (retransmits, timeout denials) pass the
+   context they captured instead. *)
+let ambient_trace () =
+  let tracer = Obs.tracer () in
+  if Otracer.enabled tracer then Otracer.current_context tracer else None
+
+let resolve_trace = function
+  | Some _ as explicit -> explicit
+  | None -> ambient_trace ()
+
 (* Enqueue a locally synthesized message (not charged on the network):
    the denial a sender owes itself when a target is unreachable or a
-   sub-query times out. *)
-let enqueue_synthetic t ~from ~target payload =
+   sub-query times out, or a cache replay. *)
+let enqueue_synthetic ?trace t ~from ~target payload =
   let id = t.next_synth in
   t.next_synth <- id - 1;
   let at = now t in
@@ -147,6 +164,7 @@ let enqueue_synthetic t ~from ~target payload =
       sent_at = at;
       deliver_at = at;
       attempt = 0;
+      trace = resolve_trace trace;
       payload;
     }
 
@@ -154,17 +172,19 @@ let enqueue_synthetic t ~from ~target payload =
    enqueue the surviving copies.  An unreachable target of a query turns
    into a synthetic denial; other payloads to unreachable peers are
    counted and traced as reactor drops. *)
-let post ?attempt t ~from ~target payload =
+let post ?attempt ?trace t ~from ~target payload =
   Metric.incr m_posts;
+  let trace = resolve_trace trace in
   match
-    Net.Network.post t.session.Session.network ~from ~target ?attempt payload
+    Net.Network.post t.session.Session.network ~from ~target ?attempt ?trace
+      payload
   with
   | envelopes -> List.iter (enqueue t) envelopes
   | exception Net.Network.Unreachable _ ->
       let rec unreachable payload =
         match payload with
         | Net.Message.Query { goal } ->
-            enqueue_synthetic t ~from:target ~target:from
+            enqueue_synthetic ?trace t ~from:target ~target:from
               (Net.Message.Deny { goal; reason = "unreachable" })
         | Net.Message.Batch payloads -> List.iter unreachable payloads
         | Net.Message.Answer _ | Net.Message.Deny _
@@ -187,7 +207,7 @@ let post ?attempt t ~from ~target payload =
 let resilient t =
   not (Net.Faults.is_none (Net.Network.faults t.session.Session.network))
 
-let arm_timer t ~peer ~target ~key goal =
+let arm_timer ?trace t ~peer ~target ~key goal =
   if resilient t then
     let pkey = (peer, target, key) in
     if not (Hashtbl.mem t.timers pkey) then
@@ -197,6 +217,7 @@ let arm_timer t ~peer ~target ~key goal =
           tm_attempt = 0;
           tm_rto = t.config.rto;
           tm_next = now t + t.config.rto;
+          tm_trace = resolve_trace trace;
         }
 
 (* Consult the answer cache (if configured) for a sub-query; [None] with
@@ -210,13 +231,13 @@ let cache_find t ~asker ~owner goal =
    cache hit short-circuits into a locally synthesized Answer (no
    envelope, no timer); a miss posts the query and arms its
    retransmission timer. *)
-let send_query t ~from ~target ~key goal =
+let send_query ?trace t ~from ~target ~key goal =
   match cache_find t ~asker:from ~owner:target goal with
   | Some a ->
       Otracer.event (Obs.tracer ())
         (Printf.sprintf "reactor.cache_hit %s -> %s: %s" from target
            (Literal.to_string goal));
-      enqueue_synthetic t ~from:target ~target:from
+      enqueue_synthetic ?trace t ~from:target ~target:from
         (Net.Message.Answer
            {
              goal;
@@ -224,14 +245,14 @@ let send_query t ~from ~target ~key goal =
              certs = a.Answer_cache.certs;
            })
   | None ->
-      post t ~from ~target (Net.Message.Query { goal });
-      arm_timer t ~peer:from ~target ~key goal
+      post ?trace t ~from ~target (Net.Message.Query { goal });
+      arm_timer ?trace t ~peer:from ~target ~key goal
 
 (* Post a sub-query, registering it as pending and arming its
    retransmission timer. *)
-let post_query t ~from ~target ~key goal =
+let post_query ?trace t ~from ~target ~key goal =
   Hashtbl.add t.pending (from, target, key) (ref false);
-  send_query t ~from ~target ~key goal
+  send_query ?trace t ~from ~target ~key goal
 
 (* Send a group of fresh sub-queries from one peer (pending entries
    already registered).  With batching on, cache misses bound for the
@@ -470,8 +491,39 @@ let submit t ~requester ~target goal =
   let id = t.next_request in
   t.next_request <- id + 1;
   let key = goal_key goal in
+  (* Root of the causal trace: join the ambient context (a surrounding
+     [Negotiation.measure] span) or mint a fresh trace, and record the
+     request itself as a zero-width span so every downstream span — on
+     any peer — hangs off one negotiation root. *)
+  let trace =
+    let tracer = Obs.tracer () in
+    if not (Otracer.enabled tracer) then None
+    else
+      let ctx =
+        match Otracer.current_context tracer with
+        | Some _ as ambient -> ambient
+        | None -> Otracer.mint tracer
+      in
+      match ctx with
+      | None -> None
+      | Some c -> (
+          match
+            Otracer.record tracer ~ctx:c
+              ~attrs:
+                [
+                  ("peer", Ojson.Str requester);
+                  ("requester", Ojson.Str requester);
+                  ("target", Ojson.Str target);
+                  ("goal", Ojson.Str key);
+                ]
+              ~name:"negotiation.request" ~start_ticks:(now t)
+              ~end_ticks:(now t) ()
+          with
+          | Some span -> Some (Tctx.child c ~parent_span:span.Peertrust_obs.Span.id)
+          | None -> Some c)
+  in
   if not (Hashtbl.mem t.pending (requester, target, key)) then
-    post_query t ~from:requester ~target ~key goal;
+    post_query ?trace t ~from:requester ~target ~key goal;
   let p =
     {
       pk_peer = requester;
@@ -502,33 +554,52 @@ let clock_to t tick =
    budget lasts, then give up and synthesize a timeout denial. *)
 let fire_timer t ((peer, target, _key) as pkey) tm =
   clock_to t tm.tm_next;
+  (* Timer work runs outside any negotiation span, so the captured
+     context re-attaches it to the originating trace; the retransmit
+     (resp. denial) is posted inside the span and inherits from it. *)
+  let in_span name body =
+    let tracer = Obs.tracer () in
+    if Otracer.enabled tracer then
+      Otracer.with_span tracer ?ctx:tm.tm_trace
+        ~attrs:
+          [
+            ("peer", Ojson.Str peer);
+            ("target", Ojson.Str target);
+            ("goal", Ojson.Str (goal_key tm.tm_goal));
+            ("attempt", Ojson.Int tm.tm_attempt);
+          ]
+        name body
+    else body ()
+  in
   if tm.tm_attempt < t.config.retry_limit then begin
     tm.tm_attempt <- tm.tm_attempt + 1;
     tm.tm_rto <- tm.tm_rto * 2;
     tm.tm_next <- now t + tm.tm_rto;
     Metric.incr m_retries;
-    Otracer.event (Obs.tracer ())
-      (Printf.sprintf "reactor.retry #%d %s -> %s: %s" tm.tm_attempt peer
-         target
-         (Literal.to_string tm.tm_goal));
     Log.debug (fun m ->
         m "retry #%d %s -> %s: %s" tm.tm_attempt peer target
           (Literal.to_string tm.tm_goal));
-    post ~attempt:tm.tm_attempt t ~from:peer ~target
-      (Net.Message.Query { goal = tm.tm_goal })
+    in_span "reactor.retry" (fun () ->
+        Otracer.event (Obs.tracer ())
+          (Printf.sprintf "reactor.retry #%d %s -> %s: %s" tm.tm_attempt peer
+             target
+             (Literal.to_string tm.tm_goal));
+        post ~attempt:tm.tm_attempt t ~from:peer ~target
+          (Net.Message.Query { goal = tm.tm_goal }))
   end
   else begin
     Hashtbl.remove t.timers pkey;
     Metric.incr m_timeouts;
-    Otracer.event (Obs.tracer ())
-      (Printf.sprintf "reactor.timeout %s -> %s: %s (after %d retries)" peer
-         target
-         (Literal.to_string tm.tm_goal)
-         tm.tm_attempt);
     Log.debug (fun m ->
         m "timeout %s -> %s: %s" peer target (Literal.to_string tm.tm_goal));
-    enqueue_synthetic t ~from:target ~target:peer
-      (Net.Message.Deny { goal = tm.tm_goal; reason = "timeout" })
+    in_span "reactor.timeout" (fun () ->
+        Otracer.event (Obs.tracer ())
+          (Printf.sprintf "reactor.timeout %s -> %s: %s (after %d retries)"
+             peer target
+             (Literal.to_string tm.tm_goal)
+             tm.tm_attempt);
+        enqueue_synthetic t ~from:target ~target:peer
+          (Net.Message.Deny { goal = tm.tm_goal; reason = "timeout" }))
   end
 
 (* The guard's solicitation oracle: does [target] have this sub-query
@@ -563,6 +634,16 @@ let dispatch_adversary t adv ~from payload =
       post t ~from:(Net.Adversary.name adv) ~target:act_target act_payload)
     (Net.Adversary.react adv ~from payload)
 
+(* Goal skeleton of a payload, for span attributes. *)
+let payload_goal = function
+  | Net.Message.Query { goal }
+  | Net.Message.Answer { goal; _ }
+  | Net.Message.Deny { goal; _ } ->
+      Some (goal_key goal)
+  | Net.Message.Batch _ | Net.Message.Disclosure _ | Net.Message.Ack
+  | Net.Message.Raw _ ->
+      None
+
 let deliver_envelope t env =
   clock_to t env.Net.Envelope.deliver_at;
   if Net.Dedup.mem t.seen env.Net.Envelope.id then begin
@@ -576,26 +657,73 @@ let deliver_envelope t env =
     let from = env.Net.Envelope.from_ in
     let target = env.Net.Envelope.target in
     let payload = env.Net.Envelope.payload in
-    match Hashtbl.find_opt t.adversaries target with
-    | Some adv -> dispatch_adversary t adv ~from payload
-    | None ->
-        (* Synthetic envelopes (ids < 0) are the reactor's own bookkeeping
-           — cache replays, timeout/unreachable denials — and bypass the
-           guard; everything that travelled the wire is judged first. *)
-        if env.Net.Envelope.id < 0 || not (Hashtbl.mem t.session.Session.peers target)
-        then dispatch t ~synthetic:(env.Net.Envelope.id < 0) (from, target, payload)
-        else
-          match
-            Guard.admit t.guard ~now:(now t) ~from ~target
-              ~solicited:(solicited_by t ~from ~target)
-              payload
-          with
-          | Guard.Admit -> dispatch t ~synthetic:false (from, target, payload)
-          | Guard.Stale why ->
-              Otracer.event (Obs.tracer ())
-                (Printf.sprintf "guard.stale %s -> %s: %s" from target why)
-          | Guard.Reject violation ->
-              reject_payload t ~from ~target violation payload
+    let tracer = Obs.tracer () in
+    let body () =
+      match Hashtbl.find_opt t.adversaries target with
+      | Some adv -> dispatch_adversary t adv ~from payload
+      | None ->
+          (* Synthetic envelopes (ids < 0) are the reactor's own bookkeeping
+             — cache replays, timeout/unreachable denials — and bypass the
+             guard; everything that travelled the wire is judged first. *)
+          if env.Net.Envelope.id < 0 || not (Hashtbl.mem t.session.Session.peers target)
+          then dispatch t ~synthetic:(env.Net.Envelope.id < 0) (from, target, payload)
+          else
+            match
+              Guard.admit t.guard ~now:(now t) ~from ~target
+                ~solicited:(solicited_by t ~from ~target)
+                payload
+            with
+            | Guard.Admit -> dispatch t ~synthetic:false (from, target, payload)
+            | Guard.Stale why ->
+                Otracer.event tracer
+                  (Printf.sprintf "guard.stale %s -> %s: %s" from target why)
+            | Guard.Reject violation ->
+                Otracer.set_attr tracer "denial.class"
+                  (Ojson.Str
+                     (Negotiation.denial_class_to_string
+                        (Negotiation.classify_denial
+                           (Guard.denial_reason violation))));
+                reject_payload t ~from ~target violation payload
+    in
+    (* Join the sender's trace: reconstruct the wire transit as a
+       retrospective span (real envelopes only — synthetic ones never
+       travelled), then process the delivery in a receive span parented
+       under it, so cross-peer causality survives the queue. *)
+    match env.Net.Envelope.trace with
+    | Some c when Otracer.enabled tracer && c.Tctx.sampled ->
+        let kind = Net.Stats.kind_to_string (Net.Message.kind payload) in
+        let ctx =
+          if env.Net.Envelope.id < 0 then c
+          else
+            match
+              Otracer.record tracer ~ctx:c
+                ~attrs:
+                  [
+                    ("from", Ojson.Str from);
+                    ("target", Ojson.Str target);
+                    ("kind", Ojson.Str kind);
+                    ("attempt", Ojson.Int env.Net.Envelope.attempt);
+                  ]
+                ~name:"net.wire" ~start_ticks:env.Net.Envelope.sent_at
+                ~end_ticks:env.Net.Envelope.deliver_at ()
+            with
+            | Some span ->
+                Tctx.child c ~parent_span:span.Peertrust_obs.Span.id
+            | None -> c
+        in
+        let attrs =
+          [
+            ("peer", Ojson.Str target);
+            ("requester", Ojson.Str from);
+            ("kind", Ojson.Str kind);
+          ]
+          @
+          match payload_goal payload with
+          | Some g -> [ ("goal", Ojson.Str g) ]
+          | None -> []
+        in
+        Otracer.with_span tracer ~ctx ~attrs ("recv." ^ kind) body
+    | Some _ | None -> body ()
   end
 
 (* Process the next event — a delivery or a timer, whichever is due
@@ -703,6 +831,12 @@ let add_adversary ?targets t adv =
 let negotiate ?config ?max_steps ?(adversaries = []) session ~requester
     ~target goal =
   Negotiation.measure session (fun () ->
+      let tracer = Obs.tracer () in
+      if Otracer.enabled tracer then begin
+        Otracer.set_attr tracer "requester" (Ojson.Str requester);
+        Otracer.set_attr tracer "target" (Ojson.Str target);
+        Otracer.set_attr tracer "goal" (Ojson.Str (goal_key goal))
+      end;
       let t = create ?config session in
       List.iter (add_adversary t) adversaries;
       let id = submit t ~requester ~target goal in

@@ -6,6 +6,7 @@ type t = {
   sent_at : int;
   deliver_at : int;
   attempt : int;
+  trace : Peertrust_obs.Trace_context.t option;
   payload : Message.payload;
 }
 

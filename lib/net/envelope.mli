@@ -16,6 +16,10 @@ type t = {
   sent_at : int;  (** clock when the send was accounted *)
   deliver_at : int;  (** clock when the copy becomes deliverable *)
   attempt : int;  (** 0 for the original send, >0 for retransmissions *)
+  trace : Peertrust_obs.Trace_context.t option;
+      (** propagated trace context; [None] on untraced runs.  Not part of
+          {!summary}, so transcripts are identical with tracing on or
+          off. *)
   payload : Message.payload;
 }
 

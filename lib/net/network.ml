@@ -182,7 +182,7 @@ let lost_event ~from ~target ~why payload =
       (Printf.sprintf "%s -> %s: %s lost in transit (%s)" from target
          (Message.summary payload) why)
 
-let post t ~from ~target ?(attempt = 0) payload =
+let post t ~from ~target ?(attempt = 0) ?trace payload =
   if is_down t target then raise (Unreachable target);
   let decision = Faults.decide t.faults ~from ~target in
   let outage = Faults.in_outage t.faults target ~now:(Clock.now t.clock) in
@@ -217,6 +217,7 @@ let post t ~from ~target ?(attempt = 0) payload =
             sent_at;
             deliver_at = Clock.now t.clock + extra;
             attempt;
+            trace;
             payload;
           })
         delays

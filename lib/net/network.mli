@@ -75,6 +75,7 @@ val post :
   from:string ->
   target:string ->
   ?attempt:int ->
+  ?trace:Peertrust_obs.Trace_context.t ->
   Message.payload ->
   Envelope.t list
 (** Queue-oriented one-way send under the installed fault plan: charge and
@@ -83,8 +84,10 @@ val post :
     target is inside a scheduled outage window), one envelope normally,
     two sharing an id when duplicated.  Extra delivery delay is reflected
     in [deliver_at].  Lost and duplicated sends increment [net.drops] /
-    [net.duplicates].  With the fault-free plan this is exactly {!notify}
-    plus one envelope.
+    [net.duplicates].  [trace] (default [None]) is stamped verbatim on
+    every surviving copy — the in-process form of the wire-propagated
+    trace header ({!Wire}).  With the fault-free plan this is exactly
+    {!notify} plus one envelope.
     @raise Unreachable if the target is down ({!set_down}) or the message
     budget is exhausted ([Budget_exhausted]); scheduled outages do NOT
     raise — the sender only learns through missing answers. *)

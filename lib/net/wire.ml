@@ -1,0 +1,164 @@
+(* Envelope wire framing: the transport-portable header of a posted
+   message, including the propagated trace context.
+
+   Today every envelope lives in one process, but the ROADMAP's socket
+   runtime needs a byte form; this module pins it down early so the
+   trace context's wire representation is exercised (and fuzzed) long
+   before TCP exists.  The payload body is not serialised here — only
+   its kind and accounted size travel in the header; body codecs belong
+   to the transport PR.
+
+   Frame: a fixed sequence of LF-terminated lines —
+
+     PEERTRUST/1 <id> <seq> <attempt>
+     from: <escaped name>
+     to: <escaped name>
+     sent: <tick>
+     deliver: <tick>
+     kind: <kind>
+     bytes: <n>
+     traceparent: pt1-...        (only when a context is carried)
+
+   The decoder is total: malformed input yields [Error] with the
+   offending 1-based line, never an exception (the same contract as
+   [Peertrust_crypto.Wire]). *)
+
+module Trace_context = Peertrust_obs.Trace_context
+
+type header = {
+  h_id : int;
+  h_seq : int;
+  h_attempt : int;
+  h_from : string;
+  h_target : string;
+  h_sent_at : int;
+  h_deliver_at : int;
+  h_kind : string;
+  h_bytes : int;
+  h_trace : Trace_context.t option;
+}
+
+let magic = "PEERTRUST/1"
+
+let header_of_envelope (e : Envelope.t) =
+  {
+    h_id = e.Envelope.id;
+    h_seq = e.Envelope.seq;
+    h_attempt = e.Envelope.attempt;
+    h_from = e.Envelope.from_;
+    h_target = e.Envelope.target;
+    h_sent_at = e.Envelope.sent_at;
+    h_deliver_at = e.Envelope.deliver_at;
+    h_kind = Stats.kind_to_string (Message.kind e.Envelope.payload);
+    h_bytes = Message.size e.Envelope.payload;
+    h_trace = e.Envelope.trace;
+  }
+
+let encode h =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "%s %d %d %d\n" magic h.h_id h.h_seq h.h_attempt;
+  Printf.bprintf buf "from: %s\n" (String.escaped h.h_from);
+  Printf.bprintf buf "to: %s\n" (String.escaped h.h_target);
+  Printf.bprintf buf "sent: %d\n" h.h_sent_at;
+  Printf.bprintf buf "deliver: %d\n" h.h_deliver_at;
+  Printf.bprintf buf "kind: %s\n" h.h_kind;
+  Printf.bprintf buf "bytes: %d\n" h.h_bytes;
+  Option.iter
+    (fun ctx ->
+      Printf.bprintf buf "traceparent: %s\n" (Trace_context.to_header ctx))
+    h.h_trace;
+  Buffer.contents buf
+
+let encode_envelope e = encode (header_of_envelope e)
+
+type error = Malformed of { line : int; reason : string }
+
+let pp_error fmt (Malformed { line; reason }) =
+  Format.fprintf fmt "line %d: %s" line reason
+
+(* ------------------------------------------------------------------ *)
+(* Total decoder *)
+
+let fail line reason = Error (Malformed { line; reason })
+
+let field ~line ~key s =
+  let prefix = key ^ ": " in
+  let lp = String.length prefix in
+  if String.length s >= lp && String.equal (String.sub s 0 lp) prefix then
+    Ok (String.sub s lp (String.length s - lp))
+  else fail line (Printf.sprintf "expected %S field" key)
+
+let int_field ~line ~key s =
+  match field ~line ~key s with
+  | Error _ as e -> e
+  | Ok v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> fail line (Printf.sprintf "%s: not an integer: %S" key v))
+
+let name_field ~line ~key s =
+  match field ~line ~key s with
+  | Error _ as e -> e
+  | Ok v -> (
+      (* Inverse of [String.escaped]; reject sequences it never emits. *)
+      match Scanf.unescaped v with
+      | name -> Ok name
+      | exception Scanf.Scan_failure _ | exception Failure _ ->
+          fail line (Printf.sprintf "%s: bad escape in %S" key v))
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let decode text =
+  let lines = String.split_on_char '\n' text in
+  (* A trailing LF leaves one empty trailer; anything else is garbage. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  match lines with
+  | first :: from_l :: to_l :: sent_l :: deliver_l :: kind_l :: bytes_l :: rest
+    ->
+      let* h_id, h_seq, h_attempt =
+        let parts = String.split_on_char ' ' first in
+        match parts with
+        | [ m; a; b; c ] when String.equal m magic -> (
+            match
+              (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
+            with
+            | Some id, Some seq, Some attempt -> Ok (id, seq, attempt)
+            | _ -> fail 1 "bad id/seq/attempt")
+        | m :: _ when not (String.equal m magic) ->
+            fail 1 (Printf.sprintf "bad magic %S" m)
+        | _ -> fail 1 "malformed frame line"
+      in
+      let* h_from = name_field ~line:2 ~key:"from" from_l in
+      let* h_target = name_field ~line:3 ~key:"to" to_l in
+      let* h_sent_at = int_field ~line:4 ~key:"sent" sent_l in
+      let* h_deliver_at = int_field ~line:5 ~key:"deliver" deliver_l in
+      let* h_kind = field ~line:6 ~key:"kind" kind_l in
+      let* h_bytes = int_field ~line:7 ~key:"bytes" bytes_l in
+      let* h_trace =
+        match rest with
+        | [] -> Ok None
+        | [ tp ] -> (
+            let* v = field ~line:8 ~key:"traceparent" tp in
+            match Trace_context.of_header v with
+            | Some ctx -> Ok (Some ctx)
+            | None -> fail 8 (Printf.sprintf "bad traceparent %S" v))
+        | _ -> fail 9 "trailing garbage after header"
+      in
+      Ok
+        {
+          h_id;
+          h_seq;
+          h_attempt;
+          h_from;
+          h_target;
+          h_sent_at;
+          h_deliver_at;
+          h_kind;
+          h_bytes;
+          h_trace;
+        }
+  (* The offending line is the first missing one — keeps lines 1-based
+     even for the empty string. *)
+  | _ -> fail (List.length lines + 1) "truncated header"

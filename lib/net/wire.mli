@@ -1,0 +1,41 @@
+(** Envelope wire framing: the transport-portable byte header of a
+    posted message, carrying the propagated {!Peertrust_obs.Trace_context}
+    as a [traceparent] field.
+
+    The simulated network never needs bytes, but the ROADMAP's socket
+    runtime will; this codec pins the header format down early so the
+    trace context's wire form is round-tripped and fuzzed long before a
+    TCP backend exists.  Payload bodies are not serialised — the header
+    carries their kind and accounted size only.
+
+    {!decode} is total: any input that is not a valid frame returns
+    [Error] with the offending line, never an exception (the same
+    contract as [Peertrust_crypto.Wire]). *)
+
+type header = {
+  h_id : int;
+  h_seq : int;
+  h_attempt : int;
+  h_from : string;
+  h_target : string;
+  h_sent_at : int;
+  h_deliver_at : int;
+  h_kind : string;  (** {!Stats.kind_to_string} of the payload *)
+  h_bytes : int;  (** accounted payload size *)
+  h_trace : Peertrust_obs.Trace_context.t option;
+}
+
+val header_of_envelope : Envelope.t -> header
+
+val encode : header -> string
+(** LF-terminated frame; [decode (encode h) = Ok h]. *)
+
+val encode_envelope : Envelope.t -> string
+(** [encode (header_of_envelope e)]. *)
+
+type error = Malformed of { line : int; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val decode : string -> (header, error) result
+(** Total inverse of {!encode}. *)

@@ -39,6 +39,160 @@ let spans_of_jsonl text =
 let write_spans_jsonl path spans = write_file path (spans_to_jsonl spans)
 
 (* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (chrome://tracing, Perfetto)
+
+   Mapping: one process per trace id (pid = trace, 0 for untraced
+   spans), one thread per peer lane within it (the span's "peer"
+   attribute; "-" for spans with none).  Timestamps are simulated-clock
+   ticks reported in the format's microsecond field. *)
+
+let span_peer span =
+  match List.assoc_opt "peer" span.Span.attrs with
+  | Some (Json.Str p) -> p
+  | Some _ | None -> "-"
+
+let spans_to_chrome spans =
+  (* Deterministic lane numbering: sorted (trace, peer) pairs. *)
+  let lanes = Hashtbl.create 16 in
+  let lane_list =
+    List.map (fun s -> (s.Span.trace, span_peer s)) spans
+    |> List.sort_uniq compare
+  in
+  List.iteri (fun i key -> Hashtbl.replace lanes key (i + 1)) lane_list;
+  let lane span = Hashtbl.find lanes (span.Span.trace, span_peer span) in
+  let meta =
+    List.concat_map
+      (fun (trace, peer) ->
+        let tid = Hashtbl.find lanes (trace, peer) in
+        let name_event which name =
+          Json.Obj
+            [
+              ("ph", Json.Str "M");
+              ("name", Json.Str which);
+              ("pid", Json.Int trace);
+              ("tid", Json.Int tid);
+              ("args", Json.Obj [ ("name", Json.Str name) ]);
+            ]
+        in
+        [
+          name_event "process_name"
+            (if trace = 0 then "untraced"
+             else Printf.sprintf "trace %d" trace);
+          name_event "thread_name" peer;
+        ])
+      lane_list
+  in
+  let of_span span =
+    let base =
+      [
+        ("name", Json.Str span.Span.name);
+        ("cat", Json.Str "peertrust");
+        ("ph", Json.Str "X");
+        ("ts", Json.Int span.Span.start_ticks);
+        ("dur", Json.Int (Span.duration span));
+        ("pid", Json.Int span.Span.trace);
+        ("tid", Json.Int (lane span));
+        ( "args",
+          Json.Obj
+            (("span", Json.Int span.Span.id)
+             ::
+             (match span.Span.parent with
+             | Some p -> [ ("parent", Json.Int p) ]
+             | None -> [])
+            @ Span.attrs span) );
+      ]
+    in
+    Json.Obj base
+    :: List.map
+         (fun (e : Span.event) ->
+           Json.Obj
+             [
+               ("name", Json.Str e.Span.message);
+               ("cat", Json.Str "peertrust");
+               ("ph", Json.Str "i");
+               ("s", Json.Str "t");
+               ("ts", Json.Int e.Span.at);
+               ("pid", Json.Int span.Span.trace);
+               ("tid", Json.Int (lane span));
+             ])
+         (Span.events span)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (meta @ List.concat_map of_span spans));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+  ^ "\n"
+
+let write_spans_chrome path spans = write_file path (spans_to_chrome spans)
+
+(* ------------------------------------------------------------------ *)
+(* Causal JSONL stream: span lifecycle flattened into time-ordered
+   records, so a consumer can replay cross-peer causality without
+   reassembling trees.  Ties on the tick preserve recording order. *)
+
+let spans_to_causal_jsonl spans =
+  let records =
+    List.concat_map
+      (fun span ->
+        let shared =
+          [
+            ("span", Json.Int span.Span.id);
+            ("trace", Json.Int span.Span.trace);
+          ]
+        in
+        let start =
+          ( span.Span.start_ticks,
+            Json.Obj
+              ([ ("ev", Json.Str "start"); ("t", Json.Int span.Span.start_ticks) ]
+              @ shared
+              @ [
+                  ( "parent",
+                    match span.Span.parent with
+                    | Some p -> Json.Int p
+                    | None -> Json.Null );
+                  ("name", Json.Str span.Span.name);
+                  ("peer", Json.Str (span_peer span));
+                ]) )
+        in
+        let points =
+          List.map
+            (fun (e : Span.event) ->
+              ( e.Span.at,
+                Json.Obj
+                  ([ ("ev", Json.Str "event"); ("t", Json.Int e.Span.at) ]
+                  @ shared
+                  @ [ ("msg", Json.Str e.Span.message) ]) ))
+            (Span.events span)
+        in
+        let ends =
+          match span.Span.end_ticks with
+          | None -> []
+          | Some at ->
+              [
+                ( at,
+                  Json.Obj
+                    ([ ("ev", Json.Str "end"); ("t", Json.Int at) ] @ shared) );
+              ]
+        in
+        (start :: points) @ ends)
+      spans
+  in
+  let ordered =
+    List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) records
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (_, j) ->
+      Json.to_buffer buf j;
+      Buffer.add_char buf '\n')
+    ordered;
+  Buffer.contents buf
+
+let write_spans_causal path spans = write_file path (spans_to_causal_jsonl spans)
+
+(* ------------------------------------------------------------------ *)
 (* Metrics snapshot *)
 
 let metrics_to_string ?label snap =

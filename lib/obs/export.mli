@@ -15,6 +15,21 @@ val spans_of_jsonl : string -> (Span.t list, string) result
 val write_spans_jsonl : string -> Span.t list -> unit
 (** @raise Sys_error on unwritable paths. *)
 
+val spans_to_chrome : Span.t list -> string
+(** Chrome [trace_event] JSON (one document): a process per trace id, a
+    thread per peer lane, complete ("X") events for spans and instant
+    ("i") events for span events.  Loadable in chrome://tracing and
+    Perfetto; timestamps are simulated-clock ticks. *)
+
+val write_spans_chrome : string -> Span.t list -> unit
+
+val spans_to_causal_jsonl : Span.t list -> string
+(** Flat causal stream: one JSONL record per span start / point event /
+    span end, ordered by tick (ties keep recording order), each carrying
+    its trace and parent ids. *)
+
+val write_spans_causal : string -> Span.t list -> unit
+
 val metrics_to_string : ?label:string -> Registry.snapshot -> string
 val metrics_of_string : string -> (Registry.snapshot, string) result
 

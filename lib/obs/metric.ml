@@ -7,6 +7,8 @@ type histogram = {
   counts : int array;  (* one per bound, plus a final overflow bucket *)
   mutable sum : float;
   mutable count : int;
+  mutable min_v : float;  (* observed extrema; meaningless while count = 0 *)
+  mutable max_v : float;
 }
 
 (* Powers of two: cheap to bucket into and wide enough for step counts,
@@ -35,6 +37,8 @@ let histogram ?(buckets = default_buckets) name =
     counts = Array.make (Array.length buckets + 1) 0;
     sum = 0.;
     count = 0;
+    min_v = 0.;
+    max_v = 0.;
   }
 
 let incr c = c.c_value <- c.c_value + 1
@@ -58,6 +62,14 @@ let observe h v =
   let i = bucket_index h.bounds v in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
+  if h.count = 0 then begin
+    h.min_v <- v;
+    h.max_v <- v
+  end
+  else begin
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end;
   h.count <- h.count + 1
 
 let observe_int h v = observe h (Float.of_int v)
@@ -68,7 +80,9 @@ let reset_gauge g = g.g_value <- 0.
 let reset_histogram h =
   Array.fill h.counts 0 (Array.length h.counts) 0;
   h.sum <- 0.;
-  h.count <- 0
+  h.count <- 0;
+  h.min_v <- 0.;
+  h.max_v <- 0.
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
@@ -78,6 +92,8 @@ type histogram_snapshot = {
   hs_counts : int array;
   hs_sum : float;
   hs_count : int;
+  hs_min : float;  (* observed extrema; 0 while hs_count = 0 *)
+  hs_max : float;
 }
 
 let snapshot_histogram h =
@@ -86,6 +102,8 @@ let snapshot_histogram h =
     hs_counts = Array.copy h.counts;
     hs_sum = h.sum;
     hs_count = h.count;
+    hs_min = (if h.count = 0 then 0. else h.min_v);
+    hs_max = (if h.count = 0 then 0. else h.max_v);
   }
 
 let merge_histogram_snapshots a b =
@@ -93,13 +111,31 @@ let merge_histogram_snapshots a b =
     invalid_arg "Metric.merge_histogram_snapshots: bucket bounds differ";
   {
     hs_bounds = Array.copy a.hs_bounds;
-    hs_counts = Array.init (Array.length a.hs_counts) (fun i ->
-        a.hs_counts.(i) + b.hs_counts.(i));
+    hs_counts =
+      Array.init (Array.length a.hs_counts) (fun i ->
+          a.hs_counts.(i) + b.hs_counts.(i));
     hs_sum = a.hs_sum +. b.hs_sum;
     hs_count = a.hs_count + b.hs_count;
+    hs_min =
+      (if a.hs_count = 0 then b.hs_min
+       else if b.hs_count = 0 then a.hs_min
+       else Float.min a.hs_min b.hs_min);
+    hs_max =
+      (if a.hs_count = 0 then b.hs_max
+       else if b.hs_count = 0 then a.hs_max
+       else Float.max a.hs_max b.hs_max);
   }
 
 let mean hs = if hs.hs_count = 0 then 0. else hs.hs_sum /. Float.of_int hs.hs_count
+
+(* Overflow samples exceed every bound by construction, so the observed
+   maximum is the honest report for the unbounded bucket.  Clamping to
+   the last bound keeps percentiles monotone even against snapshots
+   deserialised from logs that predate max tracking (where [hs_max] is a
+   reconstruction that may undershoot). *)
+let overflow_report hs =
+  let n = Array.length hs.hs_bounds in
+  if n = 0 then hs.hs_max else Float.max hs.hs_max hs.hs_bounds.(n - 1)
 
 let percentile hs q =
   if q < 0. || q > 1. then invalid_arg "Metric.percentile: q outside [0,1]";
@@ -117,10 +153,9 @@ let percentile hs q =
         result :=
           Some
             (if !i < Array.length hs.hs_bounds then hs.hs_bounds.(!i)
-             else (* overflow bucket has no upper bound: report the mean *)
-               mean hs);
+             else overflow_report hs);
       i := !i + 1
     done;
     (* hs_count > 0 guarantees a non-empty bucket reaches [rank]. *)
-    Option.value ~default:(mean hs) !result
+    Option.value ~default:(overflow_report hs) !result
   end

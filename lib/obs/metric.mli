@@ -14,6 +14,8 @@ type histogram = {
   counts : int array;  (** one per bound, plus a final overflow bucket *)
   mutable sum : float;
   mutable count : int;
+  mutable min_v : float;  (** observed minimum; meaningless while [count = 0] *)
+  mutable max_v : float;  (** observed maximum; meaningless while [count = 0] *)
 }
 
 val default_buckets : float array
@@ -49,6 +51,8 @@ type histogram_snapshot = {
   hs_counts : int array;
   hs_sum : float;
   hs_count : int;
+  hs_min : float;  (** observed minimum; 0 while [hs_count = 0] *)
+  hs_max : float;  (** observed maximum; 0 while [hs_count = 0] *)
 }
 
 val snapshot_histogram : histogram -> histogram_snapshot
@@ -62,6 +66,7 @@ val mean : histogram_snapshot -> float
 
 val percentile : histogram_snapshot -> float -> float
 (** [percentile hs q] for [q] in [[0,1]]: the upper bound of the bucket
-    where the cumulative count crosses [q * count] (the mean for the
-    unbounded overflow bucket); 0 when empty.
+    where the cumulative count crosses [q * count]; the unbounded
+    overflow bucket reports the observed maximum (clamped to at least
+    the last bound, so the result is monotone in [q]); 0 when empty.
     @raise Invalid_argument on [q] outside [[0,1]]. *)

@@ -107,6 +107,8 @@ let histogram_to_json (hs : Metric.histogram_snapshot) =
       ("buckets", Json.List buckets);
       ("sum", Json.Float hs.Metric.hs_sum);
       ("count", Json.Int hs.Metric.hs_count);
+      ("min", Json.Float hs.Metric.hs_min);
+      ("max", Json.Float hs.Metric.hs_max);
       ("mean", Json.Float (Metric.mean hs));
       ("p50", Json.Float (Metric.percentile hs 0.5));
       ("p90", Json.Float (Metric.percentile hs 0.9));
@@ -156,12 +158,31 @@ let histogram_of_json j =
           List.filter_map (fun (b, _) -> b) parsed |> Array.of_list
         in
         let counts = List.map snd parsed |> Array.of_list in
+        let hs_count = Option.value ~default:0 (to_int count) in
+        let hs_sum = Option.value ~default:0. (to_float sum) in
+        (* Files written before min/max tracking lack the fields;
+           reconstruct conservative stand-ins from the buckets so
+           percentiles over re-loaded snapshots stay monotone. *)
+        let field name fallback =
+          match Option.bind (member name j) to_float with
+          | Some v -> v
+          | None -> fallback
+        in
+        let last_nonempty_bound =
+          let best = ref 0. in
+          Array.iteri
+            (fun i c -> if c > 0 && i < Array.length bounds then best := bounds.(i))
+            counts;
+          !best
+        in
         Some
           {
             Metric.hs_bounds = bounds;
             hs_counts = counts;
-            hs_sum = Option.value ~default:0. (to_float sum);
-            hs_count = Option.value ~default:0 (to_int count);
+            hs_sum;
+            hs_count;
+            hs_min = field "min" 0.;
+            hs_max = field "max" last_nonempty_bound;
           }
   | _ -> None
 
@@ -206,8 +227,9 @@ let pp fmt snap =
     snap.sn_gauges;
   List.iter
     (fun (name, hs) ->
-      Format.fprintf fmt "%s: count=%d mean=%.2f p50=%g p99=%g@\n" name
-        hs.Metric.hs_count (Metric.mean hs)
+      Format.fprintf fmt
+        "%s: count=%d min=%g max=%g mean=%.2f p50=%g p99=%g@\n" name
+        hs.Metric.hs_count hs.Metric.hs_min hs.Metric.hs_max (Metric.mean hs)
         (Metric.percentile hs 0.5)
         (Metric.percentile hs 0.99))
     snap.sn_histograms

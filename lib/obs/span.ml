@@ -3,6 +3,7 @@ type event = { at : int; message : string }
 type t = {
   id : int;
   parent : int option;
+  trace : int;  (* 0 = not part of any cross-peer trace *)
   name : string;
   start_ticks : int;
   mutable end_ticks : int option;
@@ -10,8 +11,17 @@ type t = {
   mutable events : event list;  (* reverse insertion order *)
 }
 
-let make ~id ~parent ~name ~start_ticks =
-  { id; parent; name; start_ticks; end_ticks = None; attrs = []; events = [] }
+let make ?(trace = 0) ~id ~parent ~name ~start_ticks () =
+  {
+    id;
+    parent;
+    trace;
+    name;
+    start_ticks;
+    end_ticks = None;
+    attrs = [];
+    events = [];
+  }
 
 let finish span ~at =
   if span.end_ticks = None then span.end_ticks <- Some at
@@ -33,22 +43,25 @@ let duration span =
 
 let to_json span =
   Json.Obj
-    [
-      ("id", Json.Int span.id);
-      ( "parent",
-        match span.parent with Some p -> Json.Int p | None -> Json.Null );
-      ("name", Json.Str span.name);
+    ([
+       ("id", Json.Int span.id);
+       ( "parent",
+         match span.parent with Some p -> Json.Int p | None -> Json.Null );
+     ]
+    @ (if span.trace = 0 then [] else [ ("trace", Json.Int span.trace) ])
+    @ [
+        ("name", Json.Str span.name);
       ("start", Json.Int span.start_ticks);
       ( "end",
         match span.end_ticks with Some e -> Json.Int e | None -> Json.Null );
       ("attrs", Json.Obj (attrs span));
-      ( "events",
-        Json.List
-          (List.map
-             (fun e ->
-               Json.Obj [ ("at", Json.Int e.at); ("msg", Json.Str e.message) ])
-             (events span)) );
-    ]
+        ( "events",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj [ ("at", Json.Int e.at); ("msg", Json.Str e.message) ])
+               (events span)) );
+      ])
 
 let of_json j =
   let open Json in
@@ -57,7 +70,10 @@ let of_json j =
       let parent =
         match member "parent" j with Some (Int p) -> Some p | _ -> None
       in
-      let span = make ~id ~parent ~name ~start_ticks in
+      let trace =
+        match member "trace" j with Some (Int tr) -> tr | _ -> 0
+      in
+      let span = make ~trace ~id ~parent ~name ~start_ticks () in
       (match member "end" j with
       | Some (Int e) -> span.end_ticks <- Some e
       | _ -> ());

@@ -8,6 +8,7 @@ type event = { at : int; message : string }
 type t = {
   id : int;
   parent : int option;
+  trace : int;  (** {!Trace_context.trace_id}; 0 = not part of any trace *)
   name : string;
   start_ticks : int;
   mutable end_ticks : int option;  (** [None] while the span is open *)
@@ -15,7 +16,15 @@ type t = {
   mutable events : event list;
 }
 
-val make : id:int -> parent:int option -> name:string -> start_ticks:int -> t
+val make :
+  ?trace:int ->
+  id:int ->
+  parent:int option ->
+  name:string ->
+  start_ticks:int ->
+  unit ->
+  t
+(** [trace] defaults to 0 (untraced). *)
 
 val finish : t -> at:int -> unit
 (** Idempotent: the first end tick wins. *)

@@ -1,0 +1,325 @@
+(* Cross-peer timeline reconstruction over a flat span log.
+
+   Spans tagged with the same trace id — possibly recorded at different
+   peers and stitched by wire-propagated {!Trace_context}s — are grouped
+   into one negotiation timeline: per-peer lanes on the simulated clock,
+   the critical path (root to the span that determines the end-to-end
+   latency), a latency breakdown by span category, and anomaly flags. *)
+
+type category = Solve | Wire | Queue | Retransmit | Other
+
+let category_to_string = function
+  | Solve -> "solve"
+  | Wire -> "wire"
+  | Queue -> "queue"
+  | Retransmit -> "retransmit"
+  | Other -> "other"
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let categorize (span : Span.t) =
+  let n = span.Span.name in
+  if has_prefix ~prefix:"sld." n || String.equal n "answer"
+     || String.equal n "query"
+  then Solve
+  else if String.equal n "net.wire" || String.equal n "net.send" then Wire
+  else if has_prefix ~prefix:"recv." n then Queue
+  else if has_prefix ~prefix:"reactor.retry" n
+          || has_prefix ~prefix:"reactor.timeout" n
+  then Retransmit
+  else Other
+
+type anomaly =
+  | Retransmit_storm of { retries : int; timeouts : int }
+  | Breaker_trip of { at : int; detail : string }
+  | Cache_stampede of { at : int; bursts : int }
+
+let anomaly_to_string = function
+  | Retransmit_storm { retries; timeouts } ->
+      Printf.sprintf "retransmit storm: %d retries, %d timeouts" retries
+        timeouts
+  | Breaker_trip { at; detail } ->
+      Printf.sprintf "breaker trip at %d: %s" at detail
+  | Cache_stampede { at; bursts } ->
+      Printf.sprintf "cache-invalidation stampede at %d: %d bursts" at bursts
+
+type t = {
+  tl_trace : int;
+  tl_spans : Span.t list;  (* (start, id) order *)
+  tl_root : Span.t option;
+  tl_lanes : (string * Span.t list) list;  (* peer -> its spans, sorted *)
+  tl_start : int;
+  tl_end : int;
+  tl_critical : Span.t list;  (* root-to-latest chain along parent links *)
+  tl_breakdown : (category * int) list;  (* self ticks per category *)
+  tl_anomalies : anomaly list;
+}
+
+let span_peer (span : Span.t) =
+  match List.assoc_opt "peer" span.Span.attrs with
+  | Some (Json.Str p) -> p
+  | Some _ | None -> "-"
+
+let span_end (span : Span.t) =
+  match span.Span.end_ticks with
+  | Some e -> e
+  | None -> span.Span.start_ticks
+
+(* Retransmit-storm threshold: fewer retries than this is the protocol
+   doing its job; at or past it the trace is flagged. *)
+let storm_threshold = 3
+let stampede_threshold = 2
+
+let build_one trace spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Span.id s) spans;
+  let known_parent s =
+    match s.Span.parent with
+    | Some p -> Hashtbl.mem by_id p
+    | None -> false
+  in
+  let root =
+    match List.filter (fun s -> not (known_parent s)) spans with
+    | [] -> None
+    | roots ->
+        Some
+          (List.fold_left
+             (fun best s ->
+               if
+                 (s.Span.start_ticks, s.Span.id)
+                 < (best.Span.start_ticks, best.Span.id)
+               then s
+               else best)
+             (List.hd roots) (List.tl roots))
+  in
+  let lanes =
+    List.fold_left
+      (fun acc s ->
+        let peer = span_peer s in
+        let prev = Option.value ~default:[] (List.assoc_opt peer acc) in
+        (peer, s :: prev) :: List.remove_assoc peer acc)
+      [] spans
+    |> List.map (fun (peer, ss) -> (peer, List.rev ss))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let tl_start =
+    List.fold_left (fun acc s -> min acc s.Span.start_ticks) max_int spans
+  in
+  let tl_end = List.fold_left (fun acc s -> max acc (span_end s)) 0 spans in
+  (* Critical path: the parent chain of the span with the latest end —
+     the sequence of causally linked steps that determined when the
+     negotiation finished. *)
+  let critical =
+    match spans with
+    | [] -> []
+    | first :: rest ->
+        let latest =
+          List.fold_left
+            (fun best s ->
+              if (span_end s, s.Span.id) > (span_end best, best.Span.id) then s
+              else best)
+            first rest
+        in
+        let rec up acc s =
+          match s.Span.parent with
+          | Some p when Hashtbl.mem by_id p ->
+              let parent = Hashtbl.find by_id p in
+              if List.memq parent acc then acc (* defensive: cyclic log *)
+              else up (parent :: acc) parent
+          | Some _ | None -> acc
+        in
+        up [ latest ] latest
+  in
+  (* Self time: a span's duration minus the time covered by its
+     children, attributed to the span's own category. *)
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s.Span.parent with
+      | Some p when Hashtbl.mem by_id p ->
+          let d = Span.duration s in
+          Hashtbl.replace child_time p
+            (d + Option.value ~default:0 (Hashtbl.find_opt child_time p))
+      | Some _ | None -> ())
+    spans;
+  let breakdown =
+    List.fold_left
+      (fun acc s ->
+        let self =
+          max 0
+            (Span.duration s
+            - Option.value ~default:0 (Hashtbl.find_opt child_time s.Span.id))
+        in
+        let cat = categorize s in
+        let prev = Option.value ~default:0 (List.assoc_opt cat acc) in
+        (cat, prev + self) :: List.remove_assoc cat acc)
+      [] spans
+    |> List.sort compare
+  in
+  (* Anomalies, read off span names and events. *)
+  let retries = ref 0 and timeouts = ref 0 in
+  let breaker = ref [] in
+  let invalidations = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let cat = categorize s in
+      (match cat with
+      | Retransmit ->
+          if has_prefix ~prefix:"reactor.timeout" s.Span.name then
+            incr timeouts
+          else incr retries
+      | Solve | Wire | Queue | Other -> ());
+      List.iter
+        (fun (e : Span.event) ->
+          let msg = e.Span.message in
+          (* Retry/timeout events inside a retransmit span describe the
+             span itself — counting both would double every occurrence. *)
+          if has_prefix ~prefix:"reactor.retry" msg then (
+            if cat <> Retransmit then incr retries)
+          else if has_prefix ~prefix:"reactor.timeout" msg then (
+            if cat <> Retransmit then incr timeouts)
+          else if has_prefix ~prefix:"guard.quarantine" msg then
+            breaker := (e.Span.at, msg) :: !breaker
+          else if has_prefix ~prefix:"cache.invalidate" msg then
+            Hashtbl.replace invalidations e.Span.at
+              (1
+              + Option.value ~default:0 (Hashtbl.find_opt invalidations e.Span.at)
+              ))
+        (Span.events s))
+    spans;
+  let anomalies =
+    (if !retries + !timeouts >= storm_threshold then
+       [ Retransmit_storm { retries = !retries; timeouts = !timeouts } ]
+     else [])
+    @ (List.rev !breaker
+      |> List.map (fun (at, detail) -> Breaker_trip { at; detail }))
+    @ (Hashtbl.fold (fun at n acc -> (at, n) :: acc) invalidations []
+      |> List.filter (fun (_, n) -> n >= stampede_threshold)
+      |> List.sort compare
+      |> List.map (fun (at, bursts) -> Cache_stampede { at; bursts }))
+  in
+  {
+    tl_trace = trace;
+    tl_spans = spans;
+    tl_root = root;
+    tl_lanes = lanes;
+    tl_start = (if spans = [] then 0 else tl_start);
+    tl_end;
+    tl_critical = critical;
+    tl_breakdown = breakdown;
+    tl_anomalies = anomalies;
+  }
+
+let build spans =
+  let traced = List.filter (fun s -> s.Span.trace <> 0) spans in
+  let ids =
+    List.map (fun s -> s.Span.trace) traced |> List.sort_uniq Int.compare
+  in
+  List.map
+    (fun trace ->
+      build_one trace (List.filter (fun s -> s.Span.trace = trace) traced))
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let chart_width = 48
+
+let render_lane fmt ~t0 ~t1 (peer, spans) =
+  let extent = max 1 (t1 - t0) in
+  let cells = Bytes.make chart_width '.' in
+  List.iter
+    (fun s ->
+      let a = (s.Span.start_ticks - t0) * chart_width / extent in
+      let b = (span_end s - t0) * chart_width / extent in
+      for i = max 0 a to min (chart_width - 1) b do
+        Bytes.set cells i '='
+      done)
+    spans;
+  Format.fprintf fmt "  %-12s %4d |%s| %-4d (%d span%s)@\n" peer t0
+    (Bytes.to_string cells) t1 (List.length spans)
+    (if List.length spans = 1 then "" else "s")
+
+let pp_span_line fmt (s : Span.t) =
+  Format.fprintf fmt "[%d..%s] %s" s.Span.start_ticks
+    (match s.Span.end_ticks with
+    | Some e -> string_of_int e
+    | None -> ")")
+    s.Span.name;
+  match span_peer s with
+  | "-" -> ()
+  | peer -> Format.fprintf fmt " @%s" peer
+
+let render fmt t =
+  Format.fprintf fmt "trace %d: %d span(s), %d peer lane(s), ticks %d..%d@\n"
+    t.tl_trace (List.length t.tl_spans) (List.length t.tl_lanes) t.tl_start
+    t.tl_end;
+  (match t.tl_root with
+  | Some root -> Format.fprintf fmt "  root: %a@\n" pp_span_line root
+  | None -> ());
+  List.iter (render_lane fmt ~t0:t.tl_start ~t1:t.tl_end) t.tl_lanes;
+  if t.tl_critical <> [] then begin
+    Format.fprintf fmt "  critical path (%d step(s)):@\n"
+      (List.length t.tl_critical);
+    List.iter
+      (fun s -> Format.fprintf fmt "    %a@\n" pp_span_line s)
+      t.tl_critical
+  end;
+  Format.fprintf fmt "  latency breakdown:";
+  let total =
+    List.fold_left (fun acc (_, ticks) -> acc + ticks) 0 t.tl_breakdown
+  in
+  List.iter
+    (fun (cat, ticks) ->
+      if ticks > 0 || cat = Other then
+        Format.fprintf fmt " %s=%d" (category_to_string cat) ticks)
+    t.tl_breakdown;
+  Format.fprintf fmt " (self-time total %d)@\n" total;
+  (match t.tl_anomalies with
+  | [] -> Format.fprintf fmt "  anomalies: none@\n"
+  | anomalies ->
+      List.iter
+        (fun a -> Format.fprintf fmt "  anomaly: %s@\n" (anomaly_to_string a))
+        anomalies)
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  render fmt t;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("trace", Json.Int t.tl_trace);
+      ("spans", Json.Int (List.length t.tl_spans));
+      ("start", Json.Int t.tl_start);
+      ("end", Json.Int t.tl_end);
+      ( "peers",
+        Json.List (List.map (fun (p, _) -> Json.Str p) t.tl_lanes) );
+      ( "critical_path",
+        Json.List
+          (List.map
+             (fun (s : Span.t) ->
+               Json.Obj
+                 [
+                   ("span", Json.Int s.Span.id);
+                   ("name", Json.Str s.Span.name);
+                   ("peer", Json.Str (span_peer s));
+                   ("start", Json.Int s.Span.start_ticks);
+                   ("end", Json.Int (span_end s));
+                 ])
+             t.tl_critical) );
+      ( "breakdown",
+        Json.Obj
+          (List.map
+             (fun (cat, ticks) -> (category_to_string cat, Json.Int ticks))
+             t.tl_breakdown) );
+      ( "anomalies",
+        Json.List
+          (List.map (fun a -> Json.Str (anomaly_to_string a)) t.tl_anomalies)
+      );
+    ]

@@ -1,0 +1,55 @@
+(** Cross-peer negotiation timelines reconstructed from a flat span log.
+
+    {!build} groups spans by trace id (see {!Trace_context}) and derives,
+    per negotiation: per-peer lanes on the simulated clock (a span's lane
+    is its ["peer"] attribute), the critical path — the parent chain of
+    the span with the latest end tick, i.e. the causally linked steps
+    that determined the end-to-end latency — a latency breakdown by span
+    category (self time: a span's duration minus its children's), and
+    anomaly flags (retransmit storms, breaker trips, cache-invalidation
+    stampedes). *)
+
+type category = Solve | Wire | Queue | Retransmit | Other
+
+val category_to_string : category -> string
+
+val categorize : Span.t -> category
+(** By span name: [sld.*]/[answer]/[query] solve, [net.wire]/[net.send]
+    wire, [recv.*] queue, [reactor.retry*]/[reactor.timeout*] retransmit,
+    everything else other. *)
+
+type anomaly =
+  | Retransmit_storm of { retries : int; timeouts : int }
+      (** at least {!storm_threshold} retries + timeouts in one trace *)
+  | Breaker_trip of { at : int; detail : string }
+      (** a [guard.quarantine] event — some requester tripped a breaker *)
+  | Cache_stampede of { at : int; bursts : int }
+      (** at least {!stampede_threshold} cache-invalidation bursts on one
+          tick *)
+
+val anomaly_to_string : anomaly -> string
+val storm_threshold : int
+val stampede_threshold : int
+
+type t = {
+  tl_trace : int;
+  tl_spans : Span.t list;  (** this trace's spans, (start, id) order *)
+  tl_root : Span.t option;  (** earliest span with no in-trace parent *)
+  tl_lanes : (string * Span.t list) list;  (** peer -> spans, sorted *)
+  tl_start : int;
+  tl_end : int;
+  tl_critical : Span.t list;  (** root-to-latest parent chain *)
+  tl_breakdown : (category * int) list;  (** self ticks per category *)
+  tl_anomalies : anomaly list;
+}
+
+val build : Span.t list -> t list
+(** One timeline per distinct non-zero trace id, ascending.  Untraced
+    spans (trace 0) are ignored. *)
+
+val render : Format.formatter -> t -> unit
+(** Human-readable: header, per-peer lane chart, critical path, latency
+    breakdown, anomalies. *)
+
+val to_string : t -> string
+val to_json : t -> Json.t

@@ -1,0 +1,38 @@
+(** Propagated trace context: the per-negotiation identity a message
+    carries across peers so every receiver's spans attach to the
+    originating negotiation's trace.
+
+    A context names a trace ([trace_id], minted once per negotiation by
+    {!Tracer.mint}), the span on whose behalf the message was sent
+    ([parent_span]; 0 for a root context with no parent yet), and a
+    sampling bit — a receiver honours [sampled = false] by not recording
+    spans for the delivery even when its own tracer is enabled.
+
+    The wire form ({!to_header}/{!of_header}) is a fixed-width
+    traceparent-style header, e.g.
+    ["pt1-00000000000000c2-000000000000001f-01"].  {!of_header} is
+    total: malformed input returns [None], never an exception. *)
+
+type t = {
+  trace_id : int;  (** >= 1; 0 never names a trace *)
+  parent_span : int;  (** sending span id; 0 when the context is a root *)
+  sampled : bool;
+}
+
+val make : ?sampled:bool -> trace_id:int -> parent_span:int -> unit -> t
+(** [sampled] defaults to [true].
+    @raise Invalid_argument on [trace_id < 1] or [parent_span < 0]. *)
+
+val child : t -> parent_span:int -> t
+(** Same trace and sampling, re-parented under [parent_span]. *)
+
+val to_header : t -> string
+(** Fixed-width header, always {!header_length} bytes. *)
+
+val of_header : string -> t option
+(** Total inverse of {!to_header}: [None] on anything malformed. *)
+
+val header_length : int
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

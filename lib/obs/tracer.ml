@@ -2,8 +2,9 @@ type t = {
   enabled : bool;
   now : unit -> int;
   mutable next_id : int;
+  mutable next_trace : int;  (* trace ids minted by this tracer *)
   mutable stack : Span.t list;  (* open spans, innermost first *)
-  mutable recorded : Span.t list;  (* reverse start order *)
+  mutable recorded : Span.t list;  (* reverse insertion order *)
   max_spans : int;
 }
 
@@ -12,31 +13,72 @@ let noop =
     enabled = false;
     now = (fun () -> 0);
     next_id = 1;
+    next_trace = 1;
     stack = [];
     recorded = [];
     max_spans = 0;
   }
 
 let create ?(now = fun () -> 0) ?(max_spans = 1_000_000) () =
-  { enabled = true; now; next_id = 1; stack = []; recorded = []; max_spans }
+  {
+    enabled = true;
+    now;
+    next_id = 1;
+    next_trace = 1;
+    stack = [];
+    recorded = [];
+    max_spans;
+  }
 
 let enabled t = t.enabled
 
-let start t ?(attrs = []) name =
+let mint t =
   if not t.enabled then None
-  else if t.next_id > t.max_spans then None (* cap: drop, don't grow *)
+  else begin
+    let id = t.next_trace in
+    t.next_trace <- id + 1;
+    Some (Trace_context.make ~trace_id:id ~parent_span:0 ())
+  end
+
+(* Parentage and trace membership of a fresh span: an explicit context
+   wins (it crossed a wire or a timer); otherwise both are inherited
+   from the innermost open span, so purely local nesting stays on the
+   enclosing negotiation's trace. *)
+let lineage t ctx =
+  match ctx with
+  | Some c ->
+      ( (if c.Trace_context.parent_span = 0 then None
+         else Some c.Trace_context.parent_span),
+        c.Trace_context.trace_id )
+  | None -> (
+      match t.stack with
+      | [] -> (None, 0)
+      | s :: _ -> (Some s.Span.id, s.Span.trace))
+
+let fresh_span t ?ctx ?(attrs = []) ~name ~start_ticks () =
+  if t.next_id > t.max_spans then None (* cap: drop, don't grow *)
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    let parent =
-      match t.stack with [] -> None | s :: _ -> Some s.Span.id
-    in
-    let span = Span.make ~id ~parent ~name ~start_ticks:(t.now ()) in
+    let parent, trace = lineage t ctx in
+    let span = Span.make ~trace ~id ~parent ~name ~start_ticks () in
     List.iter (fun (k, v) -> Span.set_attr span k v) attrs;
-    t.stack <- span :: t.stack;
     t.recorded <- span :: t.recorded;
     Some span
   end
+
+let sampled_out = function
+  | Some { Trace_context.sampled = false; _ } -> true
+  | Some _ | None -> false
+
+let start t ?ctx ?attrs name =
+  if (not t.enabled) || sampled_out ctx then None
+  else
+    match fresh_span t ?ctx ?attrs ~name ~start_ticks:(t.now ()) () with
+    | None -> None
+    | Some span ->
+        t.stack <- span :: t.stack;
+        Some span
 
 let finish t = function
   | None -> ()
@@ -53,12 +95,24 @@ let finish t = function
       in
       if List.memq span t.stack then t.stack <- pop t.stack
 
-let with_span t ?attrs name f =
+let with_span t ?ctx ?attrs name f =
   if not t.enabled then f ()
   else begin
-    let span = start t ?attrs name in
+    let span = start t ?ctx ?attrs name in
     Fun.protect ~finally:(fun () -> finish t span) f
   end
+
+(* Retrospective recording: a span whose extent is already known — e.g.
+   the wire transit of an envelope, reconstructed at delivery from its
+   sent/deliver ticks.  Never touches the stack. *)
+let record t ?ctx ?attrs ~name ~start_ticks ~end_ticks () =
+  if (not t.enabled) || sampled_out ctx then None
+  else
+    match fresh_span t ?ctx ?attrs ~name ~start_ticks () with
+    | None -> None
+    | Some span ->
+        Span.finish span ~at:end_ticks;
+        Some span
 
 let event t message =
   if t.enabled then
@@ -74,12 +128,26 @@ let set_attr t key value =
 
 let current t = match t.stack with [] -> None | s :: _ -> Some s
 
-let spans t = List.rev t.recorded
+let current_context t =
+  match t.stack with
+  | s :: _ when s.Span.trace <> 0 ->
+      Some (Trace_context.make ~trace_id:s.Span.trace ~parent_span:s.Span.id ())
+  | _ -> None
 
-let finished t =
-  List.rev t.recorded |> List.filter (fun s -> s.Span.end_ticks <> None)
+(* Retrospective spans can start before previously recorded ones, so the
+   start-order contract needs an explicit (start, id) sort; the id
+   tie-break reproduces insertion order for same-tick spans. *)
+let spans t =
+  List.sort
+    (fun a b ->
+      let c = Int.compare a.Span.start_ticks b.Span.start_ticks in
+      if c <> 0 then c else Int.compare a.Span.id b.Span.id)
+    (List.rev t.recorded)
+
+let finished t = spans t |> List.filter (fun s -> s.Span.end_ticks <> None)
 
 let clear t =
   t.stack <- [];
   t.recorded <- [];
-  t.next_id <- 1
+  t.next_id <- 1;
+  t.next_trace <- 1

@@ -6,9 +6,18 @@
     open spans — nesting falls out of the synchronous call structure —
     and keeps every started span for later export ({!Export}).
 
+    Cross-peer causality rides on {!Trace_context}: {!mint} a context at
+    a negotiation root, capture {!current_context} when a message leaves,
+    and pass it back as [?ctx] when the delivery is processed — the
+    receiving span then joins the sender's trace with the sender's span
+    as its parent, regardless of what is on the local stack.  A context
+    with [sampled = false] suppresses recording for the spans it is
+    passed to.
+
     Time comes from the [now] callback, wired by callers to the session's
     simulated {!Peertrust_net.Clock} (this library has no dependency on
-    the network layer). *)
+    the network layer).  Both span and trace ids are deterministic
+    counters, so identically seeded runs produce identical traces. *)
 
 type t
 
@@ -22,17 +31,45 @@ val create : ?now:(unit -> int) -> ?max_spans:int -> unit -> t
 
 val enabled : t -> bool
 
-val with_span :
-  t -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
-(** Run the thunk inside a fresh span (child of the innermost open one).
-    The span is finished even on exceptional exit. *)
+val mint : t -> Trace_context.t option
+(** A fresh root context (next trace id, no parent span, sampled).
+    [None] on a disabled tracer. *)
 
-val start : t -> ?attrs:(string * Json.t) list -> string -> Span.t option
+val with_span :
+  t ->
+  ?ctx:Trace_context.t ->
+  ?attrs:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk inside a fresh span — a child of the innermost open one,
+    or of [ctx]'s parent span (joining [ctx]'s trace) when given.  The
+    span is finished even on exceptional exit. *)
+
+val start :
+  t ->
+  ?ctx:Trace_context.t ->
+  ?attrs:(string * Json.t) list ->
+  string ->
+  Span.t option
 (** Explicit variant of {!with_span} for non-lexical extents.  [None] on a
-    disabled tracer or past the span cap. *)
+    disabled tracer, past the span cap, or under an unsampled [ctx]. *)
 
 val finish : t -> Span.t option -> unit
 (** Close the span (and any still-open spans nested inside it). *)
+
+val record :
+  t ->
+  ?ctx:Trace_context.t ->
+  ?attrs:(string * Json.t) list ->
+  name:string ->
+  start_ticks:int ->
+  end_ticks:int ->
+  unit ->
+  Span.t option
+(** Record a span whose extent is already known (e.g. an envelope's wire
+    transit, reconstructed at delivery).  Never touches the open-span
+    stack; lineage comes from [ctx] exactly as in {!start}. *)
 
 val event : t -> string -> unit
 (** Attach a point event to the innermost open span (no-op without one). *)
@@ -42,10 +79,15 @@ val set_attr : t -> string -> Json.t -> unit
 
 val current : t -> Span.t option
 
+val current_context : t -> Trace_context.t option
+(** The context a message sent right now should carry: the innermost open
+    span's trace with that span as parent; [None] when the innermost span
+    is untraced (or no span is open). *)
+
 val spans : t -> Span.t list
-(** Every recorded span, in start order. *)
+(** Every recorded span, ordered by [(start_ticks, id)]. *)
 
 val finished : t -> Span.t list
-(** Only finished spans, in start order. *)
+(** Only finished spans, same order. *)
 
 val clear : t -> unit

@@ -416,6 +416,108 @@ let test_guard_defaults_honest_byte_identical () =
     (transcript_sig plain_net) (transcript_sig net);
   Alcotest.(check int) "same steps" plain_steps steps
 
+(* ------------------------------------------------------------------ *)
+(* Tracing is observation only.  The pins: enabling the tracer changes
+   no transcript byte, no step count and no outcome for either paper
+   scenario (fault-free and under a seeded fault plan), and identically
+   seeded traced runs export identical span logs. *)
+
+let run_s1_traced ?faults () =
+  let s = Scenario.scenario1 ~key_bits () in
+  let net = s.Scenario.s1_session.Session.network in
+  Option.iter (Net.Network.set_faults net) faults;
+  let clock = Net.Network.clock net in
+  let tracer = Pobs.Tracer.create ~now:(fun () -> Net.Clock.now clock) () in
+  Pobs.Obs.set_tracer tracer;
+  Fun.protect ~finally:Pobs.Obs.disable_tracing (fun () ->
+      let reactor = Reactor.create s.Scenario.s1_session in
+      let id =
+        Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+          (Scenario.scenario1_goal ())
+      in
+      let steps = Reactor.run ~max_steps reactor in
+      (Reactor.outcome reactor id, steps, tracer, net))
+
+let run_s2_traced ?faults () =
+  let s = Scenario.scenario2 ~key_bits () in
+  let net = s.Scenario.s2_session.Session.network in
+  Option.iter (Net.Network.set_faults net) faults;
+  let clock = Net.Network.clock net in
+  let tracer = Pobs.Tracer.create ~now:(fun () -> Net.Clock.now clock) () in
+  Pobs.Obs.set_tracer tracer;
+  Fun.protect ~finally:Pobs.Obs.disable_tracing (fun () ->
+      let reactor = Reactor.create s.Scenario.s2_session in
+      let free =
+        Reactor.submit reactor ~requester:"Bob" ~target:"E-Learn"
+          (Scenario.scenario2_goal_free ())
+      in
+      let paid =
+        Reactor.submit reactor ~requester:"Bob" ~target:"E-Learn"
+          (Scenario.scenario2_goal_paid ())
+      in
+      let steps = Reactor.run ~max_steps reactor in
+      ((Reactor.outcome reactor free, Reactor.outcome reactor paid), steps,
+       tracer, net))
+
+let test_tracing_transparent_scenario1 () =
+  let check_plan label mk_faults =
+    let off_out, off_steps, _, off_net = run_s1 ?faults:(mk_faults ()) () in
+    let on_out, on_steps, tracer, on_net =
+      run_s1_traced ?faults:(mk_faults ()) ()
+    in
+    Alcotest.(check (list string))
+      (label ^ ": transcript byte-identical under tracing")
+      (transcript_sig off_net) (transcript_sig on_net);
+    Alcotest.(check int) (label ^ ": same steps") off_steps on_steps;
+    Alcotest.(check bool)
+      (label ^ ": same outcome")
+      (granted off_out) (granted on_out);
+    Alcotest.(check bool)
+      (label ^ ": the traced run actually recorded spans")
+      true
+      (Pobs.Tracer.spans tracer <> [])
+  in
+  check_plan "fault-free" (fun () -> None);
+  check_plan "faulted" (fun () -> Some (chaos_plan 7L))
+
+let test_tracing_transparent_scenario2 () =
+  let check_plan label mk_faults =
+    let (off_free, off_paid), off_steps, _, off_net =
+      run_s2 ?faults:(mk_faults ()) ()
+    in
+    let (on_free, on_paid), on_steps, _, on_net =
+      run_s2_traced ?faults:(mk_faults ()) ()
+    in
+    Alcotest.(check (list string))
+      (label ^ ": transcript byte-identical under tracing")
+      (transcript_sig off_net) (transcript_sig on_net);
+    Alcotest.(check int) (label ^ ": same steps") off_steps on_steps;
+    Alcotest.(check (pair bool bool))
+      (label ^ ": same outcomes")
+      (granted off_free, granted off_paid)
+      (granted on_free, granted on_paid)
+  in
+  check_plan "fault-free" (fun () -> None);
+  check_plan "faulted" (fun () -> Some (chaos_plan 11L))
+
+let test_trace_determinism () =
+  (* Identically seeded traced runs export byte-identical span logs —
+     span and trace ids are deterministic counters on the simulated
+     clock, so the artifact is diffable across runs. *)
+  let export () =
+    let _, _, tracer, _ = run_s1_traced ~faults:(chaos_plan 13L) () in
+    Pobs.Export.spans_to_jsonl (Pobs.Tracer.spans tracer)
+  in
+  let a = export () and b = export () in
+  Alcotest.(check bool) "spans exported" true (String.length a > 0);
+  Alcotest.(check string) "identical span JSONL across runs" a b;
+  let causal () =
+    let _, _, tracer, _ = run_s1_traced ~faults:(chaos_plan 13L) () in
+    Pobs.Export.spans_to_causal_jsonl (Pobs.Tracer.spans tracer)
+  in
+  Alcotest.(check string) "identical causal stream across runs" (causal ())
+    (causal ())
+
 let test_transcript_ring_buffer () =
   let net = Net.Network.create ~log_cap:8 () in
   Net.Network.register net "b" (fun ~from:_ _ -> Net.Message.Ack);
@@ -468,6 +570,14 @@ let () =
             test_unguarded_adversary_terminates;
           tc "guards on honest traffic are byte-identical"
             test_guard_defaults_honest_byte_identical;
+        ] );
+      ( "tracing",
+        [
+          tc "scenario 1 transcripts identical with tracing on"
+            test_tracing_transparent_scenario1;
+          tc "scenario 2 transcripts identical with tracing on"
+            test_tracing_transparent_scenario2;
+          tc "same seed, same span log" test_trace_determinism;
         ] );
       ( "bounds",
         [ tc "transcript ring buffer" test_transcript_ring_buffer ] );

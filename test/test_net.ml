@@ -174,6 +174,144 @@ let test_network_registered_list () =
   Network.register net "a" echo_handler;
   Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Network.registered net)
 
+(* ------------------------------------------------------------------ *)
+(* Wire framing and trace propagation *)
+
+module Tctx = Peertrust_obs.Trace_context
+
+let sample_header ?trace () =
+  {
+    Wire.h_id = 7;
+    h_seq = 3;
+    h_attempt = 1;
+    h_from = "Alice";
+    h_target = "E-Learn";
+    h_sent_at = 12;
+    h_deliver_at = 14;
+    h_kind = "query";
+    h_bytes = 96;
+    h_trace = trace;
+  }
+
+let header_testable =
+  Alcotest.testable
+    (fun fmt h -> Format.pp_print_string fmt (String.escaped (Wire.encode h)))
+    ( = )
+
+let test_wire_roundtrip () =
+  let check_rt label h =
+    match Wire.decode (Wire.encode h) with
+    | Ok h' -> Alcotest.check header_testable label h h'
+    | Error e -> Alcotest.failf "%s: %a" label Wire.pp_error e
+  in
+  check_rt "untraced header" (sample_header ());
+  check_rt "traced header"
+    (sample_header
+       ~trace:(Tctx.make ~trace_id:194 ~parent_span:31 ())
+       ());
+  check_rt "unsampled context"
+    (sample_header
+       ~trace:(Tctx.make ~sampled:false ~trace_id:2 ~parent_span:0 ())
+       ());
+  (* Peer names that collide with the frame syntax must survive. *)
+  check_rt "names needing escaping"
+    {
+      (sample_header ()) with
+      Wire.h_from = "evil\npeer";
+      h_target = "tab\tand \"quotes\"";
+    }
+
+let test_wire_envelope () =
+  let ctx = Tctx.make ~trace_id:5 ~parent_span:9 () in
+  let env =
+    {
+      Envelope.id = 41;
+      seq = 2;
+      from_ = "Bob";
+      target = "E-Learn";
+      sent_at = 3;
+      deliver_at = 5;
+      attempt = 0;
+      trace = Some ctx;
+      payload = Message.Query { goal = lit {|p("x")|} };
+    }
+  in
+  let h = Wire.header_of_envelope env in
+  Alcotest.(check string) "kind from the payload" "query" h.Wire.h_kind;
+  Alcotest.(check int) "accounted size" (Message.size env.Envelope.payload)
+    h.Wire.h_bytes;
+  Alcotest.(check string) "envelope encoding is the header's"
+    (Wire.encode h) (Wire.encode_envelope env);
+  match Wire.decode (Wire.encode_envelope env) with
+  | Ok h' ->
+      Alcotest.(check bool) "trace context survives the frame" true
+        (h'.Wire.h_trace = Some ctx)
+  | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e
+
+let test_wire_decode_garbage () =
+  let expect_error label input =
+    match Wire.decode input with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" label input
+    | Error (Wire.Malformed { line; _ }) ->
+        Alcotest.(check bool)
+          (label ^ ": line is 1-based") true (line >= 1)
+  in
+  expect_error "empty" "";
+  expect_error "wrong magic" "HTTP/1.1 200 OK\n";
+  let good = Wire.encode (sample_header ()) in
+  expect_error "truncated" (String.sub good 0 (String.length good / 2));
+  expect_error "junk appended" (good ^ "junk\n");
+  (* A frame whose traceparent field is corrupt must be rejected as
+     malformed, not silently accepted without the context. *)
+  let traced =
+    Wire.encode
+      (sample_header ~trace:(Tctx.make ~trace_id:1 ~parent_span:0 ()) ())
+  in
+  let corrupt =
+    String.concat "\n"
+      (List.map
+         (fun l ->
+           if String.length l >= 11 && String.sub l 0 11 = "traceparent" then
+             "traceparent: pt1-zzzz"
+           else l)
+         (String.split_on_char '\n' traced))
+  in
+  expect_error "corrupt traceparent" corrupt
+
+let test_post_stamps_trace () =
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  let q () = Message.Query { goal = lit "ping(1)" } in
+  (match Network.post net ~from:"client" ~target:"server" (q ()) with
+  | [ env ] ->
+      Alcotest.(check bool) "untraced by default" true
+        (env.Envelope.trace = None)
+  | envs -> Alcotest.failf "expected 1 envelope, got %d" (List.length envs));
+  let ctx = Tctx.make ~trace_id:3 ~parent_span:8 () in
+  match Network.post net ~from:"client" ~target:"server" ~trace:ctx (q ()) with
+  | [ env ] ->
+      Alcotest.(check bool) "context stamped verbatim" true
+        (env.Envelope.trace = Some ctx)
+  | envs -> Alcotest.failf "expected 1 envelope, got %d" (List.length envs)
+
+let test_post_duplicates_share_trace () =
+  (* Every duplicated copy carries the same propagated context. *)
+  let net = Network.create () in
+  Network.register net "server" echo_handler;
+  Network.set_faults net (Faults.create ~duplicate:1.0 ~seed:9L ());
+  let ctx = Tctx.make ~trace_id:6 ~parent_span:2 () in
+  match
+    Network.post net ~from:"client" ~target:"server" ~trace:ctx
+      (Message.Query { goal = lit "ping(1)" })
+  with
+  | ([ _; _ ] | [ _; _; _ ]) as envs ->
+      List.iter
+        (fun (env : Envelope.t) ->
+          Alcotest.(check bool) "copy keeps the context" true
+            (env.Envelope.trace = Some ctx))
+        envs
+  | envs -> Alcotest.failf "expected duplicated copies, got %d" (List.length envs)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "net"
@@ -193,5 +331,13 @@ let () =
           tc "transcript" test_network_transcript;
           tc "re-register / unregister" test_network_reregister;
           tc "registered list" test_network_registered_list;
+        ] );
+      ( "wire",
+        [
+          tc "header round-trip" test_wire_roundtrip;
+          tc "envelope framing" test_wire_envelope;
+          tc "garbage rejected, never raises" test_wire_decode_garbage;
+          tc "post stamps the trace context" test_post_stamps_trace;
+          tc "duplicates share the context" test_post_duplicates_share_trace;
         ] );
     ]

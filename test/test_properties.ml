@@ -649,6 +649,136 @@ let prop_wire_mutated_total =
       | Ok _ | Error (Crypto.Wire.Malformed _) -> true
       | exception _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: percentile monotonicity, and the trace/envelope wire
+   headers under the same hostile-input discipline as the cert wallet. *)
+
+module Pobs = Peertrust_obs
+module Pnet = Peertrust_net
+
+let prop_percentile_monotone =
+  (* percentile hs is monotone in q — including samples that land in the
+     unbounded overflow bucket, where the observed max is reported. *)
+  let arb =
+    QCheck.make
+      ~print:
+        QCheck.Print.(pair (list int) (pair float float))
+      QCheck.Gen.(
+        triple
+          (list_size (int_range 0 60) (int_range 0 200_000))
+          (float_bound_inclusive 1.)
+          (float_bound_inclusive 1.)
+        |> map (fun (samples, q1, q2) -> (samples, (q1, q2))))
+  in
+  QCheck.Test.make ~name:"metric: percentile is monotone in q"
+    ~count:(scale 300) arb (fun (samples, (q1, q2)) ->
+      let h = Pobs.Metric.histogram ~buckets:[| 4.; 64.; 1024. |] "q" in
+      List.iter (Pobs.Metric.observe_int h) samples;
+      let hs = Pobs.Metric.snapshot_histogram h in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Pobs.Metric.percentile hs lo <= Pobs.Metric.percentile hs hi)
+
+let prop_trace_header_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun c -> Pobs.Trace_context.to_header c)
+      QCheck.Gen.(
+        map3
+          (fun trace_id parent_span sampled ->
+            Pobs.Trace_context.make ~sampled ~trace_id:(trace_id + 1)
+              ~parent_span ())
+          (int_bound 1_000_000_000) (int_bound 1_000_000_000) bool)
+  in
+  QCheck.Test.make ~name:"trace: header decode inverts encode"
+    ~count:(scale 300) arb (fun c ->
+      Pobs.Trace_context.of_header (Pobs.Trace_context.to_header c) = Some c)
+
+let prop_trace_header_mutated_total =
+  (* No byte-level damage to a valid header makes [of_header] raise, and
+     anything it does accept is a well-formed context. *)
+  QCheck.Test.make ~name:"fuzz: trace header decoder is total"
+    ~count:(scale 300) arb_wallet_damage (fun (muts, trunc) ->
+      let h =
+        Pobs.Trace_context.to_header
+          (Pobs.Trace_context.make ~trace_id:194 ~parent_span:31 ())
+      in
+      let b = Bytes.of_string h in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Pobs.Trace_context.of_header s with
+      | Some c -> c.Pobs.Trace_context.trace_id >= 1
+      | None -> true
+      | exception _ -> false)
+
+let arb_wire_header =
+  let open QCheck.Gen in
+  let name =
+    oneof
+      [
+        oneofl [ "Alice"; "E-Learn"; "odd name"; "nl\nin-name"; "q\"uote" ];
+        string_size ~gen:printable (int_range 0 12);
+      ]
+  in
+  QCheck.make
+    ~print:(fun h -> String.escaped (Pnet.Wire.encode h))
+    (map
+       (fun ((id, seq, attempt), (from_, target), (sent, dl, bytes), trace) ->
+         {
+           Pnet.Wire.h_id = id;
+           h_seq = seq;
+           h_attempt = attempt;
+           h_from = from_;
+           h_target = target;
+           h_sent_at = sent;
+           h_deliver_at = dl;
+           h_kind = "query";
+           h_bytes = bytes;
+           h_trace =
+             Option.map
+               (fun (t, p, s) ->
+                 Pobs.Trace_context.make ~sampled:s ~trace_id:(t + 1)
+                   ~parent_span:p ())
+               trace;
+         })
+       (quad
+          (triple small_nat small_nat small_nat)
+          (pair name name)
+          (triple small_nat small_nat small_nat)
+          (option (triple (int_bound 100_000) (int_bound 100_000) bool))))
+
+let prop_envelope_wire_roundtrip =
+  QCheck.Test.make ~name:"wire: envelope header decode inverts encode"
+    ~count:(scale 200) arb_wire_header (fun h ->
+      Pnet.Wire.decode (Pnet.Wire.encode h) = Ok h)
+
+let prop_envelope_wire_mutated_total =
+  QCheck.Test.make
+    ~name:"fuzz: envelope header decoder is total on mutated frames"
+    ~count:(scale 300)
+    (QCheck.pair arb_wire_header arb_wallet_damage)
+    (fun (h, (muts, trunc)) ->
+      let frame = Pnet.Wire.encode h in
+      let b = Bytes.of_string frame in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Pnet.Wire.decode s with
+      | Ok _ | Error (Pnet.Wire.Malformed _) -> true
+      | exception _ -> false)
+
 let () =
   Alcotest.run "properties"
     [
@@ -691,5 +821,14 @@ let () =
             prop_wire_total;
             prop_wire_mutated_total;
             prop_qel_total;
+          ] );
+      ( "obs",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_percentile_monotone;
+            prop_trace_header_roundtrip;
+            prop_trace_header_mutated_total;
+            prop_envelope_wire_roundtrip;
+            prop_envelope_wire_mutated_total;
           ] );
     ]
