@@ -1265,6 +1265,92 @@ let resolution () =
       !check_differential
 
 (* ------------------------------------------------------------------ *)
+(* RECURSION: distributed tabling over cyclic cross-peer policies.
+
+   Mutual-accreditation rings and chained federations — the workloads
+   the plain engines cannot terminate on — evaluated through the
+   reactor's distributed tabling engine.  Emits gauges
+   [recursion.<workload>.ms], [recursion.<workload>.steps] and
+   [recursion.<workload>.messages] into BENCH_recursion.json; every run
+   is checked for the complete expected answer set, so the benchmark
+   doubles as a termination/completeness gate. *)
+
+let recursion_smoke = ref false
+
+let recursion () =
+  let smoke = !recursion_smoke in
+  let scale full small = if smoke then small else full in
+  let run_world mk =
+    (* A reactor is a single-shot state machine over its session: build
+       a fresh world per run so repeats measure the same work. *)
+    let rw = mk () in
+    let session = rw.Scenario.rw_session in
+    let config = { Reactor.default_config with Reactor.tabling = true } in
+    let reactor = Reactor.create ~config session in
+    let id =
+      Reactor.submit reactor ~requester:rw.Scenario.rw_requester
+        ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+    in
+    let steps = Reactor.run reactor in
+    let messages =
+      Net.Stats.messages (Net.Network.stats session.Session.network)
+    in
+    let complete =
+      match Reactor.outcome reactor id with
+      | Negotiation.Granted instances ->
+          List.sort_uniq compare
+            (List.map (fun (l, _) -> Dlp.Literal.to_string l) instances)
+          = List.sort_uniq compare
+              (List.map Dlp.Literal.to_string rw.Scenario.rw_expected)
+      | Negotiation.Denied _ -> false
+    in
+    (steps, messages, complete)
+  in
+  let workloads =
+    [
+      ( "mutual_pair",
+        fun () -> Scenario.mutual_accreditation ~n:2 () );
+      ( "accreditation_ring",
+        let n = scale 8 4 in
+        fun () -> Scenario.mutual_accreditation ~n () );
+      ( "federation",
+        let clusters = scale 4 2 and size = scale 3 2 in
+        fun () -> Scenario.federation ~clusters ~size () );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        ignore (run_world mk) (* warm-up: interner/caches settle *);
+        let last = ref (0, 0, false) in
+        let runs = if smoke then 1 else 5 in
+        let ms, _ = time_alloc ~runs (fun () -> last := run_world mk) in
+        let steps, messages, complete = !last in
+        if not complete then begin
+          Printf.eprintf
+            "recursion: %s terminated WITHOUT the complete answer set\n" name;
+          exit 1
+        end;
+        Pobs.Metric.set
+          (Pobs.Obs.gauge ("recursion." ^ name ^ ".ms"))
+          (ms *. 1000.);
+        Pobs.Metric.set
+          (Pobs.Obs.gauge ("recursion." ^ name ^ ".steps"))
+          (float_of_int steps);
+        Pobs.Metric.set
+          (Pobs.Obs.gauge ("recursion." ^ name ^ ".messages"))
+          (float_of_int messages);
+        [ name; fmt_ms ms; string_of_int steps; string_of_int messages ])
+      workloads
+  in
+  print_table
+    ~title:
+      "RECURSION  Distributed tabling over cyclic policies \
+       (mutual-accreditation rings, federations)"
+    ~header:[ "workload"; "ms/run"; "steps"; "messages" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let micro () =
@@ -1356,7 +1442,7 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("cache", cache_bench);
     ("chaos", chaos); ("resolution", resolution);
-    ("adversary", adversary_bench);
+    ("recursion", recursion); ("adversary", adversary_bench);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1512,6 +1598,7 @@ let () =
     | "--smoke" :: rest ->
         resolution_smoke := true;
         adversary_smoke := true;
+        recursion_smoke := true;
         split_args dir acc rest
     | a :: rest -> split_args dir (a :: acc) rest
   in

@@ -354,8 +354,25 @@ let resolve_cache o =
       exit 1
   else None
 
-let reactor_config_of_cache =
-  Option.map (fun c -> { Reactor.default_config with Reactor.cache = Some c })
+(* Distributed-tabling flag shared by negotiate and scenario *)
+
+let tabling_arg =
+  Arg.(
+    value & flag
+    & info [ "tabling" ]
+        ~doc:
+          "Evaluate goals through the distributed tabling engine (implies \
+           the queued reactor engine): one table per goal at its owning \
+           peer, with GEM-style termination detection, so mutually \
+           recursive cross-peer policies terminate with their complete \
+           answer sets.")
+
+(* The reactor configuration implied by the cache and tabling flags;
+   [None] leaves engine selection to the default (byte-identical)
+   path. *)
+let reactor_config ~cache ~tabling =
+  if cache = None && not tabling then None
+  else Some { Reactor.default_config with Reactor.cache = cache; tabling }
 
 let print_cache_summary =
   Option.iter (fun c ->
@@ -527,7 +544,7 @@ let negotiate_cmd =
   let run verbose peer_specs requester target goal strategy show_transcript
       narrative mermaid wallet save_wallet save_world metrics_out trace_out
       trace_chrome trace_causal fault_opts cache_opts guard_opts
-      adversary_specs =
+      adversary_specs tabling =
     setup_logs verbose;
     handle_syntax_errors @@ fun () ->
     let guarded = guard_requested guard_opts in
@@ -572,19 +589,19 @@ let negotiate_cmd =
     let adversaries = parse_adversaries adversary_specs in
     let queued =
       install_faults session fault_opts
-      || cache <> None || guarded || adversaries <> []
+      || cache <> None || tabling || guarded || adversaries <> []
     in
     let finish_obs =
       setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
         session
     in
     let report =
-      (* Faulted (cached, guarded, adversarial) runs go through the
-         queued reactor (the engine with retransmission, timeouts and the
-         inbound guard); it negotiates relevant-style. *)
+      (* Faulted (cached, tabled, guarded, adversarial) runs go through
+         the queued reactor (the engine with retransmission, timeouts and
+         the inbound guard); it negotiates relevant-style. *)
       if queued then
         Reactor.negotiate
-          ?config:(reactor_config_of_cache cache)
+          ?config:(reactor_config ~cache ~tabling)
           ~adversaries session ~requester ~target
           (Dlp.Parser.parse_literal goal)
       else Strategy.negotiate_str session ~strategy ~requester ~target goal
@@ -693,7 +710,8 @@ let negotiate_cmd =
       const run $ verbose_arg $ peers $ requester $ target $ goal $ strategy
       $ transcript $ narrative $ mermaid $ wallet $ save_wallet $ save_world
       $ metrics_out_arg $ trace_out_arg $ trace_chrome_arg $ trace_causal_arg
-      $ fault_opts_term $ cache_opts_term $ guard_opts_term $ adversary_arg)
+      $ fault_opts_term $ cache_opts_term $ guard_opts_term $ adversary_arg
+      $ tabling_arg)
 
 (* ------------------------------------------------------------------ *)
 (* world: negotiate inside a saved world directory *)
@@ -852,7 +870,7 @@ let analyze_cmd =
 
 let scenario_cmd =
   let run verbose name metrics_out trace_out trace_chrome trace_causal
-      fault_opts cache_opts guard_opts adversary_specs repeat =
+      fault_opts cache_opts guard_opts adversary_specs repeat tabling =
     setup_logs verbose;
     if repeat < 1 then begin
       Printf.eprintf "error: --repeat must be >= 1\n";
@@ -884,8 +902,28 @@ let scenario_cmd =
               ("Bob", "E-Learn", Scenario.scenario2_goal_free ());
               ("Bob", "E-Learn", Scenario.scenario2_goal_paid ());
             ] )
+      | "accreditation" ->
+          let rw =
+            Scenario.mutual_accreditation ~config:session_config ()
+          in
+          ( rw.Scenario.rw_session,
+            [
+              ( rw.Scenario.rw_requester,
+                rw.Scenario.rw_target,
+                rw.Scenario.rw_goal );
+            ] )
+      | "federation" ->
+          let rw = Scenario.federation ~config:session_config () in
+          ( rw.Scenario.rw_session,
+            [
+              ( rw.Scenario.rw_requester,
+                rw.Scenario.rw_target,
+                rw.Scenario.rw_goal );
+            ] )
       | other ->
-          Printf.eprintf "unknown scenario %S (try elearn or services)\n"
+          Printf.eprintf
+            "unknown scenario %S (try elearn, services, accreditation or \
+             federation)\n"
             other;
           exit 1
     in
@@ -895,9 +933,9 @@ let scenario_cmd =
     let adversaries = parse_adversaries adversary_specs in
     let queued =
       install_faults session fault_opts
-      || cache <> None || guarded || adversaries <> []
+      || cache <> None || tabling || guarded || adversaries <> []
     in
-    let config = reactor_config_of_cache cache in
+    let config = reactor_config ~cache ~tabling in
     let finish_obs =
       setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
         session
@@ -921,7 +959,11 @@ let scenario_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"NAME" ~doc:"Scenario name: elearn or services.")
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Scenario name: elearn, services, accreditation (a cyclic \
+             mutual-accreditation pair — pass --tabling to complete it) \
+             or federation (chained accreditation rings).")
   in
   let repeat =
     Arg.(
@@ -936,7 +978,8 @@ let scenario_cmd =
     Term.(
       const run $ verbose_arg $ scenario_name $ metrics_out_arg
       $ trace_out_arg $ trace_chrome_arg $ trace_causal_arg $ fault_opts_term
-      $ cache_opts_term $ guard_opts_term $ adversary_arg $ repeat)
+      $ cache_opts_term $ guard_opts_term $ adversary_arg $ repeat
+      $ tabling_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: reconstruct cross-peer timelines from a span log *)

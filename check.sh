@@ -56,6 +56,22 @@ cmp "$trace_a" "$trace_b"
 ./_build/default/bin/main.exe trace "$trace_a" | grep -q 'critical path'
 ./_build/default/bin/main.exe trace "$trace_a" | grep -q 'net.wire'
 
+# Recursion smoke: a cyclic mutual-accreditation policy must terminate
+# under distributed tabling (loop detection + GEM-style completion) and
+# grant the chained credential; then the scaled recursion workloads once,
+# diffed against the committed seed baseline.
+./_build/default/bin/main.exe scenario accreditation --tabling \
+  --metrics-out "$metrics" > /dev/null
+grep -q '"negotiation.granted":1[,}]' "$metrics"
+if grep -q '"tabling.loops_detected":0[,}]' "$metrics"; then
+  echo "recursion smoke: no inter-peer loop detected" >&2
+  exit 1
+fi
+./_build/default/bench/main.exe recursion --smoke \
+  --metrics-dir "$bench_dir" > /dev/null
+./_build/default/bench/main.exe diff --against-seed recursion_smoke \
+  "$bench_dir/BENCH_recursion.json"
+
 # Bench-regression gate: the smoke resolution metrics must stay inside
 # the per-metric tolerance bands of the committed seed baseline, and the
 # diff tool must catch an injected 2x inflation (self-test).
@@ -73,7 +89,7 @@ fi
 # the full benchmark sweeps diffed against their committed baselines.
 if [ "${CHECK_SLOW:-0}" != "0" ]; then
   CHECK_SLOW=1 ./_build/default/test/test_properties.exe
-  ./_build/default/bench/main.exe adversary chaos resolution \
+  ./_build/default/bench/main.exe adversary chaos resolution recursion \
     --metrics-dir "$bench_dir"
   ./_build/default/bench/main.exe diff --against-seed adversary \
     "$bench_dir/BENCH_adversary.json"
@@ -81,4 +97,6 @@ if [ "${CHECK_SLOW:-0}" != "0" ]; then
     "$bench_dir/BENCH_chaos.json"
   ./_build/default/bench/main.exe diff --against-seed resolution \
     "$bench_dir/BENCH_resolution.json"
+  ./_build/default/bench/main.exe diff --against-seed recursion \
+    "$bench_dir/BENCH_recursion.json"
 fi

@@ -7,6 +7,7 @@ let m_hits = Obs.counter "cache.hits"
 let m_misses = Obs.counter "cache.misses"
 let m_evictions = Obs.counter "cache.evictions"
 let m_invalidations = Obs.counter "cache.invalidations"
+let m_rejected_incomplete = Obs.counter "cache.rejected_incomplete"
 
 type answer = {
   instances : (Literal.t * Trace.t option) list;
@@ -83,18 +84,25 @@ let evict_oldest t =
   in
   Option.iter (fun (k, _) -> evict t k) oldest
 
-let store t ~now ~asker ~owner goal answer =
-  let k = key ~asker ~owner goal in
-  if (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.capacity
-  then evict_oldest t;
-  t.stamp <- t.stamp + 1;
-  Hashtbl.replace t.table k
-    {
-      sl_answer = answer;
-      sl_owner = owner;
-      sl_expires = now + t.ttl;
-      sl_stamp = t.stamp;
-    }
+let store ?(completed = true) t ~now ~asker ~owner goal answer =
+  if not completed then
+    (* An incomplete (still-growing) table must never be replayed as an
+       answer: a later hit would serve a subset and the requester would
+       settle on it.  Refuse the insert and count the refusal. *)
+    Metric.incr m_rejected_incomplete
+  else begin
+    let k = key ~asker ~owner goal in
+    if (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.capacity
+    then evict_oldest t;
+    t.stamp <- t.stamp + 1;
+    Hashtbl.replace t.table k
+      {
+        sl_answer = answer;
+        sl_owner = owner;
+        sl_expires = now + t.ttl;
+        sl_stamp = t.stamp;
+      }
+  end
 
 let invalidate_where t pred =
   let doomed =

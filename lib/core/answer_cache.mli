@@ -62,8 +62,20 @@ val find :
     call counts a hit or a miss. *)
 
 val store :
-  t -> now:int -> asker:string -> owner:string -> Literal.t -> answer -> unit
-(** Insert or refresh an entry, stamping its expiry at [now + ttl]. *)
+  ?completed:bool ->
+  t ->
+  now:int ->
+  asker:string ->
+  owner:string ->
+  Literal.t ->
+  answer ->
+  unit
+(** Insert or refresh an entry, stamping its expiry at [now + ttl].
+    [completed] (default [true]) asserts the answer set is final;
+    [~completed:false] — an answer drawn from a table still inside an
+    unfinished SCC — {e refuses} the insert (counted as
+    [cache.rejected_incomplete]), so a premature partial answer set can
+    never be served to a later asker. *)
 
 val invalidate_owner : t -> string -> int
 (** Drop every entry answered by the given peer; returns the number of

@@ -74,7 +74,9 @@ let rec remote_callback session peer ~target lit =
                 instances;
               instances
           | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
-          | Net.Message.Query _ | Net.Message.Batch _ | Net.Message.Raw _ ->
+          | Net.Message.Query _ | Net.Message.Batch _ | Net.Message.Raw _
+          | Net.Message.Tquery _ | Net.Message.Tanswer _ | Net.Message.Tprobe _
+          | Net.Message.Tstat _ | Net.Message.Tcomplete _ ->
               [])
     end
   in
@@ -476,9 +478,12 @@ let handler session peer : Net.Network.handler =
         rules;
       Net.Message.Ack
   | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
-  | Net.Message.Batch _ | Net.Message.Raw _ ->
-      (* Batches belong to the queued reactor; the synchronous
-         request/response pair cannot carry several answers back. *)
+  | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
+  | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+  | Net.Message.Tcomplete _ ->
+      (* Batches and the tabling control plane belong to the queued
+         reactor; the synchronous request/response pair cannot carry
+         several answers back. *)
       Net.Message.Ack
 
 let handler_for = handler

@@ -193,6 +193,24 @@ let rec check t st ~now ~solicited ~in_batch payload =
         match bad_cert t certs with
         | Some which -> Reject (Bad_cert which)
         | None -> Admit)
+    | Net.Message.Tquery { goal; path } ->
+        (* Tabling control plane: structural checks only.  Solicitation
+           tracking does not apply — a completed table legitimately
+           pushes several answers for one query — and the rate/quota
+           budget is charged like a query. *)
+        let depth = goal_depth goal in
+        if depth > cfg.max_goal_depth then Reject (Bomb depth)
+        else if List.length path > 64 then
+          Reject (Malformed "tabling path too long")
+        else begin
+          st.queries <- now :: prune ~now ~window:cfg.rate_window st.queries;
+          if List.length st.queries > cfg.rate then Reject Flooding
+          else if st.work >= cfg.quota then Reject Quota_exhausted
+          else Admit
+        end
+    | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+    | Net.Message.Tcomplete _ ->
+        Admit
     | Net.Message.Batch payloads ->
         if in_batch then Reject (Malformed "nested batch")
         else if payloads = [] then Reject (Malformed "empty batch")

@@ -17,6 +17,7 @@ type denial_class =
   | Quarantined
   | Rate_limited
   | Quota
+  | Unsupported
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -36,6 +37,7 @@ let classify_denial reason =
   else if has_prefix ~prefix:"quarantined" reason then Quarantined
   else if has_prefix ~prefix:"rate-limited" reason then Rate_limited
   else if has_prefix ~prefix:"quota" reason then Quota
+  else if has_prefix ~prefix:"unsupported" reason then Unsupported
   else Policy
 
 let denial_class_to_string = function
@@ -48,12 +50,15 @@ let denial_class_to_string = function
   | Quarantined -> "quarantined"
   | Rate_limited -> "rate-limited"
   | Quota -> "quota"
+  | Unsupported -> "unsupported"
 
 (* Denials produced by transport failures rather than policy decisions. *)
 let transport_denial reason =
   match classify_denial reason with
   | Timeout | Unreachable | Budget -> true
-  | Policy | Cycle | Quiescent | Quarantined | Rate_limited | Quota -> false
+  | Policy | Cycle | Quiescent | Quarantined | Rate_limited | Quota
+  | Unsupported ->
+      false
 
 type report = {
   outcome : outcome;

@@ -23,6 +23,10 @@ type denial_class =
   | Quarantined  (** rejected by a guard: requester's breaker is open *)
   | Rate_limited  (** rejected by a guard: query rate above the limit *)
   | Quota  (** rejected by a guard: resolution work quota spent *)
+  | Unsupported
+      (** the goal hit a feature outside the evaluating engine's
+          fragment (e.g. negation-as-failure under distributed
+          tabling) *)
 
 val classify_denial : string -> denial_class
 (** Classify a [Denied] reason string.  The queued engine's resilience

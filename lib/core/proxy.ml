@@ -42,7 +42,9 @@ let attach_device session ~device ~proxy =
         Engine.learn ~from_:from session proxy_peer certs;
         Net.Message.Ack
     | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
-    | Net.Message.Batch _ | Net.Message.Raw _ ->
+    | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
+    | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+    | Net.Message.Tcomplete _ ->
         Net.Message.Ack
   in
   (* Replace the device's default handler with the forwarding one. *)

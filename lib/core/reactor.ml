@@ -39,10 +39,22 @@ type config = {
   dedup_cap : int;
   (* capacity of the delivered-envelope-id dedup set; past it the
      oldest ids are forgotten (counted as reactor.dedup_evictions) *)
+  tabling : bool;
+  (* route requests through distributed tabling: per-goal tables at the
+     owning peer, monotone answer views, SCC completion at quiescence —
+     terminates on mutually recursive cross-peer policies.  Off by
+     default; fault-free transcripts with tabling off are unchanged. *)
 }
 
 let default_config =
-  { rto = 8; retry_limit = 3; cache = None; batch = false; dedup_cap = 8192 }
+  {
+    rto = 8;
+    retry_limit = 3;
+    cache = None;
+    batch = false;
+    dedup_cap = 8192;
+    tabling = false;
+  }
 
 type parked = {
   pk_peer : string;  (* the peer holding the goal *)
@@ -61,6 +73,9 @@ type timer = {
   tm_trace : Tctx.t option;
       (* trace context captured when the timer was armed, so retransmits
          and timeout denials stay on the originating negotiation's trace *)
+  tm_path : (string * string) list option;
+      (* [Some path] when the outstanding sub-query is a tabling Tquery;
+         retransmits must resend the same payload kind *)
 }
 
 (* Delivery queue ordered by (deliver_at, envelope id): earliest delivery
@@ -91,6 +106,7 @@ type t = {
   results : (int, Negotiation.outcome) Hashtbl.t;
   mutable next_request : int;
   mutable budget_hit : bool;
+  tabling_st : Tabling.t option;  (* present iff [config.tabling] *)
 }
 
 type request = int
@@ -130,6 +146,7 @@ let create ?(config = default_config) session =
     results = Hashtbl.create 8;
     next_request = 1;
     budget_hit = false;
+    tabling_st = (if config.tabling then Some (Tabling.create session) else None);
   }
 
 let goal_key = Peer.goal_key
@@ -186,9 +203,14 @@ let post ?attempt ?trace t ~from ~target payload =
         | Net.Message.Query { goal } ->
             enqueue_synthetic ?trace t ~from:target ~target:from
               (Net.Message.Deny { goal; reason = "unreachable" })
+        | Net.Message.Tquery { goal; _ } ->
+            enqueue_synthetic ?trace t ~from:target ~target:from
+              (Net.Message.Deny { goal; reason = "unreachable" })
         | Net.Message.Batch payloads -> List.iter unreachable payloads
         | Net.Message.Answer _ | Net.Message.Deny _
-        | Net.Message.Disclosure _ | Net.Message.Ack | Net.Message.Raw _ ->
+        | Net.Message.Disclosure _ | Net.Message.Ack | Net.Message.Raw _
+        | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+        | Net.Message.Tcomplete _ ->
             Metric.incr m_drops;
             Otracer.event (Obs.tracer ())
               (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
@@ -207,7 +229,7 @@ let post ?attempt ?trace t ~from ~target payload =
 let resilient t =
   not (Net.Faults.is_none (Net.Network.faults t.session.Session.network))
 
-let arm_timer ?trace t ~peer ~target ~key goal =
+let arm_timer ?trace ?path t ~peer ~target ~key goal =
   if resilient t then
     let pkey = (peer, target, key) in
     if not (Hashtbl.mem t.timers pkey) then
@@ -218,6 +240,7 @@ let arm_timer ?trace t ~peer ~target ~key goal =
           tm_rto = t.config.rto;
           tm_next = now t + t.config.rto;
           tm_trace = resolve_trace trace;
+          tm_path = path;
         }
 
 (* Consult the answer cache (if configured) for a sub-query; [None] with
@@ -314,6 +337,43 @@ let resolve t pkey =
   | None -> Hashtbl.add t.pending pkey (ref true));
   Hashtbl.remove t.timers pkey
 
+(* Put a batch of tabling posts on the wire.  Tqueries get a pending
+   entry (so the guard's solicitation oracle accepts the eventual
+   answers), a cache consult — a hit short-circuits into a synthetic
+   final Tanswer, which is sound because the cache only ever holds
+   completed tables — and a retransmission timer carrying the call path.
+   Everything else (answer pushes, probe traffic) is fire-and-forget:
+   losses are repaired by quiescence healing, not timers. *)
+let tabling_send ?trace t posts =
+  List.iter
+    (fun { Tabling.p_from; p_target; p_payload } ->
+      match p_payload with
+      | Net.Message.Tquery { goal; path } -> (
+          let key = goal_key goal in
+          let pkey = (p_from, p_target, key) in
+          if not (Hashtbl.mem t.pending pkey) then
+            Hashtbl.add t.pending pkey (ref false);
+          match cache_find t ~asker:p_from ~owner:p_target goal with
+          | Some a ->
+              Otracer.event (Obs.tracer ())
+                (Printf.sprintf "reactor.cache_hit %s -> %s: %s" p_from
+                   p_target (Literal.to_string goal));
+              enqueue_synthetic ?trace t ~from:p_target ~target:p_from
+                (Net.Message.Tanswer
+                   {
+                     goal;
+                     instances = List.map fst a.Answer_cache.instances;
+                     final = true;
+                   })
+          | None ->
+              post ?trace t ~from:p_from ~target:p_target p_payload;
+              arm_timer ?trace ~path t ~peer:p_from ~target:p_target ~key goal)
+      | _ -> post ?trace t ~from:p_from ~target:p_target p_payload)
+    posts
+
+let with_tabling t f =
+  match t.tabling_st with None -> () | Some tb -> tabling_send t (f tb)
+
 (* Evaluate a goal at a peer with a collecting remote callback; either
    respond (true) or report the blocked sub-goals (false).  Work is done
    on [requester]'s behalf: each inner solve is capped at the
@@ -381,11 +441,19 @@ let settle_request t id outcome =
 (* A transport-level denial (injected by the resilience machinery, not
    by the target's policies) or a guard rejection surfaces as a
    structured outcome reason. *)
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
 let denial_reason t ~target pkey =
   match Hashtbl.find_opt t.denials pkey with
   | Some (("timeout" | "unreachable" | "quarantined" | "rate-limited" | "quota")
           as structured) ->
       Printf.sprintf "%s: %s" structured target
+  | Some reason when has_prefix ~prefix:"unsupported" reason ->
+      (* A tabled evaluation hit a feature outside its fragment (NAF);
+         keep the reason so {!Negotiation.classify_denial} sees it. *)
+      reason
   | Some _ | None -> "denied by target"
 
 (* Try to settle one parked goal; [true] when it is resolved. *)
@@ -471,6 +539,10 @@ let rec dispatch t ~synthetic (from, target, payload) =
           resolve t pkey;
           reevaluate t target
       | Net.Message.Deny { goal; reason } ->
+          (* When tabling is on, a denial may kill a table's dependency
+             view; the failure cascades to the view's dependent tables. *)
+          with_tabling t (fun tb ->
+              Tabling.handle_deny tb ~consumer:target ~from goal reason);
           let pkey = (target, from, goal_key goal) in
           if not (Hashtbl.mem t.answers pkey) then
             Hashtbl.replace t.denials pkey reason;
@@ -485,7 +557,50 @@ let rec dispatch t ~synthetic (from, target, payload) =
       | Net.Message.Raw _ ->
           (* Garbage on the wire: without a guard there is nothing to do
              with it; the guard layer rejects it before dispatch. *)
-          ())
+          ()
+      | Net.Message.Tquery { goal; path } ->
+          with_tabling t (fun tb ->
+              Tabling.handle_query tb ~owner:target ~from ~path goal)
+      | Net.Message.Tanswer { goal; instances; final } ->
+          with_tabling t (fun tb ->
+              Tabling.handle_answer tb ~consumer:target ~from goal instances
+                ~final);
+          let pkey = (target, from, goal_key goal) in
+          if final then begin
+            (* Only completed tables reach the cache: the [completed]
+               gate makes a premature (still-in-SCC) store impossible. *)
+            (match t.config.cache with
+            | Some c when not synthetic ->
+                Answer_cache.store ~completed:true c ~now:(now t)
+                  ~asker:target ~owner:from goal
+                  {
+                    Answer_cache.instances =
+                      List.map (fun i -> (i, None)) instances;
+                    certs = [];
+                  }
+            | Some _ | None -> ());
+            Hashtbl.replace t.answers pkey
+              (List.map (fun i -> (i, None)) instances);
+            resolve t pkey;
+            reevaluate t target
+          end
+          else
+            (* A non-final push proves the link is alive — stand the
+               retransmission timer down, but keep the request pending
+               until the table completes. *)
+            Hashtbl.remove t.timers pkey
+      | Net.Message.Tprobe { leader; epoch; members } ->
+          with_tabling t (fun tb ->
+              Tabling.handle_probe tb ~peer:target ~from
+                (leader, epoch, members))
+      | Net.Message.Tstat { leader; epoch; entries } ->
+          with_tabling t (fun tb ->
+              Tabling.handle_stat tb ~peer:target ~from
+                (leader, epoch, entries))
+      | Net.Message.Tcomplete { leader; epoch; members } ->
+          with_tabling t (fun tb ->
+              Tabling.handle_complete tb ~peer:target
+                (leader, epoch, members)))
 
 let submit t ~requester ~target goal =
   let id = t.next_request in
@@ -522,8 +637,23 @@ let submit t ~requester ~target goal =
           | Some span -> Some (Tctx.child c ~parent_span:span.Peertrust_obs.Span.id)
           | None -> Some c)
   in
-  if not (Hashtbl.mem t.pending (requester, target, key)) then
-    post_query ?trace t ~from:requester ~target ~key goal;
+  (match t.tabling_st with
+  | Some tb ->
+      (* Tabled mode: the request rides the tabling control plane.  A
+         root view (empty path) is registered so quiescence healing can
+         re-push a final answer the requester lost to faults. *)
+      Tabling.register_root tb ~consumer:requester ~owner:target goal;
+      tabling_send ?trace t
+        [
+          {
+            Tabling.p_from = requester;
+            p_target = target;
+            p_payload = Net.Message.Tquery { goal; path = [] };
+          };
+        ]
+  | None ->
+      if not (Hashtbl.mem t.pending (requester, target, key)) then
+        post_query ?trace t ~from:requester ~target ~key goal);
   let p =
     {
       pk_peer = requester;
@@ -584,8 +714,12 @@ let fire_timer t ((peer, target, _key) as pkey) tm =
           (Printf.sprintf "reactor.retry #%d %s -> %s: %s" tm.tm_attempt peer
              target
              (Literal.to_string tm.tm_goal));
-        post ~attempt:tm.tm_attempt t ~from:peer ~target
-          (Net.Message.Query { goal = tm.tm_goal }))
+        let payload =
+          match tm.tm_path with
+          | Some path -> Net.Message.Tquery { goal = tm.tm_goal; path }
+          | None -> Net.Message.Query { goal = tm.tm_goal }
+        in
+        post ~attempt:tm.tm_attempt t ~from:peer ~target payload)
   end
   else begin
     Hashtbl.remove t.timers pkey;
@@ -619,9 +753,12 @@ let reject_payload t ~from ~target violation payload =
   let rec deny = function
     | Net.Message.Query { goal } ->
         post t ~from:target ~target:from (Net.Message.Deny { goal; reason })
+    | Net.Message.Tquery { goal; _ } ->
+        post t ~from:target ~target:from (Net.Message.Deny { goal; reason })
     | Net.Message.Batch payloads -> List.iter deny payloads
     | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
-    | Net.Message.Ack | Net.Message.Raw _ ->
+    | Net.Message.Ack | Net.Message.Raw _ | Net.Message.Tanswer _
+    | Net.Message.Tprobe _ | Net.Message.Tstat _ | Net.Message.Tcomplete _ ->
         ()
   in
   deny payload
@@ -638,10 +775,13 @@ let dispatch_adversary t adv ~from payload =
 let payload_goal = function
   | Net.Message.Query { goal }
   | Net.Message.Answer { goal; _ }
-  | Net.Message.Deny { goal; _ } ->
+  | Net.Message.Deny { goal; _ }
+  | Net.Message.Tquery { goal; _ }
+  | Net.Message.Tanswer { goal; _ } ->
       Some (goal_key goal)
   | Net.Message.Batch _ | Net.Message.Disclosure _ | Net.Message.Ack
-  | Net.Message.Raw _ ->
+  | Net.Message.Raw _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+  | Net.Message.Tcomplete _ ->
       None
 
 let deliver_envelope t env =
@@ -764,6 +904,19 @@ let break_quiescence t =
       | None -> false)
   | [], [] -> false
 
+(* Tabling's quiescence hook: heal lagging views, then (if all in sync)
+   start an SCC probe epoch.  Runs before [break_quiescence] so cyclic
+   tabled goals complete rather than being force-denied. *)
+let tabling_quiesce t =
+  match t.tabling_st with
+  | None -> false
+  | Some tb -> (
+      match Tabling.quiesce tb with
+      | [] -> false
+      | posts ->
+          tabling_send t posts;
+          true)
+
 let run_inner ?(max_steps = 100_000) t =
   let steps = ref 0 in
   let continue = ref true in
@@ -772,6 +925,7 @@ let run_inner ?(max_steps = 100_000) t =
       incr steps;
       Metric.incr m_steps
     end
+    else if tabling_quiesce t then Metric.incr m_steps
     else if break_quiescence t then Metric.incr m_quiescence_breaks
     else continue := false
   done;
@@ -807,6 +961,9 @@ let outcome t id =
 
 let parked_count t = List.length t.parked
 let pending_timers t = Hashtbl.length t.timers
+
+let tabling_summary t =
+  match t.tabling_st with None -> [] | Some tb -> Tabling.summary tb
 let guard t = t.guard
 let dedup_evictions t = Net.Dedup.evictions t.seen
 

@@ -97,13 +97,21 @@ type config = {
       (** capacity of the delivered-envelope-id dedup set; past it the
           oldest ids are forgotten, counted as
           [reactor.dedup_evictions] *)
+  tabling : bool;
+      (** evaluate goals through the distributed {!Tabling} engine: one
+          table per goal skeleton at its owning peer, monotone answer
+          pushes, and GEM-style SCC completion at quiescence — so
+          mutually recursive cross-peer policies terminate with their
+          complete answer sets instead of being force-denied as cycles.
+          Off by default: tabling-off transcripts are byte-identical to
+          the plain reactor. *)
 }
 
 val default_config : config
 (** [{ rto = 8; retry_limit = 3; cache = None; batch = false;
-    dedup_cap = 8192 }] — a sub-query is abandoned as timed out after
-    8 + 16 + 32 + 64 unanswered ticks; caching and batching are
-    opt-in. *)
+    dedup_cap = 8192; tabling = false }] — a sub-query is abandoned as
+    timed out after 8 + 16 + 32 + 64 unanswered ticks; caching,
+    batching and tabling are opt-in. *)
 
 val create : ?config:config -> Session.t -> t
 (** The reactor replaces the peers' network handlers; create it after all
@@ -146,6 +154,12 @@ val guard : t -> Guard.t
 
 val dedup_evictions : t -> int
 (** Ids forgotten by this reactor's bounded dedup set. *)
+
+val tabling_summary : t -> (string * string * int * string) list
+(** [(peer, goal key, answer count, status)] for every distributed
+    table, sorted — empty unless {!config}[.tabling] is set.  The chaos
+    suite compares this signature between fault-free and fault-injected
+    runs. *)
 
 val add_adversary :
   ?targets:string list -> t -> Peertrust_net.Adversary.t -> unit

@@ -387,6 +387,91 @@ let marketplace ?config ?(seed = 7L) ~providers ~learners
     mp_goals = goals;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Recursive (cyclic) workloads for the distributed tabling engine *)
+
+type recursion_world = {
+  rw_session : Session.t;
+  rw_requester : string;
+  rw_target : string;
+  rw_goal : Literal.t;
+  rw_expected : Literal.t list;
+  rw_peers : string list;
+}
+
+let ring_rule ~next = Printf.sprintf {|accredited(X) <- accredited(X) @ "%s".|} next
+
+let mutual_accreditation ?config ?(n = 2) () =
+  if n < 2 then
+    invalid_arg "Scenario.mutual_accreditation: ring needs >= 2 peers";
+  let session = Session.create ?config () in
+  let peer i = Printf.sprintf "peer%d" i in
+  let peers = List.init n peer in
+  List.iteri
+    (fun i name ->
+      let program =
+        ring_rule ~next:(peer ((i + 1) mod n))
+        ^ if i = 0 then {|
+accredited("seed").|} else ""
+      in
+      ignore (Session.add_peer session ~program name))
+    peers;
+  ignore (Session.add_peer session "client");
+  Engine.attach_all session;
+  {
+    rw_session = session;
+    rw_requester = "client";
+    rw_target = peer 0;
+    rw_goal = Parser.parse_literal {|accredited(X)|};
+    rw_expected = [ Parser.parse_literal {|accredited("seed")|} ];
+    rw_peers = peers;
+  }
+
+let federation ?config ?(clusters = 2) ?(size = 2) () =
+  if clusters < 1 then
+    invalid_arg "Scenario.federation: clusters must be >= 1";
+  if size < 2 then invalid_arg "Scenario.federation: ring size must be >= 2";
+  let session = Session.create ?config () in
+  let peer c i = Printf.sprintf "c%dp%d" c i in
+  let peers =
+    List.concat (List.init clusters (fun c -> List.init size (peer c)))
+  in
+  List.iter
+    (fun name ->
+      (* name is "c<c>p<i>" *)
+      Scanf.sscanf name "c%dp%d" (fun c i ->
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf (ring_rule ~next:(peer c ((i + 1) mod size)));
+          Buffer.add_char buf '\n';
+          if i = 0 then begin
+            (* The cluster entry holds that federation's own member fact
+               and, except for the last cluster, accepts accreditations
+               from the next federation downstream. *)
+            Buffer.add_string buf
+              (Printf.sprintf {|accredited("member%d").|} c);
+            Buffer.add_char buf '\n';
+            if c < clusters - 1 then begin
+              Buffer.add_string buf
+                (Printf.sprintf {|accredited(X) <- accredited(X) @ "%s".|}
+                   (peer (c + 1) 0));
+              Buffer.add_char buf '\n'
+            end
+          end;
+          ignore (Session.add_peer session ~program:(Buffer.contents buf) name)))
+    peers;
+  ignore (Session.add_peer session "client");
+  Engine.attach_all session;
+  {
+    rw_session = session;
+    rw_requester = "client";
+    rw_target = peer 0 0;
+    rw_goal = Parser.parse_literal {|accredited(X)|};
+    rw_expected =
+      List.init clusters (fun c ->
+          Parser.parse_literal (Printf.sprintf {|accredited("member%d")|} c));
+    rw_peers = peers;
+  }
+
 let fanout ?config ~width () =
   if width < 1 then invalid_arg "Scenario.fanout: width must be >= 1";
   let config =

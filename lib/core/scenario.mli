@@ -86,6 +86,37 @@ val grid : ?config:Session.config -> unit -> grid
     describes the cluster's queues.  Goals look like
     [submit(batch, "ada", 256)]. *)
 
+type recursion_world = {
+  rw_session : Session.t;
+  rw_requester : string;  (** the client peer submitting the request *)
+  rw_target : string;  (** the peer owning the top-level goal *)
+  rw_goal : Peertrust_dlp.Literal.t;
+  rw_expected : Peertrust_dlp.Literal.t list;
+      (** the complete answer set a terminating evaluation must produce *)
+  rw_peers : string list;  (** the policy-bearing peers, [rw_requester]
+                               excluded *)
+}
+
+val mutual_accreditation :
+  ?config:Session.config -> ?n:int -> unit -> recursion_world
+(** A mutual-accreditation web: [n] (>= 2, default 2) peers in a ring
+    where each accepts whatever the next accredits
+    ([accredited(X) <- accredited(X) @ next]) and [peer0] holds one base
+    fact.  The plain engines loop forever on it (the reactor force-denies
+    it as a cycle); under {!Reactor.config}[.tabling] every table
+    completes with exactly [rw_expected].  With [n = 2] this is the
+    "A accredits B iff B accredits A" policy pair. *)
+
+val federation :
+  ?config:Session.config -> ?clusters:int -> ?size:int -> unit ->
+  recursion_world
+(** Chained accreditation federations: [clusters] rings of [size] peers;
+    each cluster's entry peer holds that federation's member fact and
+    accepts accreditations from the next cluster downstream.  Cyclic
+    within a cluster, acyclic between clusters — the SCCs must complete
+    in dependency order, last cluster first, so [rw_expected] (all
+    [clusters] member facts) reaches the front entry peer. *)
+
 type marketplace = {
   mp_session : Session.t;
   mp_learners : string list;

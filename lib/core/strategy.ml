@@ -44,7 +44,9 @@ let eager_handler session peer : Net.Network.handler =
         rules;
       Net.Message.Ack
   | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
-  | Net.Message.Batch _ | Net.Message.Raw _ ->
+  | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
+  | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
+  | Net.Message.Tcomplete _ ->
       Net.Message.Ack
 
 let run_eager session ~requester ~target goal =
@@ -98,7 +100,10 @@ let run_eager session ~requester ~target goal =
                     if p1 || p2 then `Retry
                     else `Done (Negotiation.Denied "no safe disclosure sequence")
                 | Net.Message.Query _ | Net.Message.Disclosure _
-                | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _ ->
+                | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _
+                | Net.Message.Tquery _ | Net.Message.Tanswer _
+                | Net.Message.Tprobe _ | Net.Message.Tstat _
+                | Net.Message.Tcomplete _ ->
                     `Done (Negotiation.Denied "protocol error"))
           in
           match decision with `Done o -> o | `Retry -> round (n + 1)
@@ -165,7 +170,10 @@ let run_eager_multi session ~participants ~requester ~target goal =
                     if push_round () then `Retry
                     else `Done (Negotiation.Denied "no safe disclosure sequence")
                 | Net.Message.Query _ | Net.Message.Disclosure _
-                | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _ ->
+                | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _
+                | Net.Message.Tquery _ | Net.Message.Tanswer _
+                | Net.Message.Tprobe _ | Net.Message.Tstat _
+                | Net.Message.Tcomplete _ ->
                     `Done (Negotiation.Denied "protocol error"))
           in
           match decision with `Done o -> o | `Retry -> round (n + 1)

@@ -1,0 +1,732 @@
+(* Distributed tabling: the GEM-style port of {!Peertrust_dlp.Tabled}
+   across the reactor.
+
+   Every goal skeleton has exactly one table, living at the peer that
+   owns the goal (the outermost authority).  Consumers hold a monotone
+   *view* of each remote table they depend on; the owner pushes its full
+   current instance list on every change ([Tanswer]), so duplicated,
+   reordered or re-transmitted pushes merge idempotently.  Acyclic
+   dependency chains complete bottom-up: a table whose remote deps are
+   all final freezes as soon as it reaches its local fixpoint.  Genuine
+   cross-peer loops (mutual accreditation, federations) form SCCs that
+   no member can complete alone; those are detected and frozen at
+   reactor quiescence with a probe protocol à la GEM's counters:
+
+     1. heal — if any consumer view lags its owner table, re-push and
+        wait for the next quiescence (this stands in for per-link
+        retransmission under fault injection);
+     2. elect — Tarjan over the still-active tables, pick the first
+        ready SCC (all external deps final) and its minimal member as
+        leader;
+     3. probe — the leader collects every member's size/seen counters
+        ([Tprobe]/[Tstat], epoch-stamped so stale replies are ignored);
+     4. freeze — if every intra-SCC edge satisfies "consumer has seen
+        exactly what the producer holds", the SCC is globally quiescent:
+        the leader completes its own members and broadcasts [Tcomplete];
+        otherwise the epoch is dropped and the next quiescence retries.
+
+   This module is a pure state machine: handlers return the posts the
+   reactor should put on the wire, and never touch the network
+   themselves.  All iteration orders are sorted, so runs are
+   deterministic and fault-free transcripts are byte-stable. *)
+
+module Net = Peertrust_net
+module Obs = Peertrust_obs.Obs
+module Metric = Peertrust_obs.Metric
+module Otracer = Peertrust_obs.Tracer
+module Json = Peertrust_obs.Json
+open Peertrust_dlp
+
+let m_loops = Obs.counter "tabling.loops_detected"
+let m_completions = Obs.counter "tabling.completions"
+let m_sccs = Obs.counter "tabling.sccs"
+let m_heals = Obs.counter "tabling.heals"
+let m_probes_aborted = Obs.counter "tabling.probes_aborted"
+
+exception Dep_failed of string
+
+type post = {
+  p_from : string;
+  p_target : string;
+  p_payload : Net.Message.payload;
+}
+
+type status = Active | Complete | Failed of string
+
+type table = {
+  tb_owner : string;
+  tb_key : string;
+  tb_call : Literal.t;
+  tb_path : (string * string) list;  (* tables above this one *)
+  tb_seen : (string, unit) Hashtbl.t;  (* instance skeletons *)
+  mutable tb_instances : Literal.t list;  (* reverse order *)
+  mutable tb_status : status;
+  mutable tb_consumers : string list;  (* reverse subscription order *)
+  mutable tb_deps : (string * string) list;  (* (owner, key) *)
+}
+
+type view = {
+  vw_goal : Literal.t;  (* as shipped, for healing re-posts *)
+  vw_path : (string * string) list;
+  vw_seen : (string, unit) Hashtbl.t;
+  mutable vw_instances : Literal.t list;
+  mutable vw_final : bool;
+  mutable vw_failed : string option;
+}
+
+type probe = {
+  pr_leader : string * string;
+  pr_epoch : int;
+  pr_members : (string * string) list;
+  mutable pr_waiting : string list;  (* peers yet to report *)
+  mutable pr_stats : (string * Net.Message.tstat_entry list) list;
+}
+
+type t = {
+  session : Session.t;
+  tables : (string * string, table) Hashtbl.t;
+  views : (string * string * string, view) Hashtbl.t;
+      (* keyed (consumer, owner, key) *)
+  mutable epoch : int;
+  mutable probe : probe option;
+}
+
+let create session =
+  {
+    session;
+    tables = Hashtbl.create 32;
+    views = Hashtbl.create 32;
+    epoch = 0;
+    probe = None;
+  }
+
+let skeleton lit = Peer.goal_key lit
+let find_table t owner key = Hashtbl.find_opt t.tables (owner, key)
+
+(* A top-level requester is a consumer like any other, except no table
+   of its own depends on the view: registering it here lets quiescence
+   healing re-push a final answer the requester lost to faults, instead
+   of mis-settling the negotiation as quiescent. *)
+let register_root t ~consumer ~owner goal =
+  let key = skeleton goal in
+  if not (Hashtbl.mem t.views (consumer, owner, key)) then
+    Hashtbl.replace t.views (consumer, owner, key)
+      {
+        vw_goal = goal;
+        vw_path = [];
+        vw_seen = Hashtbl.create 8;
+        vw_instances = [];
+        vw_final = false;
+        vw_failed = None;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Answer pushes and status transitions *)
+
+let notify tb ~final =
+  let instances = List.rev tb.tb_instances in
+  List.rev_map
+    (fun c ->
+      {
+        p_from = tb.tb_owner;
+        p_target = c;
+        p_payload = Net.Message.Tanswer { goal = tb.tb_call; instances; final };
+      })
+    tb.tb_consumers
+
+let complete_table tb =
+  match tb.tb_status with
+  | Complete | Failed _ -> []
+  | Active ->
+      tb.tb_status <- Complete;
+      Metric.incr m_completions;
+      let tracer = Obs.tracer () in
+      if Otracer.enabled tracer then
+        Otracer.with_span tracer
+          ~attrs:
+            [
+              ("peer", Json.Str tb.tb_owner);
+              ("table", Json.Str tb.tb_key);
+              ("answers", Json.Int (Hashtbl.length tb.tb_seen));
+            ]
+          "tabling.complete"
+          (fun () -> ());
+      notify tb ~final:true
+
+let fail_table tb reason =
+  match tb.tb_status with
+  | Complete | Failed _ -> []
+  | Active ->
+      tb.tb_status <- Failed reason;
+      List.rev_map
+        (fun c ->
+          {
+            p_from = tb.tb_owner;
+            p_target = c;
+            p_payload = Net.Message.Deny { goal = tb.tb_call; reason };
+          })
+        tb.tb_consumers
+
+(* ------------------------------------------------------------------ *)
+(* Local evaluation of one table, with remote deps answered from views *)
+
+let eval_table t tb =
+  match tb.tb_status with
+  | Complete | Failed _ -> []
+  | Active -> (
+      let posts = ref [] in
+      let deps = ref [] in
+      let hook ~target lit =
+        let key = skeleton lit in
+        if
+          not
+            (List.exists
+               (fun (o, k) -> String.equal o target && String.equal k key)
+               !deps)
+        then deps := (target, key) :: !deps;
+        match Hashtbl.find_opt t.views (tb.tb_owner, target, key) with
+        | Some v -> (
+            match v.vw_failed with
+            | Some r -> raise (Dep_failed r)
+            | None -> v.vw_instances)
+        | None ->
+            (* Canonicalise the call's variable names before they reach
+               the wire: the engine's fresh variables carry a
+               process-global counter, and a transcript that leaked it
+               would not be reproducible across runs. *)
+            let lit =
+              let map = Hashtbl.create 4 in
+              let next = ref 0 in
+              Literal.map_vars
+                (fun v ->
+                  match Hashtbl.find_opt map v with
+                  | Some c -> c
+                  | None ->
+                      let c = Term.var_id (Printf.sprintf "G%d" !next) in
+                      incr next;
+                      Hashtbl.replace map v c;
+                      c)
+                lit
+            in
+            let path = tb.tb_path @ [ (tb.tb_owner, tb.tb_key) ] in
+            let v =
+              {
+                vw_goal = lit;
+                vw_path = path;
+                vw_seen = Hashtbl.create 8;
+                vw_instances = [];
+                vw_final = false;
+                vw_failed = None;
+              }
+            in
+            Hashtbl.replace t.views (tb.tb_owner, target, key) v;
+            posts :=
+              {
+                p_from = tb.tb_owner;
+                p_target = target;
+                p_payload = Net.Message.Tquery { goal = lit; path };
+              }
+              :: !posts;
+            []
+      in
+      let peer = Session.peer t.session tb.tb_owner in
+      match
+        Tabled.solve ~externals:peer.Peer.externals ~remote:hook
+          ~self:tb.tb_owner peer.Peer.kb [ tb.tb_call ]
+      with
+      | exception Tabled.Unsupported msg ->
+          fail_table tb ("unsupported: " ^ msg)
+      | exception Dep_failed reason -> fail_table tb reason
+      | answers ->
+          tb.tb_deps <- List.rev !deps;
+          let grew = ref false in
+          List.iter
+            (fun s ->
+              let inst = Literal.apply s tb.tb_call in
+              let k = skeleton inst in
+              if not (Hashtbl.mem tb.tb_seen k) then begin
+                Hashtbl.add tb.tb_seen k ();
+                tb.tb_instances <- inst :: tb.tb_instances;
+                grew := true
+              end)
+            answers;
+          let all_final =
+            List.for_all
+              (fun (o, k) ->
+                match Hashtbl.find_opt t.views (tb.tb_owner, o, k) with
+                | Some v -> v.vw_final
+                | None -> false)
+              tb.tb_deps
+          in
+          let queries = List.rev !posts in
+          if all_final && queries = [] then queries @ complete_table tb
+          else if !grew then queries @ notify tb ~final:false
+          else queries)
+
+(* Re-evaluate every active table at [consumer] that depends on the
+   remote table [(owner, key)], in sorted order. *)
+let reeval_dependents t ~consumer ~owner ~key =
+  Hashtbl.fold
+    (fun (p, _) tb acc ->
+      if
+        String.equal p consumer
+        && (match tb.tb_status with Active -> true | _ -> false)
+        && List.exists
+             (fun (o, k) -> String.equal o owner && String.equal k key)
+             tb.tb_deps
+      then tb :: acc
+      else acc)
+    t.tables []
+  |> List.sort (fun a b ->
+         compare (a.tb_owner, a.tb_key) (b.tb_owner, b.tb_key))
+  |> List.concat_map (fun tb -> eval_table t tb)
+
+(* ------------------------------------------------------------------ *)
+(* Wire handlers *)
+
+let state_reply tb ~target =
+  let payload =
+    match tb.tb_status with
+    | Failed reason -> Net.Message.Deny { goal = tb.tb_call; reason }
+    | Complete ->
+        Net.Message.Tanswer
+          {
+            goal = tb.tb_call;
+            instances = List.rev tb.tb_instances;
+            final = true;
+          }
+    | Active ->
+        Net.Message.Tanswer
+          {
+            goal = tb.tb_call;
+            instances = List.rev tb.tb_instances;
+            final = false;
+          }
+  in
+  { p_from = tb.tb_owner; p_target = target; p_payload = payload }
+
+let handle_query t ~owner ~from ~path goal =
+  let key = skeleton goal in
+  if
+    List.exists
+      (fun (p, k) -> String.equal p owner && String.equal k key)
+      path
+  then Metric.incr m_loops;
+  let tb, posts =
+    match find_table t owner key with
+    | Some tb ->
+        if not (List.exists (String.equal from) tb.tb_consumers) then
+          tb.tb_consumers <- from :: tb.tb_consumers;
+        (tb, [])
+    | None ->
+        let tb =
+          {
+            tb_owner = owner;
+            tb_key = key;
+            tb_call = goal;
+            tb_path = path;
+            tb_seen = Hashtbl.create 8;
+            tb_instances = [];
+            tb_status = Active;
+            tb_consumers = [ from ];
+            tb_deps = [];
+          }
+        in
+        Hashtbl.replace t.tables (owner, key) tb;
+        (tb, eval_table t tb)
+  in
+  (* Guarantee the asker a state reply (so its retransmission timer can
+     stand down) unless evaluation already pushed one. *)
+  let covered =
+    List.exists
+      (fun p ->
+        String.equal p.p_target from
+        &&
+        match p.p_payload with
+        | Net.Message.Tanswer { goal = g; _ } | Net.Message.Deny { goal = g; _ }
+          ->
+            String.equal (skeleton g) key
+        | _ -> false)
+      posts
+  in
+  if covered then posts else posts @ [ state_reply tb ~target:from ]
+
+let merge_view v instances ~final =
+  let grew = ref false in
+  List.iter
+    (fun inst ->
+      let k = skeleton inst in
+      if not (Hashtbl.mem v.vw_seen k) then begin
+        Hashtbl.add v.vw_seen k ();
+        v.vw_instances <- inst :: v.vw_instances;
+        grew := true
+      end)
+    instances;
+  let newly_final = final && not v.vw_final in
+  if final then v.vw_final <- true;
+  !grew || newly_final
+
+let handle_answer t ~consumer ~from goal instances ~final =
+  let key = skeleton goal in
+  match Hashtbl.find_opt t.views (consumer, from, key) with
+  | None -> []  (* top-level request: the reactor settles it directly *)
+  | Some v ->
+      if Option.is_some v.vw_failed then []
+      else if merge_view v instances ~final then
+        reeval_dependents t ~consumer ~owner:from ~key
+      else []
+
+let handle_deny t ~consumer ~from goal reason =
+  let key = skeleton goal in
+  match Hashtbl.find_opt t.views (consumer, from, key) with
+  | None -> []
+  | Some v ->
+      if Option.is_some v.vw_failed || v.vw_final then []
+      else begin
+        v.vw_failed <- Some reason;
+        Hashtbl.fold
+          (fun (p, _) tb acc ->
+            if
+              String.equal p consumer
+              && (match tb.tb_status with Active -> true | _ -> false)
+              && List.exists
+                   (fun (o, k) -> String.equal o from && String.equal k key)
+                   tb.tb_deps
+            then tb :: acc
+            else acc)
+          t.tables []
+        |> List.sort (fun a b ->
+               compare (a.tb_owner, a.tb_key) (b.tb_owner, b.tb_key))
+        |> List.concat_map (fun tb -> fail_table tb reason)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Probe protocol *)
+
+let stats_for t ~peer members =
+  List.filter_map
+    (fun (mp, mk) ->
+      if not (String.equal mp peer) then None
+      else
+        match find_table t peer mk with
+        | Some tb when (match tb.tb_status with Active -> true | _ -> false)
+          ->
+            Some
+              {
+                Net.Message.ts_key = mk;
+                ts_size = Hashtbl.length tb.tb_seen;
+                ts_deps =
+                  List.map
+                    (fun (o, k) ->
+                      match Hashtbl.find_opt t.views (peer, o, k) with
+                      | Some v ->
+                          (o, k, Hashtbl.length v.vw_seen, v.vw_final)
+                      | None -> (o, k, 0, false))
+                    tb.tb_deps;
+              }
+        (* A member that is no longer active reports a negative size so
+           the leader aborts this epoch. *)
+        | _ -> Some { Net.Message.ts_key = mk; ts_size = -1; ts_deps = [] })
+    members
+
+let handle_probe t ~peer ~from (leader, epoch, members) =
+  [
+    {
+      p_from = peer;
+      p_target = from;
+      p_payload =
+        Net.Message.Tstat
+          { leader; epoch; entries = stats_for t ~peer members };
+    };
+  ]
+
+let validate_probe p =
+  let entry_of (o, k) =
+    Option.bind (List.assoc_opt o p.pr_stats) (fun entries ->
+        List.find_opt (fun e -> String.equal e.Net.Message.ts_key k) entries)
+  in
+  List.for_all
+    (fun m ->
+      match entry_of m with
+      | None -> false
+      | Some entry ->
+          entry.Net.Message.ts_size >= 0
+          && List.for_all
+               (fun (o, k, seen, final) ->
+                 if List.mem (o, k) p.pr_members then
+                   match entry_of (o, k) with
+                   | Some e -> seen = e.Net.Message.ts_size
+                   | None -> false
+                 else final)
+               entry.Net.Message.ts_deps)
+    p.pr_members
+
+let complete_members t ~peer members =
+  List.concat_map
+    (fun (mp, mk) ->
+      if not (String.equal mp peer) then []
+      else
+        match find_table t peer mk with
+        | Some tb -> complete_table tb
+        | None -> [])
+    members
+
+let handle_stat t ~peer ~from (leader, epoch, entries) =
+  match t.probe with
+  | Some p
+    when p.pr_epoch = epoch
+         && p.pr_leader = leader
+         && String.equal (fst p.pr_leader) peer
+         && List.exists (String.equal from) p.pr_waiting ->
+      p.pr_stats <- (from, entries) :: p.pr_stats;
+      p.pr_waiting <-
+        List.filter (fun x -> not (String.equal x from)) p.pr_waiting;
+      if p.pr_waiting <> [] then []
+      else begin
+        t.probe <- None;
+        if validate_probe p then begin
+          let others =
+            List.sort_uniq String.compare (List.map fst p.pr_members)
+            |> List.filter (fun x -> not (String.equal x peer))
+          in
+          List.map
+            (fun target ->
+              {
+                p_from = peer;
+                p_target = target;
+                p_payload =
+                  Net.Message.Tcomplete
+                    { leader; epoch; members = p.pr_members };
+              })
+            others
+          @ complete_members t ~peer p.pr_members
+        end
+        else begin
+          Metric.incr m_probes_aborted;
+          []
+        end
+      end
+  | _ -> []  (* stale epoch or unexpected reporter *)
+
+let handle_complete t ~peer (_leader, _epoch, members) =
+  complete_members t ~peer members
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence: heal lagging views, then probe the first ready SCC *)
+
+let sorted_views t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.views []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let heal t =
+  List.concat_map
+    (fun ((consumer, owner, key), v) ->
+      if Option.is_some v.vw_failed || v.vw_final then []
+      else
+        match find_table t owner key with
+        | None ->
+            (* The original Tquery (and all its retries) vanished; ask
+               again. *)
+            [
+              {
+                p_from = consumer;
+                p_target = owner;
+                p_payload =
+                  Net.Message.Tquery { goal = v.vw_goal; path = v.vw_path };
+              };
+            ]
+        | Some tb -> (
+            match tb.tb_status with
+            | Failed reason ->
+                [
+                  {
+                    p_from = owner;
+                    p_target = consumer;
+                    p_payload =
+                      Net.Message.Deny { goal = tb.tb_call; reason };
+                  };
+                ]
+            | Complete ->
+                [
+                  {
+                    p_from = owner;
+                    p_target = consumer;
+                    p_payload =
+                      Net.Message.Tanswer
+                        {
+                          goal = tb.tb_call;
+                          instances = List.rev tb.tb_instances;
+                          final = true;
+                        };
+                  };
+                ]
+            | Active ->
+                if Hashtbl.length v.vw_seen < Hashtbl.length tb.tb_seen then
+                  [
+                    {
+                      p_from = owner;
+                      p_target = consumer;
+                      p_payload =
+                        Net.Message.Tanswer
+                          {
+                            goal = tb.tb_call;
+                            instances = List.rev tb.tb_instances;
+                            final = false;
+                          };
+                    };
+                  ]
+                else []))
+    (sorted_views t)
+
+(* Tarjan's SCC algorithm over the active tables, deterministic by
+   sorted node order.  Returns SCCs as sorted member lists, in order of
+   their minimal member. *)
+let active_sccs t =
+  let nodes =
+    Hashtbl.fold
+      (fun (p, k) tb acc ->
+        match tb.tb_status with Active -> ((p, k), tb) :: acc | _ -> acc)
+      t.tables []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let edges (_, tb) =
+    List.filter
+      (fun (o, k) ->
+        match find_table t o k with
+        | Some d -> ( match d.tb_status with Active -> true | _ -> false)
+        | None -> false)
+      tb.tb_deps
+    |> List.sort compare
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    let tb = Hashtbl.find t.tables v in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (edges (v, tb));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := List.sort compare (pop []) :: !sccs
+    end
+  in
+  List.iter (fun (v, _) -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  List.sort
+    (fun a b -> compare (List.hd a) (List.hd b))
+    (List.rev !sccs)
+
+let try_probe t =
+  let sccs = active_sccs t in
+  let ready members =
+    (* Every dep leaving the SCC must be a final view. *)
+    List.for_all
+      (fun (mp, mk) ->
+        match find_table t mp mk with
+        | None -> false
+        | Some tb ->
+            List.for_all
+              (fun (o, k) ->
+                List.exists
+                  (fun (xp, xk) -> String.equal xp o && String.equal xk k)
+                  members
+                ||
+                match Hashtbl.find_opt t.views (mp, o, k) with
+                | Some v -> v.vw_final
+                | None -> false)
+              tb.tb_deps)
+      members
+  in
+  match List.find_opt ready sccs with
+  | None -> []
+  | Some members -> (
+      let leader = List.hd members in
+      let leader_peer = fst leader in
+      let peers = List.sort_uniq String.compare (List.map fst members) in
+      match List.filter (fun p -> not (String.equal p leader_peer)) peers with
+      | [] ->
+          (* Single-peer component: it is trivially quiescent once the
+             reactor is — freeze it directly. *)
+          complete_members t ~peer:leader_peer members
+      | others ->
+          t.epoch <- t.epoch + 1;
+          Metric.incr m_sccs;
+          t.probe <-
+            Some
+              {
+                pr_leader = leader;
+                pr_epoch = t.epoch;
+                pr_members = members;
+                pr_waiting = others;
+                pr_stats = [ (leader_peer, stats_for t ~peer:leader_peer members) ];
+              };
+          List.map
+            (fun target ->
+              {
+                p_from = leader_peer;
+                p_target = target;
+                p_payload =
+                  Net.Message.Tprobe
+                    { leader; epoch = t.epoch; members };
+              })
+            others)
+
+let quiesce t =
+  let heals = heal t in
+  if heals <> [] then begin
+    Metric.incr m_heals;
+    if Option.is_some t.probe then begin
+      t.probe <- None;
+      Metric.incr m_probes_aborted
+    end;
+    heals
+  end
+  else begin
+    (* A probe outstanding at quiescence lost messages — retry. *)
+    if Option.is_some t.probe then begin
+      t.probe <- None;
+      Metric.incr m_probes_aborted
+    end;
+    try_probe t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let summary t =
+  Hashtbl.fold
+    (fun (p, k) tb acc ->
+      let status =
+        match tb.tb_status with
+        | Active -> "active"
+        | Complete -> "complete"
+        | Failed r -> "failed: " ^ r
+      in
+      (p, k, Hashtbl.length tb.tb_seen, status) :: acc)
+    t.tables []
+  |> List.sort compare
+
+let table_count t = Hashtbl.length t.tables

@@ -18,8 +18,13 @@ type entry = {
 }
 
 type stats = { tables : int }
+type remote = target:string -> Literal.t -> Literal.t list
 
 let skeleton lit = Rule.canonical (Rule.fact lit)
+
+let peer_name_of_term = function
+  | Term.Str s | Term.Atom s -> Some (Sym.name s)
+  | Term.Var _ | Term.Int _ | Term.Compound _ -> None
 
 let strip_self_auth ~self lit =
   let rec go l =
@@ -33,7 +38,7 @@ let strip_self_auth ~self lit =
   go lit
 
 let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
-    ?(externals = fun _ -> None) ?(bindings = []) ~self kb goals =
+    ?(externals = fun _ -> None) ?remote ?(bindings = []) ~self kb goals =
   (* Reject NAF anywhere in the program or query up front. *)
   let check_naf l =
     if Option.is_some (Literal.naf_inner l) then
@@ -107,6 +112,32 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
         | [] -> k ()
         | b :: rest -> (
             let b = strip_self_auth ~self (Literal.resolve st b) in
+            (* A ground foreign authority dispatches to the remote hook
+               (the distributed-tabling view of the owner's table)
+               instead of a local table; without a hook, behaviour is
+               unchanged and the authority-qualified literal gets its own
+               local table (which no local rule feeds). *)
+            let remote_dispatch =
+              match remote with
+              | None -> None
+              | Some r -> (
+                  match Literal.pop_authority b with
+                  | Some (inner, a) -> (
+                      match peer_name_of_term a with
+                      | Some name -> Some (r, name, inner)
+                      | None -> None)
+                  | None -> None)
+            in
+            match remote_dispatch with
+            | Some (r, name, inner) ->
+                List.iter
+                  (fun inst ->
+                    let inst = Literal.rename_apart inst in
+                    let m = Store.mark st in
+                    if Literal.unify_store st inner inst then body rest k;
+                    Store.undo st m)
+                  (r ~target:name (Literal.display st inner))
+            | None -> (
             match Builtin.eval_store st b with
             | Some holds -> if holds then body rest k
             | None -> (
@@ -130,7 +161,7 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
                         let m = Store.mark st in
                         if Literal.unify_store st b ans then body rest k;
                         Store.undo st m)
-                      sub.answers))
+                      sub.answers)))
       in
       let try_head head =
         let m = Store.mark st in
@@ -177,10 +208,12 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
   in
   (answers, { tables = Hashtbl.length tables })
 
-let solve_stats ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
+let solve_stats ?max_rounds ?max_answers ?externals ?remote ?bindings ~self kb
+    goals =
   Metric.incr m_queries;
   let run () =
-    solve_body ?max_rounds ?max_answers ?externals ?bindings ~self kb goals
+    solve_body ?max_rounds ?max_answers ?externals ?remote ?bindings ~self kb
+      goals
   in
   let ((_, stats) as result) =
     let tracer = Obs.tracer () in
@@ -199,9 +232,11 @@ let solve_stats ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
   Metric.observe_int h_tables stats.tables;
   result
 
-let solve ?max_rounds ?max_answers ?externals ?bindings ~self kb goals =
+let solve ?max_rounds ?max_answers ?externals ?remote ?bindings ~self kb goals
+    =
   fst
-    (solve_stats ?max_rounds ?max_answers ?externals ?bindings ~self kb goals)
+    (solve_stats ?max_rounds ?max_answers ?externals ?remote ?bindings ~self kb
+       goals)
 
 let provable ?max_rounds ?externals ?bindings ~self kb goals =
   solve ?max_rounds ?externals ?bindings ~self kb goals <> []

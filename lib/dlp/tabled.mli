@@ -11,13 +11,23 @@
 
     and shares work across repeated sub-goals.
 
-    Scope: local evaluation only — goals are resolved against the local
-    KB (with the signed-rule axiom and [@ Self]-stripping, like {!Sld});
-    foreign authorities and remote dispatch are out of scope, and
-    negation as failure is rejected ({!Unsupported}) because a NAF check
-    against an unfinished table would be unsound. *)
+    Scope: goals are resolved against the local KB (with the signed-rule
+    axiom and [@ Self]-stripping, like {!Sld}).  A literal whose
+    outermost authority names another peer dispatches to the [?remote]
+    hook when one is given — the distributed-tabling runtime supplies
+    the remote table's current answer view there — and otherwise gets a
+    local table that no local rule feeds (the pre-distribution
+    behaviour).  Negation as failure is rejected ({!Unsupported})
+    because a NAF check against an unfinished table would be unsound. *)
 
 exception Unsupported of string
+
+type remote = target:string -> Literal.t -> Literal.t list
+(** Answer view for a foreign-authority call: given the owning peer's
+    name and the goal (authority popped, display form), return the
+    instances known so far.  The hook may be called several times per
+    fixpoint; returning a subset is sound — the caller re-evaluates when
+    the view grows. *)
 
 type stats = { tables : int  (** tables allocated by the call *) }
 (** Per-call statistics, returned alongside the answers by
@@ -29,6 +39,7 @@ val solve :
   ?max_rounds:int ->
   ?max_answers:int ->
   ?externals:Sld.externals ->
+  ?remote:remote ->
   ?bindings:(string * Term.t) list ->
   self:string ->
   Kb.t ->
@@ -44,6 +55,7 @@ val solve_stats :
   ?max_rounds:int ->
   ?max_answers:int ->
   ?externals:Sld.externals ->
+  ?remote:remote ->
   ?bindings:(string * Term.t) list ->
   self:string ->
   Kb.t ->

@@ -187,7 +187,9 @@ let react t ~from payload =
   match payload with
   | Message.Ack -> []
   | Message.Query _ | Message.Answer _ | Message.Deny _
-  | Message.Disclosure _ | Message.Batch _ | Message.Raw _ ->
+  | Message.Disclosure _ | Message.Batch _ | Message.Raw _ | Message.Tquery _
+  | Message.Tanswer _ | Message.Tprobe _ | Message.Tstat _
+  | Message.Tcomplete _ ->
       charge t
         (replays t ~target:from
         @ List.concat_map (fun b -> behavior_actions t ~target:from b) t.behaviors)

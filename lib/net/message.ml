@@ -1,5 +1,13 @@
 open Peertrust_dlp
 
+type table_ref = string * string
+
+type tstat_entry = {
+  ts_key : string;
+  ts_size : int;
+  ts_deps : (string * string * int * bool) list;
+}
+
 type payload =
   | Query of { goal : Literal.t }
   | Answer of {
@@ -15,12 +23,18 @@ type payload =
   | Batch of payload list
   | Ack
   | Raw of string
+  | Tquery of { goal : Literal.t; path : table_ref list }
+  | Tanswer of { goal : Literal.t; instances : Literal.t list; final : bool }
+  | Tprobe of { leader : table_ref; epoch : int; members : table_ref list }
+  | Tstat of { leader : table_ref; epoch : int; entries : tstat_entry list }
+  | Tcomplete of { leader : table_ref; epoch : int; members : table_ref list }
 
 let rec kind = function
   | Query _ -> Stats.Query
   | Answer _ -> Stats.Answer
   | Deny _ -> Stats.Deny
   | Disclosure _ -> Stats.Disclosure
+  | Tquery _ | Tanswer _ | Tprobe _ | Tstat _ | Tcomplete _ -> Stats.Tabling
   (* A batch is one envelope; classify it by its first payload (in
      practice batches carry only queries). *)
   | Batch (p :: _) -> kind p
@@ -54,9 +68,21 @@ let rec size = function
   | Batch payloads -> 8 + List.fold_left (fun acc p -> acc + size p) 0 payloads
   | Ack -> 8
   | Raw s -> 8 + String.length s
+  | Tquery { goal; path } -> 8 + literal_size goal + (List.length path * 12)
+  | Tanswer { goal; instances; final = _ } ->
+      8 + literal_size goal
+      + List.fold_left (fun acc l -> acc + literal_size l) 0 instances
+  | Tprobe { members; _ } | Tcomplete { members; _ } ->
+      16 + (List.length members * 12)
+  | Tstat { entries; _ } ->
+      16
+      + List.fold_left
+          (fun acc e -> acc + 12 + (List.length e.ts_deps * 16))
+          0 entries
 
 let rec cert_count = function
   | Query _ | Deny _ | Ack | Raw _ -> 0
+  | Tquery _ | Tanswer _ | Tprobe _ | Tstat _ | Tcomplete _ -> 0
   | Answer { certs; _ } | Disclosure { certs; _ } -> List.length certs
   | Batch payloads ->
       List.fold_left (fun acc p -> acc + cert_count p) 0 payloads
@@ -76,3 +102,19 @@ let rec summary = function
         (String.concat "; " (List.map summary payloads))
   | Ack -> "ack"
   | Raw s -> Printf.sprintf "raw %d byte(s)" (String.length s)
+  | Tquery { goal; path } ->
+      Printf.sprintf "tquery %s (depth %d)" (Literal.to_string goal)
+        (List.length path)
+  | Tanswer { goal; instances; final } ->
+      Printf.sprintf "tanswer %s: %d instance(s)%s" (Literal.to_string goal)
+        (List.length instances)
+        (if final then ", final" else "")
+  | Tprobe { leader = lp, lk; epoch; members } ->
+      Printf.sprintf "tprobe %s/%s epoch %d, %d member(s)" lp lk epoch
+        (List.length members)
+  | Tstat { leader = lp, lk; epoch; entries } ->
+      Printf.sprintf "tstat %s/%s epoch %d, %d table(s)" lp lk epoch
+        (List.length entries)
+  | Tcomplete { leader = lp, lk; epoch; members } ->
+      Printf.sprintf "tcomplete %s/%s epoch %d, %d member(s)" lp lk epoch
+        (List.length members)

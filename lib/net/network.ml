@@ -15,6 +15,7 @@ let m_kind_query = Obs.counter "net.messages.query"
 let m_kind_answer = Obs.counter "net.messages.answer"
 let m_kind_deny = Obs.counter "net.messages.deny"
 let m_kind_disclosure = Obs.counter "net.messages.disclosure"
+let m_kind_tabling = Obs.counter "net.messages.tabling"
 let m_kind_other = Obs.counter "net.messages.other"
 let h_message_bytes = Obs.histogram "net.message_bytes"
 
@@ -28,6 +29,7 @@ let kind_counter = function
   | Stats.Answer -> m_kind_answer
   | Stats.Deny -> m_kind_deny
   | Stats.Disclosure -> m_kind_disclosure
+  | Stats.Tabling -> m_kind_tabling
   | Stats.Other -> m_kind_other
 
 type entry = {

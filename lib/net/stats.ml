@@ -1,4 +1,4 @@
-type kind = Query | Answer | Deny | Disclosure | Other
+type kind = Query | Answer | Deny | Disclosure | Tabling | Other
 
 type t = {
   mutable total : int;
@@ -56,6 +56,7 @@ let kind_to_string = function
   | Answer -> "answer"
   | Deny -> "deny"
   | Disclosure -> "disclosure"
+  | Tabling -> "tabling"
   | Other -> "other"
 
 let pp fmt t =
@@ -69,5 +70,5 @@ let pp fmt t =
         first := false;
         Format.fprintf fmt "%s: %d" (kind_to_string k) n
       end)
-    [ Query; Answer; Deny; Disclosure; Other ];
+    [ Query; Answer; Deny; Disclosure; Tabling; Other ];
   Format.pp_print_string fmt ")"

@@ -2,7 +2,9 @@
 
 type t
 
-type kind = Query | Answer | Deny | Disclosure | Other
+type kind = Query | Answer | Deny | Disclosure | Tabling | Other
+(** [Tabling] covers the distributed-tabling control plane: table
+    queries, monotone answer pushes and the SCC completion protocol. *)
 
 val create : unit -> t
 val record : t -> kind -> bytes_:int -> from:string -> target:string -> unit

@@ -17,13 +17,41 @@
      deliver: <tick>
      kind: <kind>
      bytes: <n>
+     tabling: <op> ...           (only for tabling control messages)
      traceparent: pt1-...        (only when a context is carried)
+
+   The [tabling] line carries the distributed-tabling control fields
+   (path, counters, SCC membership) so the completion protocol survives
+   a byte transport; peer names and goal keys are hex-encoded so the
+   grammar stays line- and space-delimited no matter what the names
+   contain.  Answer instance bodies are NOT serialised — like payload
+   bodies generally, they belong to the transport PR; the header carries
+   the finality bit and the instance count.
 
    The decoder is total: malformed input yields [Error] with the
    offending 1-based line, never an exception (the same contract as
    [Peertrust_crypto.Wire]). *)
 
 module Trace_context = Peertrust_obs.Trace_context
+
+type tabling =
+  | Hquery of { path : (string * string) list }
+  | Hanswer of { final : bool; count : int }
+  | Hprobe of {
+      leader : string * string;
+      epoch : int;
+      members : (string * string) list;
+    }
+  | Hstat of {
+      leader : string * string;
+      epoch : int;
+      entries : (string * int * (string * string * int * bool) list) list;
+    }
+  | Hcomplete of {
+      leader : string * string;
+      epoch : int;
+      members : (string * string) list;
+    }
 
 type header = {
   h_id : int;
@@ -35,10 +63,33 @@ type header = {
   h_deliver_at : int;
   h_kind : string;
   h_bytes : int;
+  h_tabling : tabling option;
   h_trace : Trace_context.t option;
 }
 
 let magic = "PEERTRUST/1"
+
+let tabling_of_payload = function
+  | Message.Tquery { path; _ } -> Some (Hquery { path })
+  | Message.Tanswer { instances; final; _ } ->
+      Some (Hanswer { final; count = List.length instances })
+  | Message.Tprobe { leader; epoch; members } ->
+      Some (Hprobe { leader; epoch; members })
+  | Message.Tstat { leader; epoch; entries } ->
+      Some
+        (Hstat
+           {
+             leader;
+             epoch;
+             entries =
+               List.map
+                 (fun e ->
+                   (e.Message.ts_key, e.Message.ts_size, e.Message.ts_deps))
+                 entries;
+           })
+  | Message.Tcomplete { leader; epoch; members } ->
+      Some (Hcomplete { leader; epoch; members })
+  | _ -> None
 
 let header_of_envelope (e : Envelope.t) =
   {
@@ -51,8 +102,83 @@ let header_of_envelope (e : Envelope.t) =
     h_deliver_at = e.Envelope.deliver_at;
     h_kind = Stats.kind_to_string (Message.kind e.Envelope.payload);
     h_bytes = Message.size e.Envelope.payload;
+    h_tabling = tabling_of_payload e.Envelope.payload;
     h_trace = e.Envelope.trace;
   }
+
+(* Tabling line grammar (space-separated tokens, names hex-encoded):
+     query <pairs>
+     answer <0|1> <count>
+     probe <pair> <epoch> <pairs>
+     stat <pair> <epoch> <entries>
+     complete <pair> <epoch> <pairs>
+   pair    ::= hex(name) "~" hex(key)
+   pairs   ::= "-" | pair ("," pair)*
+   entries ::= "-" | entry (";" entry)*
+   entry   ::= hex(key) ":" size ":" deps
+   deps    ::= "-" | dep ("|" dep)*
+   dep     ::= hex(owner) "~" hex(key) "~" seen "~" (0|1) *)
+
+let hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Printf.bprintf buf "%02x" (Char.code c)) s;
+  Buffer.contents buf
+
+let unhex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let buf = Buffer.create (n / 2) in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ -> None
+    in
+    go 0
+
+let pair_to_string (a, b) = hex a ^ "~" ^ hex b
+
+let pairs_to_string = function
+  | [] -> "-"
+  | ps -> String.concat "," (List.map pair_to_string ps)
+
+let dep_to_string (owner, key, seen, final) =
+  Printf.sprintf "%s~%s~%d~%d" (hex owner) (hex key) seen
+    (if final then 1 else 0)
+
+let entry_to_string (key, size, deps) =
+  Printf.sprintf "%s:%d:%s" (hex key) size
+    (match deps with
+    | [] -> "-"
+    | ds -> String.concat "|" (List.map dep_to_string ds))
+
+let entries_to_string = function
+  | [] -> "-"
+  | es -> String.concat ";" (List.map entry_to_string es)
+
+let tabling_to_string = function
+  | Hquery { path } -> Printf.sprintf "query %s" (pairs_to_string path)
+  | Hanswer { final; count } ->
+      Printf.sprintf "answer %d %d" (if final then 1 else 0) count
+  | Hprobe { leader; epoch; members } ->
+      Printf.sprintf "probe %s %d %s" (pair_to_string leader) epoch
+        (pairs_to_string members)
+  | Hstat { leader; epoch; entries } ->
+      Printf.sprintf "stat %s %d %s" (pair_to_string leader) epoch
+        (entries_to_string entries)
+  | Hcomplete { leader; epoch; members } ->
+      Printf.sprintf "complete %s %d %s" (pair_to_string leader) epoch
+        (pairs_to_string members)
 
 let encode h =
   let buf = Buffer.create 128 in
@@ -63,6 +189,9 @@ let encode h =
   Printf.bprintf buf "deliver: %d\n" h.h_deliver_at;
   Printf.bprintf buf "kind: %s\n" h.h_kind;
   Printf.bprintf buf "bytes: %d\n" h.h_bytes;
+  Option.iter
+    (fun tb -> Printf.bprintf buf "tabling: %s\n" (tabling_to_string tb))
+    h.h_tabling;
   Option.iter
     (fun ctx ->
       Printf.bprintf buf "traceparent: %s\n" (Trace_context.to_header ctx))
@@ -108,6 +237,83 @@ let name_field ~line ~key s =
 
 let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
 
+(* Tabling-line parsing helpers: every failure is a [None], lifted to a
+   [Malformed] at the line level — no exceptions can escape. *)
+
+let split_nonempty sep s = if String.equal s "-" then Some [] else
+  Some (String.split_on_char sep s)
+
+let parse_pair s =
+  match String.split_on_char '~' s with
+  | [ a; b ] -> (
+      match (unhex a, unhex b) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+  | _ -> None
+
+let rec map_opt f = function
+  | [] -> Some []
+  | x :: rest -> (
+      match f x with
+      | None -> None
+      | Some y -> (
+          match map_opt f rest with None -> None | Some ys -> Some (y :: ys)))
+
+let parse_pairs s = Option.bind (split_nonempty ',' s) (map_opt parse_pair)
+
+let parse_dep s =
+  match String.split_on_char '~' s with
+  | [ o; k; seen; fin ] -> (
+      match (unhex o, unhex k, int_of_string_opt seen, fin) with
+      | Some o, Some k, Some seen, ("0" | "1") ->
+          Some (o, k, seen, String.equal fin "1")
+      | _ -> None)
+  | _ -> None
+
+let parse_entry s =
+  match String.split_on_char ':' s with
+  | [ key; size; deps ] -> (
+      match (unhex key, int_of_string_opt size) with
+      | Some key, Some size -> (
+          match Option.bind (split_nonempty '|' deps) (map_opt parse_dep) with
+          | Some ds -> Some (key, size, ds)
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+let parse_entries s = Option.bind (split_nonempty ';' s) (map_opt parse_entry)
+
+let parse_bool = function "0" -> Some false | "1" -> Some true | _ -> None
+
+let parse_tabling v =
+  match String.split_on_char ' ' v with
+  | [ "query"; path ] ->
+      Option.map (fun path -> Hquery { path }) (parse_pairs path)
+  | [ "answer"; fin; count ] -> (
+      match (parse_bool fin, int_of_string_opt count) with
+      | Some final, Some count -> Some (Hanswer { final; count })
+      | _ -> None)
+  | [ "probe"; leader; epoch; members ] -> (
+      match (parse_pair leader, int_of_string_opt epoch, parse_pairs members)
+      with
+      | Some leader, Some epoch, Some members ->
+          Some (Hprobe { leader; epoch; members })
+      | _ -> None)
+  | [ "stat"; leader; epoch; entries ] -> (
+      match
+        (parse_pair leader, int_of_string_opt epoch, parse_entries entries)
+      with
+      | Some leader, Some epoch, Some entries ->
+          Some (Hstat { leader; epoch; entries })
+      | _ -> None)
+  | [ "complete"; leader; epoch; members ] -> (
+      match (parse_pair leader, int_of_string_opt epoch, parse_pairs members)
+      with
+      | Some leader, Some epoch, Some members ->
+          Some (Hcomplete { leader; epoch; members })
+      | _ -> None)
+  | _ -> None
+
 let decode text =
   let lines = String.split_on_char '\n' text in
   (* A trailing LF leaves one empty trailer; anything else is garbage. *)
@@ -136,15 +342,26 @@ let decode text =
       let* h_deliver_at = int_field ~line:5 ~key:"deliver" deliver_l in
       let* h_kind = field ~line:6 ~key:"kind" kind_l in
       let* h_bytes = int_field ~line:7 ~key:"bytes" bytes_l in
+      let* h_tabling, rest, next =
+        match rest with
+        | l :: more
+          when String.length l >= 9 && String.equal (String.sub l 0 9) "tabling: "
+          -> (
+            let* v = field ~line:8 ~key:"tabling" l in
+            match parse_tabling v with
+            | Some tb -> Ok (Some tb, more, 9)
+            | None -> fail 8 (Printf.sprintf "bad tabling line %S" v))
+        | _ -> Ok (None, rest, 8)
+      in
       let* h_trace =
         match rest with
         | [] -> Ok None
         | [ tp ] -> (
-            let* v = field ~line:8 ~key:"traceparent" tp in
+            let* v = field ~line:next ~key:"traceparent" tp in
             match Trace_context.of_header v with
             | Some ctx -> Ok (Some ctx)
-            | None -> fail 8 (Printf.sprintf "bad traceparent %S" v))
-        | _ -> fail 9 "trailing garbage after header"
+            | None -> fail next (Printf.sprintf "bad traceparent %S" v))
+        | _ -> fail (next + 1) "trailing garbage after header"
       in
       Ok
         {
@@ -157,8 +374,59 @@ let decode text =
           h_deliver_at;
           h_kind;
           h_bytes;
+          h_tabling;
           h_trace;
         }
   (* The offending line is the first missing one — keeps lines 1-based
      even for the empty string. *)
   | _ -> fail (List.length lines + 1) "truncated header"
+
+(* A stream of frames: split at magic-line boundaries, decode each
+   group, and report errors with absolute (stream-wide) line numbers.
+   Blank lines between frames are tolerated; any other stray text is an
+   error at its own line. *)
+let decode_many text =
+  let lines = String.split_on_char '\n' text in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let is_magic l =
+    let lm = String.length magic in
+    String.length l > lm
+    && String.equal (String.sub l 0 lm) magic
+    && Char.equal l.[lm] ' '
+  in
+  let decode_group ~start group =
+    (* [group] is reversed, so blank lines preceding the next frame sit
+       at its head; dropping them here is what makes the documented
+       between-frame blank tolerance hold. *)
+    let rec drop_blanks = function
+      | l :: rest when String.equal (String.trim l) "" -> drop_blanks rest
+      | g -> g
+    in
+    let group = drop_blanks group in
+    match decode (String.concat "\n" (List.rev group) ^ "\n") with
+    | Ok h -> Ok h
+    | Error (Malformed { line; reason }) ->
+        fail (start + line - 1) reason
+  in
+  (* [group] holds the current frame's lines in reverse; [start] its
+     1-based first line in the stream. *)
+  let rec go acc group start lineno = function
+    | [] ->
+        if group = [] then Ok (List.rev acc)
+        else
+          let* h = decode_group ~start group in
+          Ok (List.rev (h :: acc))
+    | l :: rest when is_magic l ->
+        if group = [] then go acc [ l ] lineno (lineno + 1) rest
+        else
+          let* h = decode_group ~start group in
+          go (h :: acc) [ l ] lineno (lineno + 1) rest
+    | l :: rest when group = [] ->
+        if String.equal (String.trim l) "" then
+          go acc [] start (lineno + 1) rest
+        else fail lineno "expected frame start"
+    | l :: rest -> go acc (l :: group) start (lineno + 1) rest
+  in
+  go [] [] 1 1 lines

@@ -12,6 +12,33 @@
     [Error] with the offending line, never an exception (the same
     contract as [Peertrust_crypto.Wire]). *)
 
+type tabling =
+  | Hquery of { path : (string * string) list }
+  | Hanswer of { final : bool; count : int }
+  | Hprobe of {
+      leader : string * string;
+      epoch : int;
+      members : (string * string) list;
+    }
+  | Hstat of {
+      leader : string * string;
+      epoch : int;
+      entries : (string * int * (string * string * int * bool) list) list;
+          (** per table: (key, size, deps as (owner, key, seen, final)) *)
+    }
+  | Hcomplete of {
+      leader : string * string;
+      epoch : int;
+      members : (string * string) list;
+    }
+      (** Wire form of the distributed-tabling control fields (the
+          {!Message.payload} [T*] constructors): call paths, GEM-style
+          counters and SCC membership.  Peer names and goal keys are
+          hex-encoded on the wire so arbitrary names cannot break the
+          line/space-delimited grammar.  Answer {e bodies} are not
+          serialised — only the finality bit and instance count travel
+          in the header, like every other payload body. *)
+
 type header = {
   h_id : int;
   h_seq : int;
@@ -22,6 +49,7 @@ type header = {
   h_deliver_at : int;
   h_kind : string;  (** {!Stats.kind_to_string} of the payload *)
   h_bytes : int;  (** accounted payload size *)
+  h_tabling : tabling option;
   h_trace : Peertrust_obs.Trace_context.t option;
 }
 
@@ -39,3 +67,9 @@ val pp_error : Format.formatter -> error -> unit
 
 val decode : string -> (header, error) result
 (** Total inverse of {!encode}. *)
+
+val decode_many : string -> (header list, error) result
+(** Total decoder for a stream of concatenated frames, split at
+    [PEERTRUST/1] magic-line boundaries.  Blank lines between frames are
+    tolerated; errors carry stream-wide 1-based line numbers.  The empty
+    stream decodes to [Ok []]. *)

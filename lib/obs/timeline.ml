@@ -6,13 +6,14 @@
    the critical path (root to the span that determines the end-to-end
    latency), a latency breakdown by span category, and anomaly flags. *)
 
-type category = Solve | Wire | Queue | Retransmit | Other
+type category = Solve | Wire | Queue | Retransmit | Tabling | Other
 
 let category_to_string = function
   | Solve -> "solve"
   | Wire -> "wire"
   | Queue -> "queue"
   | Retransmit -> "retransmit"
+  | Tabling -> "tabling"
   | Other -> "other"
 
 let has_prefix ~prefix s =
@@ -29,6 +30,7 @@ let categorize (span : Span.t) =
   else if has_prefix ~prefix:"reactor.retry" n
           || has_prefix ~prefix:"reactor.timeout" n
   then Retransmit
+  else if has_prefix ~prefix:"tabling." n then Tabling
   else Other
 
 type anomaly =
@@ -170,7 +172,7 @@ let build_one trace spans =
           if has_prefix ~prefix:"reactor.timeout" s.Span.name then
             incr timeouts
           else incr retries
-      | Solve | Wire | Queue | Other -> ());
+      | Solve | Wire | Queue | Tabling | Other -> ());
       List.iter
         (fun (e : Span.event) ->
           let msg = e.Span.message in

@@ -9,14 +9,15 @@
     anomaly flags (retransmit storms, breaker trips, cache-invalidation
     stampedes). *)
 
-type category = Solve | Wire | Queue | Retransmit | Other
+type category = Solve | Wire | Queue | Retransmit | Tabling | Other
 
 val category_to_string : category -> string
 
 val categorize : Span.t -> category
 (** By span name: [sld.*]/[answer]/[query] solve, [net.wire]/[net.send]
     wire, [recv.*] queue, [reactor.retry*]/[reactor.timeout*] retransmit,
-    everything else other. *)
+    [tabling.*] tabling (distributed-table completion waves), everything
+    else other. *)
 
 type anomaly =
   | Retransmit_storm of { retries : int; timeouts : int }

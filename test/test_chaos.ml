@@ -300,6 +300,91 @@ let test_cache_equivalence_scenario2 () =
            (Scenario.scenario2_goal_paid ())))
 
 (* ------------------------------------------------------------------ *)
+(* Distributed tabling under chaos.  Across 100 fault seeds, a cyclic
+   mutual-accreditation web must terminate with the complete answer set
+   and the same frozen tables as the fault-free run — a stronger pin
+   than the scenario sweeps' "acceptable denial": Tanswer pushes carry
+   the full monotone instance list and the completion protocol heals
+   lost messages at quiescence, so drops, duplicates, delays and
+   reordering may cost envelopes but never answers.  The fault-free
+   cyclic transcript is additionally pinned byte-identical across
+   repeats. *)
+
+let tabling_chaos_config =
+  {
+    Reactor.default_config with
+    Reactor.tabling = true;
+    retry_limit = 6 (* deeper retry budget rides out clustered drops *);
+  }
+
+let run_accreditation ?faults ?(n = 3) () =
+  let rw = Scenario.mutual_accreditation ~n () in
+  let net = rw.Scenario.rw_session.Session.network in
+  Option.iter (Net.Network.set_faults net) faults;
+  let reactor =
+    Reactor.create ~config:tabling_chaos_config rw.Scenario.rw_session
+  in
+  let id =
+    Reactor.submit reactor ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  let steps = Reactor.run ~max_steps reactor in
+  (Reactor.outcome reactor id, steps, reactor, net)
+
+let granted_set = function
+  | Negotiation.Granted instances ->
+      List.map (fun (l, _) -> Peertrust_dlp.Literal.to_string l) instances
+      |> List.sort_uniq String.compare
+  | Negotiation.Denied reason -> [ "denied: " ^ reason ]
+
+let table_sig reactor =
+  List.map
+    (fun (peer, key, answers, status) ->
+      Printf.sprintf "%s %s %d %s" peer key answers status)
+    (Reactor.tabling_summary reactor)
+
+let test_tabling_chaos_sweep () =
+  let base_out, _, base_reactor, _ = run_accreditation () in
+  Alcotest.(check bool) "fault-free cyclic baseline granted" true
+    (granted base_out);
+  let base_set = granted_set base_out in
+  let base_tables = table_sig base_reactor in
+  Pobs.Obs.reset_metrics ();
+  for seed = 301 to 400 do
+    let faults = chaos_plan (Int64.of_int seed) in
+    let outcome, steps, reactor, _ =
+      try run_accreditation ~faults () with
+      | exn ->
+          Alcotest.failf "seed %d: uncaught exception %s" seed
+            (Printexc.to_string exn)
+    in
+    if steps >= max_steps then Alcotest.failf "seed %d: hit step budget" seed;
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: complete answer set under faults" seed)
+      base_set (granted_set outcome);
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: same frozen tables as fault-free" seed)
+      base_tables (table_sig reactor)
+  done;
+  let snapshot = Pobs.Obs.snapshot () in
+  let count name = Pobs.Registry.counter_value snapshot name in
+  Alcotest.(check bool) "drops recorded" true (count "net.drops" > 0);
+  Alcotest.(check bool) "loops detected" true
+    (count "tabling.loops_detected" > 0);
+  Alcotest.(check bool) "completions recorded" true
+    (count "tabling.completions" > 0)
+
+let test_tabling_fault_free_pinned () =
+  let a_out, a_steps, _, a_net = run_accreditation () in
+  let b_out, b_steps, _, b_net = run_accreditation () in
+  Alcotest.(check (list string))
+    "cyclic fault-free transcript byte-identical across repeats"
+    (transcript_sig a_net) (transcript_sig b_net);
+  Alcotest.(check int) "same steps" a_steps b_steps;
+  Alcotest.(check (list string)) "same answers" (granted_set a_out)
+    (granted_set b_out)
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial peers.  The headline invariant: with guards on, a sweep
    of seeded misbehaving peers never costs an honest negotiation its
    fault-free outcome, and every flooding/malformed adversary ends the
@@ -550,6 +635,13 @@ let () =
             test_cache_equivalence_scenario1;
           tc "scenario 2: cache on == cache off under faults"
             test_cache_equivalence_scenario2;
+        ] );
+      ( "tabling",
+        [
+          tc "cyclic accreditation web under 100 seeds"
+            test_tabling_chaos_sweep;
+          tc "fault-free cyclic transcript pinned"
+            test_tabling_fault_free_pinned;
         ] );
       ( "identity",
         [

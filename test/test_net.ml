@@ -190,6 +190,7 @@ let sample_header ?trace () =
     h_deliver_at = 14;
     h_kind = "query";
     h_bytes = 96;
+    h_tabling = None;
     h_trace = trace;
   }
 

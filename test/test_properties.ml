@@ -740,6 +740,7 @@ let arb_wire_header =
            h_deliver_at = dl;
            h_kind = "query";
            h_bytes = bytes;
+           h_tabling = None;
            h_trace =
              Option.map
                (fun (t, p, s) ->
@@ -776,6 +777,299 @@ let prop_envelope_wire_mutated_total =
         | None -> s
       in
       match Pnet.Wire.decode s with
+      | Ok _ | Error (Pnet.Wire.Malformed _) -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed tabling: random programs partitioned across 2-5 peers,
+   one owning peer per predicate, with the reactor's distributed-tabled
+   answer set diffed against one [Tabled.solve] run on the merged KB
+   (the same rules with the authority annotations dropped).  Cyclic
+   worlds overlay a predicate ring spanning the peers — an inter-peer
+   SCC the completion protocol must detect, quiesce and freeze — while
+   acyclic worlds only chain downward.  NAF worlds pin the documented
+   divergence instead: the merged engine raises [Tabled.Unsupported]
+   and the distributed run must deny the root goal with a reason
+   {!Negotiation.classify_denial} maps to [Unsupported].  Skips and
+   cyclic coverage are counted and reported like the single-engine
+   paradigms section. *)
+
+type dworld = {
+  dw_programs : (string * string) list;  (* peer name -> its KB slice *)
+  dw_merged : string;  (* same rules, authorities dropped *)
+  dw_top : string;  (* top predicate, the root goal's *)
+  dw_target : string;  (* owner of the top predicate *)
+  dw_naf : bool;
+  dw_cyclic : bool;
+}
+
+let gen_dworld =
+  QCheck.Gen.(
+    let* npeers = int_range 2 5 in
+    let* extra = int_range 1 2 in
+    (* npreds > npeers keeps the cyclic ring spanning >= 2 peers *)
+    let npreds = npeers + extra in
+    let* nconst = int_range 2 3 in
+    let* cyclic = bool in
+    let* naf = frequency [ (3, return false); (1, return true) ] in
+    let pred i = Printf.sprintf "q%d" i in
+    let owner i = Printf.sprintf "n%d" (i mod npeers) in
+    let lit ~dist i args =
+      (* Distributed rules qualify every body literal with its owning
+         peer; the merged reference drops the qualification. *)
+      if dist then Printf.sprintf {|%s(%s) @ "%s"|} (pred i) args (owner i)
+      else Printf.sprintf "%s(%s)" (pred i) args
+    in
+    let* facts =
+      list_size (int_range 2 5)
+        (pair (int_range 1 nconst) (int_range 1 nconst))
+    in
+    let gen_feed i =
+      let* j = int_range 0 (i - 1) in
+      let* k = int_range 0 (i - 1) in
+      let* shape = int_range 0 1 in
+      return
+        ( i,
+          fun ~dist ->
+            if shape = 0 then
+              Printf.sprintf "%s(X, Y) <- %s.\n" (pred i) (lit ~dist j "X, Y")
+            else
+              Printf.sprintf "%s(X, Z) <- %s, %s.\n" (pred i)
+                (lit ~dist j "X, Y") (lit ~dist k "Y, Z") )
+    in
+    let rec feeds i acc =
+      if i >= npreds then return (List.rev acc)
+      else
+        let* f = gen_feed i in
+        feeds (i + 1) (f :: acc)
+    in
+    let* feed_rules = feeds 1 [] in
+    (* The ring makes q1..q<top> mutually recursive; owners alternate
+       round-robin, so the SCC always crosses peer boundaries. *)
+    let ring_rules =
+      if not cyclic then []
+      else
+        List.init (npreds - 1) (fun x ->
+            let i = x + 1 in
+            let next = 1 + (i mod (npreds - 1)) in
+            ( i,
+              fun ~dist ->
+                Printf.sprintf "%s(X, Y) <- %s.\n" (pred i)
+                  (lit ~dist next "X, Y") ))
+    in
+    let top = npreds - 1 in
+    let naf_rules =
+      if not naf then []
+      else
+        (* NAF at the top predicate only: the target evaluates it, so the
+           distributed denial mirrors the merged engine's up-front
+           whole-KB rejection. *)
+        [
+          ( top,
+            fun ~dist ->
+              Printf.sprintf "%s(X, Y) <- %s, not %s(X, Y).\n" (pred top)
+                (lit ~dist 0 "X, Y") (pred 1) );
+        ]
+    in
+    let fact_rules =
+      List.map
+        (fun (a, b) ->
+          (0, fun ~dist:_ -> Printf.sprintf "%s(c%d, c%d).\n" (pred 0) a b))
+        facts
+    in
+    let rules = fact_rules @ feed_rules @ ring_rules @ naf_rules in
+    let program_of name =
+      List.filter_map
+        (fun (i, render) ->
+          if String.equal (owner i) name then Some (render ~dist:true)
+          else None)
+        rules
+      |> String.concat ""
+    in
+    let peers = List.init npeers (fun p -> Printf.sprintf "n%d" p) in
+    return
+      {
+        dw_programs = List.map (fun p -> (p, program_of p)) peers;
+        dw_merged =
+          String.concat "" (List.map (fun (_, r) -> r ~dist:false) rules);
+        dw_top = pred top;
+        dw_target = owner top;
+        dw_naf = naf;
+        dw_cyclic = cyclic;
+      })
+
+let arb_dworld =
+  QCheck.make
+    ~print:(fun dw ->
+      Printf.sprintf "cyclic=%b naf=%b top=%s@%s\n%s" dw.dw_cyclic dw.dw_naf
+        dw.dw_top dw.dw_target
+        (String.concat ""
+           (List.map
+              (fun (p, prog) -> Printf.sprintf "-- %s --\n%s" p prog)
+              dw.dw_programs)))
+    gen_dworld
+
+let tabling_naf_skips = ref 0
+let tabling_cyclic_runs = ref 0
+
+let prop_distributed_tabling_agrees =
+  QCheck.Test.make
+    ~name:"tabling: distributed answer sets equal the merged single engine"
+    ~count:(scale 30) arb_dworld (fun dw ->
+      let session = Session.create () in
+      List.iter
+        (fun (name, program) ->
+          ignore (Session.add_peer session ~program name))
+        dw.dw_programs;
+      ignore (Session.add_peer session "client");
+      Engine.attach_all session;
+      let goal = Parser.parse_literal (dw.dw_top ^ "(A, B)") in
+      let reactor =
+        Reactor.create
+          ~config:{ Reactor.default_config with Reactor.tabling = true }
+          session
+      in
+      let id =
+        Reactor.submit reactor ~requester:"client" ~target:dw.dw_target goal
+      in
+      ignore (Reactor.run reactor);
+      if dw.dw_cyclic then incr tabling_cyclic_runs;
+      let kb = Kb.of_string dw.dw_merged in
+      match Reactor.outcome reactor id with
+      | Negotiation.Denied reason when dw.dw_naf ->
+          incr tabling_naf_skips;
+          let merged_rejects =
+            match Tabled.solve ~self:dw.dw_target kb [ goal ] with
+            | _ -> false
+            | exception Tabled.Unsupported _ -> true
+          in
+          merged_rejects
+          && Negotiation.classify_denial reason = Negotiation.Unsupported
+      | Negotiation.Denied _ | Negotiation.Granted _ when dw.dw_naf -> false
+      | Negotiation.Denied _ -> false
+      | Negotiation.Granted instances ->
+          let dist =
+            List.map (fun (l, _) -> Literal.to_string l) instances
+            |> List.sort_uniq String.compare
+          in
+          let merged =
+            Tabled.solve ~self:dw.dw_target kb [ goal ]
+            |> List.map (fun s -> Literal.to_string (Literal.apply s goal))
+            |> List.sort_uniq String.compare
+          in
+          dist = merged)
+
+let report_tabling_coverage () =
+  Printf.printf
+    "  tabling: %d cyclic world(s) exercised the completion protocol; %d NAF \
+     world(s) denied as unsupported (parity with the merged engine's \
+     rejection)\n"
+    !tabling_cyclic_runs !tabling_naf_skips
+
+(* The new tabling control headers under the same wire discipline as the
+   rest of the envelope header: decode inverts encode across all five
+   variants (peer names and goal keys are hex-armoured, so arbitrary
+   bytes must survive), no byte-level damage makes the decoder raise,
+   and the stream decoder is total on mutated multi-frame input. *)
+
+let gen_goal_key =
+  QCheck.Gen.oneofl
+    [ "accredited(A) ."; "p(X, Y)."; ""; "k\x00\xffey"; "sp ace~colon:semi;" ]
+
+let gen_table_ref =
+  QCheck.Gen.(
+    pair
+      (oneofl [ "peer0"; "c1p0"; "odd name"; "nl\nin-name"; "q\"uote"; "" ])
+      gen_goal_key)
+
+let gen_tabling_field =
+  let open QCheck.Gen in
+  let refs n = list_size (int_range 0 n) gen_table_ref in
+  oneof
+    [
+      map (fun path -> Pnet.Wire.Hquery { path }) (refs 4);
+      map2
+        (fun final count -> Pnet.Wire.Hanswer { final; count })
+        bool small_nat;
+      map3
+        (fun leader epoch members ->
+          Pnet.Wire.Hprobe { leader; epoch; members })
+        gen_table_ref small_nat (refs 3);
+      map3
+        (fun leader epoch entries ->
+          Pnet.Wire.Hstat { leader; epoch; entries })
+        gen_table_ref small_nat
+        (list_size (int_range 0 3)
+           (triple gen_goal_key
+              (int_range (-1) 50)  (* negative size = inactive member *)
+              (list_size (int_range 0 3)
+                 (map2
+                    (fun (o, k) (seen, f) -> (o, k, seen, f))
+                    gen_table_ref (pair small_nat bool)))));
+      map3
+        (fun leader epoch members ->
+          Pnet.Wire.Hcomplete { leader; epoch; members })
+        gen_table_ref small_nat (refs 3);
+    ]
+
+let arb_tabling_header =
+  QCheck.make
+    ~print:(fun h -> String.escaped (Pnet.Wire.encode h))
+    QCheck.Gen.(
+      map2
+        (fun h tb ->
+          { h with Pnet.Wire.h_tabling = Some tb; h_kind = "tabling" })
+        (QCheck.gen arb_wire_header) gen_tabling_field)
+
+let prop_tabling_wire_roundtrip =
+  QCheck.Test.make ~name:"wire: tabling header decode inverts encode"
+    ~count:(scale 300) arb_tabling_header (fun h ->
+      Pnet.Wire.decode (Pnet.Wire.encode h) = Ok h)
+
+let prop_tabling_wire_mutated_total =
+  QCheck.Test.make
+    ~name:"fuzz: tabling header decoder is total on mutated frames"
+    ~count:(scale 300)
+    (QCheck.pair arb_tabling_header arb_wallet_damage)
+    (fun (h, (muts, trunc)) ->
+      let frame = Pnet.Wire.encode h in
+      let b = Bytes.of_string frame in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Pnet.Wire.decode s with
+      | Ok _ | Error (Pnet.Wire.Malformed _) -> true
+      | exception _ -> false)
+
+let prop_tabling_wire_stream_total =
+  QCheck.Test.make
+    ~name:"fuzz: wire stream decoder is total on mutated tabling frames"
+    ~count:(scale 200)
+    (QCheck.pair
+       (QCheck.pair arb_tabling_header arb_wire_header)
+       arb_wallet_damage)
+    (fun ((h1, h2), (muts, trunc)) ->
+      let stream = Pnet.Wire.encode h1 ^ "\n" ^ Pnet.Wire.encode h2 in
+      (* The clean stream must roundtrip before any damage is applied. *)
+      Pnet.Wire.decode_many stream = Ok [ h1; h2 ]
+      &&
+      let b = Bytes.of_string stream in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Pnet.Wire.decode_many s with
       | Ok _ | Error (Pnet.Wire.Malformed _) -> true
       | exception _ -> false)
 
@@ -830,5 +1124,17 @@ let () =
             prop_trace_header_mutated_total;
             prop_envelope_wire_roundtrip;
             prop_envelope_wire_mutated_total;
+          ] );
+      ( "tabling",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_distributed_tabling_agrees;
+            prop_tabling_wire_roundtrip;
+            prop_tabling_wire_mutated_total;
+            prop_tabling_wire_stream_total;
+          ]
+        @ [
+            Alcotest.test_case "coverage report" `Quick
+              report_tabling_coverage;
           ] );
     ]

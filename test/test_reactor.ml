@@ -685,6 +685,167 @@ let test_dedup_bounded () =
   Alcotest.(check int) "length capped" 4 (Net.Dedup.length d);
   Alcotest.(check int) "evictions counted" 1 (Net.Dedup.evictions d)
 
+(* ------------------------------------------------------------------ *)
+(* Distributed tabling: cyclic policies terminate with complete answer
+   sets; the answer cache refuses premature (incomplete) stores. *)
+
+let tabling_config =
+  { Reactor.default_config with Reactor.tabling = true }
+
+let run_tabled ?(config = tabling_config) session ~requester ~target goal =
+  let reactor = Reactor.create ~config session in
+  let id = Reactor.submit reactor ~requester ~target goal in
+  ignore (Reactor.run reactor);
+  (Reactor.outcome reactor id, reactor)
+
+let sorted_instances = function
+  | Negotiation.Granted instances ->
+      List.map (fun (l, _) -> Literal.to_string l) instances
+      |> List.sort_uniq String.compare
+  | Negotiation.Denied reason -> [ "denied: " ^ reason ]
+
+let expected_strings rw =
+  List.map Literal.to_string rw.Scenario.rw_expected
+  |> List.sort_uniq String.compare
+
+let test_tabling_mutual_accreditation () =
+  let rw = Scenario.mutual_accreditation () in
+  let outcome, reactor =
+    run_tabled rw.Scenario.rw_session ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  Alcotest.(check (list string))
+    "two-peer mutual accreditation completes" (expected_strings rw)
+    (sorted_instances outcome);
+  List.iter
+    (fun (_, _, answers, status) ->
+      Alcotest.(check string) "every table frozen" "complete" status;
+      Alcotest.(check int) "every table holds the one answer" 1 answers)
+    (Reactor.tabling_summary reactor)
+
+let test_tabling_larger_ring () =
+  let rw = Scenario.mutual_accreditation ~n:4 () in
+  let outcome, reactor =
+    run_tabled rw.Scenario.rw_session ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  Alcotest.(check (list string))
+    "four-peer ring completes" (expected_strings rw)
+    (sorted_instances outcome);
+  Alcotest.(check int) "one table per ring member" 4
+    (List.length (Reactor.tabling_summary reactor))
+
+let test_tabling_federation () =
+  let rw = Scenario.federation ~clusters:3 ~size:2 () in
+  let outcome, _ =
+    run_tabled rw.Scenario.rw_session ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  Alcotest.(check (list string))
+    "federated SCCs complete in dependency order" (expected_strings rw)
+    (sorted_instances outcome)
+
+let test_tabling_off_cycle_denied () =
+  (* The same cyclic world without tabling must still terminate — as a
+     structured cycle/quiescence denial, not a hang. *)
+  let rw = Scenario.mutual_accreditation () in
+  let outcome, _ =
+    run_tabled
+      ~config:Reactor.default_config rw.Scenario.rw_session
+      ~requester:rw.Scenario.rw_requester ~target:rw.Scenario.rw_target
+      rw.Scenario.rw_goal
+  in
+  Alcotest.(check bool) "cycle denied without tabling" false (granted outcome)
+
+let test_tabling_acyclic_chain () =
+  (* An acyclic cross-peer chain under tabling produces the full answer
+     set bottom-up, without any SCC probe round. *)
+  let session = Session.create () in
+  ignore
+    (Session.add_peer session ~program:{|path(X) <- hop(X) @ "mid".|} "top");
+  ignore (Session.add_peer session ~program:{|hop(X) <- base(X) @ "leaf".|} "mid");
+  ignore (Session.add_peer session ~program:{|base(1). base(2).|} "leaf");
+  ignore (Session.add_peer session "client");
+  Engine.attach_all session;
+  let outcome, reactor =
+    run_tabled session ~requester:"client" ~target:"top" (lit "path(X)")
+  in
+  Alcotest.(check (list string))
+    "acyclic chain answers" [ "path(1)"; "path(2)" ]
+    (sorted_instances outcome);
+  Alcotest.(check int) "no SCC probe was needed" 0
+    (List.length
+       (List.filter
+          (fun (_, _, _, status) -> not (String.equal status "complete"))
+          (Reactor.tabling_summary reactor)))
+
+let test_tabling_naf_unsupported () =
+  let session = Session.create () in
+  ignore
+    (Session.add_peer session
+       ~program:{|ok(X) <- base(X), not bad(X). base(1). |}
+       "owner");
+  ignore (Session.add_peer session "client");
+  Engine.attach_all session;
+  let outcome, _ =
+    run_tabled session ~requester:"client" ~target:"owner" (lit "ok(X)")
+  in
+  match outcome with
+  | Negotiation.Denied reason ->
+      Alcotest.(check string) "classified unsupported" "unsupported"
+        (Negotiation.denial_class_to_string
+           (Negotiation.classify_denial reason))
+  | Negotiation.Granted _ ->
+      Alcotest.fail "NAF under distributed tabling must deny as unsupported"
+
+let test_tabling_cached_rerun () =
+  (* With a cache attached, a second identical request is served from
+     the completed table's cached answer without new wire traffic. *)
+  let rw = Scenario.mutual_accreditation () in
+  let session = rw.Scenario.rw_session in
+  let config =
+    { tabling_config with Reactor.cache = Some (Answer_cache.create ()) }
+  in
+  let reactor = Reactor.create ~config session in
+  let id1 =
+    Reactor.submit reactor ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  ignore (Reactor.run reactor);
+  let msgs_before =
+    Net.Stats.messages (Net.Network.stats session.Session.network)
+  in
+  let id2 =
+    Reactor.submit reactor ~requester:rw.Scenario.rw_requester
+      ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+  in
+  ignore (Reactor.run reactor);
+  let msgs_after =
+    Net.Stats.messages (Net.Network.stats session.Session.network)
+  in
+  Alcotest.(check (list string))
+    "both runs grant the same set"
+    (sorted_instances (Reactor.outcome reactor id1))
+    (sorted_instances (Reactor.outcome reactor id2));
+  Alcotest.(check bool) "first run granted" true
+    (granted (Reactor.outcome reactor id1));
+  Alcotest.(check int) "cache replay posts nothing" msgs_before msgs_after
+
+let test_cache_completed_gate () =
+  (* Regression for the recursion-safety bit: a store flagged incomplete
+     must never be inserted, so a later find cannot serve a premature
+     (partial) answer set. *)
+  let c = Answer_cache.create () in
+  Answer_cache.store ~completed:false c ~now:0 ~asker:"a" ~owner:"o"
+    (lit "p(X)") (dummy_answer "p(1)");
+  Alcotest.(check bool) "premature answer never served" false
+    (find_some c ~now:1 ~asker:"a" ~owner:"o" "p(X)");
+  Alcotest.(check int) "nothing inserted" 0 (Answer_cache.length c);
+  Answer_cache.store ~completed:true c ~now:0 ~asker:"a" ~owner:"o"
+    (lit "p(X)") (dummy_answer "p(1)");
+  Alcotest.(check bool) "completed answer served" true
+    (find_some c ~now:1 ~asker:"a" ~owner:"o" "p(X)")
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "reactor"
@@ -733,6 +894,17 @@ let () =
           tc "kb-update watcher" test_cache_watch_peer;
           tc "warm cross-session run" test_cache_warm_cross_session;
           tc "batched sub-queries" test_reactor_batching;
+        ] );
+      ( "tabling",
+        [
+          tc "mutual accreditation" test_tabling_mutual_accreditation;
+          tc "four-peer ring" test_tabling_larger_ring;
+          tc "federated clusters" test_tabling_federation;
+          tc "cycle denied without tabling" test_tabling_off_cycle_denied;
+          tc "acyclic chain" test_tabling_acyclic_chain;
+          tc "NAF unsupported" test_tabling_naf_unsupported;
+          tc "cached rerun" test_tabling_cached_rerun;
+          tc "cache completed gate" test_cache_completed_gate;
         ] );
       ( "guard",
         [
