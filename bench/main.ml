@@ -1046,17 +1046,22 @@ let cache_bench () =
 (* RESOLUTION: resolution-core workloads.
 
    Scaled workloads that bottom out in the lib/dlp term layer: deep
-   delegation-style rule chains, wide ground KBs (10k+ facts, exercising
-   first-argument indexing and full scans), long negotiation sessions on a
-   warm session, and tabled transitive closure.  Each workload reports
-   median wall time and words allocated per run; the numbers land in
-   BENCH_resolution.json as gauges ([resolution.<workload>.ms] and
+   delegation-style rule chains, wide ground KBs (exercising
+   first-argument indexing and full scans), million-fact ground KBs
+   (point lookups and rule-mediated hops against the hash-consed
+   first-argument index), long negotiation sessions on a warm session,
+   and tabled transitive closure.  Each workload reports median wall time
+   and words allocated per run; the numbers land in BENCH_resolution.json
+   as gauges ([resolution.<workload>.ms] and
    [resolution.<workload>.kwords]).  With [--smoke], sizes shrink and each
    SLD workload's answer set is checked against a map-based reference
    resolution engine (substitution maps, rename-apart via substitution),
-   guarding the trailed core against answer drift. *)
+   guarding the trailed core against answer drift.  [--kb-size N]
+   overrides the fact count of the ground-KB workloads (honoured with and
+   without [--smoke]). *)
 
 let resolution_smoke = ref false
+let resolution_kb_size : int option ref = ref None
 
 (* Map-based reference resolution engine: persistent substitution maps and
    rename-apart rules, no binding trail — the pre-interning algorithm kept
@@ -1131,6 +1136,41 @@ let wide_kb n =
       done;
       Buffer.add_string buf "lookup(K, V) <- item(K, V).\n")
 
+(* Million-scale KBs are built through the constructor API: parsing a
+   million-line program would dominate setup.  Insertion is indexed
+   ({!Dlp.Kb.mem} consults the first-argument index), so bulk build is
+   O(n log n). *)
+let ground_kb n =
+  let rec go i kb =
+    if i > n then kb
+    else
+      let lit =
+        Dlp.Literal.make "fact" [ Dlp.Term.atom ("c" ^ string_of_int i); Dlp.Term.Int i ]
+      in
+      go (i + 1) (Dlp.Kb.add (Dlp.Rule.fact lit) kb)
+  in
+  go 1 Dlp.Kb.empty
+
+let edge_kb n =
+  let node i = Dlp.Term.atom ("n" ^ string_of_int i) in
+  let rec go i kb =
+    if i > n then kb
+    else
+      go (i + 1)
+        (Dlp.Kb.add (Dlp.Rule.fact (Dlp.Literal.make "edge" [ node i; node (i + 1) ])) kb)
+  in
+  let hop =
+    (* hop2(X, Z) <- edge(X, Y), edge(Y, Z). *)
+    let v n = Dlp.Term.var n in
+    Dlp.Rule.make
+      (Dlp.Literal.make "hop2" [ v "X"; v "Z" ])
+      [
+        Dlp.Literal.make "edge" [ v "X"; v "Y" ];
+        Dlp.Literal.make "edge" [ v "Y"; v "Z" ];
+      ]
+  in
+  go 1 (Dlp.Kb.add hop Dlp.Kb.empty)
+
 (* Median wall time and mean words allocated of [runs] executions. *)
 let time_alloc ?(runs = 5) f =
   let before = Gc.allocated_bytes () in
@@ -1156,65 +1196,130 @@ let answer_key answers =
 let resolution () =
   let smoke = !resolution_smoke in
   let scale full small = if smoke then small else full in
+  (* Fact count of the ground-KB workloads; [--kb-size] overrides both the
+     full and the smoke default. *)
+  let kb_n full small =
+    match !resolution_kb_size with Some n -> n | None -> scale full small
+  in
   let sld_answers ?(max_solutions = 100_000) ~max_depth kb goals =
     Dlp.Sld.answers
       ~options:{ Dlp.Sld.default_options with max_depth; max_solutions }
       ~self:"bench" kb goals
   in
   let check_differential = ref [] in
+  (* Each workload is a thunk: KBs are built when the workload runs and
+     become garbage right after its row (a million-fact KB per workload —
+     building them all up front would hold them simultaneously). *)
   let workloads =
     [
       ( "deep_chain",
-        let depth = scale 1500 120 in
-        let kb = deep_chain_kb depth in
-        let goals = Dlp.Parser.parse_query "l0(X)" in
-        let max_depth = depth + 16 in
-        ( (fun () -> ignore (sld_answers ~max_solutions:4 ~max_depth kb goals)),
-          Some (kb, goals, max_depth) ) );
+        fun () ->
+          let depth = scale 1500 120 in
+          let kb = deep_chain_kb depth in
+          let goals = Dlp.Parser.parse_query "l0(X)" in
+          let max_depth = depth + 16 in
+          ( (fun () ->
+              ignore (sld_answers ~max_solutions:4 ~max_depth kb goals)),
+            Some (kb, goals, max_depth) ) );
+      ( "deep_chain_xl",
+        fun () ->
+          let depth = scale 6_000 300 in
+          let kb = deep_chain_kb depth in
+          let goals = Dlp.Parser.parse_query "l0(X)" in
+          let max_depth = depth + 16 in
+          ( (fun () ->
+              ignore (sld_answers ~max_solutions:4 ~max_depth kb goals)),
+            Some (kb, goals, max_depth) ) );
       ( "transitive",
-        let n = scale 48 12 in
-        let kb = transitive_kb n in
-        let goals = Dlp.Parser.parse_query "path(X, Y)" in
-        let max_depth = (2 * n) + 8 in
-        ( (fun () -> ignore (sld_answers ~max_depth kb goals)),
-          Some (kb, goals, max_depth) ) );
+        fun () ->
+          let n = scale 48 12 in
+          let kb = transitive_kb n in
+          let goals = Dlp.Parser.parse_query "path(X, Y)" in
+          let max_depth = (2 * n) + 8 in
+          ( (fun () -> ignore (sld_answers ~max_depth kb goals)),
+            Some (kb, goals, max_depth) ) );
       ( "wide_indexed",
-        let n = scale 10_000 1_000 in
-        let kb = wide_kb n in
-        let goals =
-          Dlp.Parser.parse_query (Printf.sprintf "lookup(c%d, V)" (n - 13))
-        in
-        ( (fun () ->
-            for _ = 1 to scale 300 20 do
-              ignore (sld_answers ~max_solutions:4 ~max_depth:8 kb goals)
-            done),
-          Some (kb, goals, 8) ) );
+        fun () ->
+          let n = kb_n 10_000 1_000 in
+          let kb = wide_kb n in
+          let goals =
+            Dlp.Parser.parse_query (Printf.sprintf "lookup(c%d, V)" (n - 13))
+          in
+          ( (fun () ->
+              for _ = 1 to scale 300 20 do
+                ignore (sld_answers ~max_solutions:4 ~max_depth:8 kb goals)
+              done),
+            Some (kb, goals, 8) ) );
       ( "wide_scan",
-        let n = scale 10_000 1_000 in
-        let kb = wide_kb n in
-        let goals = Dlp.Parser.parse_query "item(K, V)" in
-        ( (fun () -> ignore (sld_answers ~max_depth:4 kb goals)), None ) );
+        fun () ->
+          let n = kb_n 10_000 1_000 in
+          let kb = wide_kb n in
+          let goals = Dlp.Parser.parse_query "item(K, V)" in
+          ( (fun () -> ignore (sld_answers ~max_depth:4 kb goals)), None ) );
+      ( "wide_scan_xl",
+        fun () ->
+          let n = kb_n 200_000 5_000 in
+          let kb = wide_kb n in
+          let goals = Dlp.Parser.parse_query "item(K, V)" in
+          ( (fun () -> ignore (sld_answers ~max_depth:4 kb goals)), None ) );
+      ( "ground_lookup",
+        fun () ->
+          let n = kb_n 1_000_000 20_000 in
+          let kb = ground_kb n in
+          let queries = scale 2_000 200 in
+          let vV = Dlp.Term.var "V" in
+          let goal_at k =
+            [ Dlp.Literal.make "fact" [ Dlp.Term.atom ("c" ^ string_of_int k); vV ] ]
+          in
+          ( (fun () ->
+              for j = 1 to queries do
+                (* Deterministic stride spreads the probes over the KB. *)
+                let k = 1 + (j * 7919 mod n) in
+                ignore (sld_answers ~max_solutions:4 ~max_depth:8 kb (goal_at k))
+              done),
+            Some (kb, goal_at (1 + (n / 2)), 8) ) );
+      ( "indexed_million",
+        fun () ->
+          let n = kb_n 1_000_000 20_000 in
+          let kb = edge_kb n in
+          let queries = scale 1_000 100 in
+          let vZ = Dlp.Term.var "Z" in
+          let goal_at k =
+            [
+              Dlp.Literal.make "hop2"
+                [ Dlp.Term.atom ("n" ^ string_of_int k); vZ ];
+            ]
+          in
+          ( (fun () ->
+              for j = 1 to queries do
+                let k = 1 + (j * 7919 mod (n - 1)) in
+                ignore (sld_answers ~max_solutions:4 ~max_depth:8 kb (goal_at k))
+              done),
+            Some (kb, goal_at (1 + (n / 2)), 8) ) );
       ( "negotiation_session",
-        let w = Scenario.scenario1 () in
-        let goal = {|discountEnroll(spanish101, "Alice")|} in
-        ( (fun () ->
-            for _ = 1 to scale 30 3 do
-              ignore
-                (Negotiation.request_str w.Scenario.s1_session
-                   ~requester:"Alice" ~target:"E-Learn" goal)
-            done),
-          None ) );
+        fun () ->
+          let w = Scenario.scenario1 () in
+          let goal = {|discountEnroll(spanish101, "Alice")|} in
+          ( (fun () ->
+              for _ = 1 to scale 30 3 do
+                ignore
+                  (Negotiation.request_str w.Scenario.s1_session
+                     ~requester:"Alice" ~target:"E-Learn" goal)
+              done),
+            None ) );
       ( "tabled_transitive",
-        let n = scale 28 10 in
-        let kb = transitive_kb n in
-        let goals = Dlp.Parser.parse_query "path(X, Y)" in
-        ( (fun () -> ignore (Dlp.Tabled.solve ~self:"bench" kb goals)), None )
+        fun () ->
+          let n = scale 28 10 in
+          let kb = transitive_kb n in
+          let goals = Dlp.Parser.parse_query "path(X, Y)" in
+          ( (fun () -> ignore (Dlp.Tabled.solve ~self:"bench" kb goals)), None )
       );
     ]
   in
   let rows =
     List.map
-      (fun (name, (run, differential)) ->
+      (fun (name, mk) ->
+        let run, differential = mk () in
         run () (* warm-up, and interner/caches settle *);
         let runs = if smoke then 1 else 5 in
         let ms, words = time_alloc ~runs run in
@@ -1224,9 +1329,12 @@ let resolution () =
         Pobs.Metric.set
           (Pobs.Obs.gauge ("resolution." ^ name ^ ".kwords"))
           (words /. 1000.);
-        Option.iter
-          (fun d -> check_differential := (name, d) :: !check_differential)
-          differential;
+        (* Differential references are only retained in smoke mode (full
+           mode would keep every million-fact KB alive to the end). *)
+        if smoke then
+          Option.iter
+            (fun d -> check_differential := (name, d) :: !check_differential)
+            differential;
         [
           name;
           fmt_ms ms;
@@ -1584,7 +1692,20 @@ let with_metrics dir name f =
   Pobs.Obs.reset_metrics ();
   f ();
   let file = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
-  (try Pobs.Export.write_metrics_json ~label:name file (Pobs.Obs.snapshot ())
+  (* Histograms that recorded nothing are registration noise (every linked
+     subsystem registers its instruments at module init): drop them from
+     the artifact rather than pinning empty series into the baselines. *)
+  let snapshot =
+    let s = Pobs.Obs.snapshot () in
+    {
+      s with
+      Pobs.Registry.sn_histograms =
+        List.filter
+          (fun (_, h) -> h.Pobs.Metric.hs_count > 0)
+          s.Pobs.Registry.sn_histograms;
+    }
+  in
+  (try Pobs.Export.write_metrics_json ~label:name file snapshot
    with Sys_error reason ->
      Printf.eprintf "error: cannot write metrics (%s)\n" reason;
      exit 1);
@@ -1599,6 +1720,13 @@ let () =
         resolution_smoke := true;
         adversary_smoke := true;
         recursion_smoke := true;
+        split_args dir acc rest
+    | "--kb-size" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> resolution_kb_size := Some v
+        | Some _ | None ->
+            Printf.eprintf "error: --kb-size expects a positive integer, got %S\n" n;
+            exit 2);
         split_args dir acc rest
     | a :: rest -> split_args dir (a :: acc) rest
   in

@@ -77,6 +77,15 @@ fi
 # diff tool must catch an injected 2x inflation (self-test).
 ./_build/default/bench/main.exe resolution --smoke \
   --metrics-dir "$bench_dir" > /dev/null
+# The million-fact workloads (scaled down under --smoke) must have
+# reported their gauges, and histograms that recorded nothing (e.g. the
+# reactor's, which bench resolution never enters) must not be emitted.
+grep -q '"resolution.ground_lookup.ms"' "$bench_dir/BENCH_resolution.json"
+grep -q '"resolution.indexed_million.ms"' "$bench_dir/BENCH_resolution.json"
+if grep -q '"reactor.steps_per_run"' "$bench_dir/BENCH_resolution.json"; then
+  echo "bench resolution: empty histogram leaked into the artifact" >&2
+  exit 1
+fi
 ./_build/default/bench/main.exe diff --against-seed resolution_smoke \
   "$bench_dir/BENCH_resolution.json"
 if ./_build/default/bench/main.exe diff --against-seed resolution_smoke \

@@ -1,6 +1,10 @@
 let builtins = [ "="; "!="; "<"; "<="; ">"; ">=" ]
 let is_builtin (p, n) = n = 2 && List.mem p builtins
 
+(* Interned view, for callers that already hold the predicate symbol. *)
+let builtin_syms = List.map Sym.intern builtins
+let is_builtin_sym s = List.exists (fun b -> Sym.equal b s) builtin_syms
+
 let plus_op = Sym.intern "+"
 let minus_op = Sym.intern "-"
 let times_op = Sym.intern "*"

@@ -12,6 +12,10 @@
 
 val is_builtin : string * int -> bool
 
+val is_builtin_sym : Sym.t -> bool
+(** [is_builtin] on an already interned predicate symbol (arity not
+    checked); the flat resolution path's cheap pre-filter. *)
+
 val eval : Literal.t -> Subst.t -> Subst.t list option
 (** [eval lit s] is [None] when [lit] is not a built-in; otherwise
     [Some answers] where [answers] are the extensions of [s] under which the

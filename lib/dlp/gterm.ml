@@ -1,0 +1,101 @@
+(* Hash-consed ground terms: a process-global append-only table mapping
+   each distinct ground term to a dense non-negative id, and back to one
+   canonical boxed term.  Like the symbol interner, ids are never reused,
+   so a ground id is valid for the lifetime of the process.
+
+   Atoms and strings are keyed by their (already dense) symbol id through a
+   direct-indexed array; integers and compounds go through hash tables.  A
+   compound's key is the int array [|functor; arg ids...|], so structural
+   equality of ground compounds reduces to key equality over ids. *)
+
+let dummy = Term.Int 0
+let terms = ref (Array.make 1024 dummy)
+let size = ref 0
+
+let push t =
+  let id = !size in
+  if id = Array.length !terms then begin
+    let bigger = Array.make (2 * id) dummy in
+    Array.blit !terms 0 bigger 0 id;
+    terms := bigger
+  end;
+  !terms.(id) <- t;
+  size := id + 1;
+  id
+
+let term id = !terms.(id)
+let count () = !size
+
+(* Symbol-indexed id arrays for atoms and strings; [-1] = not interned. *)
+
+let grow_ids arr s =
+  let cap = max (2 * Array.length !arr) (s + 1) in
+  let bigger = Array.make cap (-1) in
+  Array.blit !arr 0 bigger 0 (Array.length !arr);
+  arr := bigger
+
+let atom_ids = ref (Array.make 256 (-1))
+let str_ids = ref (Array.make 256 (-1))
+
+let of_sym ids mk s =
+  if s >= Array.length !ids then grow_ids ids s;
+  let id = !ids.(s) in
+  if id >= 0 then id
+  else begin
+    let id = push (mk s) in
+    !ids.(s) <- id;
+    id
+  end
+
+let of_atom s = of_sym atom_ids (fun s -> Term.Atom s) s
+let of_str s = of_sym str_ids (fun s -> Term.Str s) s
+let int_ids : (int, int) Hashtbl.t = Hashtbl.create 256
+
+let of_int i =
+  match Hashtbl.find_opt int_ids i with
+  | Some id -> id
+  | None ->
+      let id = push (Term.Int i) in
+      Hashtbl.add int_ids i id;
+      id
+
+let comp_ids : (int array, int) Hashtbl.t = Hashtbl.create 256
+
+let of_comp f arg_ids =
+  let key = Array.of_list (f :: arg_ids) in
+  match Hashtbl.find_opt comp_ids key with
+  | Some id -> id
+  | None ->
+      (* Canonical boxed form: shares the canonical subterms. *)
+      let id = push (Term.Compound (f, List.map term arg_ids)) in
+      Hashtbl.add comp_ids key id;
+      id
+
+let rec of_term = function
+  | Term.Var _ -> None
+  | Term.Atom a -> Some (of_atom a)
+  | Term.Str s -> Some (of_str s)
+  | Term.Int i -> Some (of_int i)
+  | Term.Compound (f, args) -> (
+      match arg_ids_of of_term args with
+      | None -> None
+      | Some ids -> Some (of_comp f ids))
+
+and arg_ids_of f args =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | x :: rest -> (
+        match f x with Some i -> go (i :: acc) rest | None -> None)
+  in
+  go [] args
+
+let rec resolve_id st t =
+  match Store.walk st t with
+  | Term.Var _ -> None
+  | Term.Atom a -> Some (of_atom a)
+  | Term.Str s -> Some (of_str s)
+  | Term.Int i -> Some (of_int i)
+  | Term.Compound (f, args) -> (
+      match arg_ids_of (resolve_id st) args with
+      | None -> None
+      | Some ids -> Some (of_comp f ids))

@@ -1,0 +1,37 @@
+(** Hash-consed ground terms.
+
+    Every ground term (atom, string, integer, or compound with ground
+    arguments) is interned into a process-global append-only table and
+    identified by a dense non-negative id; structurally equal ground terms
+    always receive the same id, so ground-term equality on the resolution
+    hot path is integer equality.  Ids never exceed the table size, which
+    keeps them disjoint from the negative codes the flat literal encoding
+    ({!Flat}) uses for variables and escapes.
+
+    Each id also owns one canonical boxed {!Term.t} (compounds share the
+    canonical forms of their arguments), so binding a solver variable to a
+    ground value reuses a shared term instead of allocating. *)
+
+val of_atom : Sym.t -> int
+(** Id of the atom with the given symbol (array-indexed: O(1)). *)
+
+val of_str : Sym.t -> int
+(** Id of the string constant with the given symbol. *)
+
+val of_int : int -> int
+(** Id of an integer constant. *)
+
+val of_term : Term.t -> int option
+(** Intern a term; [None] if it contains a variable.  Ground subterms of a
+    non-ground compound are still interned. *)
+
+val resolve_id : Store.t -> Term.t -> int option
+(** [of_term] of the term fully resolved through the store, without
+    materialising the resolved term; [None] if any subterm walks to an
+    unbound variable. *)
+
+val term : int -> Term.t
+(** The canonical boxed term of an id.  O(1); the result is shared. *)
+
+val count : unit -> int
+(** Number of ground terms interned so far (ids are [0 .. count () - 1]). *)

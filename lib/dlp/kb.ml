@@ -7,41 +7,28 @@ module Key = struct
 end
 
 module M = Map.Make (Key)
-
-(* First-argument index key: a small sum over interned ids — exact,
-   allocation-free comparisons, no string building. *)
-type akey =
-  | KStr of Sym.t
-  | KInt of int
-  | KAtom of Sym.t
-  | KComp of Sym.t * int
-
-module AK = Map.Make (struct
-  type t = akey
-
-  let compare a b =
-    match (a, b) with
-    | KStr x, KStr y | KInt x, KInt y | KAtom x, KAtom y -> Int.compare x y
-    | KComp (f, n), KComp (g, m) ->
-        let c = Int.compare f g in
-        if c <> 0 then c else Int.compare n m
-    | KStr _, _ -> -1
-    | _, KStr _ -> 1
-    | KInt _, _ -> -1
-    | _, KInt _ -> 1
-    | KAtom _, _ -> -1
-    | _, KAtom _ -> 1
-end)
+module IM = Map.Make (Int)
+module FM = Map.Make (Key)
 
 (* Entries carry a sequence number so that [rules]/[matching] can restore
    global insertion order; buckets keep entries in reverse order.  Rules are
    compiled once at insertion: the hot path resolves against the compiled
-   form and never re-processes the source rule. *)
+   form and never re-processes the source rule.
+
+   Facts and proper rules live in separate lists (the solver tries facts
+   first, so [matching_parts] never partitions), and two first-argument
+   indexes serve point lookups: non-compound ground first arguments key on
+   their hash-consed ground id ({!Gterm} — one int map lookup for the
+   million-fact workloads), compound first arguments on their
+   functor/arity (a compound goal must meet every same-functor head, ground
+   or not, exactly as an unindexed scan would pair them). *)
 type entry = int * Rule.compiled
 
 type bucket = {
-  all : entry list;
-  by_first : entry list AK.t;  (* first-argument key -> entries *)
+  facts : entry list;  (* reverse insertion order *)
+  proper : entry list;
+  by_first : entry list IM.t;  (* ground (non-compound) first arg, by gid *)
+  by_functor : entry list FM.t;  (* compound first arg, by functor/arity *)
   var_first : entry list;  (* heads whose first argument is a variable *)
 }
 
@@ -49,27 +36,63 @@ type t = { buckets : bucket M.t; next : int; indexing : bool }
 
 let empty = { buckets = M.empty; next = 0; indexing = true }
 let empty_linear = { buckets = M.empty; next = 0; indexing = false }
-let empty_bucket = { all = []; by_first = AK.empty; var_first = [] }
 
-(* Index key of a term in head position: constants and functors are
-   discriminating, variables are not ([None]). *)
-let arg_key = function
-  | Term.Var _ -> None
-  | Term.Str s -> Some (KStr s)
-  | Term.Int i -> Some (KInt i)
-  | Term.Atom a -> Some (KAtom a)
-  | Term.Compound (f, args) -> Some (KComp (f, List.length args))
+let empty_bucket =
+  {
+    facts = [];
+    proper = [];
+    by_first = IM.empty;
+    by_functor = FM.empty;
+    var_first = [];
+  }
 
-let first_arg (l : Literal.t) =
-  match l.Literal.args with [] -> None | a :: _ -> Some a
+(* Index class of a head's first argument. *)
+type hkey = Hvar | Hground of int | Hfunctor of Sym.t * int
+
+let head_key (l : Literal.t) =
+  match l.Literal.args with
+  | [] -> Hvar
+  | a :: _ -> (
+      match a with
+      | Term.Var _ -> Hvar
+      | Term.Atom a -> Hground (Gterm.of_atom a)
+      | Term.Str s -> Hground (Gterm.of_str s)
+      | Term.Int i -> Hground (Gterm.of_int i)
+      | Term.Compound (f, args) -> Hfunctor (f, List.length args))
+
+(* Index key of a goal's first argument (as given — resolved by the
+   caller); {!Flat.goal_first_key} computes the same key from a flat
+   goal. *)
+let goal_key (l : Literal.t) =
+  match l.Literal.args with
+  | [] -> Flat.Kany
+  | a :: _ -> (
+      match a with
+      | Term.Var _ -> Flat.Kany
+      | Term.Atom a -> Flat.Kground (Gterm.of_atom a)
+      | Term.Str s -> Flat.Kground (Gterm.of_str s)
+      | Term.Int i -> Flat.Kground (Gterm.of_int i)
+      | Term.Compound (f, args) -> Flat.Kfunctor (f, List.length args))
+
+let first_sublist bucket (l : Literal.t) =
+  match head_key l with
+  | Hvar -> bucket.var_first
+  | Hground g -> Option.value ~default:[] (IM.find_opt g bucket.by_first)
+  | Hfunctor (f, n) ->
+      Option.value ~default:[] (FM.find_opt (f, n) bucket.by_functor)
 
 let lit_key (l : Literal.t) = (Sym.intern l.Literal.pred, Literal.arity l)
 
+(* Membership via the first-argument index: a structurally equal rule has
+   the same head, hence the same index class — never a full bucket scan,
+   so bulk insertion of n facts is O(n log n), not O(n^2). *)
 let mem r kb =
   match M.find_opt (lit_key r.Rule.head) kb.buckets with
   | None -> false
   | Some bucket ->
-      List.exists (fun (_, c) -> Rule.equal r (Rule.source c)) bucket.all
+      List.exists
+        (fun (_, c) -> Rule.equal r (Rule.source c))
+        (first_sublist bucket r.Rule.head)
 
 let add r kb =
   if mem r kb then kb
@@ -77,15 +100,24 @@ let add r kb =
     let key = lit_key r.Rule.head in
     let bucket = Option.value ~default:empty_bucket (M.find_opt key kb.buckets) in
     let entry = (kb.next, Rule.compile r) in
-    let bucket = { bucket with all = entry :: bucket.all } in
     let bucket =
-      match Option.map arg_key (first_arg r.Rule.head) with
-      | None | Some None ->
-          (* no arguments, or a variable first argument *)
-          { bucket with var_first = entry :: bucket.var_first }
-      | Some (Some k) ->
-          let prev = Option.value ~default:[] (AK.find_opt k bucket.by_first) in
-          { bucket with by_first = AK.add k (entry :: prev) bucket.by_first }
+      if Rule.is_fact r then { bucket with facts = entry :: bucket.facts }
+      else { bucket with proper = entry :: bucket.proper }
+    in
+    let bucket =
+      match head_key r.Rule.head with
+      | Hvar -> { bucket with var_first = entry :: bucket.var_first }
+      | Hground g ->
+          let prev = Option.value ~default:[] (IM.find_opt g bucket.by_first) in
+          { bucket with by_first = IM.add g (entry :: prev) bucket.by_first }
+      | Hfunctor (f, n) ->
+          let prev =
+            Option.value ~default:[] (FM.find_opt (f, n) bucket.by_functor)
+          in
+          {
+            bucket with
+            by_functor = FM.add (f, n) (entry :: prev) bucket.by_functor;
+          }
     in
     { kb with buckets = M.add key bucket kb.buckets; next = kb.next + 1 }
   end
@@ -102,27 +134,20 @@ let remove r kb =
       in
       let bucket =
         {
-          all = drop bucket.all;
-          by_first = AK.map drop bucket.by_first;
+          facts = drop bucket.facts;
+          proper = drop bucket.proper;
+          by_first = IM.map drop bucket.by_first;
+          by_functor = FM.map drop bucket.by_functor;
           var_first = drop bucket.var_first;
         }
       in
       {
         kb with
         buckets =
-          (if bucket.all = [] then M.remove key kb.buckets
+          (if bucket.facts = [] && bucket.proper = [] then
+             M.remove key kb.buckets
            else M.add key bucket kb.buckets);
       }
-
-let entries_in_order entries =
-  List.sort (fun (i, _) (j, _) -> Int.compare i j) entries
-  |> List.map (fun (_, c) -> Rule.source c)
-
-let find key kb =
-  let pred, arity = key in
-  match M.find_opt (Sym.intern pred, arity) kb.buckets with
-  | None -> []
-  | Some bucket -> entries_in_order bucket.all
 
 (* Merge two reverse-(descending-seq-)ordered entry lists, still
    descending; [matching] then reverses once into insertion order —
@@ -133,32 +158,73 @@ let rec merge_desc a b =
   | ((i, _) as x) :: a', ((j, _) as y) :: b' ->
       if i > j then x :: merge_desc a' b else y :: merge_desc a b'
 
+let bucket_all bucket = merge_desc bucket.facts bucket.proper
+
+let entries_in_order entries =
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) entries
+  |> List.map (fun (_, c) -> Rule.source c)
+
+let find key kb =
+  let pred, arity = key in
+  match M.find_opt (Sym.intern pred, arity) kb.buckets with
+  | None -> []
+  | Some bucket -> entries_in_order (bucket_all bucket)
+
+(* Candidate entries for a goal, in descending-seq order. *)
+let entries_for bucket fkey indexing =
+  if not indexing then bucket_all bucket
+  else
+    match fkey with
+    | Flat.Kany -> bucket_all bucket
+    | Flat.Kground g ->
+        merge_desc
+          (Option.value ~default:[] (IM.find_opt g bucket.by_first))
+          bucket.var_first
+    | Flat.Kfunctor (f, n) ->
+        merge_desc
+          (Option.value ~default:[] (FM.find_opt (f, n) bucket.by_functor))
+          bucket.var_first
+
 let matching_entries lit kb =
   match M.find_opt (lit_key lit) kb.buckets with
   | None -> []
-  | Some bucket ->
-      if not kb.indexing then bucket.all
-      else begin
-        match Option.map arg_key (first_arg lit) with
-        | None | Some None -> bucket.all
-        | Some (Some k) ->
-            let indexed =
-              Option.value ~default:[] (AK.find_opt k bucket.by_first)
-            in
-            merge_desc indexed bucket.var_first
-      end
+  | Some bucket -> entries_for bucket (goal_key lit) kb.indexing
 
 let matching lit kb =
   List.rev_map (fun (_, c) -> Rule.source c) (matching_entries lit kb)
 
-let matching_compiled lit kb =
-  List.rev_map snd (matching_entries lit kb)
+let matching_compiled lit kb = List.rev_map snd (matching_entries lit kb)
+
+let rev_compiled entries = List.rev_map snd entries
+
+let matching_parts key fkey kb =
+  match M.find_opt key kb.buckets with
+  | None -> ([], [])
+  | Some bucket ->
+      if (not kb.indexing) || fkey = Flat.Kany then
+        (rev_compiled bucket.facts, rev_compiled bucket.proper)
+      else begin
+        (* Split the (small) indexed candidate list; descending input,
+           prepending output: ascending insertion order restored. *)
+        let rec split fs ps = function
+          | [] -> (fs, ps)
+          | (_, c) :: rest ->
+              if Rule.compiled_is_fact c then split (c :: fs) ps rest
+              else split fs (c :: ps) rest
+        in
+        split [] [] (entries_for bucket fkey true)
+      end
 
 let rules kb =
-  M.fold (fun _ bucket acc -> List.rev_append bucket.all acc) kb.buckets []
+  M.fold (fun _ bucket acc -> List.rev_append (bucket_all bucket) acc)
+    kb.buckets []
   |> entries_in_order
 
-let size kb = M.fold (fun _ bucket n -> n + List.length bucket.all) kb.buckets 0
+let size kb =
+  M.fold
+    (fun _ bucket n -> n + List.length bucket.facts + List.length bucket.proper)
+    kb.buckets 0
+
 let fold f kb init = List.fold_left (fun acc r -> f r acc) init (rules kb)
 let signed_rules kb = List.filter Rule.is_signed (rules kb)
 

@@ -35,6 +35,13 @@ val matching_compiled : Literal.t -> t -> Rule.compiled list
 (** As {!matching}, returning the pre-compiled rules; the resolution hot
     path instantiates these without re-processing the source rules. *)
 
+val matching_parts :
+  Sym.t * int -> Flat.fkey -> t -> Rule.compiled list * Rule.compiled list
+(** As {!matching_compiled}, keyed by an interned predicate symbol and a
+    flat first-argument key ({!Flat.goal_first_key}), split into
+    [(facts, proper_rules)] — each in insertion order.  The flat solver's
+    entry point: no literal rebuilt, no partition per call. *)
+
 val rules : t -> Rule.t list
 (** All rules, in insertion order. *)
 

@@ -167,6 +167,7 @@ type compiled = {
   c_nvars : int;
   c_names : string array;
   c_heads : Literal.t list;
+  c_flat_heads : Flat.head array;
   c_is_fact : bool;
 }
 
@@ -187,6 +188,9 @@ let compile r =
           j
   in
   let c_rule = map_literals (Literal.map_vars f) r in
+  (* A rule without compilable variables maps to itself; share the source
+     record so million-fact KBs don't carry a second copy of every fact. *)
+  let c_rule = if !n = 0 then r else c_rule in
   let c_heads =
     c_rule.head
     ::
@@ -202,6 +206,7 @@ let compile r =
     c_nvars = !n;
     c_names = Array.of_list (List.rev !names);
     c_heads;
+    c_flat_heads = Array.of_list (List.map Flat.compile_head c_heads);
     c_is_fact = is_fact r;
   }
 
@@ -209,6 +214,7 @@ let source c = c.c_source
 let compiled_is_fact c = c.c_is_fact
 let nvars c = c.c_nvars
 let slot_names c = c.c_names
+let flat_heads c = c.c_flat_heads
 
 let instantiate c =
   if c.c_nvars = 0 then (c.c_rule, c.c_heads, 0)
@@ -218,6 +224,14 @@ let instantiate c =
       List.map (Literal.shift_fresh k0) c.c_heads,
       k0 )
   end
+
+(* The boxed rule at an already reserved fresh-block offset; paired with
+   {!flat_heads}, which lets the solver unify heads before paying for the
+   boxed instantiation (only successful candidates need the boxed body and
+   trace snapshot). *)
+let instantiate_at c k0 =
+  if c.c_nvars = 0 then c.c_rule
+  else map_literals (Literal.shift_fresh k0) c.c_rule
 
 let pp_ctx fmt = function
   | [] -> Format.pp_print_string fmt "true"

@@ -105,5 +105,15 @@ val instantiate : compiled -> t * Literal.t list * int
     with its head variants (head plus one [head @ signer] per signature)
     and the fresh-block offset [k0] ([0] when the rule is ground). *)
 
+val flat_heads : compiled -> Flat.head array
+(** Flat forms of the head variants, in {!instantiate} order; unified
+    against flat goals at a fresh-block offset ({!Flat.unify}). *)
+
+val instantiate_at : compiled -> int -> t
+(** The boxed rule shifted into an already reserved fresh-block offset
+    (ignored when the rule has no variables).  With {!flat_heads} this
+    lets the solver defer the boxed instantiation until a head variant
+    has actually unified. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

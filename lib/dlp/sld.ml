@@ -48,13 +48,26 @@ let peer_name_of_term = function
   | Term.Str s | Term.Atom s -> Some (Sym.name s)
   | Term.Var _ | Term.Int _ | Term.Compound _ -> None
 
+let not_sym = Sym.intern "not"
+
+(* Ancestor stack for the variant loop check: an immutable list, because a
+   goal's entry must scope over its own subtree only — the continuation [k]
+   escapes to sibling goals, which must not see it.  Each entry is tagged
+   with its predicate symbol so the canonical comparison runs only against
+   same-predicate ancestors (an int compare skips the rest). *)
+type anc = Anil | Acons of Sym.t * Literal.t * anc
+
 (* The solver threads one trailed {!Store} through the whole proof:
    unification binds cells destructively, each choice point brackets its
    attempt with mark/undo, and persistent substitutions are materialised
-   only at the boundaries (answers, external calls). *)
+   only at the boundaries (answers, external calls).  Goals are flattened
+   ({!Flat}) at each resolution step, so candidate lookup and head
+   unification run on int arrays; the boxed rule is instantiated only
+   after a head has unified. *)
 let solve_body ?(options = default_options) ?(externals = no_externals)
     ?(remote = no_remote) ?(bindings = []) ~self kb goals =
   let st = Store.create () in
+  let arena = Flat.arena () in
   let bind_initial v t =
     let id = Term.var_id v in
     if Store.is_bound st id then
@@ -71,6 +84,10 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
   let app = ref 0 in
   let results = ref [] in
   let count = ref 0 in
+  (* This solve's own resolution steps; nested solves (remote callbacks
+     enter fresh [solve_body]s) count theirs, so per-query histogram
+     observations sum to the global step counter. *)
+  let local_steps = ref 0 in
   (* Pop authority layers that refer to the local peer. *)
   let rec strip_self goal =
     match Literal.pop_authority goal with
@@ -80,11 +97,26 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
         | Some _ | None -> goal)
     | None -> goal
   in
-  let is_ancestor goal ancestors =
-    let gt = Literal.to_term goal in
-    List.exists
-      (fun anc -> Unify.variant (Literal.to_term (Literal.resolve st anc)) gt)
-      ancestors
+  (* The goal's canonical encoding is computed lazily: only if some
+     ancestor shares its predicate symbol (goals are recorded unresolved;
+     both sides resolve through the store inside the encoder, which is
+     sound because store resolution is monotone along a derivation). *)
+  let is_ancestor psym goal ancestors =
+    let set = ref false in
+    let rec scan = function
+      | Anil -> false
+      | Acons (p, anc, rest) ->
+          (Sym.equal p psym
+          && begin
+               if not !set then begin
+                 Flat.canon_set arena st goal;
+                 set := true
+               end;
+               Flat.canon_eq arena st anc
+             end)
+          || scan rest
+    in
+    scan ancestors
   in
   (* Merge the delta of an external's answer substitution back into the
      store (externals work on materialised substitutions). *)
@@ -104,15 +136,30 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
   let fuel = ref options.max_steps in
   let rec prove_one goal depth ancestors k =
     Metric.incr m_steps;
+    incr local_steps;
     if !fuel <= 0 then Metric.incr m_step_cutoffs
     else if depth <= 0 then Metric.incr m_depth_cutoffs
     else begin
       decr fuel;
-      let goal = strip_self (Literal.resolve st goal) in
-      match Literal.naf_inner goal with
-      | Some inner ->
-          (* Negation as failure: only for ground inner literals (a
-             non-ground NAF goal flounders and fails). *)
+      let goal = strip_self goal in
+      let fg = Flat.flatten arena st goal in
+      let psym = Flat.pred fg in
+      let nargs = Flat.nargs fg in
+      let naf =
+        (* Negation as failure; the inner literal is decoded from the
+           resolved goal (its argument may be a bound variable). *)
+        if Sym.equal psym not_sym && nargs = 1 && Flat.nauth fg = 0 then begin
+          let rg = Literal.resolve st goal in
+          match Literal.naf_inner rg with
+          | Some inner -> Some (rg, inner)
+          | None -> None
+        end
+        else None
+      in
+      match naf with
+      | Some (rg, inner) ->
+          (* Only for ground inner literals (a non-ground NAF goal
+             flounders and fails). *)
           if Literal.is_ground inner then begin
             let found = ref false in
             let exception Found in
@@ -129,13 +176,17 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                       found := true;
                       raise Found)
                 with Found -> ());
-            if not !found then k (Trace.Builtin goal)
+            if not !found then k (Trace.Builtin rg)
           end
       | None -> (
-      match Builtin.eval_store st goal with
+      match
+        if Builtin.is_builtin_sym psym && nargs = 2 then
+          Builtin.eval_store st goal
+        else None
+      with
       | Some holds -> if holds then k (Trace.Builtin (Literal.resolve st goal))
       | None -> (
-          match externals (Literal.key goal) with
+          match externals (goal.Literal.pred, nargs) with
           | Some f ->
               let s = Store.to_subst st in
               List.iter
@@ -144,11 +195,11 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                   merge_delta s';
                   k (Trace.External (Literal.resolve st goal));
                   Store.undo st m)
-                (f goal s)
+                (f (Literal.resolve st goal) s)
           | None ->
-              if is_ancestor goal ancestors then ()
+              if is_ancestor psym goal ancestors then ()
               else begin
-                let ancestors' = goal :: ancestors in
+                let ancestors' = Acons (psym, goal, ancestors) in
                 let local_hit = ref false in
                 let k tr =
                   local_hit := true;
@@ -156,24 +207,28 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
                 in
                 let resolve_with compiled =
                   incr app;
-                  let r, heads, k0 = Rule.instantiate compiled in
-                  if Rule.nvars compiled > 0 then
+                  let nv = Rule.nvars compiled in
+                  let k0 = if nv = 0 then 0 else Term.fresh_block nv in
+                  if nv > 0 then
                     Store.note_names st k0 (Rule.slot_names compiled) !app;
-                  let try_head head =
+                  let heads = Rule.flat_heads compiled in
+                  for hi = 0 to Array.length heads - 1 do
                     let m = Store.mark st in
-                    if Literal.unify_store st goal head then
+                    if Flat.unify st ~k0 fg heads.(hi) then begin
+                      (* Boxed instantiation deferred to here: failed
+                         candidates cost the flat unify only. *)
+                      let r = Rule.instantiate_at compiled k0 in
                       prove_goals r.Rule.body (depth - 1) ancestors'
-                        (fun children -> k (Trace.Apply (r, children)));
+                        (fun children -> k (Trace.Apply (r, children)))
+                    end;
                     Store.undo st m
-                  in
-                  List.iter try_head heads
+                  done
                 in
                 (* Facts first: a cached credential or learned instance
                    answers the goal without the counter-queries a proper
                    rule's body might trigger. *)
                 let facts, proper =
-                  List.partition Rule.compiled_is_fact
-                    (Kb.matching_compiled goal kb)
+                  Kb.matching_parts (psym, nargs) (Flat.goal_first_key fg) kb
                 in
                 List.iter resolve_with facts;
                 List.iter resolve_with proper;
@@ -216,20 +271,19 @@ let solve_body ?(options = default_options) ?(externals = no_externals)
             prove_goals rest depth ancestors (fun trs -> k (tr :: trs)))
   in
   (try
-     prove_goals goals options.max_depth [] (fun trs ->
+     prove_goals goals options.max_depth Anil (fun trs ->
          let s = Store.answer_subst st in
          results :=
            { subst = s; proofs = List.map (display_trace st) trs } :: !results;
          incr count;
          if !count >= options.max_solutions then raise Enough)
    with Enough -> ());
-  List.rev !results
+  (List.rev !results, !local_steps)
 
 let solve ?options ?externals ?remote ?bindings ~self kb goals =
   Metric.incr m_queries;
-  let steps_before = Metric.value m_steps in
   let run () = solve_body ?options ?externals ?remote ?bindings ~self kb goals in
-  let result =
+  let result, steps =
     let tracer = Obs.tracer () in
     if Otracer.enabled tracer then
       Otracer.with_span tracer
@@ -243,7 +297,7 @@ let solve ?options ?externals ?remote ?bindings ~self kb goals =
         "sld.solve" run
     else run ()
   in
-  Metric.observe_int h_steps (Metric.value m_steps - steps_before);
+  Metric.observe_int h_steps steps;
   Metric.add m_solutions (List.length result);
   result
 
@@ -263,7 +317,7 @@ let answers ?options ?externals ?remote ?bindings ~self kb goals =
   let seen = Hashtbl.create 16 in
   List.filter
     (fun s ->
-      let key = Subst.to_string s in
+      let key = Flat.subst_key s in
       if Hashtbl.mem seen key then false
       else begin
         Hashtbl.add seen key ();

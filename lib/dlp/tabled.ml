@@ -51,6 +51,7 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
   (* One trailed store for the whole fixpoint; every resolution attempt is
      bracketed with mark/undo, and answers are snapshotted fully resolved. *)
   let st = Store.create () in
+  let arena = Flat.arena () in
   let bind_initial v t =
     let id = Term.var_id v in
     if Store.is_bound st id then
@@ -105,8 +106,13 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
   (* One re-evaluation of a table: resolve its call against every rule,
      solving body literals from (and creating) tables. *)
   let eval_entry e =
+    (* The store is clean (initial bindings only) between candidates —
+       every resolution attempt below is mark/undo-bracketed — so the call
+       flattens once for the whole entry. *)
+    let fcall = Flat.flatten arena st e.call in
     let resolve_with compiled =
-      let r, heads, _ = Rule.instantiate compiled in
+      let nv = Rule.nvars compiled in
+      let k0 = if nv = 0 then 0 else Term.fresh_block nv in
       let rec body goals k =
         match goals with
         | [] -> k ()
@@ -163,14 +169,15 @@ let solve_body ?(max_rounds = 10_000) ?(max_answers = 100_000)
                         Store.undo st m)
                       sub.answers)))
       in
-      let try_head head =
+      let heads = Rule.flat_heads compiled in
+      for hi = 0 to Array.length heads - 1 do
         let m = Store.mark st in
-        if Literal.unify_store st e.call head then
-          body r.Rule.body (fun () ->
-              add_answer e (Literal.resolve st e.call));
+        if Flat.unify st ~k0 fcall heads.(hi) then begin
+          let r = Rule.instantiate_at compiled k0 in
+          body r.Rule.body (fun () -> add_answer e (Literal.resolve st e.call))
+        end;
         Store.undo st m
-      in
-      List.iter try_head heads
+      done
     in
     List.iter resolve_with (Kb.matching_compiled e.call kb)
   in

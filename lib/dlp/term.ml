@@ -42,6 +42,7 @@ let fresh_block n =
 
 let fresh_mark () = !fresh_counter
 let local_id j = id_of_k j
+let local_slot v = k_of_id v
 
 let var_name v =
   if is_fresh v then "_G" ^ string_of_int (k_of_id v)

@@ -86,6 +86,10 @@ val local_id : int -> int
 (** [local_id j] is the compiled-local variable id for slot [j]; shifted
     into a live block by {!shift_fresh}. *)
 
+val local_slot : int -> int
+(** Inverse of {!local_id}: the slot of a compiled-local (or, shifted, a
+    live fresh) variable id. *)
+
 val shift_fresh : int -> t -> t
 (** [shift_fresh k0 t] relocates compiled-local fresh variables of [t] into
     the block reserved by [fresh_block]: [local_id j] becomes the live id

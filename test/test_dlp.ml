@@ -381,6 +381,40 @@ let test_kb_remove_indexed () =
   Alcotest.(check int) "narrowed after removal" 1
     (List.length (Kb.matching (Parser.parse_literal "p(a, V)") kb'))
 
+(* The hash-consed ground-term table assigns one id per distinct ground
+   term for the process lifetime: re-interning a structurally equal term —
+   directly, or indirectly through [Kb.add]/[Kb.of_string] compiling rules
+   that mention it — must return the same id (the first-argument index and
+   flat unification both key on it). *)
+let test_gterm_id_stability () =
+  let mk () =
+    Term.compound "f"
+      [ Term.atom "a"; Term.compound "g" [ Term.Int 7; Term.str "s" ] ]
+  in
+  let id t =
+    match Gterm.of_term t with
+    | Some g -> g
+    | None -> Alcotest.fail "expected a ground term"
+  in
+  let g0 = id (mk ()) in
+  let kb =
+    Kb.of_string
+      {|p(f(a, g(7, "s"))). r(f(a, g(7, "s"))) <- p(f(a, g(7, "s"))).|}
+  in
+  Alcotest.(check int) "id stable across of_string" g0 (id (mk ()));
+  let kb = Kb.add (Parser.parse_rule {|z(f(a, g(7, "s"))).|}) kb in
+  Alcotest.(check int) "id stable across add" g0 (id (mk ()));
+  Alcotest.(check int) "kb holds the three rules" 3 (Kb.size kb);
+  Alcotest.(check bool) "canonical boxed term is shared" true
+    (Gterm.term g0 == Gterm.term g0);
+  Alcotest.(check bool) "canonical term is the interned one" true
+    (Term.equal (Gterm.term g0) (mk ()));
+  Alcotest.(check bool) "distinct term, distinct id" true
+    (id (Term.compound "f" [ Term.atom "a"; Term.atom "b" ]) <> g0);
+  (* Non-ground terms do not intern. *)
+  Alcotest.(check bool) "non-ground is rejected" true
+    (Gterm.of_term (Term.compound "f" [ Term.var "X" ]) = None)
+
 (* ------------------------------------------------------------------ *)
 (* Builtins *)
 
@@ -1080,6 +1114,7 @@ let () =
           tc "first-argument indexing" test_kb_first_arg_indexing;
           tc "indexing preserves semantics" test_kb_indexing_preserves_semantics;
           tc "indexing keeps order" test_kb_indexing_order_stable;
+          tc "gterm id stability" test_gterm_id_stability;
           tc "remove updates index" test_kb_remove_indexed;
         ] );
       ( "builtin",

@@ -735,6 +735,34 @@ let test_scenario_instrumentation () =
       Alcotest.(check bool) "sld.solve nested below query" true
         (sld.Span.id > query.Span.id && sld.Span.parent <> None))
 
+(* Every resolution step lands in exactly one per-query histogram
+   observation: a negotiation nests solver calls (remote sub-queries enter
+   fresh solves from inside an outer solve), and the outer query must not
+   re-count the inner queries' steps.  Pins the steps accounting that the
+   global-counter-delta scheme used to get wrong (off by the nested
+   solves' steps). *)
+let test_sld_steps_histogram_consistent () =
+  Obs.reset_metrics ();
+  let s = Core.Scenario.scenario1 () in
+  let session = s.Core.Scenario.s1_session in
+  let r =
+    Core.Negotiation.request_str session ~requester:"Alice" ~target:"E-Learn"
+      {|discountEnroll(spanish101, "Alice")|}
+  in
+  Alcotest.(check bool) "negotiation granted" true
+    (Core.Negotiation.succeeded r);
+  let snap = Obs.snapshot () in
+  let steps = Registry.counter_value snap "sld.steps" in
+  Alcotest.(check bool) "some steps recorded" true (steps > 0);
+  match Registry.histogram_snapshot snap "sld.steps_per_query" with
+  | None -> Alcotest.fail "sld.steps_per_query histogram missing"
+  | Some hs ->
+      Alcotest.(check int) "one observation per query"
+        (Registry.counter_value snap "sld.queries")
+        hs.Metric.hs_count;
+      Alcotest.(check int) "histogram sum equals the step counter" steps
+        (int_of_float hs.Metric.hs_sum)
+
 (* The tentpole acceptance check: one queued scenario-1 negotiation with
    tracing on yields a single trace whose spans cover several peers, with
    every wire hop's receiver chaining back to the originating
@@ -918,6 +946,8 @@ let () =
         [
           Alcotest.test_case "scenario run is instrumented" `Quick
             test_scenario_instrumentation;
+          Alcotest.test_case "sld step counter matches histogram" `Quick
+            test_sld_steps_histogram_consistent;
           Alcotest.test_case "cross-peer causal trace" `Quick
             test_cross_peer_trace;
           Alcotest.test_case "tracing off records nothing" `Quick

@@ -523,6 +523,137 @@ let prop_indexing_transparent =
       subset && complete && key_set mi = key_set ml)
 
 (* ------------------------------------------------------------------ *)
+(* Differential: the flat resolution path (int-array clauses, hash-consed
+   ground ids, first-argument index, canonical-encoding ancestor check)
+   against a boxed map-substitution oracle that mirrors the solver's
+   search order — facts before proper rules in insertion order,
+   variant-ancestor pruning, per-application depth budget.  The answer
+   LISTS must be equal: same solutions in the same order, not just the
+   same sets (solution order is what negotiation transcripts pin).
+   Programs are stratified joins whose facts carry nested compounds,
+   strings and ints, so goals route through every flat-argument class:
+   ground id, compound escape, and variable slot. *)
+
+let boxed_oracle_answers ~max_depth ~self kb goals =
+  let initial = Subst.bind "Self" (Term.str self) Subst.empty in
+  let results = ref [] in
+  let rec prove goal subst depth ancestors k =
+    if depth <= 0 then ()
+    else
+      let goal = Literal.apply subst goal in
+      let gt = Literal.to_term goal in
+      if
+        List.exists
+          (fun anc ->
+            Unify.variant (Literal.to_term (Literal.apply subst anc)) gt)
+          ancestors
+      then ()
+      else begin
+        let ancestors' = goal :: ancestors in
+        let use rule =
+          let r = Rule.rename_apart rule in
+          match Literal.unify goal r.Rule.head subst with
+          | None -> ()
+          | Some s' -> prove_all r.Rule.body s' (depth - 1) ancestors' k
+        in
+        let facts, proper = List.partition Rule.is_fact (Kb.matching goal kb) in
+        List.iter use facts;
+        List.iter use proper
+      end
+  and prove_all goals subst depth ancestors k =
+    match goals with
+    | [] -> k subst
+    | g :: rest ->
+        prove g subst depth ancestors (fun s' ->
+            prove_all rest s' depth ancestors k)
+  in
+  let qvars =
+    List.concat_map Literal.vars goals
+    |> List.filter (fun v -> not (Term.is_pseudo v))
+  in
+  prove_all goals initial max_depth [] (fun s ->
+      results := Subst.restrict qvars s :: !results);
+  let seen = Hashtbl.create 64 in
+  List.rev !results
+  |> List.filter (fun s ->
+         let key = Subst.to_string s in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.add seen key ();
+           true
+         end)
+
+let gen_flat_program =
+  QCheck.Gen.(
+    let pred_of k = if k = 0 then "e0" else Printf.sprintf "q%d" k in
+    let* nconst = int_range 2 3 in
+    (* One base-fact argument: constant, nested compound, string or int —
+       all the argument classes the flat encoding distinguishes. *)
+    let arg =
+      let* k = int_range 1 nconst in
+      oneofl
+        [
+          Printf.sprintf "c%d" k;
+          Printf.sprintf "f(c%d)" k;
+          Printf.sprintf "g(c%d, h(%d))" k (k + 10);
+          Printf.sprintf "\"s%d\"" k;
+          string_of_int k;
+        ]
+    in
+    let* facts =
+      list_size (int_range 2 7)
+        (let* a = arg in
+         let* b = arg in
+         return (Printf.sprintf "e0(%s, %s).\n" a b))
+    in
+    let* depth = int_range 1 3 in
+    let gen_rule_at i =
+      let* q = int_range 0 (i - 1) in
+      let* r = int_range 0 (i - 1) in
+      let* shape = int_range 0 2 in
+      return
+        (match shape with
+        | 0 -> Printf.sprintf "%s(X, Y) <- %s(X, Y).\n" (pred_of i) (pred_of q)
+        | 1 ->
+            Printf.sprintf "%s(X, Z) <- %s(X, Y), %s(Y, Z).\n" (pred_of i)
+              (pred_of q) (pred_of r)
+        | _ ->
+            Printf.sprintf "%s(X, Y) <- %s(X, Y), %s(Y, W).\n" (pred_of i)
+              (pred_of q) (pred_of r))
+    in
+    let rec strata i acc =
+      if i > depth then return acc
+      else
+        let* rules = list_size (int_range 1 2) (gen_rule_at i) in
+        strata (i + 1) (acc ^ String.concat "" rules)
+    in
+    let* src = strata 1 (String.concat "" facts) in
+    return (src, pred_of depth))
+
+let arb_flat_program =
+  QCheck.make ~print:(fun (src, top) -> src ^ "?- " ^ top ^ "(A, B).")
+    gen_flat_program
+
+let prop_flat_boxed_differential =
+  QCheck.Test.make
+    ~name:"sld: flat resolution matches the boxed oracle, answers and order"
+    ~count:(scale 150) arb_flat_program (fun (src, top) ->
+      let kb = Kb.of_string src in
+      let goals = Parser.parse_query (top ^ "(A, B)") in
+      let engine =
+        Sld.answers
+          ~options:
+            { Sld.default_options with max_depth = 48; max_solutions = 10_000 }
+          ~self:"p" kb goals
+        |> List.map Subst.to_string
+      in
+      let oracle =
+        boxed_oracle_answers ~max_depth:48 ~self:"p" kb goals
+        |> List.map Subst.to_string
+      in
+      engine = oracle)
+
+(* ------------------------------------------------------------------ *)
 (* Certificates for random rules *)
 
 let prop_cert_roundtrip =
@@ -1095,7 +1226,8 @@ let () =
       ( "kb",
         List.map QCheck_alcotest.to_alcotest [ prop_indexing_transparent ] );
       ( "unify",
-        List.map QCheck_alcotest.to_alcotest [ prop_unify_differential ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_unify_differential; prop_flat_boxed_differential ] );
       ( "syntax",
         List.map QCheck_alcotest.to_alcotest
           [
