@@ -942,6 +942,219 @@ let adversary_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* crash: crash-stop recovery, journals on vs off *)
+
+let crash_smoke = ref false
+
+let crash_bench () =
+  (* Scenario 1 under scheduled crash-stops: for each victim (the
+     requester Alice and the responder E-Learn) and each journal mode
+     ([ckpt] = per-peer write-ahead journals, [off] = no durability),
+     sweep crash schedules mixing never-restarting crashes, mid-flight
+     crash+restart, and post-settlement ("late") crashes.  Hard
+     assertions: no run hits the step budget, no crash is ever
+     misreported as a transport fault, and with journals on every
+     crash+restart run must recover and re-grant the fault-free
+     outcome with zero duplicate certificate learning.  A final block
+     exercises request deadlines: a crashed counterparty plus a
+     deadline produces Cancel withdrawals instead of a hang. *)
+  let smoke = !crash_smoke in
+  let runs = if smoke then 2 else 30 in
+  let max_steps = 40_000 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> Printf.eprintf "crash: %s\n" m; exit 1) fmt
+  in
+  let wallet_serials session name =
+    let peer = Session.peer session name in
+    Hashtbl.fold
+      (fun _ (c : Crypto.Cert.t) acc -> c.Crypto.Cert.serial :: acc)
+      peer.Peer.certs []
+    |> List.sort compare
+  in
+  let fault_free_wallets =
+    (* each peer's certificate wallet after one clean run — the
+       durability target a journalled victim must recover to *)
+    let s = Scenario.scenario1 ~key_bits:288 () in
+    let session = s.Scenario.s1_session in
+    let reactor = Reactor.create session in
+    let id =
+      Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+        (Scenario.scenario1_goal ())
+    in
+    ignore (Reactor.run ~max_steps reactor);
+    (match Reactor.outcome reactor id with
+    | Negotiation.Granted _ -> ()
+    | Negotiation.Denied r -> fail "fault-free scenario denied (%s)" r);
+    List.map (fun n -> (n, wallet_serials session n)) [ "Alice"; "E-Learn" ]
+  in
+  let rows =
+    List.concat_map
+      (fun (mode, journal) ->
+        List.map
+          (fun victim ->
+            let granted = ref 0 and crashed_denials = ref 0 in
+            let transport_denials = ref 0 in
+            let worst = ref 0 and envelopes = ref 0 in
+            for i = 1 to runs do
+              let s = Scenario.scenario1 ~key_bits:288 () in
+              let session = s.Scenario.s1_session in
+              let faults = Net.Faults.none () in
+              (* run mix by i mod 5: 0 = crash forever, 1/3 = crash then
+                 restart before the counterparties' retry budgets drain,
+                 2 = restart only after they drain (exercising the
+                 suspend-and-reissue path), 4 = crash long after
+                 settlement (durability of a settled world) *)
+              let sel = i mod 5 in
+              let restarts = sel <> 0 in
+              let late = sel = 4 in
+              let at_tick = if late then 60 + i else 2 + (i mod 7) in
+              let restart_tick =
+                if not restarts then max_int
+                else if sel = 2 then at_tick + 135 + (i mod 7)
+                else at_tick + 12 + (i mod 9)
+              in
+              Net.Faults.add_crash faults ~peer:victim ~at_tick ~restart_tick;
+              Net.Network.set_faults session.Session.network faults;
+              let config = { Reactor.default_config with Reactor.journal } in
+              let reactor = Reactor.create ~config session in
+              let id =
+                Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+                  (Scenario.scenario1_goal ())
+              in
+              let steps = Reactor.run ~max_steps reactor in
+              if steps >= max_steps then
+                fail "%s/%s run %d hit the step budget" mode victim i;
+              worst := max !worst steps;
+              envelopes :=
+                !envelopes
+                + Net.Stats.messages
+                    (Net.Network.stats session.Session.network);
+              (match Reactor.outcome reactor id with
+              | Negotiation.Granted _ -> incr granted
+              | Negotiation.Denied reason -> (
+                  match Negotiation.classify_denial reason with
+                  | Negotiation.Crashed -> incr crashed_denials
+                  | Negotiation.Unreachable | Negotiation.Timeout ->
+                      incr transport_denials
+                  | _ -> ()));
+              if late && Reactor.outcome reactor id = Negotiation.Denied "peer crashed"
+              then fail "%s/%s run %d: post-settlement crash undid the outcome"
+                     mode victim i;
+              if journal <> Reactor.Journal_off && restarts then begin
+                (* durability: journal replay must bring the victim's
+                   wallet back to exactly the fault-free certificate
+                   set — no loss, and (replay learns through the
+                   idempotent wallet, never the verifier) no
+                   duplicates *)
+                (match Reactor.outcome reactor id with
+                | Negotiation.Granted _ -> ()
+                | Negotiation.Denied reason ->
+                    fail "%s/%s run %d failed to recover (%s)" mode victim i
+                      reason);
+                let expected = List.assoc victim fault_free_wallets in
+                let got = wallet_serials session victim in
+                if got <> expected then
+                  fail
+                    "%s/%s run %d: recovered wallet %s != fault-free %s" mode
+                    victim i
+                    (String.concat "," (List.map string_of_int got))
+                    (String.concat "," (List.map string_of_int expected))
+              end
+            done;
+            if !transport_denials > 0 then
+              fail "%s/%s: %d crash(es) misreported as transport faults" mode
+                victim !transport_denials;
+            let g label v =
+              Pobs.Metric.set
+                (Pobs.Obs.gauge
+                   (Printf.sprintf "crash.%s.%s.%s" mode victim label))
+                (float_of_int v)
+            in
+            g "granted" !granted;
+            g "crashed_denials" !crashed_denials;
+            g "transport_denials" !transport_denials;
+            g "worst_steps" !worst;
+            g "envelopes" (!envelopes / runs);
+            [
+              mode; victim;
+              Printf.sprintf "%d/%d" !granted runs;
+              string_of_int !crashed_denials;
+              string_of_int !worst;
+              string_of_int (!envelopes / runs);
+            ])
+          [ "Alice"; "E-Learn" ])
+      [ ("ckpt", Reactor.Journal_memory); ("off", Reactor.Journal_off) ]
+  in
+  (* deadline block: a never-restarting crash plus a request deadline
+     must settle as a policy-class denial and withdraw the in-flight
+     sub-queries with Cancels, long before the retry budget drains *)
+  let deadline_runs = if smoke then 2 else 4 in
+  for i = 1 to deadline_runs do
+    let s = Scenario.scenario1 ~key_bits:288 () in
+    let session = s.Scenario.s1_session in
+    (* odd runs kill the responder (the Cancels die in transit with
+       it); even runs leave everyone alive but set a deadline tighter
+       than the negotiation latency, so the Cancel reaches the live
+       responder and withdraws its parked goal *)
+    let deadline =
+      let faults = Net.Faults.none () in
+      let deadline =
+        if i mod 2 = 1 then begin
+          Net.Faults.add_crash faults ~peer:"E-Learn" ~at_tick:(2 + i)
+            ~restart_tick:max_int;
+          20 + (4 * i)
+        end
+        else begin
+          (* a far-future bystander crash keeps the fault plan active
+             (arming retransmission timers) without touching the flow *)
+          Net.Faults.add_crash faults ~peer:"ELENA" ~at_tick:200
+            ~restart_tick:max_int;
+          4 + i
+        end
+      in
+      Net.Network.set_faults session.Session.network faults;
+      deadline
+    in
+    let reactor = Reactor.create session in
+    let id =
+      Reactor.submit ~deadline reactor ~requester:"Alice" ~target:"E-Learn"
+        (Scenario.scenario1_goal ())
+    in
+    let steps = Reactor.run ~max_steps reactor in
+    if steps >= max_steps then fail "deadline run %d hit the step budget" i;
+    match Reactor.outcome reactor id with
+    | Negotiation.Denied "deadline expired" -> ()
+    | Negotiation.Denied other ->
+        fail "deadline run %d denied as %S, not the deadline" i other
+    | Negotiation.Granted _ ->
+        fail "deadline run %d granted against a crashed responder" i
+  done;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "CRASH Scenario-1 outcomes over %d crash schedules per cell \
+          (victim crashes mid-flight; 3/5 of schedules restart it; ckpt = \
+          write-ahead journal replayed at restart) plus %d deadline runs"
+         runs deadline_runs)
+    ~header:
+      [ "journal"; "victim"; "granted"; "crashed"; "worst steps";
+        "mean envelopes" ]
+    rows;
+  let snapshot = Pobs.Obs.snapshot () in
+  print_table ~title:"CRASH recovery counters across the sweep"
+    ~header:[ "counter"; "total" ]
+    (List.map
+       (fun name ->
+         [ name; string_of_int (Pobs.Registry.counter_value snapshot name) ])
+       [
+         "reactor.crashes"; "reactor.restarts"; "reactor.checkpoints";
+         "reactor.recovered_goals"; "reactor.reissued_subqueries";
+         "reactor.stale_epoch"; "reactor.crash_drops"; "reactor.cancels";
+         "reactor.cancelled_goals"; "reactor.deadline_expiries";
+         "reactor.timeouts"; "reactor.retries";
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* cache: cross-negotiation answer cache, cold vs warm *)
 
 let cache_bench () =
@@ -1551,6 +1764,7 @@ let experiments =
     ("e11", e11); ("e12", e12); ("e13", e13); ("cache", cache_bench);
     ("chaos", chaos); ("resolution", resolution);
     ("recursion", recursion); ("adversary", adversary_bench);
+    ("crash", crash_bench);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1720,6 +1934,7 @@ let () =
         resolution_smoke := true;
         adversary_smoke := true;
         recursion_smoke := true;
+        crash_smoke := true;
         split_args dir acc rest
     | "--kb-size" :: n :: rest ->
         (match int_of_string_opt n with

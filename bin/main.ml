@@ -123,6 +123,8 @@ type fault_opts = {
   fo_delay_max : int;
   fo_reorder : float;
   fo_outages : (string * int * int) list;
+  fo_crashes : (string * int * int) list;
+  fo_journal : string option;
   fo_queued : bool;
 }
 
@@ -170,6 +172,48 @@ let fault_opts_term =
             "Make PEER unreachable for the simulated-clock window \
              [FROM,UNTIL) (repeatable).")
   in
+  let crash_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ peer; a ] -> (
+          match int_of_string_opt a with
+          | Some at when at >= 0 -> Ok (peer, at, max_int)
+          | _ -> Error (`Msg "expected PEER:TICK[:RESTART] with TICK >= 0"))
+      | [ peer; a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some at, Some r when 0 <= at && at < r -> Ok (peer, at, r)
+          | _ ->
+              Error (`Msg "expected PEER:TICK[:RESTART] with 0 <= TICK < RESTART")
+          )
+      | _ -> Error (`Msg "expected PEER:TICK[:RESTART]")
+    in
+    Arg.conv
+      ( parse,
+        fun fmt (p, a, r) ->
+          if r = max_int then Format.fprintf fmt "%s:%d" p a
+          else Format.fprintf fmt "%s:%d:%d" p a r )
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"PEER:TICK[:RESTART]"
+          ~doc:
+            "Crash-stop PEER at simulated tick TICK, wiping its volatile \
+             state; with RESTART it comes back at that tick under a new \
+             incarnation (repeatable).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Keep per-peer write-ahead journals under DIR (created on \
+             demand) and replay them at restart, so crashed peers recover \
+             learned credentials and unfinished goals; implies the queued \
+             engine.")
+  in
   let queued =
     Arg.(
       value & flag
@@ -179,7 +223,7 @@ let fault_opts_term =
              implied by any fault flag.")
   in
   let make fo_seed fo_drop fo_duplicate fo_delay fo_delay_max fo_reorder
-      fo_outages fo_queued =
+      fo_outages fo_crashes fo_journal fo_queued =
     {
       fo_seed;
       fo_drop;
@@ -188,12 +232,14 @@ let fault_opts_term =
       fo_delay_max;
       fo_reorder;
       fo_outages;
+      fo_crashes;
+      fo_journal;
       fo_queued;
     }
   in
   Term.(
     const make $ seed $ drop $ duplicate $ delay $ delay_max $ reorder
-    $ outages $ queued)
+    $ outages $ crashes $ journal $ queued)
 
 (* ------------------------------------------------------------------ *)
 (* Guard and adversary flags shared by negotiate and scenario *)
@@ -367,12 +413,18 @@ let tabling_arg =
            recursive cross-peer policies terminate with their complete \
            answer sets.")
 
-(* The reactor configuration implied by the cache and tabling flags;
-   [None] leaves engine selection to the default (byte-identical)
+(* The reactor configuration implied by the cache, tabling and journal
+   flags; [None] leaves engine selection to the default (byte-identical)
    path. *)
-let reactor_config ~cache ~tabling =
-  if cache = None && not tabling then None
-  else Some { Reactor.default_config with Reactor.cache = cache; tabling }
+let reactor_config ~cache ~tabling ~journal =
+  let journal =
+    match journal with
+    | Some dir -> Reactor.Journal_dir dir
+    | None -> Reactor.Journal_off
+  in
+  if cache = None && (not tabling) && journal = Reactor.Journal_off then None
+  else
+    Some { Reactor.default_config with Reactor.cache = cache; tabling; journal }
 
 let print_cache_summary =
   Option.iter (fun c ->
@@ -414,9 +466,17 @@ let install_faults session o =
     (fun (peer, from_tick, until_tick) ->
       Peertrust_net.Faults.add_outage plan ~peer ~from_tick ~until_tick)
     o.fo_outages;
+  (try
+     List.iter
+       (fun (peer, at_tick, restart_tick) ->
+         Peertrust_net.Faults.add_crash plan ~peer ~at_tick ~restart_tick)
+       o.fo_crashes
+   with Invalid_argument msg ->
+     Printf.eprintf "error: %s\n" msg;
+     exit 1);
   let active = not (Peertrust_net.Faults.is_none plan) in
   if active then Peertrust_net.Network.set_faults session.Session.network plan;
-  active || o.fo_queued
+  active || o.fo_queued || o.fo_journal <> None
 
 let read_file path =
   let ic = open_in_bin path in
@@ -601,7 +661,7 @@ let negotiate_cmd =
          the inbound guard); it negotiates relevant-style. *)
       if queued then
         Reactor.negotiate
-          ?config:(reactor_config ~cache ~tabling)
+          ?config:(reactor_config ~cache ~tabling ~journal:fault_opts.fo_journal)
           ~adversaries session ~requester ~target
           (Dlp.Parser.parse_literal goal)
       else Strategy.negotiate_str session ~strategy ~requester ~target goal
@@ -935,7 +995,9 @@ let scenario_cmd =
       install_faults session fault_opts
       || cache <> None || tabling || guarded || adversaries <> []
     in
-    let config = reactor_config ~cache ~tabling in
+    let config =
+      reactor_config ~cache ~tabling ~journal:fault_opts.fo_journal
+    in
     let finish_obs =
       setup_obs ~verbose ~metrics_out ~trace_out ?trace_chrome ?trace_causal
         session

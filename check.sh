@@ -39,8 +39,12 @@ fi
 
 # Adversary smoke: scenario 1 with misbehaving peers and guards on; the
 # bench hard-fails if an honest negotiation is lost, a flooding/malformed
-# adversary escapes quarantine, or an honest peer is quarantined.
-./_build/default/bench/main.exe adversary --smoke > /dev/null
+# adversary escapes quarantine, or an honest peer is quarantined.  The
+# artifact goes to the scratch dir: the committed BENCH_adversary.json is
+# the *full-scale* baseline the CHECK_SLOW diff runs against, and writing
+# the smoke artifact into the repo root would clobber it.
+./_build/default/bench/main.exe adversary --smoke \
+  --metrics-dir "$bench_dir" > /dev/null
 
 # Trace smoke: a faulted scenario run with tracing on must produce an
 # identical span log on a re-run (determinism is what makes the artifact
@@ -72,6 +76,21 @@ fi
 ./_build/default/bench/main.exe diff --against-seed recursion_smoke \
   "$bench_dir/BENCH_recursion.json"
 
+# Crash smoke: scenario 1 with a scheduled crash+restart and journals on
+# must recover and grant; the recovery metrics must stay inside the
+# committed smoke baseline's bands.
+journal_dir=$(mktemp -d)
+./_build/default/bin/main.exe scenario elearn \
+  --crash E-Learn:5:40 --journal "$journal_dir" \
+  --metrics-out "$metrics" > /dev/null
+grep -q '"negotiation.granted":1[,}]' "$metrics"
+grep -q '"reactor.restarts":1[,}]' "$metrics"
+rm -rf "$journal_dir"
+./_build/default/bench/main.exe crash --smoke \
+  --metrics-dir "$bench_dir" > /dev/null
+./_build/default/bench/main.exe diff --against-seed crash_smoke \
+  "$bench_dir/BENCH_crash.json"
+
 # Bench-regression gate: the smoke resolution metrics must stay inside
 # the per-metric tolerance bands of the committed seed baseline, and the
 # diff tool must catch an injected 2x inflation (self-test).
@@ -98,7 +117,7 @@ fi
 # the full benchmark sweeps diffed against their committed baselines.
 if [ "${CHECK_SLOW:-0}" != "0" ]; then
   CHECK_SLOW=1 ./_build/default/test/test_properties.exe
-  ./_build/default/bench/main.exe adversary chaos resolution recursion \
+  ./_build/default/bench/main.exe adversary chaos resolution recursion crash \
     --metrics-dir "$bench_dir"
   ./_build/default/bench/main.exe diff --against-seed adversary \
     "$bench_dir/BENCH_adversary.json"
@@ -108,4 +127,6 @@ if [ "${CHECK_SLOW:-0}" != "0" ]; then
     "$bench_dir/BENCH_resolution.json"
   ./_build/default/bench/main.exe diff --against-seed recursion \
     "$bench_dir/BENCH_recursion.json"
+  ./_build/default/bench/main.exe diff --against-seed crash \
+    "$bench_dir/BENCH_crash.json"
 fi

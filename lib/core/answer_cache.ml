@@ -123,6 +123,9 @@ let invalidate_where t pred =
 let invalidate_owner t owner =
   invalidate_where t (fun _ slot -> String.equal slot.sl_owner owner)
 
+let invalidate_asker t asker =
+  invalidate_where t (fun (a, _, _) _ -> String.equal a asker)
+
 let invalidate_goal t ~owner goal =
   let skel = Peer.goal_key goal in
   invalidate_where t (fun (_, o, s) _ ->

@@ -81,6 +81,13 @@ val invalidate_owner : t -> string -> int
 (** Drop every entry answered by the given peer; returns the number of
     entries dropped (also added to [cache.invalidations]). *)
 
+val invalidate_asker : t -> string -> int
+(** Drop every entry the given peer learned as asker; returns the number
+    dropped.  Cached answers are part of the asker's volatile state, so a
+    crash-stop restart must forget them — the restarted incarnation
+    re-asks (or replays its durable journal) instead of trusting a dead
+    incarnation's memory. *)
+
 val invalidate_goal : t -> owner:string -> Literal.t -> int
 (** Drop the entries for one goal (any asker) at one owner — e.g. the
     top-level goals of a scenario, to force a fresh end-to-end run while

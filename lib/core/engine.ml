@@ -76,7 +76,8 @@ let rec remote_callback session peer ~target lit =
           | Net.Message.Deny _ | Net.Message.Disclosure _ | Net.Message.Ack
           | Net.Message.Query _ | Net.Message.Batch _ | Net.Message.Raw _
           | Net.Message.Tquery _ | Net.Message.Tanswer _ | Net.Message.Tprobe _
-          | Net.Message.Tstat _ | Net.Message.Tcomplete _ ->
+          | Net.Message.Tstat _ | Net.Message.Tcomplete _
+          | Net.Message.Cancel _ ->
               [])
     end
   in
@@ -480,7 +481,7 @@ let handler session peer : Net.Network.handler =
   | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
   | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
   | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
-  | Net.Message.Tcomplete _ ->
+  | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
       (* Batches and the tabling control plane belong to the queued
          reactor; the synchronous request/response pair cannot carry
          several answers back. *)

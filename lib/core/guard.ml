@@ -211,6 +211,10 @@ let rec check t st ~now ~solicited ~in_batch payload =
     | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
     | Net.Message.Tcomplete _ ->
         Admit
+    | Net.Message.Cancel _ ->
+        (* Withdrawing one's own outstanding query is harmless: the
+           receiver only drops work parked for the sender itself. *)
+        Admit
     | Net.Message.Batch payloads ->
         if in_batch then Reject (Malformed "nested batch")
         else if payloads = [] then Reject (Malformed "empty batch")
@@ -304,6 +308,18 @@ let breaker_state t ~from ~target =
     match Hashtbl.find_opt t.states (target, from) with
     | None -> Closed
     | Some st -> st.breaker
+
+let reset_peer t name =
+  (* A crash-stop failure loses [name]'s volatile guard state: every
+     rate window, work quota and breaker it kept about its requesters.
+     State other peers keep about [name] survives — they did not crash. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((target, _) as key) _ acc ->
+        if String.equal target name then key :: acc else acc)
+      t.states []
+  in
+  List.iter (Hashtbl.remove t.states) stale
 
 let quarantined t =
   Hashtbl.fold

@@ -113,6 +113,12 @@ val remaining_work : t -> from:string -> target:string -> int
 
 val breaker_state : t -> from:string -> target:string -> breaker
 
+val reset_peer : t -> string -> unit
+(** Forget everything guarded peer [name] kept about its requesters —
+    rate windows, work quotas, breakers.  Called when [name] crash-stops:
+    admission state is volatile and does not survive a restart.  State
+    {e other} peers hold about [name] is untouched. *)
+
 val quarantined : t -> (string * string) list
 (** Directed [(target, from)] pairs whose breaker is currently open,
     sorted; a post-run snapshot (no expiry applied). *)

@@ -18,6 +18,7 @@ type denial_class =
   | Rate_limited
   | Quota
   | Unsupported
+  | Crashed
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -38,6 +39,10 @@ let classify_denial reason =
   else if has_prefix ~prefix:"rate-limited" reason then Rate_limited
   else if has_prefix ~prefix:"quota" reason then Quota
   else if has_prefix ~prefix:"unsupported" reason then Unsupported
+  else if
+    has_prefix ~prefix:"crashed" reason
+    || has_prefix ~prefix:"peer crashed" reason
+  then Crashed
   else Policy
 
 let denial_class_to_string = function
@@ -51,13 +56,17 @@ let denial_class_to_string = function
   | Rate_limited -> "rate-limited"
   | Quota -> "quota"
   | Unsupported -> "unsupported"
+  | Crashed -> "crashed"
 
 (* Denials produced by transport failures rather than policy decisions. *)
 let transport_denial reason =
   match classify_denial reason with
   | Timeout | Unreachable | Budget -> true
   | Policy | Cycle | Quiescent | Quarantined | Rate_limited | Quota
-  | Unsupported ->
+  | Unsupported | Crashed ->
+      (* A crash denial is a fate of the counterparty, not of the
+         links: retransmitting harder cannot help, so it is not a
+         transport denial. *)
       false
 
 type report = {

@@ -27,6 +27,10 @@ type denial_class =
       (** the goal hit a feature outside the evaluating engine's
           fragment (e.g. negation-as-failure under distributed
           tabling) *)
+  | Crashed
+      (** the counterparty crash-stopped with no restart in sight
+          ([crashed: <peer>]), or the requester itself restarted
+          without a journal ([peer crashed]) *)
 
 val classify_denial : string -> denial_class
 (** Classify a [Denied] reason string.  The queued engine's resilience

@@ -19,11 +19,19 @@ let string_of_hex h =
            (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
     with Failure _ | Invalid_argument _ -> None
 
+(* Crash-atomic: a reader never observes a half-written file.  The
+   contents land in a sibling temp file first; the final [Sys.rename]
+   is atomic on POSIX, so a crash between the two leaves either the old
+   file or the complete new one, plus at worst an orphan [.tmp]. *)
 let write_file path contents =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
+    (fun () ->
+      output_string oc contents;
+      flush oc);
+  Sys.rename tmp path
 
 let read_file path =
   let ic = open_in_bin path in
@@ -155,3 +163,184 @@ let load ?config ?seed ~dir () =
   end
 
 let pp_error fmt (Bad_world msg) = Format.fprintf fmt "bad world: %s" msg
+
+module Journal = struct
+  module Dlp = Peertrust_dlp
+
+  type entry =
+    | Cert of Crypto.Cert.t
+    | Fact of Dlp.Rule.t
+    | Answer of {
+        owner : string;
+        goal : Dlp.Literal.t;
+        instances : Dlp.Literal.t list;
+      }
+    | Goal of { id : int; target : string; goal : Dlp.Literal.t }
+    | Done of { id : int }
+
+  type sink = Disk of string | Memory of Buffer.t
+  type t = { sink : sink; mutable appends : int }
+
+  let in_memory () = { sink = Memory (Buffer.create 256); appends = 0 }
+  let on_disk path = { sink = Disk path; appends = 0 }
+
+  let for_peer ~dir ~peer =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    on_disk (Filename.concat dir (hex_of_string peer ^ ".journal"))
+
+  let appends t = t.appends
+
+  (* One line per entry; every free-form field (peer names, literal
+     text) is hex-armoured so newlines and spaces in the payload cannot
+     break the line discipline the torn-tail recovery depends on. *)
+  let line_of_entry = function
+    | Cert c -> "cert " ^ hex_of_string (Crypto.Wire.encode c)
+    | Fact r -> "fact " ^ hex_of_string (Dlp.Rule.to_string r)
+    | Answer { owner; goal; instances } ->
+        Printf.sprintf "answer %s %s %s" (hex_of_string owner)
+          (hex_of_string (Dlp.Literal.to_string goal))
+          (match instances with
+          | [] -> "-"
+          | is ->
+              String.concat ","
+                (List.map
+                   (fun i -> hex_of_string (Dlp.Literal.to_string i))
+                   is))
+    | Goal { id; target; goal } ->
+        Printf.sprintf "goal %d %s %s" id (hex_of_string target)
+          (hex_of_string (Dlp.Literal.to_string goal))
+    | Done { id } -> Printf.sprintf "done %d" id
+
+  let literal_of_hex h =
+    match string_of_hex h with
+    | None -> Error "bad hex"
+    | Some s -> (
+        match Dlp.Parser.parse_literal s with
+        | lit -> Ok lit
+        | exception Dlp.Parser.Error (m, _, _) -> Error m
+        | exception _ -> Error "unparseable literal")
+
+  let parse_line line =
+    let ( let* ) = Result.bind in
+    match String.split_on_char ' ' line with
+    | [ "cert"; hex ] -> (
+        match string_of_hex hex with
+        | None -> Error "cert: bad hex"
+        | Some blob -> (
+            match Crypto.Wire.decode blob with
+            | Ok c -> Ok (Cert c)
+            | Error (Crypto.Wire.Malformed m) -> Error ("cert: " ^ m)))
+    | [ "fact"; hex ] -> (
+        match string_of_hex hex with
+        | None -> Error "fact: bad hex"
+        | Some text -> (
+            match Dlp.Parser.parse_rule text with
+            | r -> Ok (Fact r)
+            | exception Dlp.Parser.Error (m, _, _) -> Error ("fact: " ^ m)
+            | exception _ -> Error "fact: unparseable rule"))
+    | [ "answer"; owner_hex; goal_hex; insts ] -> (
+        match string_of_hex owner_hex with
+        | None -> Error "answer: bad owner hex"
+        | Some owner ->
+            let* goal =
+              Result.map_error (fun m -> "answer: goal: " ^ m)
+                (literal_of_hex goal_hex)
+            in
+            let* instances =
+              if String.equal insts "-" then Ok []
+              else
+                List.fold_right
+                  (fun h acc ->
+                    let* acc = acc in
+                    let* lit =
+                      Result.map_error (fun m -> "answer: instance: " ^ m)
+                        (literal_of_hex h)
+                    in
+                    Ok (lit :: acc))
+                  (String.split_on_char ',' insts)
+                  (Ok [])
+            in
+            Ok (Answer { owner; goal; instances }))
+    | [ "goal"; id; target_hex; goal_hex ] -> (
+        match (int_of_string_opt id, string_of_hex target_hex) with
+        | Some id, Some target ->
+            let* goal =
+              Result.map_error (fun m -> "goal: " ^ m)
+                (literal_of_hex goal_hex)
+            in
+            Ok (Goal { id; target; goal })
+        | None, _ -> Error "goal: bad id"
+        | _, None -> Error "goal: bad target hex")
+    | [ "done"; id ] -> (
+        match int_of_string_opt id with
+        | Some id -> Ok (Done { id })
+        | None -> Error "done: bad id")
+    | _ -> Error "unrecognised entry"
+
+  (* Total over arbitrary bytes.  The final segment without a trailing
+     newline is a torn tail — the write the crash interrupted — and is
+     dropped; so is an unparseable {e last} complete line (a flush can
+     land the newline before the crash).  Damage earlier in the stream
+     is not crash-shaped and comes back as a line-numbered error. *)
+  let parse text =
+    let complete =
+      match List.rev (String.split_on_char '\n' text) with
+      | _torn_tail :: rev -> List.rev rev
+      | [] -> []
+    in
+    let rec go acc n = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          if String.trim line = "" then go acc (n + 1) rest
+          else
+            match parse_line line with
+            | Ok e -> go (e :: acc) (n + 1) rest
+            | Error _ when rest = [] -> Ok (List.rev acc)
+            | Error m ->
+                Error
+                  (Bad_world (Printf.sprintf "journal line %d: %s" n m)))
+    in
+    go [] 1 complete
+
+  let append t entry =
+    let line = line_of_entry entry ^ "\n" in
+    (match t.sink with
+    | Memory b -> Buffer.add_string b line
+    | Disk path ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc line;
+            flush oc));
+    t.appends <- t.appends + 1
+
+  let contents t =
+    match t.sink with
+    | Memory b -> Buffer.contents b
+    | Disk path -> if Sys.file_exists path then read_file path else ""
+
+  let entries t = parse (contents t)
+
+  let rewrite t entries =
+    let text =
+      String.concat "" (List.map (fun e -> line_of_entry e ^ "\n") entries)
+    in
+    match t.sink with
+    | Memory b ->
+        Buffer.clear b;
+        Buffer.add_string b text
+    | Disk path -> write_file path text
+
+  let reset t = rewrite t []
+
+  let replay_peer peer entries =
+    List.iter
+      (function
+        | Cert c -> Peer.add_cert peer c
+        | Fact r -> Peer.add_rule peer r
+        | Answer _ | Goal _ | Done _ -> ())
+      entries
+end

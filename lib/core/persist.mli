@@ -18,8 +18,10 @@
 type error = Bad_world of string
 
 val save : Session.t -> dir:string -> unit
-(** Write the world; creates [dir] if needed.  @raise Sys_error on I/O
-    problems. *)
+(** Write the world; creates [dir] if needed.  Every file lands
+    crash-atomically (temp file + rename), so a crash mid-save leaves
+    the previous world intact rather than a torn one.  @raise Sys_error
+    on I/O problems. *)
 
 val load :
   ?config:Session.config -> ?seed:int64 -> dir:string -> unit ->
@@ -32,3 +34,78 @@ val load :
     exception. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+(** Incremental write-ahead journal backing crash-stop recovery.
+
+    A full {!save} is a checkpoint; between checkpoints a peer appends
+    one line per durable event — a learned certificate, a learned
+    says-fact, a completed table answer, an accepted root goal — and a
+    restarting incarnation replays world + journal instead of starting
+    cold.  One journal per peer (its file name hex-encodes the peer
+    name), line-oriented with hex-armoured payloads so arbitrary
+    contents cannot fake a record boundary.
+
+    Recovery is total over torn files: a crash interrupts at most the
+    last append, so the unterminated (or unparseable) final line is
+    dropped and the intact prefix used.  Corruption {e earlier} in the
+    stream is not crash-shaped and surfaces as a line-numbered
+    {!error}. *)
+module Journal : sig
+  type entry =
+    | Cert of Peertrust_crypto.Cert.t  (** a credential learned *)
+    | Fact of Peertrust_dlp.Rule.t  (** a says-fact learned *)
+    | Answer of {
+        owner : string;
+        goal : Peertrust_dlp.Literal.t;
+        instances : Peertrust_dlp.Literal.t list;
+      }  (** a completed (final) remote answer set *)
+    | Goal of { id : int; target : string; goal : Peertrust_dlp.Literal.t }
+        (** a root goal accepted for negotiation (request [id]) *)
+    | Done of { id : int }  (** that root goal settled *)
+
+  type t
+
+  val in_memory : unit -> t
+  (** A buffer-backed journal — the simulator default, so journalled
+      runs need no filesystem and stay hermetic. *)
+
+  val on_disk : string -> t
+  (** Backed by one append-only file; created on first append. *)
+
+  val for_peer : dir:string -> peer:string -> t
+  (** [on_disk] under [dir] (created if needed) with the peer's name
+      hex-encoded into the file name. *)
+
+  val append : t -> entry -> unit
+  (** Append one entry and flush it (disk sinks open/close per append:
+      a crash can tear at most the line being written). *)
+
+  val entries : t -> (entry list, error) result
+  (** Parse the journal back.  Torn-tail tolerant: the trailing
+      unterminated or unparseable last line is dropped ([Ok] of the
+      usable prefix); damage on an earlier line is a line-numbered
+      [Bad_world].  Never raises. *)
+
+  val parse : string -> (entry list, error) result
+  (** {!entries} over raw text (exposed for durability tests). *)
+
+  val contents : t -> string
+  (** Raw journal bytes as currently stored. *)
+
+  val rewrite : t -> entry list -> unit
+  (** Checkpoint compaction: atomically replace the journal with just
+      [entries] (temp file + rename for disk sinks). *)
+
+  val reset : t -> unit
+  (** [rewrite t []]. *)
+
+  val appends : t -> int
+  (** Appends since creation (feeds the [reactor.checkpoints]
+      counter). *)
+
+  val replay_peer : Peer.t -> entry list -> unit
+  (** Re-learn [Cert] and [Fact] entries into a peer.  Idempotent —
+      {!Peer.add_cert} and the KB dedup structurally — so replaying a
+      journal twice equals replaying it once.  [Answer]/[Goal]/[Done]
+      entries are reactor-level and ignored here. *)
+end

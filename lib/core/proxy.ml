@@ -44,7 +44,7 @@ let attach_device session ~device ~proxy =
     | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
     | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
     | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
-    | Net.Message.Tcomplete _ ->
+    | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
         Net.Message.Ack
   in
   (* Replace the device's default handler with the forwarding one. *)

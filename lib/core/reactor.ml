@@ -19,12 +19,30 @@ let m_retries = Obs.counter "reactor.retries"
 let m_timeouts = Obs.counter "reactor.timeouts"
 let m_dup_deliveries = Obs.counter "reactor.dup_deliveries"
 let m_dedup_evictions = Obs.counter "reactor.dedup_evictions"
+let m_crashes = Obs.counter "reactor.crashes"
+let m_restarts = Obs.counter "reactor.restarts"
+let m_checkpoints = Obs.counter "reactor.checkpoints"
+let m_crash_drops = Obs.counter "reactor.crash_drops"
+let m_recovered_goals = Obs.counter "reactor.recovered_goals"
+let m_reissued = Obs.counter "reactor.reissued_subqueries"
+let m_stale_epoch = Obs.counter "reactor.stale_epoch"
+let m_cancels = Obs.counter "reactor.cancels"
+let m_cancelled_goals = Obs.counter "reactor.cancelled_goals"
+let m_deadline_expiries = Obs.counter "reactor.deadline_expiries"
+let g_outstanding = Obs.gauge "reactor.outstanding_subqueries"
+let g_parked = Obs.gauge "reactor.parked_goals"
 let h_steps = Obs.histogram "reactor.steps_per_run"
 
 (* The SLD step counter, shared with the solver through the registry:
    the delta around an evaluation is the work charged against the
    requester's guard quota. *)
 let m_sld_steps = Obs.counter "sld.steps"
+
+(* Where the write-ahead journal lives.  [Journal_memory] is the
+   simulator's stand-in for a durable disk: the buffer belongs to the
+   reactor, not to the peer, so it survives the crash wipe exactly as a
+   synced file would survive a process death. *)
+type journal_mode = Journal_off | Journal_memory | Journal_dir of string
 
 type config = {
   rto : int;  (* initial retransmission timeout, ticks *)
@@ -44,6 +62,11 @@ type config = {
      owning peer, monotone answer views, SCC completion at quiescence —
      terminates on mutually recursive cross-peer policies.  Off by
      default; fault-free transcripts with tabling off are unchanged. *)
+  journal : journal_mode;
+  (* write-ahead journal per peer: learned certificates, learned
+     says-facts, completed table answers and accepted root goals are
+     appended as they happen, and a restarting incarnation replays the
+     journal instead of starting cold.  Off by default. *)
 }
 
 let default_config =
@@ -54,6 +77,7 @@ let default_config =
     batch = false;
     dedup_cap = 8192;
     tabling = false;
+    journal = Journal_off;
   }
 
 type parked = {
@@ -86,6 +110,23 @@ module Dq = Map.Make (struct
   let compare = compare
 end)
 
+(* A peer's durable baseline, captured at reactor creation: the world a
+   crash-stop restart falls back to before replaying its journal.  The
+   KB value is immutable (cheap to hold); the cert/origin tables are
+   copied. *)
+type snapshot = {
+  sn_kb : Kb.t;
+  sn_certs : (string, Peertrust_crypto.Cert.t) Hashtbl.t;
+  sn_origins : (int, string) Hashtbl.t;
+}
+
+(* Scheduled point events on the reactor timeline, merged with
+   deliveries and timers (events first on ties). *)
+type event =
+  | Ev_crash of string
+  | Ev_restart of string
+  | Ev_deadline of int  (* request id *)
+
 type t = {
   session : Session.t;
   config : config;
@@ -93,7 +134,9 @@ type t = {
   adversaries : (string, Net.Adversary.t) Hashtbl.t;
   mutable dq : Net.Envelope.t Dq.t;
   mutable next_synth : int;  (* ids for locally synthesized messages, < 0 *)
-  seen : Net.Dedup.t;  (* delivered envelope ids (bounded dedup) *)
+  rings : (string, Net.Dedup.t) Hashtbl.t;
+  (* delivered envelope ids, one bounded dedup ring per receiving peer —
+     volatile state a crash wipes for that peer alone *)
   timers : (string * string * string, timer) Hashtbl.t;
   (* (peer, target, goal key) -> resolved? — each sub-query is posted at
      most once per asking peer. *)
@@ -107,6 +150,17 @@ type t = {
   mutable next_request : int;
   mutable budget_hit : bool;
   tabling_st : Tabling.t option;  (* present iff [config.tabling] *)
+  (* -------- crash-stop machinery -------- *)
+  mutable events : (int * event) list;  (* sorted by tick, stable *)
+  incarnations : (string, int) Hashtbl.t;  (* peer -> current, 0 at boot *)
+  observed_inc : (string * string, int) Hashtbl.t;
+  (* (observer, sender) -> highest incarnation seen from sender *)
+  last_crash : (string, int) Hashtbl.t;  (* peer -> tick of last crash *)
+  snapshots : (string, snapshot) Hashtbl.t;
+  journals : (string, Persist.Journal.t) Hashtbl.t;
+  awaiting : (string, ((string * string * string) * timer) list) Hashtbl.t;
+  (* crashed target -> sub-queries suspended until it restarts *)
+  req_owner : (int, string) Hashtbl.t;  (* request id -> requester *)
 }
 
 type request = int
@@ -130,24 +184,93 @@ let create ?(config = default_config) session =
       = Ok ()
     else fun _ -> true
   in
-  {
-    session;
-    config;
-    guard = Guard.create ~config:session.Session.config.Session.guard ~verify ();
-    adversaries = Hashtbl.create 4;
-    dq = Dq.empty;
-    next_synth = -1;
-    seen = Net.Dedup.create ~cap:config.dedup_cap;
-    timers = Hashtbl.create 16;
-    pending = Hashtbl.create 64;
-    answers = Hashtbl.create 64;
-    denials = Hashtbl.create 16;
-    parked = [];
-    results = Hashtbl.create 8;
-    next_request = 1;
-    budget_hit = false;
-    tabling_st = (if config.tabling then Some (Tabling.create session) else None);
-  }
+  let events =
+    Net.Faults.crashes (Net.Network.faults session.Session.network)
+    |> List.concat_map (fun (peer, at_tick, restart_tick) ->
+           (at_tick, Ev_crash peer)
+           ::
+           (if restart_tick = max_int then []
+            else [ (restart_tick, Ev_restart peer) ]))
+    |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let snapshots = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun name (peer : Peer.t) ->
+      Hashtbl.replace snapshots name
+        {
+          sn_kb = peer.Peer.kb;
+          sn_certs = Hashtbl.copy peer.Peer.certs;
+          sn_origins = Hashtbl.copy peer.Peer.origins;
+        })
+    session.Session.peers;
+  let journals = Hashtbl.create 8 in
+  (match config.journal with
+  | Journal_off -> ()
+  | Journal_memory ->
+      Hashtbl.iter
+        (fun name _ ->
+          Hashtbl.replace journals name (Persist.Journal.in_memory ()))
+        session.Session.peers
+  | Journal_dir dir ->
+      Hashtbl.iter
+        (fun name _ ->
+          Hashtbl.replace journals name (Persist.Journal.for_peer ~dir ~peer:name))
+        session.Session.peers);
+  let t =
+    {
+      session;
+      config;
+      guard =
+        Guard.create ~config:session.Session.config.Session.guard ~verify ();
+      adversaries = Hashtbl.create 4;
+      dq = Dq.empty;
+      next_synth = -1;
+      rings = Hashtbl.create 8;
+      timers = Hashtbl.create 16;
+      pending = Hashtbl.create 64;
+      answers = Hashtbl.create 64;
+      denials = Hashtbl.create 16;
+      parked = [];
+      results = Hashtbl.create 8;
+      next_request = 1;
+      budget_hit = false;
+      tabling_st =
+        (if config.tabling then Some (Tabling.create session) else None);
+      events;
+      incarnations = Hashtbl.create 8;
+      observed_inc = Hashtbl.create 16;
+      last_crash = Hashtbl.create 8;
+      snapshots;
+      journals;
+      awaiting = Hashtbl.create 8;
+      req_owner = Hashtbl.create 8;
+    }
+  in
+  (* Cross-process recovery: a disk journal left by an earlier process
+     replays its knowledge into the freshly loaded world.  Goal entries
+     are not auto-resubmitted across processes — the driver owns request
+     ids — but [next_request] moves past them so ids never collide. *)
+  (match config.journal with
+  | Journal_dir _ ->
+      let names =
+        Hashtbl.fold (fun n _ acc -> n :: acc) journals []
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun name ->
+          match Persist.Journal.entries (Hashtbl.find journals name) with
+          | Ok entries ->
+              Persist.Journal.replay_peer (Session.peer session name) entries;
+              List.iter
+                (function
+                  | Persist.Journal.Goal { id; _ } ->
+                      if id >= t.next_request then t.next_request <- id + 1
+                  | _ -> ())
+                entries
+          | Error _ -> ())
+        names
+  | Journal_off | Journal_memory -> ());
+  t
 
 let goal_key = Peer.goal_key
 let now t = Net.Clock.now (Net.Network.clock t.session.Session.network)
@@ -181,9 +304,24 @@ let enqueue_synthetic ?trace t ~from ~target payload =
       sent_at = at;
       deliver_at = at;
       attempt = 0;
+      incarnation = 0;
       trace = resolve_trace trace;
       payload;
     }
+
+let incarnation_of t peer =
+  Option.value ~default:0 (Hashtbl.find_opt t.incarnations peer)
+
+let journal_of t peer = Hashtbl.find_opt t.journals peer
+
+(* Append one durable entry to a peer's journal (a no-op with
+   journaling off).  Every append is one checkpoint write. *)
+let jappend t peer entry =
+  match journal_of t peer with
+  | None -> ()
+  | Some j ->
+      Persist.Journal.append j entry;
+      Metric.incr m_checkpoints
 
 (* Post a message: account it on the network under the fault plan and
    enqueue the surviving copies.  An unreachable target of a query turns
@@ -193,8 +331,8 @@ let post ?attempt ?trace t ~from ~target payload =
   Metric.incr m_posts;
   let trace = resolve_trace trace in
   match
-    Net.Network.post t.session.Session.network ~from ~target ?attempt ?trace
-      payload
+    Net.Network.post t.session.Session.network ~from ~target ?attempt
+      ~incarnation:(incarnation_of t from) ?trace payload
   with
   | envelopes -> List.iter (enqueue t) envelopes
   | exception Net.Network.Unreachable _ ->
@@ -210,7 +348,7 @@ let post ?attempt ?trace t ~from ~target payload =
         | Net.Message.Answer _ | Net.Message.Deny _
         | Net.Message.Disclosure _ | Net.Message.Ack | Net.Message.Raw _
         | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
-        | Net.Message.Tcomplete _ ->
+        | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
             Metric.incr m_drops;
             Otracer.event (Obs.tracer ())
               (Printf.sprintf "reactor.drop %s -> %s: %s (unreachable)" from
@@ -435,8 +573,56 @@ let evaluate_goal t peer ~requester goal ~respond =
       end
       else `Parked waiting
 
+(* Checkpoint compaction threshold: once this many root goals have
+   settled since the last compaction, the journal is rewritten without
+   their Goal/Done pairs (and without duplicate knowledge entries). *)
+let compact_after = 8
+
+let maybe_compact t owner =
+  match journal_of t owner with
+  | None -> ()
+  | Some j -> (
+      match Persist.Journal.entries j with
+      | Error _ -> ()
+      | Ok entries ->
+          let finished =
+            List.filter_map
+              (function Persist.Journal.Done { id } -> Some id | _ -> None)
+              entries
+          in
+          if List.length finished >= compact_after then begin
+            let live =
+              List.filter
+                (function
+                  | Persist.Journal.Done { id } | Persist.Journal.Goal { id; _ }
+                    ->
+                      not (List.mem id finished)
+                  | Persist.Journal.Cert _ | Persist.Journal.Fact _
+                  | Persist.Journal.Answer _ ->
+                      true)
+                entries
+            in
+            let rec dedup acc = function
+              | [] -> List.rev acc
+              | e :: rest ->
+                  if List.mem e acc then dedup acc rest
+                  else dedup (e :: acc) rest
+            in
+            Persist.Journal.rewrite j (dedup [] live);
+            Otracer.event (Obs.tracer ())
+              (Printf.sprintf "reactor.compact %s journal -> %d entries" owner
+                 (List.length live))
+          end)
+
 let settle_request t id outcome =
-  if not (Hashtbl.mem t.results id) then Hashtbl.replace t.results id outcome
+  if not (Hashtbl.mem t.results id) then begin
+    Hashtbl.replace t.results id outcome;
+    match Hashtbl.find_opt t.req_owner id with
+    | None -> ()
+    | Some owner ->
+        jappend t owner (Persist.Journal.Done { id });
+        maybe_compact t owner
+  end
 
 (* A transport-level denial (injected by the resilience machinery, not
    by the target's policies) or a guard rejection surfaces as a
@@ -447,8 +633,8 @@ let has_prefix ~prefix s =
 
 let denial_reason t ~target pkey =
   match Hashtbl.find_opt t.denials pkey with
-  | Some (("timeout" | "unreachable" | "quarantined" | "rate-limited" | "quota")
-          as structured) ->
+  | Some (( "timeout" | "unreachable" | "quarantined" | "rate-limited"
+          | "quota" | "crashed" ) as structured) ->
       Printf.sprintf "%s: %s" structured target
   | Some reason when has_prefix ~prefix:"unsupported" reason ->
       (* A tabled evaluation hit a feature outside its fragment (NAF);
@@ -512,6 +698,24 @@ let handle_query t peer ~from goal =
         }
         :: t.parked
 
+(* Learn inbound certificates, journalling each one the peer did not
+   already hold and that survived verification — checked against the
+   wallet before and after so replaying the journal can never learn a
+   certificate twice. *)
+let learn_certs t (peer : Peer.t) ~from certs =
+  let ckey (c : Peertrust_crypto.Cert.t) =
+    Rule.canonical c.Peertrust_crypto.Cert.rule
+  in
+  let fresh =
+    List.filter (fun c -> not (Hashtbl.mem peer.Peer.certs (ckey c))) certs
+  in
+  Engine.learn ~from_:from t.session peer certs;
+  List.iter
+    (fun c ->
+      if Hashtbl.mem peer.Peer.certs (ckey c) then
+        jappend t peer.Peer.name (Persist.Journal.Cert c))
+    fresh
+
 let rec dispatch t ~synthetic (from, target, payload) =
   match Hashtbl.find_opt t.session.Session.peers target with
   | None -> ()
@@ -519,12 +723,17 @@ let rec dispatch t ~synthetic (from, target, payload) =
       match payload with
       | Net.Message.Query { goal } -> handle_query t peer ~from goal
       | Net.Message.Answer { goal; instances; certs } ->
-          Engine.learn ~from_:from t.session peer certs;
+          learn_certs t peer ~from certs;
           List.iter
             (fun ((inst : Literal.t), _) ->
-              if Literal.is_ground inst then
-                Peer.add_rule peer
-                  (Rule.fact (Literal.push_authority inst (Term.str from))))
+              if Literal.is_ground inst then begin
+                let r =
+                  Rule.fact (Literal.push_authority inst (Term.str from))
+                in
+                if not (Kb.mem r peer.Peer.kb) then
+                  jappend t target (Persist.Journal.Fact r);
+                Peer.add_rule peer r
+              end)
             instances;
           (* Fill the cache from answers that travelled the wire; replayed
              (synthetic) hits must not refresh their own TTL. *)
@@ -549,8 +758,30 @@ let rec dispatch t ~synthetic (from, target, payload) =
           resolve t pkey;
           reevaluate t target
       | Net.Message.Disclosure { certs; _ } ->
-          Engine.learn ~from_:from t.session peer certs;
+          learn_certs t peer ~from certs;
           reevaluate t target
+      | Net.Message.Cancel { goal } ->
+          (* The requester withdrew this goal (deadline expiry): drop
+             the work parked on its behalf; sub-queries the evaluation
+             already posted resolve into answers nobody consumes. *)
+          let key = goal_key goal in
+          let cancelled, kept =
+            List.partition
+              (fun p ->
+                p.pk_request = None
+                && String.equal p.pk_peer target
+                && String.equal p.pk_requester from
+                && String.equal (goal_key p.pk_goal) key)
+              t.parked
+          in
+          List.iter
+            (fun _ ->
+              Metric.incr m_cancelled_goals;
+              Otracer.event (Obs.tracer ())
+                (Printf.sprintf "reactor.cancelled %s withdraws %s at %s" from
+                   key target))
+            cancelled;
+          t.parked <- kept
       | Net.Message.Batch payloads ->
           List.iter (fun p -> dispatch t ~synthetic (from, target, p)) payloads
       | Net.Message.Ack -> ()
@@ -579,6 +810,8 @@ let rec dispatch t ~synthetic (from, target, payload) =
                     certs = [];
                   }
             | Some _ | None -> ());
+            jappend t target
+              (Persist.Journal.Answer { owner = from; goal; instances });
             Hashtbl.replace t.answers pkey
               (List.map (fun i -> (i, None)) instances);
             resolve t pkey;
@@ -602,9 +835,49 @@ let rec dispatch t ~synthetic (from, target, payload) =
               Tabling.handle_complete tb ~peer:target
                 (leader, epoch, members)))
 
-let submit t ~requester ~target goal =
+(* Insert a scheduled event keeping the list sorted by tick; among
+   equal ticks, earlier insertions fire first. *)
+let insert_event t tick ev =
+  let rec go = function
+    | (tk, e) :: rest when tk <= tick -> (tk, e) :: go rest
+    | later -> (tick, ev) :: later
+  in
+  t.events <- go t.events
+
+(* Put a root goal in flight under an already allocated request id —
+   shared by {!submit} and crash recovery, which re-launches a goal
+   recovered from the journal under its original id. *)
+let launch_root ?trace t ~id ~requester ~target goal =
+  let key = goal_key goal in
+  (match t.tabling_st with
+  | Some tb ->
+      Tabling.register_root tb ~consumer:requester ~owner:target goal;
+      tabling_send ?trace t
+        [
+          {
+            Tabling.p_from = requester;
+            p_target = target;
+            p_payload = Net.Message.Tquery { goal; path = [] };
+          };
+        ]
+  | None ->
+      if not (Hashtbl.mem t.pending (requester, target, key)) then
+        post_query ?trace t ~from:requester ~target ~key goal);
+  let p =
+    {
+      pk_peer = requester;
+      pk_requester = requester;
+      pk_goal = goal;
+      pk_waiting = [ (target, key) ];
+      pk_request = Some id;
+    }
+  in
+  if not (try_settle t p) then t.parked <- p :: t.parked
+
+let submit ?deadline t ~requester ~target goal =
   let id = t.next_request in
   t.next_request <- id + 1;
+  Hashtbl.replace t.req_owner id requester;
   let key = goal_key goal in
   (* Root of the causal trace: join the ambient context (a surrounding
      [Negotiation.measure] span) or mint a fresh trace, and record the
@@ -637,33 +910,15 @@ let submit t ~requester ~target goal =
           | Some span -> Some (Tctx.child c ~parent_span:span.Peertrust_obs.Span.id)
           | None -> Some c)
   in
-  (match t.tabling_st with
-  | Some tb ->
-      (* Tabled mode: the request rides the tabling control plane.  A
-         root view (empty path) is registered so quiescence healing can
-         re-push a final answer the requester lost to faults. *)
-      Tabling.register_root tb ~consumer:requester ~owner:target goal;
-      tabling_send ?trace t
-        [
-          {
-            Tabling.p_from = requester;
-            p_target = target;
-            p_payload = Net.Message.Tquery { goal; path = [] };
-          };
-        ]
-  | None ->
-      if not (Hashtbl.mem t.pending (requester, target, key)) then
-        post_query ?trace t ~from:requester ~target ~key goal);
-  let p =
-    {
-      pk_peer = requester;
-      pk_requester = requester;
-      pk_goal = goal;
-      pk_waiting = [ (target, key) ];
-      pk_request = Some id;
-    }
-  in
-  if not (try_settle t p) then t.parked <- p :: t.parked;
+  (* The accepted goal is the journal's recovery anchor: a restart
+     re-launches every Goal entry with no matching Done. *)
+  jappend t requester (Persist.Journal.Goal { id; target; goal });
+  Option.iter
+    (fun tick ->
+      if tick < 0 then invalid_arg "Reactor.submit: deadline must be >= 0";
+      insert_event t tick (Ev_deadline id))
+    deadline;
+  launch_root ?trace t ~id ~requester ~target goal;
   id
 
 (* ------------------------------------------------------------------ *)
@@ -680,8 +935,16 @@ let next_timer t =
 let clock_to t tick =
   Net.Clock.advance_to (Net.Network.clock t.session.Session.network) tick
 
+let restart_upcoming t name =
+  List.exists
+    (fun (_, ev) -> match ev with Ev_restart p -> String.equal p name | _ -> false)
+    t.events
+
 (* A timer came due: retransmit with doubled timeout while the retry
-   budget lasts, then give up and synthesize a timeout denial. *)
+   budget lasts, then give up.  Exhaustion against a live target is a
+   timeout denial; against a crashed target it is a [crashed] denial —
+   unless a restart is scheduled, in which case the sub-query is
+   suspended and reissued the moment the target comes back. *)
 let fire_timer t ((peer, target, _key) as pkey) tm =
   clock_to t tm.tm_next;
   (* Timer work runs outside any negotiation span, so the captured
@@ -724,16 +987,40 @@ let fire_timer t ((peer, target, _key) as pkey) tm =
   else begin
     Hashtbl.remove t.timers pkey;
     Metric.incr m_timeouts;
-    Log.debug (fun m ->
-        m "timeout %s -> %s: %s" peer target (Literal.to_string tm.tm_goal));
-    in_span "reactor.timeout" (fun () ->
-        Otracer.event (Obs.tracer ())
-          (Printf.sprintf "reactor.timeout %s -> %s: %s (after %d retries)"
-             peer target
-             (Literal.to_string tm.tm_goal)
-             tm.tm_attempt);
-        enqueue_synthetic t ~from:target ~target:peer
-          (Net.Message.Deny { goal = tm.tm_goal; reason = "timeout" }))
+    let crashed =
+      Net.Faults.in_crash
+        (Net.Network.faults t.session.Session.network)
+        target ~now:(now t)
+    in
+    if crashed && restart_upcoming t target then begin
+      Log.debug (fun m ->
+          m "suspend %s -> %s: %s (awaiting restart)" peer target
+            (Literal.to_string tm.tm_goal));
+      in_span "reactor.timeout" (fun () ->
+          Otracer.event (Obs.tracer ())
+            (Printf.sprintf
+               "reactor.timeout %s -> %s: %s (suspended awaiting restart)"
+               peer target
+               (Literal.to_string tm.tm_goal)));
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt t.awaiting target)
+      in
+      Hashtbl.replace t.awaiting target (prev @ [ (pkey, tm) ])
+    end
+    else begin
+      let reason = if crashed then "crashed" else "timeout" in
+      Log.debug (fun m ->
+          m "%s %s -> %s: %s" reason peer target
+            (Literal.to_string tm.tm_goal));
+      in_span "reactor.timeout" (fun () ->
+          Otracer.event (Obs.tracer ())
+            (Printf.sprintf "reactor.%s %s -> %s: %s (after %d retries)"
+               reason peer target
+               (Literal.to_string tm.tm_goal)
+               tm.tm_attempt);
+          enqueue_synthetic t ~from:target ~target:peer
+            (Net.Message.Deny { goal = tm.tm_goal; reason }))
+    end
   end
 
 (* The guard's solicitation oracle: does [target] have this sub-query
@@ -758,7 +1045,8 @@ let reject_payload t ~from ~target violation payload =
     | Net.Message.Batch payloads -> List.iter deny payloads
     | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Disclosure _
     | Net.Message.Ack | Net.Message.Raw _ | Net.Message.Tanswer _
-    | Net.Message.Tprobe _ | Net.Message.Tstat _ | Net.Message.Tcomplete _ ->
+    | Net.Message.Tprobe _ | Net.Message.Tstat _ | Net.Message.Tcomplete _
+    | Net.Message.Cancel _ ->
         ()
   in
   deny payload
@@ -777,23 +1065,70 @@ let payload_goal = function
   | Net.Message.Answer { goal; _ }
   | Net.Message.Deny { goal; _ }
   | Net.Message.Tquery { goal; _ }
-  | Net.Message.Tanswer { goal; _ } ->
+  | Net.Message.Tanswer { goal; _ }
+  | Net.Message.Cancel { goal } ->
       Some (goal_key goal)
   | Net.Message.Batch _ | Net.Message.Disclosure _ | Net.Message.Ack
   | Net.Message.Raw _ | Net.Message.Tprobe _ | Net.Message.Tstat _
   | Net.Message.Tcomplete _ ->
       None
 
+let ring_of t target =
+  match Hashtbl.find_opt t.rings target with
+  | Some r -> r
+  | None ->
+      let r = Net.Dedup.create ~cap:t.config.dedup_cap in
+      Hashtbl.replace t.rings target r;
+      r
+
+(* Incarnation hygiene for an envelope that travelled the wire: discard
+   anything sent by an incarnation that has since crashed (its sender
+   died after posting), and anything stamped with a lower incarnation
+   than the receiver has already observed from that sender. *)
+let stale_incarnation t (env : Net.Envelope.t) =
+  match Hashtbl.find_opt t.last_crash env.Net.Envelope.from_ with
+  | Some ct when env.Net.Envelope.sent_at < ct -> true
+  | Some _ | None ->
+      let okey = (env.Net.Envelope.target, env.Net.Envelope.from_) in
+      let observed =
+        Option.value ~default:0 (Hashtbl.find_opt t.observed_inc okey)
+      in
+      if env.Net.Envelope.incarnation < observed then true
+      else begin
+        if env.Net.Envelope.incarnation > observed then
+          Hashtbl.replace t.observed_inc okey env.Net.Envelope.incarnation;
+        false
+      end
+
 let deliver_envelope t env =
   clock_to t env.Net.Envelope.deliver_at;
-  if Net.Dedup.mem t.seen env.Net.Envelope.id then begin
+  let wire = env.Net.Envelope.id >= 0 in
+  if
+    wire
+    && Net.Faults.in_crash
+         (Net.Network.faults t.session.Session.network)
+         env.Net.Envelope.target ~now:(now t)
+  then begin
+    (* Landed inside the target's crash window (e.g. a multi-tick delay
+       bridged the crash): the dead peer hears nothing. *)
+    Metric.incr m_crash_drops;
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.crash_drop %s" (Net.Envelope.summary env))
+  end
+  else if wire && stale_incarnation t env then begin
+    Metric.incr m_stale_epoch;
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.stale_epoch %s" (Net.Envelope.summary env))
+  end
+  else if Net.Dedup.mem (ring_of t env.Net.Envelope.target) env.Net.Envelope.id
+  then begin
     Metric.incr m_dup_deliveries;
     Otracer.event (Obs.tracer ())
       (Printf.sprintf "reactor.duplicate %s" (Net.Envelope.summary env))
   end
   else begin
-    if Net.Dedup.add t.seen env.Net.Envelope.id then
-      Metric.incr m_dedup_evictions;
+    if Net.Dedup.add (ring_of t env.Net.Envelope.target) env.Net.Envelope.id
+    then Metric.incr m_dedup_evictions;
     let from = env.Net.Envelope.from_ in
     let target = env.Net.Envelope.target in
     let payload = env.Net.Envelope.payload in
@@ -866,21 +1201,231 @@ let deliver_envelope t env =
     | Some _ | None -> body ()
   end
 
-(* Process the next event — a delivery or a timer, whichever is due
-   first (delivery wins ties); [false] when both timelines are empty. *)
+(* ------------------------------------------------------------------ *)
+(* Crash-stop: scheduled crash, restart and deadline events *)
+
+let journaling t = t.config.journal <> Journal_off
+
+(* Wipe everything volatile a crash-stop destroys at [name]: in-flight
+   deliveries addressed to it, its own outstanding sub-queries, parked
+   goals, dedup ring, guard admission state, cached answers, tables —
+   and roll its knowledge back to the boot snapshot.  The journal (held
+   by the reactor, standing in for a synced disk) survives. *)
+let crash_peer t name =
+  Metric.incr m_crashes;
+  Hashtbl.replace t.last_crash name (now t);
+  Otracer.event (Obs.tracer ())
+    (Printf.sprintf "reactor.crash %s @%d" name (now t));
+  Log.debug (fun m -> m "%s crashes at %d" name (now t));
+  (* In-flight envelopes addressed to the dead peer: wire ones were sent
+     at a live incarnation and die with it (stale epoch); synthetic ones
+     are its own bookkeeping and vanish silently. *)
+  let doomed =
+    Dq.fold
+      (fun k (env : Net.Envelope.t) acc ->
+        if String.equal env.Net.Envelope.target name then
+          (k, env.Net.Envelope.id >= 0) :: acc
+        else acc)
+      t.dq []
+  in
+  List.iter
+    (fun (k, wire) ->
+      t.dq <- Dq.remove k t.dq;
+      if wire then Metric.incr m_stale_epoch)
+    doomed;
+  let drop_mine tbl =
+    let stale =
+      Hashtbl.fold
+        (fun ((p, _, _) as k) _ acc ->
+          if String.equal p name then k :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) stale
+  in
+  drop_mine t.timers;
+  drop_mine t.pending;
+  drop_mine t.answers;
+  drop_mine t.denials;
+  Hashtbl.remove t.rings name;
+  Guard.reset_peer t.guard name;
+  (match t.config.cache with
+  | Some c ->
+      ignore (Answer_cache.invalidate_asker c name : int);
+      ignore (Answer_cache.invalidate_owner c name : int)
+  | None -> ());
+  (match t.tabling_st with Some tb -> Tabling.crash tb name | None -> ());
+  let mine, others =
+    List.partition (fun p -> String.equal p.pk_peer name) t.parked
+  in
+  t.parked <- others;
+  List.iter
+    (fun p ->
+      match p.pk_request with
+      | Some _ when journaling t && restart_upcoming t name ->
+          (* the journal's Goal entry re-launches it at restart *)
+          ()
+      | Some id -> settle_request t id (Negotiation.Denied "peer crashed")
+      | None -> ())
+    mine;
+  match Hashtbl.find_opt t.snapshots name with
+  | Some sn ->
+      let peer = Session.peer t.session name in
+      peer.Peer.kb <- sn.sn_kb;
+      Hashtbl.reset peer.Peer.certs;
+      Hashtbl.iter (Hashtbl.replace peer.Peer.certs) sn.sn_certs;
+      Hashtbl.reset peer.Peer.origins;
+      Hashtbl.iter (Hashtbl.replace peer.Peer.origins) sn.sn_origins
+  | None -> ()
+
+(* A restart brings the peer back under a bumped incarnation: replay the
+   journal (knowledge first, then unfinished root goals), then reissue
+   the sub-queries counterparties had suspended awaiting the restart. *)
+let restart_peer t name =
+  Metric.incr m_restarts;
+  let inc = incarnation_of t name + 1 in
+  Hashtbl.replace t.incarnations name inc;
+  Otracer.event (Obs.tracer ())
+    (Printf.sprintf "reactor.restart %s (incarnation %d)" name inc);
+  Log.debug (fun m ->
+      m "%s restarts at %d (incarnation %d)" name (now t) inc);
+  (match journal_of t name with
+  | None -> ()
+  | Some j -> (
+      match Persist.Journal.entries j with
+      | Error _ -> ()  (* mid-stream corruption: restart cold *)
+      | Ok entries ->
+          let peer = Session.peer t.session name in
+          Persist.Journal.replay_peer peer entries;
+          (match t.config.cache with
+          | Some c ->
+              List.iter
+                (function
+                  | Persist.Journal.Answer { owner; goal; instances } ->
+                      Answer_cache.store ~completed:true c ~now:(now t)
+                        ~asker:name ~owner goal
+                        {
+                          Answer_cache.instances =
+                            List.map (fun i -> (i, None)) instances;
+                          certs = [];
+                        }
+                  | _ -> ())
+                entries
+          | None -> ());
+          let finished =
+            List.filter_map
+              (function Persist.Journal.Done { id } -> Some id | _ -> None)
+              entries
+          in
+          List.iter
+            (function
+              | Persist.Journal.Goal { id; target; goal }
+                when (not (List.mem id finished))
+                     && not (Hashtbl.mem t.results id) ->
+                  Metric.incr m_recovered_goals;
+                  Otracer.event (Obs.tracer ())
+                    (Printf.sprintf "reactor.recover %s request#%d: %s" name
+                       id (goal_key goal));
+                  launch_root t ~id ~requester:name ~target goal
+              | _ -> ())
+            entries));
+  match Hashtbl.find_opt t.awaiting name with
+  | None -> ()
+  | Some suspended ->
+      Hashtbl.remove t.awaiting name;
+      List.iter
+        (fun (((peer, target, _) as pkey), tm) ->
+          match Hashtbl.find_opt t.pending pkey with
+          | Some { contents = false } ->
+              Metric.incr m_reissued;
+              Otracer.event (Obs.tracer ())
+                (Printf.sprintf "reactor.reissue %s -> %s: %s" peer target
+                   (Literal.to_string tm.tm_goal));
+              tm.tm_attempt <- 0;
+              tm.tm_rto <- t.config.rto;
+              tm.tm_next <- now t + t.config.rto;
+              Hashtbl.replace t.timers pkey tm;
+              let payload =
+                match tm.tm_path with
+                | Some path ->
+                    Net.Message.Tquery { goal = tm.tm_goal; path }
+                | None -> Net.Message.Query { goal = tm.tm_goal }
+              in
+              post ?trace:tm.tm_trace t ~from:peer ~target payload
+          | Some _ | None -> ())
+        suspended
+
+(* The requester's deadline passed with the request unsettled: deny it
+   and withdraw its outstanding sub-queries with Cancel messages so
+   counterparties drop the parked work. *)
+let expire_deadline t id =
+  if not (Hashtbl.mem t.results id) then begin
+    Metric.incr m_deadline_expiries;
+    let requester =
+      Option.value ~default:"" (Hashtbl.find_opt t.req_owner id)
+    in
+    Otracer.event (Obs.tracer ())
+      (Printf.sprintf "reactor.deadline request#%d at %s expired" id
+         requester);
+    let mine =
+      Hashtbl.fold
+        (fun ((p, _, _) as k) tm acc ->
+          if String.equal p requester then (k, tm) :: acc else acc)
+        t.timers []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (((_, target, _) as pkey), tm) ->
+        Metric.incr m_cancels;
+        resolve t pkey;
+        post ?trace:tm.tm_trace t ~from:requester ~target
+          (Net.Message.Cancel { goal = tm.tm_goal }))
+      mine;
+    let akeys = Hashtbl.fold (fun k _ acc -> k :: acc) t.awaiting [] in
+    List.iter
+      (fun k ->
+        Hashtbl.replace t.awaiting k
+          (List.filter
+             (fun ((p, _, _), _) -> not (String.equal p requester))
+             (Hashtbl.find t.awaiting k)))
+      akeys;
+    t.parked <- List.filter (fun p -> p.pk_request <> Some id) t.parked;
+    settle_request t id (Negotiation.Denied "deadline expired")
+  end
+
+let process_event t = function
+  | Ev_crash name -> crash_peer t name
+  | Ev_restart name -> restart_peer t name
+  | Ev_deadline id -> expire_deadline t id
+
+(* Process the next event — a scheduled crash/restart/deadline, a
+   delivery or a timer, whichever is due first (scheduled events win
+   ties, then deliveries); [false] when all timelines are empty. *)
 let step t =
-  match (Dq.min_binding_opt t.dq, next_timer t) with
-  | None, None -> false
-  | Some ((at, _), _), Some (tt, tkey, tm) when tt < at ->
-      fire_timer t tkey tm;
-      true
-  | Some (dkey, env), _ ->
-      t.dq <- Dq.remove dkey t.dq;
-      deliver_envelope t env;
-      true
-  | None, Some (_, tkey, tm) ->
-      fire_timer t tkey tm;
-      true
+  let ev_tick = match t.events with [] -> max_int | (tk, _) :: _ -> tk in
+  let dv = Dq.min_binding_opt t.dq in
+  let tmr = next_timer t in
+  let dq_tick = match dv with Some ((at, _), _) -> at | None -> max_int in
+  let tm_tick = match tmr with Some (tt, _, _) -> tt | None -> max_int in
+  if ev_tick = max_int && dv = None && tmr = None then false
+  else if ev_tick <= dq_tick && ev_tick <= tm_tick then begin
+    (match t.events with
+    | (tick, ev) :: rest ->
+        t.events <- rest;
+        clock_to t tick;
+        process_event t ev
+    | [] -> assert false);
+    true
+  end
+  else
+    match (dv, tmr) with
+    | Some (dkey, env), _ when dq_tick <= tm_tick ->
+        t.dq <- Dq.remove dkey t.dq;
+        deliver_envelope t env;
+        true
+    | _, Some (_, tkey, tm) ->
+        fire_timer t tkey tm;
+        true
+    | _ -> assert false
 
 (* At quiescence, parked goals form dependency cycles (or wait on goals
    that do).  Force-deny one non-top-level goal to break the cycle — the
@@ -950,6 +1495,12 @@ let run ?max_steps t =
     else run_inner ?max_steps t
   in
   Metric.observe_int h_steps steps;
+  Metric.set g_outstanding
+    (float_of_int
+       (Hashtbl.fold
+          (fun _ resolved acc -> if !resolved then acc else acc + 1)
+          t.pending 0));
+  Metric.set g_parked (float_of_int (List.length t.parked));
   steps
 
 let result t id = Hashtbl.find_opt t.results id
@@ -965,7 +1516,8 @@ let pending_timers t = Hashtbl.length t.timers
 let tabling_summary t =
   match t.tabling_st with None -> [] | Some tb -> Tabling.summary tb
 let guard t = t.guard
-let dedup_evictions t = Net.Dedup.evictions t.seen
+let dedup_evictions t =
+  Hashtbl.fold (fun _ ring acc -> acc + Net.Dedup.evictions ring) t.rings 0
 
 (* Register an adversary: give it a network identity (an inert handler,
    so posts to it succeed) and queue its opening burst against

@@ -68,11 +68,49 @@
     {!add_adversary} attaches a misbehaving {!Peertrust_net.Adversary}:
     it gets a network identity, opens with a burst against the honest
     peers, and reacts to whatever it is sent until its action budget is
-    spent. *)
+    spent.
+
+    {2 Crash-stop peers and durable journals}
+
+    When the fault plan schedules crashes
+    ({!Peertrust_net.Faults.add_crash}), the reactor executes them as
+    first-class timeline events, ordered before same-tick deliveries.  A
+    crash wipes everything volatile at the victim — parked goals, its
+    outstanding sub-query timers, its dedup ring, guard admission state,
+    cached answers, distributed tables — and rolls its knowledge base
+    and certificate wallet back to the boot snapshot.  Counterparties
+    see the crash through the protocol, not an oracle: envelopes carry
+    the sender's {e incarnation} number, so answers sent by a dead
+    incarnation are discarded as [reactor.stale_epoch], and sub-queries
+    that time out against a peer whose restart is scheduled are
+    suspended and {e reissued} (fresh timer, attempt 0) once it returns;
+    against a peer that never restarts they degrade into a structured
+    [crashed: <peer>] denial (see {!Negotiation.classify_denial}).
+
+    With {!config}[.journal] set, each peer also keeps a write-ahead
+    journal ({!Persist.Journal}) of its durable facts — learned
+    certificates, [peer says] facts, completed table answers, and the
+    root goals it has accepted.  The journal survives the crash (it
+    stands in for a synced disk); at restart it is replayed — learning
+    is idempotent, so replay never double-counts a certificate — and
+    journalled root goals with no [Done] record are re-launched
+    ([reactor.recovered_goals]).  Journals are compacted once enough
+    roots settle.  [Journal_off] (the default) keeps crash-free
+    transcripts byte-identical to the pre-journal reactor. *)
 
 open Peertrust_dlp
 
 type t
+
+type journal_mode =
+  | Journal_off  (** no journal: a crash loses everything volatile *)
+  | Journal_memory
+      (** per-peer journals held by the reactor — the simulated stand-in
+          for a synced local disk; survives crashes within one reactor *)
+  | Journal_dir of string
+      (** per-peer journal files under the directory (created on
+          demand); existing journals are replayed at {!create}, so a
+          restarted {e process} resumes where it crashed *)
 
 type config = {
   rto : int;
@@ -105,13 +143,19 @@ type config = {
           complete answer sets instead of being force-denied as cycles.
           Off by default: tabling-off transcripts are byte-identical to
           the plain reactor. *)
+  journal : journal_mode;
+      (** write-ahead journalling of durable per-peer state (learned
+          certificates, says-facts, completed table answers, accepted
+          root goals) replayed at restart after a scheduled crash.
+          [Journal_off] by default. *)
 }
 
 val default_config : config
 (** [{ rto = 8; retry_limit = 3; cache = None; batch = false;
-    dedup_cap = 8192; tabling = false }] — a sub-query is abandoned as
-    timed out after 8 + 16 + 32 + 64 unanswered ticks; caching,
-    batching and tabling are opt-in. *)
+    dedup_cap = 8192; tabling = false; journal = Journal_off }] — a
+    sub-query is abandoned as timed out after 8 + 16 + 32 + 64
+    unanswered ticks; caching, batching, tabling and journalling are
+    opt-in. *)
 
 val create : ?config:config -> Session.t -> t
 (** The reactor replaces the peers' network handlers; create it after all
@@ -122,12 +166,23 @@ val create : ?config:config -> Session.t -> t
 type request
 
 val submit :
-  t -> requester:string -> target:string -> Literal.t -> request
-(** Enqueue a top-level negotiation; nothing runs until {!run}/{!step}. *)
+  ?deadline:int ->
+  t ->
+  requester:string ->
+  target:string ->
+  Literal.t ->
+  request
+(** Enqueue a top-level negotiation; nothing runs until {!run}/{!step}.
+    [deadline] is an absolute simulated tick: a request still unsettled
+    when it passes is denied as [deadline expired] and its outstanding
+    sub-queries are withdrawn with [Cancel] messages so counterparties
+    drop the parked work.  @raise Invalid_argument on a negative
+    [deadline]. *)
 
 val step : t -> bool
-(** Process one event — the earliest queued delivery or retransmission
-    timer; [false] when both timelines are empty. *)
+(** Process one event — the earliest scheduled crash/restart/deadline,
+    queued delivery or retransmission timer (scheduled events win ties,
+    then deliveries); [false] when all timelines are empty. *)
 
 val run : ?max_steps:int -> t -> int
 (** Process events until quiescence (or [max_steps], default 100_000);

@@ -46,7 +46,7 @@ let eager_handler session peer : Net.Network.handler =
   | Net.Message.Answer _ | Net.Message.Deny _ | Net.Message.Ack
   | Net.Message.Batch _ | Net.Message.Raw _ | Net.Message.Tquery _
   | Net.Message.Tanswer _ | Net.Message.Tprobe _ | Net.Message.Tstat _
-  | Net.Message.Tcomplete _ ->
+  | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
       Net.Message.Ack
 
 let run_eager session ~requester ~target goal =
@@ -103,7 +103,7 @@ let run_eager session ~requester ~target goal =
                 | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _
                 | Net.Message.Tquery _ | Net.Message.Tanswer _
                 | Net.Message.Tprobe _ | Net.Message.Tstat _
-                | Net.Message.Tcomplete _ ->
+                | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
                     `Done (Negotiation.Denied "protocol error"))
           in
           match decision with `Done o -> o | `Retry -> round (n + 1)
@@ -173,7 +173,7 @@ let run_eager_multi session ~participants ~requester ~target goal =
                 | Net.Message.Ack | Net.Message.Batch _ | Net.Message.Raw _
                 | Net.Message.Tquery _ | Net.Message.Tanswer _
                 | Net.Message.Tprobe _ | Net.Message.Tstat _
-                | Net.Message.Tcomplete _ ->
+                | Net.Message.Tcomplete _ | Net.Message.Cancel _ ->
                     `Done (Negotiation.Denied "protocol error"))
           in
           match decision with `Done o -> o | `Retry -> round (n + 1)

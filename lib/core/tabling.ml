@@ -511,6 +511,43 @@ let handle_stat t ~peer ~from (leader, epoch, entries) =
 let handle_complete t ~peer (_leader, _epoch, members) =
   complete_members t ~peer members
 
+(* A crash-stop wipes everything tabled {e at} the peer: its tables and
+   the views it consumes are volatile state.  Tables elsewhere survive,
+   but the crashed peer vanishes from their consumer lists so nothing
+   is pushed at a dead incarnation.  Views naming the crashed peer as
+   owner stay registered: once the owner restarts, quiescence healing
+   finds the table missing and re-posts the Tquery — the re-heal path.
+   An in-flight completion round touching the peer is aborted; its
+   collected stats describe a dead incarnation. *)
+let crash t peer =
+  let doomed_tables =
+    Hashtbl.fold
+      (fun ((p, _) as k) _ acc ->
+        if String.equal p peer then k :: acc else acc)
+      t.tables []
+  in
+  List.iter (Hashtbl.remove t.tables) doomed_tables;
+  let doomed_views =
+    Hashtbl.fold
+      (fun ((c, _, _) as k) _ acc ->
+        if String.equal c peer then k :: acc else acc)
+      t.views []
+  in
+  List.iter (Hashtbl.remove t.views) doomed_views;
+  Hashtbl.iter
+    (fun _ tb ->
+      tb.tb_consumers <-
+        List.filter (fun c -> not (String.equal c peer)) tb.tb_consumers)
+    t.tables;
+  match t.probe with
+  | Some p
+    when String.equal (fst p.pr_leader) peer
+         || List.exists (fun (o, _) -> String.equal o peer) p.pr_members
+         || List.mem peer p.pr_waiting ->
+      t.probe <- None;
+      Metric.incr m_probes_aborted
+  | Some _ | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Quiescence: heal lagging views, then probe the first ready SCC *)
 

@@ -90,6 +90,14 @@ val handle_complete :
 (** [Tcomplete]: freeze this peer's member tables and push their final
     answers to all consumers. *)
 
+val crash : t -> string -> unit
+(** The peer crash-stopped: drop its tables and the views it consumes
+    (volatile state), remove it from surviving tables' consumer lists,
+    and abort any in-flight completion round that involves it.  Views
+    held {e by others} on the crashed peer's tables stay registered —
+    the next {!quiesce} finds their tables missing and re-posts the
+    [Tquery], re-healing once the peer restarts. *)
+
 val quiesce : t -> post list
 (** Called by the reactor when the network is quiet but tables remain
     active.  First heals any consumer view lagging its owner table

@@ -13,6 +13,8 @@
 
 type t = {
   mutable named : Term.t array;
+  nslots : (int, int) Hashtbl.t;
+  mutable nnext : int;
   mutable fresh : Term.t array;
   k_base : int;
   foreign : (int, Term.t) Hashtbl.t;
@@ -31,12 +33,19 @@ type t = {
 (* Distinguished unbound sentinel, compared physically. *)
 let unbound : Term.t = Term.Var (-1)
 
-(* [named] starts small and grows on demand ([set_cell]): sizing it by the
-   interner's named-variable count would make store creation proportional
-   to every display name ever interned by the process. *)
+(* Named-variable ids are global (the interner hands them out for the
+   lifetime of the process), so they cannot index [named] directly: a
+   goal variable interned late — after other subsystems have interned
+   thousands of display names — would force every solve that binds it to
+   allocate an array of that id's magnitude.  [nslots] remaps each global
+   id touched by this solve to a dense local slot instead; a solve only
+   ever binds its own goal variables (compiled rules use fresh slots), so
+   the array stays small regardless of global interner traffic. *)
 let create () =
   {
     named = Array.make 64 unbound;
+    nslots = Hashtbl.create 16;
+    nnext = 0;
     fresh = Array.make 64 unbound;
     k_base = Term.fresh_mark ();
     foreign = Hashtbl.create 8;
@@ -62,8 +71,12 @@ let lookup st v =
     else
       match Hashtbl.find_opt st.foreign v with Some t -> t | None -> unbound
   end
-  else if v < Array.length st.named then st.named.(v)
-  else unbound
+  else
+    (* [find] + handler, not [find_opt]: this is the walk hot path and the
+       option box would cost an allocation per dereference. *)
+    match Hashtbl.find st.nslots v with
+    | slot -> st.named.(slot)
+    | exception Not_found -> unbound
 
 let set_cell st v t =
   if Term.is_fresh v then begin
@@ -76,8 +89,17 @@ let set_cell st v t =
     else Hashtbl.replace st.foreign v t
   end
   else begin
-    if v >= Array.length st.named then st.named <- grow_to st.named v;
-    st.named.(v) <- t
+    let slot =
+      match Hashtbl.find st.nslots v with
+      | slot -> slot
+      | exception Not_found ->
+          let slot = st.nnext in
+          st.nnext <- slot + 1;
+          Hashtbl.add st.nslots v slot;
+          slot
+    in
+    if slot >= Array.length st.named then st.named <- grow_to st.named slot;
+    st.named.(slot) <- t
   end
 
 let bind st v t =

@@ -189,7 +189,7 @@ let react t ~from payload =
   | Message.Query _ | Message.Answer _ | Message.Deny _
   | Message.Disclosure _ | Message.Batch _ | Message.Raw _ | Message.Tquery _
   | Message.Tanswer _ | Message.Tprobe _ | Message.Tstat _
-  | Message.Tcomplete _ ->
+  | Message.Tcomplete _ | Message.Cancel _ ->
       charge t
         (replays t ~target:from
         @ List.concat_map (fun b -> behavior_actions t ~target:from b) t.behaviors)

@@ -16,6 +16,13 @@ type t = {
   sent_at : int;  (** clock when the send was accounted *)
   deliver_at : int;  (** clock when the copy becomes deliverable *)
   attempt : int;  (** 0 for the original send, >0 for retransmissions *)
+  incarnation : int;
+      (** the sender's restart count when the send was posted: 0 for a
+          peer that has never crashed.  Receivers track the highest
+          incarnation observed per sender — a lower one marks a stale
+          message from a dead incarnation, a higher one a restart.  Not
+          part of {!summary} when 0, so crash-free transcripts are
+          unchanged. *)
   trace : Peertrust_obs.Trace_context.t option;
       (** propagated trace context; [None] on untraced runs.  Not part of
           {!summary}, so transcripts are identical with tracing on or
@@ -27,4 +34,5 @@ val compare_delivery : t -> t -> int
 (** Order by [deliver_at], ties broken by [id] (post order). *)
 
 val summary : t -> string
-(** One-line rendering for tracer events and logs. *)
+(** One-line rendering for tracer events and logs.  The incarnation is
+    shown only when nonzero. *)

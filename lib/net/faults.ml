@@ -16,6 +16,7 @@ type t = {
   default : rates;
   links : (string * string, rates) Hashtbl.t;
   mutable outage_list : (string * int * int) list;  (* reverse order *)
+  mutable crash_list : (string * int * int) list;  (* reverse order *)
 }
 
 let none () =
@@ -24,6 +25,7 @@ let none () =
     default = zero_rates;
     links = Hashtbl.create 1;
     outage_list = [];
+    crash_list = [];
   }
 
 let check_rates r =
@@ -46,6 +48,7 @@ let create ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.) ?(delay_max = 4)
     default;
     links = Hashtbl.create 8;
     outage_list = [];
+    crash_list = [];
   }
 
 let rates_zero r =
@@ -57,7 +60,7 @@ let is_none t =
   | Some _ ->
       rates_zero t.default
       && Hashtbl.fold (fun _ r acc -> acc && rates_zero r) t.links true)
-  && t.outage_list = []
+  && t.outage_list = [] && t.crash_list = []
 
 let set_link t ~from ~target r =
   check_rates r;
@@ -78,6 +81,20 @@ let in_outage t peer ~now =
     (fun (p, from_tick, until_tick) ->
       String.equal p peer && from_tick <= now && now < until_tick)
     t.outage_list
+
+let add_crash t ~peer ~at_tick ~restart_tick =
+  if at_tick < 0 then invalid_arg "Faults.add_crash: at_tick must be >= 0";
+  if restart_tick <= at_tick then
+    invalid_arg "Faults.add_crash: restart_tick must be > at_tick";
+  t.crash_list <- (peer, at_tick, restart_tick) :: t.crash_list
+
+let crashes t = List.rev t.crash_list
+
+let in_crash t peer ~now =
+  List.exists
+    (fun (p, at_tick, restart_tick) ->
+      String.equal p peer && at_tick <= now && now < restart_tick)
+    t.crash_list
 
 type decision = { dec_delays : int list }
 

@@ -43,7 +43,7 @@ val create :
 
 val is_none : t -> bool
 (** [true] when the plan can never inject a fault: unseeded, all rates
-    zero, and no scheduled outages. *)
+    zero, and no scheduled outages or crashes. *)
 
 val set_link : t -> from:string -> target:string -> rates -> unit
 (** Override the rates of one directed link. *)
@@ -61,6 +61,24 @@ val outages : t -> (string * int * int) list
     order. *)
 
 val in_outage : t -> string -> now:int -> bool
+
+val add_crash : t -> peer:string -> at_tick:int -> restart_tick:int -> unit
+(** Schedule a crash-stop failure: [peer] crashes at [at_tick] — losing
+    all volatile state (parked goals, timers, dedup ring, guard state,
+    tables, learned certificates) — and restarts as a new incarnation at
+    [restart_tick].  Messages sent to [peer] while
+    [at_tick <= now < restart_tick] are lost in transit, like an outage;
+    unlike an outage the peer itself forgets.  Use [restart_tick =
+    max_int] for a crash with no restart.
+    @raise Invalid_argument when [at_tick < 0] or
+    [restart_tick <= at_tick]. *)
+
+val crashes : t -> (string * int * int) list
+(** Scheduled crashes as [(peer, at_tick, restart_tick)], in schedule
+    order. *)
+
+val in_crash : t -> string -> now:int -> bool
+(** Is [peer] inside one of its scheduled crash windows at [now]? *)
 
 type decision = {
   dec_delays : int list;

@@ -28,6 +28,7 @@ type payload =
   | Tprobe of { leader : table_ref; epoch : int; members : table_ref list }
   | Tstat of { leader : table_ref; epoch : int; entries : tstat_entry list }
   | Tcomplete of { leader : table_ref; epoch : int; members : table_ref list }
+  | Cancel of { goal : Literal.t }
 
 let rec kind = function
   | Query _ -> Stats.Query
@@ -38,7 +39,7 @@ let rec kind = function
   (* A batch is one envelope; classify it by its first payload (in
      practice batches carry only queries). *)
   | Batch (p :: _) -> kind p
-  | Batch [] | Ack | Raw _ -> Stats.Other
+  | Batch [] | Ack | Raw _ | Cancel _ -> Stats.Other
 
 let cert_size (c : Peertrust_crypto.Cert.t) =
   String.length (Peertrust_crypto.Cert.payload c)
@@ -79,9 +80,10 @@ let rec size = function
       + List.fold_left
           (fun acc e -> acc + 12 + (List.length e.ts_deps * 16))
           0 entries
+  | Cancel { goal } -> 8 + literal_size goal
 
 let rec cert_count = function
-  | Query _ | Deny _ | Ack | Raw _ -> 0
+  | Query _ | Deny _ | Ack | Raw _ | Cancel _ -> 0
   | Tquery _ | Tanswer _ | Tprobe _ | Tstat _ | Tcomplete _ -> 0
   | Answer { certs; _ } | Disclosure { certs; _ } -> List.length certs
   | Batch payloads ->
@@ -118,3 +120,4 @@ let rec summary = function
   | Tcomplete { leader = lp, lk; epoch; members } ->
       Printf.sprintf "tcomplete %s/%s epoch %d, %d member(s)" lp lk epoch
         (List.length members)
+  | Cancel { goal } -> Printf.sprintf "cancel %s" (Literal.to_string goal)

@@ -62,6 +62,10 @@ type payload =
   | Tcomplete of { leader : table_ref; epoch : int; members : table_ref list }
       (** leader's verdict: the SCC is globally quiescent; freeze every
           member table and release its answers as final *)
+  | Cancel of { goal : Literal.t }
+      (** the requester no longer needs an answer to [goal] — posted when
+          a submission's deadline expires so responders can drop parked
+          work instead of answering into the void *)
 
 val kind : payload -> Stats.kind
 

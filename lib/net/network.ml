@@ -184,10 +184,12 @@ let lost_event ~from ~target ~why payload =
       (Printf.sprintf "%s -> %s: %s lost in transit (%s)" from target
          (Message.summary payload) why)
 
-let post t ~from ~target ?(attempt = 0) ?trace payload =
+let post t ~from ~target ?(attempt = 0) ?(incarnation = 0) ?trace payload =
   if is_down t target then raise (Unreachable target);
   let decision = Faults.decide t.faults ~from ~target in
-  let outage = Faults.in_outage t.faults target ~now:(Clock.now t.clock) in
+  let now = Clock.now t.clock in
+  let outage = Faults.in_outage t.faults target ~now in
+  let crashed = Faults.in_crash t.faults target ~now in
   let id = t.next_id in
   t.next_id <- id + 1;
   let seq = next_seq t ~from ~target in
@@ -196,6 +198,14 @@ let post t ~from ~target ?(attempt = 0) ?trace payload =
       (* Sampled as lost: the send is still charged and logged. *)
       deliver ~note:" [lost]" t ~from ~target payload;
       lost_event ~from ~target ~why:"fault" payload;
+      []
+  | delays when crashed ->
+      (* The target is down between crash and restart: every copy is
+         lost in transit, exactly like an outage window. *)
+      List.iter
+        (fun _ -> deliver ~note:" [lost: crashed]" t ~from ~target payload)
+        delays;
+      lost_event ~from ~target ~why:"crash" payload;
       []
   | delays when outage ->
       (* Transient outage window: every copy is lost in transit. *)
@@ -219,6 +229,7 @@ let post t ~from ~target ?(attempt = 0) ?trace payload =
             sent_at;
             deliver_at = Clock.now t.clock + extra;
             attempt;
+            incarnation;
             trace;
             payload;
           })

@@ -75,14 +75,16 @@ val post :
   from:string ->
   target:string ->
   ?attempt:int ->
+  ?incarnation:int ->
   ?trace:Peertrust_obs.Trace_context.t ->
   Message.payload ->
   Envelope.t list
 (** Queue-oriented one-way send under the installed fault plan: charge and
     log the transmission, then return the envelope copies that actually
     reach the target — [[]] when the message is lost (sampled drop, or the
-    target is inside a scheduled outage window), one envelope normally,
-    two sharing an id when duplicated.  Extra delivery delay is reflected
+    target is inside a scheduled outage or crash window), one envelope
+    normally, two sharing an id when duplicated.  [incarnation] (default
+    0) is the sender's restart count, stamped on every surviving copy.  Extra delivery delay is reflected
     in [deliver_at].  Lost and duplicated sends increment [net.drops] /
     [net.duplicates].  [trace] (default [None]) is stamped verbatim on
     every surviving copy — the in-process form of the wire-propagated

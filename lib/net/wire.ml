@@ -17,6 +17,7 @@
      deliver: <tick>
      kind: <kind>
      bytes: <n>
+     inc: <n>                    (only when the sender has restarted)
      tabling: <op> ...           (only for tabling control messages)
      traceparent: pt1-...        (only when a context is carried)
 
@@ -63,6 +64,7 @@ type header = {
   h_deliver_at : int;
   h_kind : string;
   h_bytes : int;
+  h_incarnation : int;
   h_tabling : tabling option;
   h_trace : Trace_context.t option;
 }
@@ -102,6 +104,7 @@ let header_of_envelope (e : Envelope.t) =
     h_deliver_at = e.Envelope.deliver_at;
     h_kind = Stats.kind_to_string (Message.kind e.Envelope.payload);
     h_bytes = Message.size e.Envelope.payload;
+    h_incarnation = e.Envelope.incarnation;
     h_tabling = tabling_of_payload e.Envelope.payload;
     h_trace = e.Envelope.trace;
   }
@@ -189,6 +192,8 @@ let encode h =
   Printf.bprintf buf "deliver: %d\n" h.h_deliver_at;
   Printf.bprintf buf "kind: %s\n" h.h_kind;
   Printf.bprintf buf "bytes: %d\n" h.h_bytes;
+  if h.h_incarnation <> 0 then
+    Printf.bprintf buf "inc: %d\n" h.h_incarnation;
   Option.iter
     (fun tb -> Printf.bprintf buf "tabling: %s\n" (tabling_to_string tb))
     h.h_tabling;
@@ -342,16 +347,25 @@ let decode text =
       let* h_deliver_at = int_field ~line:5 ~key:"deliver" deliver_l in
       let* h_kind = field ~line:6 ~key:"kind" kind_l in
       let* h_bytes = int_field ~line:7 ~key:"bytes" bytes_l in
+      let* h_incarnation, rest, next =
+        match rest with
+        | l :: more
+          when String.length l >= 5 && String.equal (String.sub l 0 5) "inc: "
+          -> (
+            let* v = int_field ~line:8 ~key:"inc" l in
+            if v < 0 then fail 8 "inc: must be >= 0" else Ok (v, more, 9))
+        | _ -> Ok (0, rest, 8)
+      in
       let* h_tabling, rest, next =
         match rest with
         | l :: more
           when String.length l >= 9 && String.equal (String.sub l 0 9) "tabling: "
           -> (
-            let* v = field ~line:8 ~key:"tabling" l in
+            let* v = field ~line:next ~key:"tabling" l in
             match parse_tabling v with
-            | Some tb -> Ok (Some tb, more, 9)
-            | None -> fail 8 (Printf.sprintf "bad tabling line %S" v))
-        | _ -> Ok (None, rest, 8)
+            | Some tb -> Ok (Some tb, more, next + 1)
+            | None -> fail next (Printf.sprintf "bad tabling line %S" v))
+        | _ -> Ok (None, rest, next)
       in
       let* h_trace =
         match rest with
@@ -374,6 +388,7 @@ let decode text =
           h_deliver_at;
           h_kind;
           h_bytes;
+          h_incarnation;
           h_tabling;
           h_trace;
         }

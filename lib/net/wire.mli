@@ -49,6 +49,10 @@ type header = {
   h_deliver_at : int;
   h_kind : string;  (** {!Stats.kind_to_string} of the payload *)
   h_bytes : int;  (** accounted payload size *)
+  h_incarnation : int;
+      (** sender's restart count; serialised as an [inc:] line only when
+          nonzero, so crash-free frames are byte-identical to frames
+          encoded before incarnations existed *)
   h_tabling : tabling option;
   h_trace : Peertrust_obs.Trace_context.t option;
 }

@@ -37,6 +37,7 @@ type anomaly =
   | Retransmit_storm of { retries : int; timeouts : int }
   | Breaker_trip of { at : int; detail : string }
   | Cache_stampede of { at : int; bursts : int }
+  | Restart_storm of { restarts : int }
 
 let anomaly_to_string = function
   | Retransmit_storm { retries; timeouts } ->
@@ -46,6 +47,8 @@ let anomaly_to_string = function
       Printf.sprintf "breaker trip at %d: %s" at detail
   | Cache_stampede { at; bursts } ->
       Printf.sprintf "cache-invalidation stampede at %d: %d bursts" at bursts
+  | Restart_storm { restarts } ->
+      Printf.sprintf "restart storm: %d restarts" restarts
 
 type t = {
   tl_trace : int;
@@ -73,6 +76,11 @@ let span_end (span : Span.t) =
    doing its job; at or past it the trace is flagged. *)
 let storm_threshold = 3
 let stampede_threshold = 2
+
+(* One crash-restart mid-negotiation is the fault model working as
+   designed; a counterparty flapping twice or more inside one trace is
+   a restart storm worth flagging. *)
+let restart_storm_threshold = 2
 
 let build_one trace spans =
   let by_id = Hashtbl.create 64 in
@@ -162,6 +170,7 @@ let build_one trace spans =
   in
   (* Anomalies, read off span names and events. *)
   let retries = ref 0 and timeouts = ref 0 in
+  let restarts = ref 0 in
   let breaker = ref [] in
   let invalidations = Hashtbl.create 8 in
   List.iter
@@ -182,6 +191,7 @@ let build_one trace spans =
             if cat <> Retransmit then incr retries)
           else if has_prefix ~prefix:"reactor.timeout" msg then (
             if cat <> Retransmit then incr timeouts)
+          else if has_prefix ~prefix:"reactor.restart" msg then incr restarts
           else if has_prefix ~prefix:"guard.quarantine" msg then
             breaker := (e.Span.at, msg) :: !breaker
           else if has_prefix ~prefix:"cache.invalidate" msg then
@@ -201,6 +211,10 @@ let build_one trace spans =
       |> List.filter (fun (_, n) -> n >= stampede_threshold)
       |> List.sort compare
       |> List.map (fun (at, bursts) -> Cache_stampede { at; bursts }))
+    @
+    if !restarts >= restart_storm_threshold then
+      [ Restart_storm { restarts = !restarts } ]
+    else []
   in
   {
     tl_trace = trace;

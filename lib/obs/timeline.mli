@@ -27,10 +27,15 @@ type anomaly =
   | Cache_stampede of { at : int; bursts : int }
       (** at least {!stampede_threshold} cache-invalidation bursts on one
           tick *)
+  | Restart_storm of { restarts : int }
+      (** at least {!restart_storm_threshold} crash-stop restarts
+          ([reactor.restart] events) inside one trace — a flapping
+          counterparty *)
 
 val anomaly_to_string : anomaly -> string
 val storm_threshold : int
 val stampede_threshold : int
+val restart_storm_threshold : int
 
 type t = {
   tl_trace : int;

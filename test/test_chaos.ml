@@ -385,6 +385,149 @@ let test_tabling_fault_free_pinned () =
     (granted_set b_out)
 
 (* ------------------------------------------------------------------ *)
+(* Crash-stop recovery under chaos.  Across 100 seeds, scenario 1 runs
+   with a randomized crash schedule (victim, crash tick, restart tick —
+   some schedules never restart) layered over a randomized drop/delay
+   plan, with per-peer write-ahead journals on.  Every run must
+   terminate in the fault-free outcome or a cleanly classified denial,
+   and a recovered victim's certificate wallet must hold no duplicate
+   entries — journal replay learns through the idempotent wallet, never
+   the verifier.  A schedule with no crashes and journals on must stay
+   byte-identical to the plain fault-free run, and a cyclic tabled web
+   must recover its complete frozen tables across member restarts. *)
+
+let crash_config =
+  { Reactor.default_config with Reactor.journal = Reactor.Journal_memory }
+
+let wallet_serials session name =
+  let peer = Session.peer session name in
+  Hashtbl.fold
+    (fun _ (c : Peertrust_crypto.Cert.t) acc ->
+      c.Peertrust_crypto.Cert.serial :: acc)
+    peer.Peer.certs []
+  |> List.sort compare
+
+let test_crash_chaos_sweep () =
+  let baseline, _, _, _ = run_s1 () in
+  Alcotest.(check bool) "fault-free baseline granted" true (granted baseline);
+  Pobs.Obs.reset_metrics ();
+  let recovered = ref 0 in
+  for seed = 401 to 500 do
+    (* randomized-but-deterministic schedule derived from the seed *)
+    let victim = if seed mod 2 = 0 then "Alice" else "E-Learn" in
+    let at_tick = 2 + (seed mod 11) in
+    let restarts = seed mod 4 <> 3 in
+    let restart_tick =
+      if restarts then at_tick + 8 + (seed mod 17) else max_int
+    in
+    let faults = chaos_plan ~drop:0.08 (Int64.of_int seed) in
+    Net.Faults.add_crash faults ~peer:victim ~at_tick ~restart_tick;
+    let s = Scenario.scenario1 ~key_bits () in
+    let session = s.Scenario.s1_session in
+    Net.Network.set_faults session.Session.network faults;
+    let reactor = Reactor.create ~config:crash_config session in
+    let id =
+      Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+        (Scenario.scenario1_goal ())
+    in
+    let steps =
+      try Reactor.run ~max_steps reactor with
+      | exn ->
+          Alcotest.failf "seed %d: uncaught exception %s" seed
+            (Printexc.to_string exn)
+    in
+    if steps >= max_steps then Alcotest.failf "seed %d: hit step budget" seed;
+    let outcome = Reactor.outcome reactor id in
+    acceptable ~label:(Printf.sprintf "seed %d" seed) ~baseline outcome;
+    if restarts && granted outcome then incr recovered;
+    (* zero duplicate certificate learning after replay: the wallet the
+       victim recovered must not hold the same certificate twice *)
+    let serials = wallet_serials session victim in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: no duplicate certs after replay" seed)
+      (List.sort_uniq compare serials)
+      serials
+  done;
+  Alcotest.(check bool) "some crashed runs recovered and granted" true
+    (!recovered > 0);
+  let snapshot = Pobs.Obs.snapshot () in
+  let count name = Pobs.Registry.counter_value snapshot name in
+  Alcotest.(check bool) "crashes recorded" true (count "reactor.crashes" > 0);
+  Alcotest.(check bool) "restarts recorded" true
+    (count "reactor.restarts" > 0);
+  Alcotest.(check bool) "journal appends recorded" true
+    (count "reactor.checkpoints" > 0);
+  Alcotest.(check bool) "stale incarnations discarded" true
+    (count "reactor.stale_epoch" > 0)
+
+let test_crash_free_schedule_byte_identical () =
+  (* Journals on but no crash scheduled: the write-ahead appends are
+     invisible to the wire — transcript, steps and outcome must be
+     byte-identical to the plain fault-free run. *)
+  let plain_outcome, plain_steps, _, plain_net = run_s1 () in
+  let j_outcome, j_steps, _, j_net = run_s1 ~config:crash_config () in
+  Alcotest.(check (list string))
+    "transcript identical with journals on" (transcript_sig plain_net)
+    (transcript_sig j_net);
+  Alcotest.(check int) "same steps" plain_steps j_steps;
+  Alcotest.(check bool) "same outcome" (granted plain_outcome)
+    (granted j_outcome)
+
+let test_crash_tabling_recovers_tables () =
+  (* A member of a cyclic accreditation web crash-stops mid-completion
+     and restarts: the quiescence re-heal re-queries its lost tables
+     (and, when the requester itself is the victim, the journal's Goal
+     entry re-launches the root), so the final answers and frozen-table
+     signature still match the fault-free run for every schedule. *)
+  let config =
+    { tabling_chaos_config with Reactor.journal = Reactor.Journal_memory }
+  in
+  let base_out, _, base_reactor, _ = run_accreditation () in
+  Alcotest.(check bool) "fault-free cyclic baseline granted" true
+    (granted base_out);
+  let base_set = granted_set base_out in
+  let base_tables = table_sig base_reactor in
+  Pobs.Obs.reset_metrics ();
+  for seed = 501 to 530 do
+    let rw = Scenario.mutual_accreditation ~n:3 () in
+    let session = rw.Scenario.rw_session in
+    let members =
+      List.sort compare
+        (Hashtbl.fold (fun n _ acc -> n :: acc) session.Session.peers [])
+    in
+    let victim = List.nth members (seed mod List.length members) in
+    let faults = Net.Faults.none () in
+    Net.Faults.add_crash faults ~peer:victim
+      ~at_tick:(2 + (seed mod 13))
+      ~restart_tick:(2 + (seed mod 13) + 6 + (seed mod 9));
+    Net.Network.set_faults session.Session.network faults;
+    let reactor = Reactor.create ~config session in
+    let id =
+      Reactor.submit reactor ~requester:rw.Scenario.rw_requester
+        ~target:rw.Scenario.rw_target rw.Scenario.rw_goal
+    in
+    let steps =
+      try Reactor.run ~max_steps reactor with
+      | exn ->
+          Alcotest.failf "seed %d (victim %s): uncaught exception %s" seed
+            victim (Printexc.to_string exn)
+    in
+    if steps >= max_steps then
+      Alcotest.failf "seed %d (victim %s): hit step budget" seed victim;
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d (victim %s): complete answers after restart"
+         seed victim)
+      base_set
+      (granted_set (Reactor.outcome reactor id));
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d (victim %s): same frozen tables" seed victim)
+      base_tables (table_sig reactor)
+  done;
+  let snapshot = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "crashes recorded" true
+    (Pobs.Registry.counter_value snapshot "reactor.crashes" > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial peers.  The headline invariant: with guards on, a sweep
    of seeded misbehaving peers never costs an honest negotiation its
    fault-free outcome, and every flooding/malformed adversary ends the
@@ -642,6 +785,15 @@ let () =
             test_tabling_chaos_sweep;
           tc "fault-free cyclic transcript pinned"
             test_tabling_fault_free_pinned;
+        ] );
+      ( "crash",
+        [
+          tc "scenario 1 crash schedules under 100 seeds"
+            test_crash_chaos_sweep;
+          tc "crash-free schedule with journals is byte-identical"
+            test_crash_free_schedule_byte_identical;
+          tc "cyclic tables recover across member restarts"
+            test_crash_tabling_recovers_tables;
         ] );
       ( "identity",
         [

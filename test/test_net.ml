@@ -190,6 +190,7 @@ let sample_header ?trace () =
     h_deliver_at = 14;
     h_kind = "query";
     h_bytes = 96;
+    h_incarnation = 0;
     h_tabling = None;
     h_trace = trace;
   }
@@ -233,6 +234,7 @@ let test_wire_envelope () =
       sent_at = 3;
       deliver_at = 5;
       attempt = 0;
+      incarnation = 0;
       trace = Some ctx;
       payload = Message.Query { goal = lit {|p("x")|} };
     }

@@ -575,6 +575,32 @@ let test_timeline_anomalies () =
        (function Timeline.Cache_stampede _ -> true | _ -> false)
        tl.Timeline.tl_anomalies)
 
+let test_timeline_restart_storm () =
+  (* Crash-stop restarts surface on the trace as reactor.restart events;
+     enough of them in one trace is flagged as a restart storm. *)
+  let storm n =
+    let t = Tracer.create () in
+    let ctx = Option.get (Tracer.mint t) in
+    Tracer.with_span t ~ctx "negotiation" (fun () ->
+        Tracer.event t "reactor.crash E-Learn @5";
+        for i = 1 to n do
+          Tracer.event t
+            (Printf.sprintf "reactor.restart E-Learn (incarnation %d)" i)
+        done);
+    let tl = List.hd (Timeline.build (Tracer.spans t)) in
+    List.find_map
+      (function
+        | Timeline.Restart_storm { restarts } -> Some restarts | _ -> None)
+      tl.Timeline.tl_anomalies
+  in
+  Alcotest.(check (option int))
+    "storm flagged at the threshold"
+    (Some Timeline.restart_storm_threshold)
+    (storm Timeline.restart_storm_threshold);
+  Alcotest.(check (option int))
+    "a single restart is recovery, not a storm" None
+    (storm (Timeline.restart_storm_threshold - 1))
+
 (* ------------------------------------------------------------------ *)
 (* Bench-regression diffs *)
 
@@ -927,6 +953,8 @@ let () =
           Alcotest.test_case "build, lanes, critical path" `Quick
             test_timeline_build;
           Alcotest.test_case "anomaly flags" `Quick test_timeline_anomalies;
+          Alcotest.test_case "restart storm" `Quick
+            test_timeline_restart_storm;
         ] );
       ( "diff",
         [

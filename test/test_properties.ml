@@ -871,6 +871,7 @@ let arb_wire_header =
            h_deliver_at = dl;
            h_kind = "query";
            h_bytes = bytes;
+           h_incarnation = bytes mod 3;
            h_tabling = None;
            h_trace =
              Option.map
@@ -1204,6 +1205,120 @@ let prop_tabling_wire_stream_total =
       | Ok _ | Error (Pnet.Wire.Malformed _) -> true
       | exception _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Journal durability: the write-ahead journal behind crash-stop
+   recovery.  A crash tears at most the line being appended, so parsing
+   any byte prefix of a valid journal must recover exactly the entries
+   of its complete lines; arbitrary damage must come back as a
+   line-numbered [Bad_world], never an exception; and replaying a
+   journal twice must leave a peer exactly where one replay did. *)
+
+let gen_journal_entry =
+  QCheck.Gen.(
+    let name = oneofl [ "alice"; "E-Learn"; "odd name/\xc2\xb7"; "" ] in
+    frequency
+      [
+        ( 2,
+          map2
+            (fun serial r -> Persist.Journal.Cert (cert_of_rule ~serial r))
+            small_nat gen_rule );
+        (2, map (fun r -> Persist.Journal.Fact r) gen_rule);
+        ( 1,
+          let* owner = name in
+          let* goal = gen_literal in
+          let* instances = list_size (int_range 0 3) gen_literal in
+          return (Persist.Journal.Answer { owner; goal; instances }) );
+        ( 1,
+          let* id = small_nat in
+          let* target = name in
+          let* goal = gen_literal in
+          return (Persist.Journal.Goal { id; target; goal }) );
+        (1, map (fun id -> Persist.Journal.Done { id }) small_nat);
+      ])
+
+let render_journal entries =
+  let j = Persist.Journal.in_memory () in
+  List.iter (Persist.Journal.append j) entries;
+  Persist.Journal.contents j
+
+let arb_journal_cut =
+  QCheck.make
+    ~print:(fun (entries, cut) ->
+      Printf.sprintf "entries=%d cut=%d\n%s" (List.length entries) cut
+        (String.escaped (render_journal entries)))
+    QCheck.Gen.(
+      pair (list_size (int_range 0 12) gen_journal_entry) small_nat)
+
+let prop_journal_truncation_prefix =
+  QCheck.Test.make
+    ~name:
+      "persist: journal parse of any byte prefix recovers the complete lines"
+    ~count:(scale 200) arb_journal_cut (fun (entries, cut) ->
+      let text = render_journal entries in
+      let cut = cut mod (String.length text + 1) in
+      (* Everything up to the last newline in the prefix is intact; the
+         rest is the torn tail a crash left behind. *)
+      let keep =
+        match String.rindex_opt (String.sub text 0 cut) '\n' with
+        | None -> 0
+        | Some i -> i + 1
+      in
+      match Persist.Journal.parse (String.sub text 0 cut) with
+      | Ok es -> render_journal es = String.sub text 0 keep
+      | Error _ -> false
+      | exception _ -> false)
+
+let prop_journal_mutated_total =
+  QCheck.Test.make
+    ~name:"fuzz: journal parser is total on mutated journals"
+    ~count:(scale 200)
+    (QCheck.pair arb_journal_cut arb_wallet_damage)
+    (fun ((entries, _), (muts, trunc)) ->
+      let text = render_journal entries in
+      QCheck.assume (String.length text > 0);
+      let b = Bytes.of_string text in
+      List.iter
+        (fun (pos, c) -> Bytes.set b (pos mod Bytes.length b) (Char.chr c))
+        muts;
+      let s = Bytes.to_string b in
+      let s =
+        match trunc with
+        | Some n -> String.sub s 0 (min n (String.length s))
+        | None -> s
+      in
+      match Persist.Journal.parse s with
+      | Ok _ -> true
+      | Error (Persist.Bad_world m) ->
+          (* Mid-stream damage must name the offending line. *)
+          String.length m >= 12 && String.sub m 0 12 = "journal line"
+      | exception _ -> false)
+
+let peer_signature p =
+  let serials =
+    Hashtbl.fold
+      (fun _ (c : Crypto.Cert.t) acc -> c.Crypto.Cert.serial :: acc)
+      p.Peer.certs []
+    |> List.sort compare
+  in
+  let rules =
+    Kb.rules p.Peer.kb |> List.map Rule.canonical |> List.sort compare
+  in
+  (serials, rules)
+
+let prop_journal_replay_idempotent =
+  QCheck.Test.make
+    ~name:"persist: replaying a journal twice equals replaying it once"
+    ~count:(scale 150) arb_journal_cut (fun (entries, _) ->
+      match Persist.Journal.parse (render_journal entries) with
+      | Error _ -> false
+      | Ok es ->
+          let once = Peer.create "p" in
+          Persist.Journal.replay_peer once es;
+          let twice = Peer.create "p" in
+          Persist.Journal.replay_peer twice es;
+          Persist.Journal.replay_peer twice es;
+          peer_signature once = peer_signature twice)
+
 let () =
   Alcotest.run "properties"
     [
@@ -1256,6 +1371,13 @@ let () =
             prop_trace_header_mutated_total;
             prop_envelope_wire_roundtrip;
             prop_envelope_wire_mutated_total;
+          ] );
+      ( "persist",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_journal_truncation_prefix;
+            prop_journal_mutated_total;
+            prop_journal_replay_idempotent;
           ] );
       ( "tabling",
         List.map QCheck_alcotest.to_alcotest

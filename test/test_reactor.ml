@@ -846,6 +846,199 @@ let test_cache_completed_gate () =
   Alcotest.(check bool) "completed answer served" true
     (find_some c ~now:1 ~asker:"a" ~owner:"o" "p(X)")
 
+(* ------------------------------------------------------------------ *)
+(* Crash-stop peers: scheduled crashes, incarnation-aware recovery,
+   journals and deadlines *)
+
+let journal_memory =
+  { Reactor.default_config with Reactor.journal = Reactor.Journal_memory }
+
+let crash_faults specs =
+  let f = Net.Faults.none () in
+  List.iter
+    (fun (peer, at_tick, restart_tick) ->
+      Net.Faults.add_crash f ~peer ~at_tick ~restart_tick)
+    specs;
+  f
+
+let run_s1_crash ?(config = Reactor.default_config) specs =
+  let s = Scenario.scenario1 () in
+  let session = s.Scenario.s1_session in
+  Net.Network.set_faults session.Session.network (crash_faults specs);
+  let reactor = Reactor.create ~config session in
+  let id =
+    Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+      (lit {|discountEnroll(spanish101, "Alice")|})
+  in
+  ignore (Reactor.run reactor);
+  (Reactor.outcome reactor id, session)
+
+let wallet_serials session name =
+  let p = Session.peer session name in
+  Hashtbl.fold
+    (fun _ (c : Peertrust_crypto.Cert.t) acc ->
+      c.Peertrust_crypto.Cert.serial :: acc)
+    p.Peer.certs []
+  |> List.sort compare
+
+let counter snap name = Pobs.Registry.counter_value snap name
+
+let check_crashed = function
+  | Negotiation.Denied reason ->
+      Alcotest.(check string)
+        "denial classified as Crashed" "crashed"
+        (Negotiation.denial_class_to_string
+           (Negotiation.classify_denial reason))
+  | Negotiation.Granted _ -> Alcotest.fail "granted against a dead peer"
+
+let test_crash_forever_denied () =
+  (* The responder crash-stops mid-negotiation and never returns: the
+     requester's sub-queries must degrade into a structured crashed
+     denial, not a hang and not a generic timeout. *)
+  Pobs.Obs.reset_metrics ();
+  let outcome, _ = run_s1_crash [ ("E-Learn", 5, max_int) ] in
+  check_crashed outcome;
+  let snap = Pobs.Obs.snapshot () in
+  Alcotest.(check int) "one crash executed" 1 (counter snap "reactor.crashes");
+  Alcotest.(check int) "no restart" 0 (counter snap "reactor.restarts")
+
+let test_crash_restart_journal_recovers () =
+  (* Crash + scheduled restart with the journal on: the negotiation
+     must still grant, pre-crash deliveries must be discarded as stale
+     rather than applied to the new incarnation, and the recovered
+     wallet must equal the fault-free one — journal replay never
+     double-learns a certificate. *)
+  let baseline, clean_session = run_s1_crash [] in
+  Alcotest.(check bool) "fault-free grants" true (granted baseline);
+  let clean = wallet_serials clean_session "E-Learn" in
+  Pobs.Obs.reset_metrics ();
+  let outcome, session =
+    run_s1_crash ~config:journal_memory [ ("E-Learn", 5, 40) ]
+  in
+  Alcotest.(check bool) "recovers and grants" true (granted outcome);
+  let snap = Pobs.Obs.snapshot () in
+  Alcotest.(check int) "one crash" 1 (counter snap "reactor.crashes");
+  Alcotest.(check int) "one restart" 1 (counter snap "reactor.restarts");
+  Alcotest.(check bool) "stale deliveries discarded" true
+    (counter snap "reactor.stale_epoch" > 0);
+  Alcotest.(check (list int))
+    "recovered wallet equals fault-free wallet" clean
+    (wallet_serials session "E-Learn")
+
+let test_crash_requester_root_recovery () =
+  (* The requester itself crashes.  Without a journal its accepted root
+     goal is volatile state: the request must settle as a crashed
+     denial even though a restart is scheduled.  With the journal the
+     root is re-launched at restart and still grants. *)
+  Pobs.Obs.reset_metrics ();
+  let outcome, _ = run_s1_crash [ ("Alice", 2, 14) ] in
+  check_crashed outcome;
+  Pobs.Obs.reset_metrics ();
+  let outcome, _ = run_s1_crash ~config:journal_memory [ ("Alice", 2, 14) ] in
+  Alcotest.(check bool) "journalled root grants" true (granted outcome);
+  let snap = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "root goal recovered from the journal" true
+    (counter snap "reactor.recovered_goals" >= 1)
+
+let test_crash_suspend_reissue () =
+  (* The responder stays down past the requester's whole retry budget
+     (8+16+32+64 ticks).  Because its restart is scheduled, the
+     exhausted sub-queries must suspend instead of denying, then be
+     reissued (attempt 0, fresh timer) once the peer returns. *)
+  Pobs.Obs.reset_metrics ();
+  let outcome, _ =
+    run_s1_crash ~config:journal_memory [ ("E-Learn", 2, 150) ]
+  in
+  Alcotest.(check bool) "grants after the long outage" true (granted outcome);
+  let snap = Pobs.Obs.snapshot () in
+  Alcotest.(check bool) "retries burnt against the dead peer" true
+    (counter snap "reactor.retries" > 0);
+  Alcotest.(check bool) "retry budget drained while down" true
+    (counter snap "reactor.timeouts" > 0);
+  Alcotest.(check bool) "suspended sub-queries reissued at restart" true
+    (counter snap "reactor.reissued_subqueries" > 0)
+
+let test_deadline_expiry_cancels () =
+  (* A root with a deadline tighter than the negotiation's latency: the
+     request must settle as exactly [deadline expired], and the
+     requester must withdraw its outstanding sub-queries with Cancel
+     messages so the responder drops the parked goal.  The far-future
+     bystander crash keeps the fault plan active so retransmission
+     timers (which the Cancels are collected from) are armed. *)
+  Pobs.Obs.reset_metrics ();
+  let session = counter_query_world () in
+  Net.Network.set_faults session.Session.network
+    (crash_faults [ ("req", 500, max_int) ]);
+  let reactor = Reactor.create session in
+  let id =
+    Reactor.submit ~deadline:2 reactor ~requester:"req" ~target:"owner"
+      (lit {|resource("r")|})
+  in
+  ignore (Reactor.run reactor);
+  (match Reactor.outcome reactor id with
+  | Negotiation.Denied reason ->
+      Alcotest.(check string) "denial reason" "deadline expired" reason
+  | Negotiation.Granted _ -> Alcotest.fail "granted past its deadline");
+  let snap = Pobs.Obs.snapshot () in
+  Alcotest.(check int) "one deadline expiry" 1
+    (counter snap "reactor.deadline_expiries");
+  Alcotest.(check bool) "outstanding sub-queries withdrawn" true
+    (counter snap "reactor.cancels" > 0);
+  Alcotest.(check bool) "responder dropped the parked goal" true
+    (counter snap "reactor.cancelled_goals" > 0)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ptjournal" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_journal_dir_cross_process_resume () =
+  (* Disk journals survive the process, not just the crash: a second
+     reactor created over a fresh world with the same journal directory
+     replays the learned knowledge at create and allocates request ids
+     past the journalled ones. *)
+  with_temp_dir @@ fun dir ->
+  let config =
+    { Reactor.default_config with Reactor.journal = Reactor.Journal_dir dir }
+  in
+  let s = Scenario.scenario1 () in
+  let session = s.Scenario.s1_session in
+  let reactor = Reactor.create ~config session in
+  let id =
+    Reactor.submit reactor ~requester:"Alice" ~target:"E-Learn"
+      (lit {|discountEnroll(spanish101, "Alice")|})
+  in
+  ignore (Reactor.run reactor);
+  Alcotest.(check bool) "first process grants" true
+    (granted (Reactor.outcome reactor id));
+  let learned = wallet_serials session "E-Learn" in
+  (* Second process: fresh world, same journal directory. *)
+  let s2 = Scenario.scenario1 () in
+  let session2 = s2.Scenario.s1_session in
+  Pobs.Obs.reset_metrics ();
+  let reactor2 = Reactor.create ~config session2 in
+  Alcotest.(check (list int))
+    "replayed wallet matches the first process" learned
+    (wallet_serials session2 "E-Learn");
+  let id2 =
+    Reactor.submit reactor2 ~requester:"Alice" ~target:"E-Learn"
+      (lit {|discountEnroll(spanish101, "Alice")|})
+  in
+  ignore (Reactor.run reactor2);
+  Alcotest.(check bool) "resumed process still grants" true
+    (granted (Reactor.outcome reactor2 id2));
+  Alcotest.(check (list int))
+    "re-learning after replay added nothing" learned
+    (wallet_serials session2 "E-Learn")
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "reactor"
@@ -915,5 +1108,15 @@ let () =
           tc "bad certs and bombs" test_guard_bad_cert_and_bomb;
           tc "denial classification" test_classify_guard_denials;
           tc "bounded dedup set" test_dedup_bounded;
+        ] );
+      ( "crash",
+        [
+          tc "crash forever denied" test_crash_forever_denied;
+          tc "journal recovery" test_crash_restart_journal_recovers;
+          tc "requester root recovery" test_crash_requester_root_recovery;
+          tc "suspend and reissue" test_crash_suspend_reissue;
+          tc "deadline expiry cancels" test_deadline_expiry_cancels;
+          tc "cross-process journal resume"
+            test_journal_dir_cross_process_resume;
         ] );
     ]
